@@ -1,0 +1,55 @@
+// Ablation — the gateway depth threshold `d` (§III-B).
+//
+// `d` bounds how far (in cluster hops) a node may sit from its gateway, so
+// the number of gateways per cluster is proportional to the cluster's
+// diameter. Small d ⇒ many gateways ⇒ more redundant relay paths (more
+// overhead, more robustness, less intra-cluster delay). Large d ⇒ a single
+// gateway per cluster ⇒ minimal relay traffic but longer in-cluster paths.
+// The paper fixes d = 5; this ablation justifies that choice.
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vitis;
+  const auto ctx = bench::BenchContext::from_args(argc, argv);
+  bench::print_banner(ctx, "Ablation",
+                      "gateway depth threshold d (paper fixes d = 5)");
+
+  const auto scenario = workload::make_synthetic_scenario(
+      bench::synthetic_params(ctx,
+                              workload::CorrelationPattern::kLowCorrelation));
+
+  const std::vector<std::uint32_t> depths{1, 2, 3, 5, 8, 12};
+  analysis::TableWriter table({"d", "hit-ratio", "overhead (%)",
+                               "delay (hops)", "gateways/topic"});
+  for (const std::uint32_t d : depths) {
+    core::VitisConfig config;
+    config.gateway_depth = d;
+    auto system = workload::make_vitis(scenario, config, ctx.seed);
+    const auto summary =
+        workload::run_measurement(*system, ctx.scale.cycles,
+                                  scenario.schedule);
+    // Mean gateways per topic (the redundancy d controls).
+    double gateway_sum = 0.0;
+    std::size_t measured_topics = 0;
+    for (std::size_t t = 0; t < scenario.subscriptions.topic_count();
+         t += 7) {  // sample every 7th topic; plenty for a mean
+      const auto topic = static_cast<ids::TopicIndex>(t);
+      if (scenario.subscriptions.subscribers(topic).empty()) continue;
+      gateway_sum += static_cast<double>(system->gateways_of(topic).size());
+      ++measured_topics;
+    }
+    table.add_row(
+        {std::to_string(d), support::format_fixed(summary.hit_ratio * 100, 2),
+         support::format_fixed(summary.traffic_overhead_pct, 1),
+         support::format_fixed(summary.delay_hops, 2),
+         support::format_fixed(
+             measured_topics == 0
+                 ? 0.0
+                 : gateway_sum / static_cast<double>(measured_topics),
+             2)});
+  }
+  bench::emit(ctx, table);
+  return 0;
+}

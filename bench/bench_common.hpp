@@ -1,0 +1,75 @@
+// Shared helpers for the figure-reproduction bench binaries.
+//
+// Every binary accepts:
+//   --scale quick|paper   (or env REPRO_SCALE; default quick)
+//   --nodes/--topics/--cycles/--events N   (override individual knobs)
+//   --seed N
+//   --csv path            (also dump the table as CSV)
+//
+// "quick" preserves all qualitative shapes at ~1/5 the paper's size;
+// "paper" matches §IV-A (10,000 nodes, 5,000 topics, 50 subs/node).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/table.hpp"
+#include "support/cli.hpp"
+#include "support/format.hpp"
+#include "workload/scenario.hpp"
+
+namespace vitis::bench {
+
+struct BenchContext {
+  support::BenchScale scale;
+  std::uint64_t seed = 42;
+  std::string csv_path;  // empty = no CSV dump
+
+  static BenchContext from_args(int argc, char** argv) {
+    const support::CliArgs args(argc, argv);
+    BenchContext ctx;
+    ctx.scale = support::resolve_scale(args);
+    ctx.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    ctx.csv_path = args.get_string("csv", "");
+    return ctx;
+  }
+};
+
+inline void print_banner(const BenchContext& ctx, const char* figure,
+                         const char* description) {
+  std::printf("== %s — %s ==\n", figure, description);
+  std::printf(
+      "scale=%s nodes=%zu topics=%zu cycles=%zu events=%zu seed=%llu\n\n",
+      ctx.scale.name.c_str(), ctx.scale.nodes, ctx.scale.topics,
+      ctx.scale.cycles, ctx.scale.events,
+      static_cast<unsigned long long>(ctx.seed));
+}
+
+inline void emit(const BenchContext& ctx, const analysis::TableWriter& table) {
+  std::printf("%s\n", table.to_text().c_str());
+  if (!ctx.csv_path.empty()) {
+    table.save_csv(ctx.csv_path);
+    std::printf("(csv written to %s)\n", ctx.csv_path.c_str());
+  }
+}
+
+/// Synthetic-scenario parameters at the bench scale.
+inline workload::SyntheticScenarioParams synthetic_params(
+    const BenchContext& ctx, workload::CorrelationPattern pattern,
+    double rate_alpha = 0.0) {
+  workload::SyntheticScenarioParams params;
+  params.subscriptions.nodes = ctx.scale.nodes;
+  params.subscriptions.topics = ctx.scale.topics;
+  params.subscriptions.subs_per_node = 50;
+  params.subscriptions.pattern = pattern;
+  params.rate_alpha = rate_alpha;
+  params.events = ctx.scale.events;
+  params.seed = ctx.seed;
+  return params;
+}
+
+inline const char* pattern_label(workload::CorrelationPattern pattern) {
+  return workload::to_string(pattern);
+}
+
+}  // namespace vitis::bench

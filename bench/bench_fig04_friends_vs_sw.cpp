@@ -1,0 +1,103 @@
+// Fig. 4 — "Measurements with varying number of friends".
+//
+// Routing tables hold 15 links: predecessor + successor always, the other
+// 13 split between small-world links and friends. Sweeping the number of
+// friends from 0 to 12 trades navigability (sw links) against clustering
+// (friends). Vitis is run on the three synthetic subscription patterns;
+// RVR (all-structural links, subscription-oblivious) is the reference line.
+//
+// Paper shapes: (a) overhead falls steeply with more friends — ≈88% lower
+// at high correlation, < 1/3 of RVR even with random subscriptions;
+// (b) delay improves with correlation but worsens for random subscriptions
+// as sw links are displaced.
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace vitis;
+
+struct Row {
+  std::size_t friends;
+  pubsub::MetricsSummary vitis[3];
+  pubsub::MetricsSummary rvr;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::BenchContext::from_args(argc, argv);
+  bench::print_banner(ctx, "Fig. 4",
+                      "traffic overhead & propagation delay vs friend links");
+
+  constexpr std::size_t kRtSize = 15;
+  const std::vector<std::size_t> friend_counts{0, 2, 4, 6, 8, 10, 12};
+  const workload::CorrelationPattern patterns[3] = {
+      workload::CorrelationPattern::kHighCorrelation,
+      workload::CorrelationPattern::kLowCorrelation,
+      workload::CorrelationPattern::kRandom,
+  };
+
+  // Scenarios are fixed across the sweep; only the link budget varies.
+  std::vector<workload::SyntheticScenario> scenarios;
+  for (const auto pattern : patterns) {
+    scenarios.push_back(
+        workload::make_synthetic_scenario(bench::synthetic_params(ctx, pattern)));
+  }
+
+  // RVR is friend-oblivious: one measurement per pattern is the paper's
+  // single line (it behaves identically across patterns; use the random
+  // one).
+  baselines::rvr::RvrConfig rvr_config;
+  rvr_config.base.routing_table_size = kRtSize;
+  auto rvr = workload::make_rvr(scenarios[2], rvr_config, ctx.seed);
+  const auto rvr_summary =
+      workload::run_measurement(*rvr, ctx.scale.cycles, scenarios[2].schedule);
+
+  std::vector<Row> rows;
+  for (const std::size_t friends : friend_counts) {
+    Row row;
+    row.friends = friends;
+    row.rvr = rvr_summary;
+    for (int p = 0; p < 3; ++p) {
+      core::VitisConfig config;
+      config.routing_table_size = kRtSize;
+      config.structural_links = kRtSize - friends;
+      auto system = workload::make_vitis(scenarios[p], config, ctx.seed);
+      row.vitis[p] = workload::run_measurement(*system, ctx.scale.cycles,
+                                               scenarios[p].schedule);
+    }
+    rows.push_back(row);
+  }
+
+  analysis::TableWriter overhead(
+      {"friends", "vitis-high", "vitis-low", "vitis-random", "rvr"});
+  analysis::TableWriter delay(
+      {"friends", "vitis-high", "vitis-low", "vitis-random", "rvr"});
+  analysis::TableWriter hit(
+      {"friends", "vitis-high", "vitis-low", "vitis-random", "rvr"});
+  for (const Row& row : rows) {
+    overhead.add_numeric_row({static_cast<double>(row.friends),
+                              row.vitis[0].traffic_overhead_pct,
+                              row.vitis[1].traffic_overhead_pct,
+                              row.vitis[2].traffic_overhead_pct,
+                              row.rvr.traffic_overhead_pct});
+    delay.add_numeric_row(
+        {static_cast<double>(row.friends), row.vitis[0].delay_hops,
+         row.vitis[1].delay_hops, row.vitis[2].delay_hops,
+         row.rvr.delay_hops});
+    hit.add_numeric_row(
+        {static_cast<double>(row.friends), row.vitis[0].hit_ratio * 100,
+         row.vitis[1].hit_ratio * 100, row.vitis[2].hit_ratio * 100,
+         row.rvr.hit_ratio * 100});
+  }
+
+  std::printf("--- Fig. 4(a): traffic overhead (%%) ---\n");
+  bench::emit(ctx, overhead);
+  std::printf("--- Fig. 4(b): propagation delay (hops) ---\n");
+  std::printf("%s\n", delay.to_text().c_str());
+  std::printf("--- hit ratio (%%), both systems should be ~100 ---\n");
+  std::printf("%s\n", hit.to_text().c_str());
+  return 0;
+}

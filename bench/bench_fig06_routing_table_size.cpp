@@ -1,0 +1,67 @@
+// Fig. 6 — "Measurements with different routing table sizes".
+//
+// Routing tables grow from 15 to 35 entries. Vitis keeps k = 3 structural
+// links and spends every extra slot on friends (better clustering, fewer
+// relay paths); RVR spends extra slots on small-world links (faster
+// rendezvous routing, shallower trees). Paper shapes: both improve with
+// size; Vitis-random delay crosses below RVR past RT ≈ 30.
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vitis;
+  const auto ctx = bench::BenchContext::from_args(argc, argv);
+  bench::print_banner(ctx, "Fig. 6",
+                      "traffic overhead & propagation delay vs RT size");
+
+  const std::vector<std::size_t> rt_sizes{15, 20, 25, 30, 35};
+  const workload::CorrelationPattern patterns[3] = {
+      workload::CorrelationPattern::kHighCorrelation,
+      workload::CorrelationPattern::kLowCorrelation,
+      workload::CorrelationPattern::kRandom,
+  };
+  std::vector<workload::SyntheticScenario> scenarios;
+  for (const auto pattern : patterns) {
+    scenarios.push_back(
+        workload::make_synthetic_scenario(bench::synthetic_params(ctx, pattern)));
+  }
+
+  analysis::TableWriter overhead(
+      {"rt-size", "vitis-high", "vitis-low", "vitis-random", "rvr"});
+  analysis::TableWriter delay(
+      {"rt-size", "vitis-high", "vitis-low", "vitis-random", "rvr"});
+
+  for (const std::size_t rt : rt_sizes) {
+    pubsub::MetricsSummary vitis_summary[3];
+    for (int p = 0; p < 3; ++p) {
+      core::VitisConfig config;
+      config.routing_table_size = rt;
+      config.structural_links = 3;  // k fixed; extra slots become friends
+      auto system = workload::make_vitis(scenarios[p], config, ctx.seed);
+      vitis_summary[p] = workload::run_measurement(*system, ctx.scale.cycles,
+                                                   scenarios[p].schedule);
+    }
+    baselines::rvr::RvrConfig rvr_config;
+    rvr_config.base.routing_table_size = rt;
+    auto rvr = workload::make_rvr(scenarios[2], rvr_config, ctx.seed);
+    const auto rvr_summary = workload::run_measurement(
+        *rvr, ctx.scale.cycles, scenarios[2].schedule);
+
+    overhead.add_numeric_row({static_cast<double>(rt),
+                              vitis_summary[0].traffic_overhead_pct,
+                              vitis_summary[1].traffic_overhead_pct,
+                              vitis_summary[2].traffic_overhead_pct,
+                              rvr_summary.traffic_overhead_pct});
+    delay.add_numeric_row(
+        {static_cast<double>(rt), vitis_summary[0].delay_hops,
+         vitis_summary[1].delay_hops, vitis_summary[2].delay_hops,
+         rvr_summary.delay_hops});
+  }
+
+  std::printf("--- Fig. 6(a): traffic overhead (%%) ---\n");
+  bench::emit(ctx, overhead);
+  std::printf("--- Fig. 6(b): propagation delay (hops) ---\n");
+  std::printf("%s\n", delay.to_text().c_str());
+  return 0;
+}

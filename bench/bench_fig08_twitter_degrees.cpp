@@ -1,0 +1,81 @@
+// Fig. 8 — "Distribution of in-degree and out-degree in Twitter".
+//
+// The paper plots frequency vs degree on log-log axes for the ~2.4M-user
+// trace and fits a power law with exponent ≈ 1.65. We generate the
+// synthetic Twitter model at bench scale, print log-binned in/out-degree
+// frequencies (a straight line on log-log axes) and the fitted MLE
+// exponents.
+#include <cmath>
+#include <vector>
+
+#include "analysis/histogram.hpp"
+#include "bench_common.hpp"
+#include "workload/twitter.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vitis;
+  const auto ctx = bench::BenchContext::from_args(argc, argv);
+  bench::print_banner(ctx, "Fig. 8", "Twitter in/out-degree distributions");
+
+  sim::Rng rng(ctx.seed);
+  workload::TwitterModelParams params;
+  params.users = ctx.scale.nodes;
+  const auto table = workload::make_twitter_subscriptions(params, rng);
+
+  analysis::FrequencyTable out_degrees;
+  analysis::FrequencyTable in_degrees;
+  for (std::size_t u = 0; u < table.node_count(); ++u) {
+    const auto node = static_cast<ids::NodeIndex>(u);
+    out_degrees.add(table.of(node).size() - 1);  // excluding self
+    std::uint64_t in = 0;
+    for (const ids::NodeIndex f :
+         table.subscribers(static_cast<ids::TopicIndex>(u))) {
+      if (f != node) ++in;
+    }
+    in_degrees.add(in);
+  }
+
+  // Log-binned frequencies: bin b covers degrees [2^b, 2^(b+1)).
+  const auto log_bins = [](const analysis::FrequencyTable& degrees) {
+    std::vector<std::uint64_t> bins;
+    for (const auto& row : degrees.rows()) {
+      const auto bin = static_cast<std::size_t>(
+          row.value == 0 ? 0 : std::floor(std::log2(row.value)) + 1);
+      if (bins.size() <= bin) bins.resize(bin + 1, 0);
+      bins[bin] += row.frequency;
+    }
+    return bins;
+  };
+  const auto out_bins = log_bins(out_degrees);
+  const auto in_bins = log_bins(in_degrees);
+
+  analysis::TableWriter table_out(
+      {"degree-range", "out-degree freq", "in-degree freq"});
+  const std::size_t max_bins = std::max(out_bins.size(), in_bins.size());
+  for (std::size_t b = 0; b < max_bins; ++b) {
+    const std::uint64_t lo = b == 0 ? 0 : (std::uint64_t{1} << (b - 1));
+    const std::uint64_t hi = (std::uint64_t{1} << b) - 1;
+    table_out.add_row(
+        {std::to_string(lo) + "-" + std::to_string(hi),
+         std::to_string(b < out_bins.size() ? out_bins[b] : 0),
+         std::to_string(b < in_bins.size() ? in_bins[b] : 0)});
+  }
+  std::printf("--- Fig. 8: log-binned degree frequencies ---\n");
+  bench::emit(ctx, table_out);
+
+  analysis::TableWriter fits({"metric", "value", "paper"});
+  fits.add_row({"alpha (out-degree MLE)",
+                support::format_fixed(out_degrees.power_law_alpha_mle(
+                                          params.min_out),
+                                      2),
+                "1.65"});
+  fits.add_row({"alpha (in-degree MLE)",
+                support::format_fixed(in_degrees.power_law_alpha_mle(1), 2),
+                "1.65"});
+  fits.add_row({"max out-degree",
+                std::to_string(out_degrees.max_value()), "(heavy tail)"});
+  fits.add_row({"max in-degree", std::to_string(in_degrees.max_value()),
+                "(heavy tail)"});
+  std::printf("--- power-law fits ---\n%s\n", fits.to_text().c_str());
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Fig. 10 — "Measurements with Twitter subscription patterns".
+//
+// All three systems on the Twitter-shaped workload (topics == nodes,
+// heavy-tailed subscriptions), routing-table size swept 15..35. Paper
+// shapes: (a) Vitis and RVR at 100% hit ratio while bounded OPT reaches
+// only ~60-80%; (b) Vitis has ~30-40% less overhead than RVR, OPT has
+// none; (c) Vitis is the fastest, ~1.5x vs RVR and ~1.7x vs OPT.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "workload/twitter.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vitis;
+  const auto ctx = bench::BenchContext::from_args(argc, argv);
+  bench::print_banner(ctx, "Fig. 10",
+                      "hit ratio / overhead / delay vs RT size on Twitter");
+
+  sim::Rng rng(ctx.seed);
+  workload::TwitterModelParams params;
+  params.users = 3 * ctx.scale.nodes;
+  const auto full = workload::make_twitter_subscriptions(params, rng);
+  const auto table = workload::sample_twitter(full, ctx.scale.nodes, rng);
+  const auto rates = workload::PublicationRates::uniform(table.topic_count());
+  const auto schedule =
+      workload::make_schedule(table, rates, ctx.scale.events, rng);
+  const auto weights = rates.weights();
+  const std::vector<double> weight_vec(weights.begin(), weights.end());
+
+  std::printf("sampled %zu users, mean subscriptions %.1f\n\n",
+              table.node_count(), table.mean_subscriptions());
+
+  const std::vector<std::size_t> rt_sizes{15, 20, 25, 30, 35};
+  analysis::TableWriter hit({"rt-size", "vitis", "rvr", "opt"});
+  analysis::TableWriter overhead({"rt-size", "vitis", "rvr", "opt"});
+  analysis::TableWriter delay({"rt-size", "vitis", "rvr", "opt"});
+
+  for (const std::size_t rt : rt_sizes) {
+    core::VitisConfig vitis_config;
+    vitis_config.routing_table_size = rt;
+    core::VitisSystem vitis_system(vitis_config, table, weight_vec, ctx.seed);
+    const auto sv =
+        workload::run_measurement(vitis_system, ctx.scale.cycles, schedule);
+
+    baselines::rvr::RvrConfig rvr_config;
+    rvr_config.base.routing_table_size = rt;
+    baselines::rvr::RvrSystem rvr_system(rvr_config, table, ctx.seed);
+    const auto sr =
+        workload::run_measurement(rvr_system, ctx.scale.cycles, schedule);
+
+    baselines::opt::OptConfig opt_config;
+    opt_config.base.routing_table_size = rt;
+    baselines::opt::OptSystem opt_system(opt_config, table, ctx.seed);
+    const auto so =
+        workload::run_measurement(opt_system, ctx.scale.cycles, schedule);
+
+    hit.add_numeric_row({static_cast<double>(rt), sv.hit_ratio * 100,
+                         sr.hit_ratio * 100, so.hit_ratio * 100});
+    overhead.add_numeric_row({static_cast<double>(rt),
+                              sv.traffic_overhead_pct,
+                              sr.traffic_overhead_pct,
+                              so.traffic_overhead_pct});
+    delay.add_numeric_row({static_cast<double>(rt), sv.delay_hops,
+                           sr.delay_hops, so.delay_hops});
+  }
+
+  std::printf("--- Fig. 10(a): hit ratio (%%) ---\n");
+  bench::emit(ctx, hit);
+  std::printf("--- Fig. 10(b): traffic overhead (%%) ---\n");
+  std::printf("%s\n", overhead.to_text().c_str());
+  std::printf("--- Fig. 10(c): propagation delay (hops) ---\n");
+  std::printf("%s\n", delay.to_text().c_str());
+  return 0;
+}

@@ -1,0 +1,194 @@
+// Micro-benchmarks (google-benchmark) of the hot paths: Eq. 1 utility
+// evaluation, subscription-set intersection, greedy lookup, a full gossip
+// cycle, gateway election, and event dissemination.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/gateway.hpp"
+#include "core/utility.hpp"
+#include "core/vitis_system.hpp"
+#include "ids/hash.hpp"
+#include "workload/scenario.hpp"
+#include "workload/skype_churn.hpp"
+#include "workload/twitter.hpp"
+
+namespace {
+
+using namespace vitis;
+
+pubsub::SubscriptionSet random_subs(sim::Rng& rng, std::size_t count,
+                                    std::size_t topics) {
+  std::vector<ids::TopicIndex> picks;
+  for (std::size_t i = 0; i < count; ++i) {
+    picks.push_back(static_cast<ids::TopicIndex>(rng.index(topics)));
+  }
+  return pubsub::SubscriptionSet(std::move(picks));
+}
+
+void BM_SubscriptionIntersection(benchmark::State& state) {
+  sim::Rng rng(1);
+  const auto subs_count = static_cast<std::size_t>(state.range(0));
+  const auto a = random_subs(rng, subs_count, 5000);
+  const auto b = random_subs(rng, subs_count, 5000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pubsub::intersection_size(a, b));
+  }
+}
+BENCHMARK(BM_SubscriptionIntersection)->Arg(50)->Arg(200)->Arg(1000);
+
+void BM_UtilityFunction(benchmark::State& state) {
+  sim::Rng rng(2);
+  const auto u = core::UtilityFunction::uniform(5000);
+  const auto a = random_subs(rng, 50, 5000);
+  const auto b = random_subs(rng, 50, 5000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(u(a, b));
+  }
+}
+BENCHMARK(BM_UtilityFunction);
+
+void BM_GatewayElection(benchmark::State& state) {
+  const auto neighbor_count = static_cast<std::size_t>(state.range(0));
+  std::vector<core::NeighborProposal> neighbors;
+  for (std::size_t i = 0; i < neighbor_count; ++i) {
+    neighbors.push_back(core::NeighborProposal{
+        static_cast<ids::NodeIndex>(i + 10),
+        core::GatewayProposal{static_cast<ids::NodeIndex>(i + 100),
+                              ids::node_ring_id(static_cast<ids::NodeIndex>(
+                                  i + 100)),
+                              static_cast<ids::NodeIndex>(i + 10), 1},
+        true});
+  }
+  const core::ElectionInput input{1, ids::node_ring_id(1),
+                                  ids::topic_ring_id(7), 5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::elect_gateway(input, neighbors));
+  }
+}
+BENCHMARK(BM_GatewayElection)->Arg(5)->Arg(15)->Arg(30);
+
+struct SystemHarness {
+  explicit SystemHarness(std::size_t nodes)
+      : scenario(make_scenario(nodes)),
+        system(workload::make_vitis(scenario, core::VitisConfig{}, 99)) {
+    system->run_cycles(25);
+  }
+
+  static workload::SyntheticScenario make_scenario(std::size_t nodes) {
+    workload::SyntheticScenarioParams params;
+    params.subscriptions.nodes = nodes;
+    params.subscriptions.topics = nodes / 2;
+    params.subscriptions.subs_per_node = 20;
+    params.subscriptions.pattern =
+        workload::CorrelationPattern::kLowCorrelation;
+    params.events = 16;
+    params.seed = 99;
+    return workload::make_synthetic_scenario(params);
+  }
+
+  workload::SyntheticScenario scenario;
+  std::unique_ptr<core::VitisSystem> system;
+};
+
+void BM_GreedyLookup(benchmark::State& state) {
+  SystemHarness harness(static_cast<std::size_t>(state.range(0)));
+  sim::Rng rng(3);
+  for (auto _ : state) {
+    const auto origin = static_cast<ids::NodeIndex>(
+        rng.index(harness.system->node_count()));
+    benchmark::DoNotOptimize(
+        harness.system->lookup(origin, rng.next_u64()));
+  }
+}
+BENCHMARK(BM_GreedyLookup)->Arg(500)->Arg(2000);
+
+void BM_GossipCycle(benchmark::State& state) {
+  SystemHarness harness(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    harness.system->run_cycles(1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(state.range(0)));
+}
+BENCHMARK(BM_GossipCycle)->Unit(benchmark::kMillisecond)->Arg(500)->Arg(2000);
+
+void BM_PublishDissemination(benchmark::State& state) {
+  SystemHarness harness(1000);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [topic, publisher] =
+        harness.scenario.schedule[i++ % harness.scenario.schedule.size()];
+    benchmark::DoNotOptimize(harness.system->publish(topic, publisher));
+  }
+}
+BENCHMARK(BM_PublishDissemination);
+
+void BM_RvrGossipCycle(benchmark::State& state) {
+  const auto scenario = SystemHarness::make_scenario(
+      static_cast<std::size_t>(state.range(0)));
+  auto system =
+      workload::make_rvr(scenario, baselines::rvr::RvrConfig{}, 99);
+  system->run_cycles(20);
+  for (auto _ : state) {
+    system->run_cycles(1);
+  }
+}
+BENCHMARK(BM_RvrGossipCycle)->Unit(benchmark::kMillisecond)->Arg(500);
+
+void BM_OptGossipCycle(benchmark::State& state) {
+  const auto scenario = SystemHarness::make_scenario(
+      static_cast<std::size_t>(state.range(0)));
+  auto system =
+      workload::make_opt(scenario, baselines::opt::OptConfig{}, 99);
+  system->run_cycles(20);
+  for (auto _ : state) {
+    system->run_cycles(1);
+  }
+}
+BENCHMARK(BM_OptGossipCycle)->Unit(benchmark::kMillisecond)->Arg(500);
+
+void BM_CoverageSelection(benchmark::State& state) {
+  const auto scenario = SystemHarness::make_scenario(500);
+  baselines::opt::CoverageSelector selector(2, scenario.subscriptions);
+  sim::Rng rng(5);
+  std::vector<gossip::Descriptor> candidates;
+  for (int i = 0; i < 40; ++i) {
+    const auto node = static_cast<ids::NodeIndex>(rng.index(500));
+    candidates.push_back(
+        gossip::Descriptor{node, ids::node_ring_id(node), 0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        selector.select_bounded(scenario.subscriptions.of(0), candidates, 15));
+  }
+}
+BENCHMARK(BM_CoverageSelection);
+
+void BM_SkypeTraceGeneration(benchmark::State& state) {
+  workload::SkypeChurnParams params;
+  params.nodes = static_cast<std::size_t>(state.range(0));
+  params.duration_hours = 400.0;
+  for (auto _ : state) {
+    sim::Rng rng(7);
+    benchmark::DoNotOptimize(workload::make_skype_churn(params, rng));
+  }
+}
+BENCHMARK(BM_SkypeTraceGeneration)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1000);
+
+void BM_TwitterGeneration(benchmark::State& state) {
+  workload::TwitterModelParams params;
+  params.users = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Rng rng(9);
+    benchmark::DoNotOptimize(workload::make_twitter_subscriptions(params, rng));
+  }
+}
+BENCHMARK(BM_TwitterGeneration)->Unit(benchmark::kMillisecond)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

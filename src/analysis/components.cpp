@@ -1,0 +1,42 @@
+#include "analysis/components.hpp"
+
+#include <algorithm>
+
+namespace vitis::analysis {
+
+std::vector<std::vector<ids::NodeIndex>> topic_clusters(
+    const Graph& overlay, const pubsub::SubscriptionTable& subscriptions,
+    ids::TopicIndex topic) {
+  return overlay.induced_components(subscriptions.subscribers(topic));
+}
+
+std::vector<TopicClusterStats> all_topic_cluster_stats(
+    const Graph& overlay, const pubsub::SubscriptionTable& subscriptions) {
+  std::vector<TopicClusterStats> stats;
+  for (std::size_t t = 0; t < subscriptions.topic_count(); ++t) {
+    const auto topic = static_cast<ids::TopicIndex>(t);
+    const auto subscribers = subscriptions.subscribers(topic);
+    if (subscribers.empty()) continue;
+    const auto clusters = overlay.induced_components(subscribers);
+    TopicClusterStats s;
+    s.topic = topic;
+    s.subscriber_count = subscribers.size();
+    s.cluster_count = clusters.size();
+    for (const auto& cluster : clusters) {
+      s.largest_cluster = std::max(s.largest_cluster, cluster.size());
+    }
+    stats.push_back(s);
+  }
+  return stats;
+}
+
+double mean_clusters_per_topic(
+    const Graph& overlay, const pubsub::SubscriptionTable& subscriptions) {
+  const auto stats = all_topic_cluster_stats(overlay, subscriptions);
+  if (stats.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& s : stats) total += s.cluster_count;
+  return static_cast<double>(total) / static_cast<double>(stats.size());
+}
+
+}  // namespace vitis::analysis

@@ -1,0 +1,36 @@
+// Topic-cluster analysis: "a cluster for topic t is a maximally connected
+// subgraph of the nodes that are all interested in t" (§III-B). Used to
+// validate overlay convergence, to study how friend selection consolidates
+// clusters, and by tests asserting the paper's qualitative claims.
+#pragma once
+
+#include <vector>
+
+#include "analysis/graph.hpp"
+#include "ids/id.hpp"
+#include "pubsub/subscription.hpp"
+
+namespace vitis::analysis {
+
+struct TopicClusterStats {
+  ids::TopicIndex topic = 0;
+  std::size_t subscriber_count = 0;
+  std::size_t cluster_count = 0;   // disjoint clusters for this topic
+  std::size_t largest_cluster = 0; // subscribers in the biggest cluster
+};
+
+/// Clusters (connected components over subscribers) of one topic.
+[[nodiscard]] std::vector<std::vector<ids::NodeIndex>> topic_clusters(
+    const Graph& overlay, const pubsub::SubscriptionTable& subscriptions,
+    ids::TopicIndex topic);
+
+/// Per-topic cluster statistics for every topic with >= 1 subscriber.
+[[nodiscard]] std::vector<TopicClusterStats> all_topic_cluster_stats(
+    const Graph& overlay, const pubsub::SubscriptionTable& subscriptions);
+
+/// Mean number of clusters per topic (lower = better grouping); topics with
+/// no subscribers are skipped.
+[[nodiscard]] double mean_clusters_per_topic(
+    const Graph& overlay, const pubsub::SubscriptionTable& subscriptions);
+
+}  // namespace vitis::analysis

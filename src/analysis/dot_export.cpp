@@ -1,0 +1,48 @@
+#include "analysis/dot_export.hpp"
+
+namespace vitis::analysis {
+
+std::string to_dot(const Graph& graph, const DotStyle& style) {
+  std::string out = "graph " +
+                    (style.graph_name.empty() ? "overlay" : style.graph_name) +
+                    " {\n";
+  out += "  node [shape=circle, style=filled];\n";
+  for (std::size_t i = 0; i < graph.node_count(); ++i) {
+    const auto node = static_cast<ids::NodeIndex>(i);
+    if (graph.degree(node) == 0) continue;  // omit isolated nodes
+    out += "  n" + std::to_string(i);
+    std::string attributes;
+    if (style.label) {
+      attributes += "label=\"" + style.label(node) + "\"";
+    }
+    if (style.color) {
+      if (!attributes.empty()) attributes += ", ";
+      attributes += "fillcolor=\"" + style.color(node) + "\"";
+    }
+    if (!attributes.empty()) out += " [" + attributes + "]";
+    out += ";\n";
+  }
+  for (std::size_t i = 0; i < graph.node_count(); ++i) {
+    const auto node = static_cast<ids::NodeIndex>(i);
+    for (const ids::NodeIndex peer : graph.neighbors(node)) {
+      if (peer < node) continue;  // each undirected edge once
+      out += "  n" + std::to_string(i) + " -- n" + std::to_string(peer) +
+             ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+DotStyle topic_style(const std::function<bool(ids::NodeIndex)>& subscribes,
+                     const std::function<bool(ids::NodeIndex)>& relays) {
+  DotStyle style;
+  style.color = [subscribes, relays](ids::NodeIndex node) -> std::string {
+    if (subscribes(node)) return "lightblue";
+    if (relays(node)) return "orange";
+    return "gray90";
+  };
+  return style;
+}
+
+}  // namespace vitis::analysis

@@ -1,0 +1,34 @@
+// GraphViz (DOT) export of overlay snapshots, for visual inspection of the
+// grapevine structure: clusters of same-topic subscribers connected by
+// relay paths. Nodes can be colored by a topic's subscription status and
+// relay role, reproducing the flavor of the paper's Figs. 1-3.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "analysis/graph.hpp"
+#include "ids/id.hpp"
+
+namespace vitis::analysis {
+
+struct DotStyle {
+  /// Label per node; default: the node index.
+  std::function<std::string(ids::NodeIndex)> label;
+  /// Fill color per node (X11 color names); empty = unstyled.
+  std::function<std::string(ids::NodeIndex)> color;
+  /// Graph name in the DOT output.
+  std::string graph_name = "overlay";
+};
+
+/// Render an undirected snapshot as DOT text.
+[[nodiscard]] std::string to_dot(const Graph& graph,
+                                 const DotStyle& style = {});
+
+/// Convenience: color the subscribers of `topic` ("lightblue"), relay
+/// nodes for it ("orange") and everyone else ("gray90").
+[[nodiscard]] DotStyle topic_style(
+    const std::function<bool(ids::NodeIndex)>& subscribes,
+    const std::function<bool(ids::NodeIndex)>& relays);
+
+}  // namespace vitis::analysis

@@ -1,0 +1,103 @@
+#include "analysis/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace vitis::analysis {
+
+Graph::Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+Graph Graph::from_routing_tables(
+    std::span<const overlay::RoutingTable> tables,
+    const std::function<bool(ids::NodeIndex)>& include) {
+  Graph graph(tables.size());
+  for (std::size_t from = 0; from < tables.size(); ++from) {
+    const auto from_index = static_cast<ids::NodeIndex>(from);
+    if (!include(from_index)) continue;
+    for (const auto& entry : tables[from].entries()) {
+      if (entry.node == from_index || !include(entry.node)) continue;
+      graph.add_edge(from_index, entry.node);
+    }
+  }
+  return graph;
+}
+
+void Graph::add_edge(ids::NodeIndex a, ids::NodeIndex b) {
+  VITIS_DCHECK(a < adjacency_.size() && b < adjacency_.size());
+  if (a == b) return;
+  auto& na = adjacency_[a];
+  if (std::find(na.begin(), na.end(), b) != na.end()) return;  // dedup
+  na.push_back(b);
+  adjacency_[b].push_back(a);
+  ++edge_count_;
+}
+
+std::vector<std::uint32_t> Graph::bfs_distances(
+    ids::NodeIndex source,
+    const std::function<bool(ids::NodeIndex)>& admit) const {
+  std::vector<std::uint32_t> distance(adjacency_.size(), kUnreachable);
+  std::queue<ids::NodeIndex> frontier;
+  distance[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const ids::NodeIndex current = frontier.front();
+    frontier.pop();
+    for (const ids::NodeIndex next : adjacency_[current]) {
+      if (distance[next] != kUnreachable) continue;
+      if (!admit(next)) continue;
+      distance[next] = distance[current] + 1;
+      frontier.push(next);
+    }
+  }
+  return distance;
+}
+
+std::vector<std::vector<ids::NodeIndex>> Graph::induced_components(
+    std::span<const ids::NodeIndex> members) const {
+  // Membership mask for O(1) induced-subgraph checks.
+  std::vector<char> is_member(adjacency_.size(), 0);
+  for (const ids::NodeIndex m : members) is_member[m] = 1;
+
+  std::vector<char> visited(adjacency_.size(), 0);
+  std::vector<std::vector<ids::NodeIndex>> components;
+  std::vector<ids::NodeIndex> stack;
+  for (const ids::NodeIndex seed : members) {
+    if (visited[seed]) continue;
+    components.emplace_back();
+    auto& component = components.back();
+    stack.push_back(seed);
+    visited[seed] = 1;
+    while (!stack.empty()) {
+      const ids::NodeIndex current = stack.back();
+      stack.pop_back();
+      component.push_back(current);
+      for (const ids::NodeIndex next : adjacency_[current]) {
+        if (!is_member[next] || visited[next]) continue;
+        visited[next] = 1;
+        stack.push_back(next);
+      }
+    }
+  }
+  return components;
+}
+
+std::size_t Graph::component_diameter(
+    std::span<const ids::NodeIndex> members) const {
+  std::vector<char> is_member(adjacency_.size(), 0);
+  for (const ids::NodeIndex m : members) is_member[m] = 1;
+  const auto admit = [&](ids::NodeIndex n) { return is_member[n] != 0; };
+
+  std::size_t diameter = 0;
+  for (const ids::NodeIndex source : members) {
+    const auto distance = bfs_distances(source, admit);
+    for (const ids::NodeIndex other : members) {
+      VITIS_CHECK(distance[other] != kUnreachable);  // must be connected
+      diameter = std::max(diameter, static_cast<std::size_t>(distance[other]));
+    }
+  }
+  return diameter;
+}
+
+}  // namespace vitis::analysis

@@ -1,0 +1,64 @@
+// Undirected graph snapshots of an overlay, used by the analysis toolkit
+// (cluster detection, diameters, degree statistics) and by tests.
+//
+// Gossip links are live connections, so dissemination and cluster analysis
+// treat the overlay as undirected (DESIGN.md §5): an edge exists when either
+// endpoint lists the other in its routing table.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "ids/id.hpp"
+#include "overlay/routing_table.hpp"
+
+namespace vitis::analysis {
+
+class Graph {
+ public:
+  explicit Graph(std::size_t node_count);
+
+  /// Snapshot the undirected closure of a set of routing tables. Nodes for
+  /// which `include` is false contribute no edges (dead nodes).
+  static Graph from_routing_tables(
+      std::span<const overlay::RoutingTable> tables,
+      const std::function<bool(ids::NodeIndex)>& include);
+
+  void add_edge(ids::NodeIndex a, ids::NodeIndex b);
+
+  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+  [[nodiscard]] std::span<const ids::NodeIndex> neighbors(
+      ids::NodeIndex node) const {
+    return adjacency_[node];
+  }
+  [[nodiscard]] std::size_t degree(ids::NodeIndex node) const {
+    return adjacency_[node].size();
+  }
+
+  /// BFS hop distances from `source`, visiting only nodes where
+  /// `admit(node)` is true (the source is always admitted). Unreached nodes
+  /// get kUnreachable.
+  static constexpr std::uint32_t kUnreachable = ~std::uint32_t{0};
+  [[nodiscard]] std::vector<std::uint32_t> bfs_distances(
+      ids::NodeIndex source,
+      const std::function<bool(ids::NodeIndex)>& admit) const;
+
+  /// Connected components of the subgraph induced by `members`. Returns one
+  /// vector of nodes per component; nodes outside `members` are ignored.
+  [[nodiscard]] std::vector<std::vector<ids::NodeIndex>> induced_components(
+      std::span<const ids::NodeIndex> members) const;
+
+  /// Eccentricity-based diameter of one component (exact, double BFS bound
+  /// is not used: components are small). `members` must be connected.
+  [[nodiscard]] std::size_t component_diameter(
+      std::span<const ids::NodeIndex> members) const;
+
+ private:
+  std::vector<std::vector<ids::NodeIndex>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace vitis::analysis

@@ -1,0 +1,114 @@
+#include "analysis/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace vitis::analysis {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  VITIS_CHECK(hi > lo && bins > 0);
+}
+
+void Histogram::add(double value) {
+  const double scaled =
+      (value - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+  auto bin = static_cast<std::int64_t>(std::floor(scaled));
+  bin = std::clamp<std::int64_t>(bin, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  samples_.push_back(value);
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> values) {
+  for (const double v : values) add(v);
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  VITIS_CHECK(bin < counts_.size());
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(counts_[bin]) /
+                           static_cast<double>(total_);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  VITIS_CHECK(bin < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+double Histogram::tail_fraction(double threshold) const {
+  if (total_ == 0) return 0.0;
+  const auto above = std::count_if(samples_.begin(), samples_.end(),
+                                   [&](double v) { return v >= threshold; });
+  return static_cast<double>(above) / static_cast<double>(total_);
+}
+
+void FrequencyTable::add(std::uint64_t value) {
+  for (auto& [v, count] : counts_) {
+    if (v == value) {
+      ++count;
+      ++total_;
+      return;
+    }
+  }
+  counts_.emplace_back(value, 1);
+  ++total_;
+}
+
+std::vector<FrequencyTable::Row> FrequencyTable::rows() const {
+  std::vector<Row> rows;
+  rows.reserve(counts_.size());
+  for (const auto& [value, frequency] : counts_) {
+    rows.push_back(Row{value, frequency});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.value < b.value; });
+  return rows;
+}
+
+double FrequencyTable::mean() const {
+  if (total_ == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& [value, frequency] : counts_) {
+    sum += static_cast<double>(value) * static_cast<double>(frequency);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+std::uint64_t FrequencyTable::max_value() const {
+  std::uint64_t max = 0;
+  for (const auto& [value, frequency] : counts_) {
+    max = std::max(max, value);
+  }
+  return max;
+}
+
+double FrequencyTable::fraction_above(std::uint64_t threshold) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t above = 0;
+  for (const auto& [value, frequency] : counts_) {
+    if (value > threshold) above += frequency;
+  }
+  return static_cast<double>(above) / static_cast<double>(total_);
+}
+
+double FrequencyTable::power_law_alpha_mle(std::uint64_t xmin) const {
+  VITIS_CHECK(xmin >= 1);
+  double log_sum = 0.0;
+  std::uint64_t n = 0;
+  const double shift = static_cast<double>(xmin) - 0.5;
+  for (const auto& [value, frequency] : counts_) {
+    if (value < xmin) continue;
+    log_sum += static_cast<double>(frequency) *
+               std::log(static_cast<double>(value) / shift);
+    n += frequency;
+  }
+  if (n == 0 || log_sum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(n) / log_sum;
+}
+
+}  // namespace vitis::analysis

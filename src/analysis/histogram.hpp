@@ -1,0 +1,72 @@
+// Histograms for the distribution plots: Fig. 5 (per-node traffic overhead,
+// linear bins) and Figs. 8/11 (degree distributions, log-log).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vitis::analysis {
+
+/// Fixed-width linear binning over [lo, hi); values outside are clamped to
+/// the boundary bins so no sample is lost.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const {
+    return counts_[bin];
+  }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Fraction of samples in a bin (0 when empty).
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+  /// Center of a bin, for plotting.
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+
+  /// Fraction of samples with value >= threshold.
+  [[nodiscard]] double tail_fraction(double threshold) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<double> samples_;  // kept for exact tail queries
+  std::uint64_t total_ = 0;
+};
+
+/// Frequency table of integer observations (degree -> count), the form of
+/// the paper's Fig. 8 and Fig. 11 data.
+class FrequencyTable {
+ public:
+  void add(std::uint64_t value);
+
+  struct Row {
+    std::uint64_t value;
+    std::uint64_t frequency;
+  };
+  /// Rows sorted by value ascending.
+  [[nodiscard]] std::vector<Row> rows() const;
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] std::uint64_t max_value() const;
+
+  /// Fraction of observations with value > threshold.
+  [[nodiscard]] double fraction_above(std::uint64_t threshold) const;
+
+  /// Discrete power-law exponent fit via the continuous MLE approximation
+  /// alpha = 1 + n / sum(ln(x_i / (xmin - 0.5))), over samples >= xmin.
+  [[nodiscard]] double power_law_alpha_mle(std::uint64_t xmin = 1) const;
+
+ private:
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> counts_;  // unsorted
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace vitis::analysis

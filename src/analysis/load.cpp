@@ -1,0 +1,47 @@
+#include "analysis/load.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace vitis::analysis {
+
+double gini_coefficient(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  VITIS_CHECK(sorted.front() >= 0.0);
+
+  // G = (2 Σ_i i·x_(i) ) / (n Σ x) − (n + 1)/n, with 1-based ranks.
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * sorted[i];
+    total += sorted[i];
+  }
+  if (total == 0.0) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+std::vector<double> node_message_loads(
+    const pubsub::MetricsCollector& collector) {
+  std::vector<double> loads;
+  loads.reserve(collector.traffic().size());
+  for (const auto& t : collector.traffic()) {
+    loads.push_back(static_cast<double>(t.total()));
+  }
+  return loads;
+}
+
+std::vector<double> node_relay_loads(
+    const pubsub::MetricsCollector& collector) {
+  std::vector<double> loads;
+  loads.reserve(collector.traffic().size());
+  for (const auto& t : collector.traffic()) {
+    loads.push_back(static_cast<double>(t.uninterested));
+  }
+  return loads;
+}
+
+}  // namespace vitis::analysis

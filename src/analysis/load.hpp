@@ -1,0 +1,28 @@
+// Load-imbalance statistics. §IV-B argues that Vitis does not merely lower
+// the average relay traffic but *distributes* it better ("not only reduces
+// the average traffic overhead, but also improves the distribution of this
+// traffic among the nodes"); the Gini coefficient condenses that
+// distributional claim into one number.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pubsub/metrics.hpp"
+
+namespace vitis::analysis {
+
+/// Gini coefficient of a non-negative distribution: 0 = perfectly even,
+/// -> 1 = all mass on one element. Empty or all-zero input yields 0.
+[[nodiscard]] double gini_coefficient(std::span<const double> values);
+
+/// Per-node total message loads (interested + uninterested) from a
+/// collector, including idle nodes (their zeros count toward imbalance).
+[[nodiscard]] std::vector<double> node_message_loads(
+    const pubsub::MetricsCollector& collector);
+
+/// Per-node relay-only loads (uninterested messages).
+[[nodiscard]] std::vector<double> node_relay_loads(
+    const pubsub::MetricsCollector& collector);
+
+}  // namespace vitis::analysis

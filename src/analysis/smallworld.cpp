@@ -1,0 +1,66 @@
+#include "analysis/smallworld.hpp"
+
+#include <algorithm>
+
+namespace vitis::analysis {
+
+double clustering_coefficient(const Graph& graph) {
+  double sum = 0.0;
+  std::size_t counted = 0;
+  std::vector<char> is_neighbor(graph.node_count(), 0);
+  for (std::size_t i = 0; i < graph.node_count(); ++i) {
+    const auto node = static_cast<ids::NodeIndex>(i);
+    const auto neighbors = graph.neighbors(node);
+    if (neighbors.size() < 2) continue;
+    for (const ids::NodeIndex n : neighbors) is_neighbor[n] = 1;
+    std::size_t closed = 0;
+    for (const ids::NodeIndex n : neighbors) {
+      for (const ids::NodeIndex nn : graph.neighbors(n)) {
+        if (nn != node && is_neighbor[nn]) ++closed;  // each triangle twice
+      }
+    }
+    for (const ids::NodeIndex n : neighbors) is_neighbor[n] = 0;
+    const double possible =
+        static_cast<double>(neighbors.size()) *
+        static_cast<double>(neighbors.size() - 1);
+    sum += static_cast<double>(closed) / possible;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+SmallWorldStats small_world_stats(const Graph& graph, std::size_t sources,
+                                  sim::Rng& rng) {
+  SmallWorldStats stats;
+  stats.clustering_coefficient = clustering_coefficient(graph);
+  if (graph.node_count() == 0) return stats;
+
+  std::uint64_t distance_sum = 0;
+  std::size_t reachable = 0;
+  std::size_t pairs = 0;
+  const auto admit = [](ids::NodeIndex) { return true; };
+  for (std::size_t s = 0; s < sources; ++s) {
+    const auto source =
+        static_cast<ids::NodeIndex>(rng.index(graph.node_count()));
+    const auto distances = graph.bfs_distances(source, admit);
+    for (std::size_t i = 0; i < distances.size(); ++i) {
+      if (i == source) continue;
+      ++pairs;
+      if (distances[i] != Graph::kUnreachable) {
+        ++reachable;
+        distance_sum += distances[i];
+      }
+    }
+  }
+  stats.sampled_pairs = pairs;
+  stats.reachable_fraction =
+      pairs == 0 ? 0.0
+                 : static_cast<double>(reachable) / static_cast<double>(pairs);
+  stats.average_path_length =
+      reachable == 0 ? 0.0
+                     : static_cast<double>(distance_sum) /
+                           static_cast<double>(reachable);
+  return stats;
+}
+
+}  // namespace vitis::analysis

@@ -1,0 +1,27 @@
+// Small-world diagnostics for overlay snapshots: local clustering
+// coefficient and (sampled) average shortest-path length. A navigable
+// small-world overlay — what Vitis claims to build (§III-A1) — shows path
+// lengths of O(log²N / k) despite bounded degree.
+#pragma once
+
+#include "analysis/graph.hpp"
+#include "sim/rng.hpp"
+
+namespace vitis::analysis {
+
+struct SmallWorldStats {
+  double clustering_coefficient = 0.0;  // mean local clustering
+  double average_path_length = 0.0;     // over sampled reachable pairs
+  double reachable_fraction = 0.0;      // sampled pairs that connect at all
+  std::size_t sampled_pairs = 0;
+};
+
+/// Mean local clustering coefficient over nodes with degree >= 2.
+[[nodiscard]] double clustering_coefficient(const Graph& graph);
+
+/// Average shortest-path length estimated from `sources` BFS sweeps.
+[[nodiscard]] SmallWorldStats small_world_stats(const Graph& graph,
+                                                std::size_t sources,
+                                                sim::Rng& rng);
+
+}  // namespace vitis::analysis

@@ -1,0 +1,78 @@
+#include "analysis/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "support/check.hpp"
+#include "support/format.hpp"
+
+namespace vitis::analysis {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  VITIS_CHECK(!headers_.empty());
+}
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  VITIS_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TableWriter::add_numeric_row(const std::vector<double>& values,
+                                  int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (const double v : values) {
+    cells.push_back(support::format_fixed(v, precision));
+  }
+  add_row(std::move(cells));
+}
+
+std::string TableWriter::to_text() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) out += "  ";
+    out += support::pad_left(headers_[c], widths[c]);
+  }
+  out += '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) out += "  ";
+    out += std::string(widths[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out += "  ";
+      out += support::pad_left(row[c], widths[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TableWriter::to_csv() const {
+  std::string out = support::join(headers_, ",") + "\n";
+  for (const auto& row : rows_) {
+    out += support::join(row, ",") + "\n";
+  }
+  return out;
+}
+
+void TableWriter::print(std::ostream& out) const { out << to_text(); }
+
+void TableWriter::save_csv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot open for writing: " + path);
+  file << to_csv();
+}
+
+}  // namespace vitis::analysis

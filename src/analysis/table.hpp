@@ -1,0 +1,36 @@
+// Aligned-text and CSV table output, the format every bench binary uses to
+// print the series a paper figure plots.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vitis::analysis {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a numeric row with fixed precision.
+  void add_numeric_row(const std::vector<double>& values, int precision = 2);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const { return headers_.size(); }
+
+  /// Space-aligned rendering with a header separator line.
+  [[nodiscard]] std::string to_text() const;
+
+  [[nodiscard]] std::string to_csv() const;
+
+  void print(std::ostream& out) const;
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vitis::analysis

@@ -1,0 +1,234 @@
+#include "baselines/baseline_system.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ids/hash.hpp"
+#include "support/check.hpp"
+
+namespace vitis::baselines {
+
+void BaselineConfig::validate() const {
+  if (routing_table_size < 2) {
+    throw std::invalid_argument("routing_table_size must be at least 2");
+  }
+  if (view_size == 0) throw std::invalid_argument("view_size must be positive");
+  if (bootstrap_contacts == 0) {
+    throw std::invalid_argument("bootstrap_contacts must be positive");
+  }
+  if (lookup_hop_budget == 0) {
+    throw std::invalid_argument("lookup_hop_budget must be positive");
+  }
+}
+
+BaselineSystem::BaselineSystem(BaselineConfig config,
+                               pubsub::SubscriptionTable subscriptions,
+                               std::uint64_t seed, bool start_online)
+    : config_(config),
+      subscriptions_(std::move(subscriptions)),
+      engine_(subscriptions_.node_count(),
+              sim::Rng(seed ^ 0x656e67696e65ULL)),
+      metrics_(subscriptions_.node_count()),
+      rng_(seed) {
+  config_.validate();
+  const std::size_t n = subscriptions_.node_count();
+  ring_ids_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ring_ids_[i] = ids::node_ring_id(static_cast<ids::NodeIndex>(i));
+  }
+  // Unbounded configurations pass SIZE_MAX; a table can never usefully hold
+  // more than the whole network, so clamp capacity there.
+  const std::size_t capacity =
+      std::min(config_.routing_table_size, std::max<std::size_t>(n, 2));
+  tables_.assign(n, overlay::RoutingTable(capacity));
+  join_cycle_.assign(n, 0);
+  undirected_.resize(n);
+  visit_stamp_.assign(n, 0);
+  expected_stamp_.assign(n, 0);
+
+  const auto is_alive = [this](ids::NodeIndex node) {
+    return engine_.is_alive(node);
+  };
+  sampling_ = gossip::make_sampling_service(config_.sampling, ring_ids_,
+                                            config_.view_size, is_alive,
+                                            rng_.split(0x73616d70));
+  tman_ = std::make_unique<gossip::TManProtocol>(
+      [this](ids::NodeIndex node) -> overlay::RoutingTable& {
+        return tables_[node];
+      },
+      *sampling_, is_alive,
+      [this](ids::NodeIndex self,
+             std::span<const gossip::Descriptor> candidates,
+             overlay::RoutingTable& rt) {
+        select_neighbors(self, candidates, rt);
+      },
+      gossip::TManProtocol::Config{config_.sample_size},
+      rng_.split(0x746d616e));
+
+  engine_.add_protocol("peer-sampling", [this](ids::NodeIndex node,
+                                               std::size_t) {
+    sampling_->step(node);
+  });
+  engine_.add_protocol(
+      "t-man", [this](ids::NodeIndex node, std::size_t) { tman_->step(node); });
+  engine_.add_cycle_hook("baseline-maintenance",
+                         [this](std::size_t) { cycle_maintenance(); });
+
+  if (start_online) {
+    for (std::size_t i = 0; i < n; ++i) {
+      engine_.set_alive(static_cast<ids::NodeIndex>(i), true);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto node = static_cast<ids::NodeIndex>(i);
+      sampling_->init_node(
+          node, random_alive_contacts(config_.bootstrap_contacts, node));
+    }
+  }
+}
+
+void BaselineSystem::run_cycles(std::size_t cycles) { engine_.run(cycles); }
+
+std::vector<ids::NodeIndex> BaselineSystem::random_alive_contacts(
+    std::size_t count, ids::NodeIndex exclude) {
+  std::vector<ids::NodeIndex> contacts;
+  const std::size_t n = tables_.size();
+  if (engine_.alive_count() == 0) return contacts;
+  const std::size_t max_draws = 20 * count + 100;
+  for (std::size_t draw = 0; draw < max_draws && contacts.size() < count;
+       ++draw) {
+    const auto candidate = static_cast<ids::NodeIndex>(rng_.index(n));
+    if (candidate == exclude || !engine_.is_alive(candidate)) continue;
+    if (std::find(contacts.begin(), contacts.end(), candidate) !=
+        contacts.end()) {
+      continue;
+    }
+    contacts.push_back(candidate);
+  }
+  return contacts;
+}
+
+void BaselineSystem::cycle_maintenance() {
+  for (const ids::NodeIndex node : engine_.alive_nodes()) {
+    refresh_heartbeats(node);
+  }
+  rebuild_undirected();
+  maintenance_extra();
+}
+
+void BaselineSystem::refresh_heartbeats(ids::NodeIndex node) {
+  overlay::RoutingTable& rt = tables_[node];
+  rt.increment_ages();
+  for (const auto& entry : rt.entries()) {
+    if (engine_.is_alive(entry.node)) rt.mark_fresh(entry.node);
+  }
+  (void)rt.drop_older_than(config_.staleness_threshold);
+}
+
+void BaselineSystem::rebuild_undirected() {
+  for (auto& neighbors : undirected_) neighbors.clear();
+  for (std::size_t i = 0; i < tables_.size(); ++i) {
+    const auto node = static_cast<ids::NodeIndex>(i);
+    if (!engine_.is_alive(node)) continue;
+    for (const auto& entry : tables_[i].entries()) {
+      if (entry.node == node || !engine_.is_alive(entry.node)) continue;
+      undirected_[i].push_back(entry.node);
+      undirected_[entry.node].push_back(node);
+    }
+  }
+  for (auto& neighbors : undirected_) {
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+  }
+}
+
+overlay::LookupResult BaselineSystem::lookup(ids::NodeIndex origin,
+                                             ids::RingId target) const {
+  const overlay::NeighborFn neighbors =
+      [this](ids::NodeIndex node) -> std::span<const overlay::RoutingEntry> {
+    lookup_scratch_.clear();
+    for (const auto& entry : tables_[node].entries()) {
+      if (engine_.is_alive(entry.node)) lookup_scratch_.push_back(entry);
+    }
+    return lookup_scratch_;
+  };
+  return overlay::greedy_lookup(
+      neighbors, [this](ids::NodeIndex n) { return ring_ids_[n]; }, origin,
+      target, config_.lookup_hop_budget);
+}
+
+analysis::Graph BaselineSystem::overlay_snapshot() const {
+  analysis::Graph graph(tables_.size());
+  for (std::size_t i = 0; i < tables_.size(); ++i) {
+    const auto node = static_cast<ids::NodeIndex>(i);
+    if (!engine_.is_alive(node)) continue;
+    for (const auto& entry : tables_[i].entries()) {
+      if (entry.node != node && engine_.is_alive(entry.node)) {
+        graph.add_edge(node, entry.node);
+      }
+    }
+  }
+  return graph;
+}
+
+BaselineSystem::PublishContext BaselineSystem::start_publish(
+    ids::TopicIndex topic, ids::NodeIndex publisher) {
+  VITIS_CHECK(topic < subscriptions_.topic_count());
+  VITIS_CHECK(engine_.is_alive(publisher));
+
+  if (++current_stamp_ == 0) {
+    std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0);
+    std::fill(expected_stamp_.begin(), expected_stamp_.end(), 0);
+    current_stamp_ = 1;
+  }
+
+  PublishContext ctx;
+  ctx.stamp = current_stamp_;
+  ctx.report.topic = topic;
+  ctx.report.publisher = publisher;
+  for (const ids::NodeIndex s : subscriptions_.subscribers(topic)) {
+    if (s == publisher || !engine_.is_alive(s)) continue;
+    if (join_cycle_[s] + config_.join_grace_cycles > engine_.cycle()) continue;
+    expected_stamp_[s] = ctx.stamp;
+    ++ctx.report.expected;
+  }
+  visit_stamp_[publisher] = ctx.stamp;
+  return ctx;
+}
+
+bool BaselineSystem::transmit(PublishContext& ctx, ids::NodeIndex to,
+                              std::uint32_t hop) {
+  metrics_.on_message(to, subscriptions_.subscribes(to, ctx.report.topic));
+  ++ctx.report.messages;
+  if (visit_stamp_[to] == ctx.stamp) return false;
+  visit_stamp_[to] = ctx.stamp;
+  if (expected_stamp_[to] == ctx.stamp) {
+    ++ctx.report.delivered;
+    ctx.report.delay_sum += hop;
+    ctx.report.max_delay = std::max<std::size_t>(ctx.report.max_delay, hop);
+    metrics_.on_delivery(hop);
+  }
+  return true;
+}
+
+void BaselineSystem::node_join(ids::NodeIndex node) {
+  VITIS_CHECK(node < tables_.size());
+  if (engine_.is_alive(node)) return;
+  engine_.set_alive(node, true);
+  tables_[node].clear();
+  join_cycle_[node] = engine_.cycle();
+  sampling_->init_node(node,
+                       random_alive_contacts(config_.bootstrap_contacts, node));
+  on_join(node);
+}
+
+void BaselineSystem::node_leave(ids::NodeIndex node) {
+  VITIS_CHECK(node < tables_.size());
+  if (!engine_.is_alive(node)) return;
+  engine_.set_alive(node, false);
+  tables_[node].clear();
+  sampling_->remove_node(node);
+  on_leave(node);
+}
+
+}  // namespace vitis::baselines

@@ -1,0 +1,161 @@
+// Shared scaffolding for the two baseline systems of §IV:
+//
+//   * RVR — structured rendezvous routing (Scribe/Bayeux-equivalent),
+//   * OPT — unstructured overlay-per-topic (SpiderCast-like),
+//
+// both of which run the same Newscast peer sampling and T-Man construction
+// as Vitis ("to make the three systems comparable they use the same peer
+// sampling service and overlay construction protocol") and differ only in
+// their neighbor-selection policy, per-cycle maintenance, and dissemination.
+// Vitis itself lives in core/ with richer per-node state (profiles,
+// elections, relays) and does not reuse this base.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analysis/graph.hpp"
+#include "gossip/sampling_service.hpp"
+#include "gossip/tman.hpp"
+#include "overlay/greedy_routing.hpp"
+#include "overlay/routing_table.hpp"
+#include "pubsub/system.hpp"
+#include "sim/cycle_engine.hpp"
+
+namespace vitis::baselines {
+
+struct BaselineConfig {
+  std::size_t routing_table_size = 15;
+  std::size_t view_size = 20;
+  std::size_t sample_size = 10;
+  std::uint32_t staleness_threshold = 8;
+  std::size_t bootstrap_contacts = 5;
+  std::size_t join_grace_cycles = 1;
+  gossip::SamplingPolicy sampling = gossip::SamplingPolicy::kNewscast;
+  std::size_t lookup_hop_budget = 128;
+
+  void validate() const;
+};
+
+class BaselineSystem : public pubsub::PubSubSystem {
+ public:
+  // --- PubSubSystem --------------------------------------------------------
+  void run_cycles(std::size_t cycles) override;
+  [[nodiscard]] pubsub::MetricsCollector& metrics() override {
+    return metrics_;
+  }
+  [[nodiscard]] const pubsub::MetricsCollector& metrics() const override {
+    return metrics_;
+  }
+  [[nodiscard]] const pubsub::SubscriptionTable& subscriptions()
+      const override {
+    return subscriptions_;
+  }
+  [[nodiscard]] std::size_t alive_count() const override {
+    return engine_.alive_count();
+  }
+
+  // --- churn ---------------------------------------------------------------
+  void node_join(ids::NodeIndex node);
+  void node_leave(ids::NodeIndex node);
+  [[nodiscard]] bool is_alive(ids::NodeIndex node) const {
+    return engine_.is_alive(node);
+  }
+
+  // --- introspection -------------------------------------------------------
+  [[nodiscard]] const BaselineConfig& base_config() const { return config_; }
+  [[nodiscard]] std::size_t node_count() const { return tables_.size(); }
+  [[nodiscard]] std::size_t cycle() const { return engine_.cycle(); }
+  [[nodiscard]] ids::RingId ring_id(ids::NodeIndex node) const {
+    return ring_ids_[node];
+  }
+  [[nodiscard]] const overlay::RoutingTable& routing_table(
+      ids::NodeIndex node) const {
+    return tables_[node];
+  }
+  [[nodiscard]] overlay::LookupResult lookup(ids::NodeIndex origin,
+                                             ids::RingId target) const;
+  [[nodiscard]] analysis::Graph overlay_snapshot() const;
+
+ protected:
+  BaselineSystem(BaselineConfig config,
+                 pubsub::SubscriptionTable subscriptions, std::uint64_t seed,
+                 bool start_online);
+
+  /// Neighbor-selection policy (the only structural difference between the
+  /// baselines).
+  virtual void select_neighbors(
+      ids::NodeIndex self, std::span<const gossip::Descriptor> candidates,
+      overlay::RoutingTable& table) = 0;
+
+  /// Per-cycle maintenance after heartbeats and adjacency rebuild (tree
+  /// refresh for RVR; nothing for OPT).
+  virtual void maintenance_extra() {}
+
+  /// Hooks for subclass state on churn.
+  virtual void on_join(ids::NodeIndex node) { (void)node; }
+  virtual void on_leave(ids::NodeIndex node) { (void)node; }
+
+  // --- dissemination helpers ----------------------------------------------
+  struct PublishContext {
+    pubsub::DisseminationReport report;
+    std::uint32_t stamp = 0;
+  };
+
+  /// Stamp the expected-subscriber set and visit the publisher.
+  [[nodiscard]] PublishContext start_publish(ids::TopicIndex topic,
+                                             ids::NodeIndex publisher);
+
+  /// Count one transmission to `to`; if `to` is newly visited, record
+  /// delivery accounting at `hop` and return true (caller enqueues it).
+  bool transmit(PublishContext& ctx, ids::NodeIndex to, std::uint32_t hop);
+
+  [[nodiscard]] bool visited(const PublishContext& ctx,
+                             ids::NodeIndex node) const {
+    return visit_stamp_[node] == ctx.stamp;
+  }
+
+  /// Sorted alive undirected neighbors, rebuilt once per cycle.
+  [[nodiscard]] const std::vector<ids::NodeIndex>& undirected(
+      ids::NodeIndex node) const {
+    return undirected_[node];
+  }
+
+  [[nodiscard]] std::vector<ids::NodeIndex> random_alive_contacts(
+      std::size_t count, ids::NodeIndex exclude);
+
+  [[nodiscard]] sim::CycleEngine& engine() { return engine_; }
+  [[nodiscard]] const sim::CycleEngine& engine() const { return engine_; }
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+  [[nodiscard]] overlay::RoutingTable& table(ids::NodeIndex node) {
+    return tables_[node];
+  }
+  [[nodiscard]] std::size_t join_cycle(ids::NodeIndex node) const {
+    return join_cycle_[node];
+  }
+
+ private:
+  void cycle_maintenance();
+  void refresh_heartbeats(ids::NodeIndex node);
+  void rebuild_undirected();
+
+  BaselineConfig config_;
+  pubsub::SubscriptionTable subscriptions_;
+  sim::CycleEngine engine_;
+  std::vector<ids::RingId> ring_ids_;
+  std::vector<overlay::RoutingTable> tables_;
+  std::vector<std::size_t> join_cycle_;
+  std::unique_ptr<gossip::SamplingService> sampling_;
+  std::unique_ptr<gossip::TManProtocol> tman_;
+  pubsub::MetricsCollector metrics_;
+  sim::Rng rng_;
+
+  std::vector<std::vector<ids::NodeIndex>> undirected_;
+  mutable std::vector<overlay::RoutingEntry> lookup_scratch_;
+  std::vector<std::uint32_t> visit_stamp_;
+  std::vector<std::uint32_t> expected_stamp_;
+  std::uint32_t current_stamp_ = 0;
+};
+
+}  // namespace vitis::baselines

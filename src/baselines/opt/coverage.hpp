@@ -1,0 +1,57 @@
+// SpiderCast-like k-coverage neighbor selection for the OPT baseline
+// (§IV: "an unstructured solution that constructs an Overlay Per Topic,
+// while minimizing node degrees by exploiting the subscription
+// correlations, similar to SpiderCast").
+//
+// A node wants at least `coverage_target` neighbors sharing each of its
+// topics. Selection is greedy: repeatedly pick the candidate that covers
+// the most still-under-covered topics (one link can cover many topics at
+// once when subscriptions correlate — SpiderCast's core idea). Remaining
+// slots are filled by interest similarity.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gossip/descriptor.hpp"
+#include "overlay/routing_table.hpp"
+#include "pubsub/subscription.hpp"
+
+namespace vitis::baselines::opt {
+
+class CoverageSelector {
+ public:
+  /// `subscriptions_of(node)` resolves a candidate's subscription set.
+  CoverageSelector(std::size_t coverage_target,
+                   const pubsub::SubscriptionTable& subscriptions);
+
+  /// Bounded-degree selection: rebuild a table of at most `capacity`
+  /// entries from the candidate buffer.
+  [[nodiscard]] std::vector<overlay::RoutingEntry> select_bounded(
+      const pubsub::SubscriptionSet& my_subs,
+      std::span<const gossip::Descriptor> candidates,
+      std::size_t capacity) const;
+
+  /// Unbounded-degree selection: given the coverage already provided by the
+  /// current table (per-topic counts aligned with `my_subs`), return the
+  /// additional candidates needed to reach the coverage target. `coverage`
+  /// is updated in place for the chosen candidates.
+  [[nodiscard]] std::vector<overlay::RoutingEntry> select_additional(
+      const pubsub::SubscriptionSet& my_subs,
+      std::span<const gossip::Descriptor> candidates,
+      const overlay::RoutingTable& current,
+      std::vector<std::uint8_t>& coverage) const;
+
+  [[nodiscard]] std::size_t coverage_target() const { return target_; }
+
+ private:
+  /// Positions (into my_subs) of the topics shared with `other`.
+  [[nodiscard]] std::vector<std::uint32_t> shared_positions(
+      const pubsub::SubscriptionSet& my_subs,
+      const pubsub::SubscriptionSet& other) const;
+
+  std::size_t target_;
+  const pubsub::SubscriptionTable* subscriptions_;
+};
+
+}  // namespace vitis::baselines::opt

@@ -1,0 +1,97 @@
+#include "baselines/opt/opt_system.hpp"
+
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace vitis::baselines::opt {
+namespace {
+
+struct FloodItem {
+  ids::NodeIndex node;
+  ids::NodeIndex from;
+  std::uint32_t hop;
+};
+
+}  // namespace
+
+BaselineConfig OptSystem::effective_base(const OptConfig& config) {
+  BaselineConfig base = config.base;
+  if (config.unbounded) {
+    // Lift the degree bound; BaselineSystem clamps table capacity to the
+    // network size.
+    base.routing_table_size = std::numeric_limits<std::size_t>::max();
+  }
+  return base;
+}
+
+OptSystem::OptSystem(OptConfig config, pubsub::SubscriptionTable subscriptions,
+                     std::uint64_t seed, bool start_online)
+    : BaselineSystem(effective_base(config), std::move(subscriptions), seed,
+                     start_online),
+      config_(config),
+      selector_(config.coverage_target, this->subscriptions()) {
+  if (config_.unbounded) {
+    coverage_.resize(node_count());
+    for (std::size_t i = 0; i < node_count(); ++i) {
+      coverage_[i].assign(
+          this->subscriptions().of(static_cast<ids::NodeIndex>(i)).size(), 0);
+    }
+  }
+}
+
+void OptSystem::select_neighbors(ids::NodeIndex self,
+                                 std::span<const gossip::Descriptor> candidates,
+                                 overlay::RoutingTable& rt) {
+  const auto& my_subs = subscriptions().of(self);
+  if (config_.unbounded) {
+    // Additive: keep every existing link, add what coverage still needs.
+    for (const auto& entry :
+         selector_.select_additional(my_subs, candidates, rt,
+                                     coverage_[self])) {
+      (void)rt.add(entry);
+    }
+    return;
+  }
+  rt.assign(selector_.select_bounded(my_subs, candidates,
+                                     base_config().routing_table_size));
+}
+
+void OptSystem::on_join(ids::NodeIndex node) {
+  if (config_.unbounded) {
+    coverage_[node].assign(subscriptions().of(node).size(), 0);
+  }
+}
+
+void OptSystem::on_leave(ids::NodeIndex node) {
+  if (config_.unbounded) {
+    coverage_[node].assign(subscriptions().of(node).size(), 0);
+  }
+}
+
+pubsub::DisseminationReport OptSystem::publish(ids::TopicIndex topic,
+                                               ids::NodeIndex publisher) {
+  PublishContext ctx = start_publish(topic, publisher);
+
+  // Pure per-topic flooding: only links between subscribers carry the
+  // event; there is no relay mechanism (hence zero traffic overhead but no
+  // connectivity guarantee).
+  std::vector<FloodItem> queue;
+  queue.reserve(64);
+  queue.push_back(FloodItem{publisher, ids::kInvalidNode, 0});
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const FloodItem item = queue[head];
+    for (const ids::NodeIndex y : undirected(item.node)) {
+      if (y == item.from) continue;
+      if (!subscriptions().subscribes(y, topic)) continue;
+      if (transmit(ctx, y, item.hop + 1)) {
+        queue.push_back(FloodItem{y, item.node, item.hop + 1});
+      }
+    }
+  }
+
+  metrics().on_report(ctx.report);
+  return ctx.report;
+}
+
+}  // namespace vitis::baselines::opt

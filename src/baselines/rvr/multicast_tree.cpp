@@ -1,0 +1,23 @@
+#include "baselines/rvr/multicast_tree.hpp"
+
+namespace vitis::baselines::rvr {
+
+void install_tree_path(std::span<const ids::NodeIndex> path,
+                       ids::TopicIndex topic,
+                       std::vector<core::RelayTable>& trees) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    trees[path[i]].add_link(topic, path[i + 1]);
+    trees[path[i + 1]].add_link(topic, path[i]);
+  }
+}
+
+std::size_t tree_size(const std::vector<core::RelayTable>& trees,
+                      ids::TopicIndex topic) {
+  std::size_t count = 0;
+  for (const auto& table : trees) {
+    if (table.is_relay_for(topic)) ++count;
+  }
+  return count;
+}
+
+}  // namespace vitis::baselines::rvr

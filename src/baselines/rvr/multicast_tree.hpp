@@ -1,0 +1,31 @@
+// Scribe-style multicast-tree state for the RVR baseline (§IV: "a
+// structured RendezVous Routing solution that builds a multicast tree per
+// topic, equivalent to that of Scribe or Bayeux, with fixed node degree").
+//
+// Each subscriber periodically routes toward hash(t); the reverse paths are
+// installed as per-topic tree links on every traversed node (the same
+// relay-link representation Vitis uses, so we reuse core::RelayTable). The
+// union of paths is a tree rooted at the rendezvous node.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/relay.hpp"
+#include "ids/id.hpp"
+
+namespace vitis::baselines::rvr {
+
+/// Install (or refresh) tree links along a lookup path: path[0] is the
+/// subscriber, path.back() the rendezvous node. Links are symmetric so the
+/// dissemination BFS can walk the tree from the root outward.
+void install_tree_path(std::span<const ids::NodeIndex> path,
+                       ids::TopicIndex topic,
+                       std::vector<core::RelayTable>& trees);
+
+/// Number of nodes currently holding tree state for `topic` (tree size
+/// including interior relays), an analysis/test helper.
+[[nodiscard]] std::size_t tree_size(const std::vector<core::RelayTable>& trees,
+                                    ids::TopicIndex topic);
+
+}  // namespace vitis::baselines::rvr

@@ -1,0 +1,128 @@
+#include "baselines/rvr/rvr_system.hpp"
+
+#include <algorithm>
+
+#include "ids/hash.hpp"
+#include "overlay/small_world.hpp"
+#include "support/check.hpp"
+
+namespace vitis::baselines::rvr {
+namespace {
+
+struct TreeItem {
+  ids::NodeIndex node;
+  ids::NodeIndex from;
+  std::uint32_t hop;
+};
+
+}  // namespace
+
+RvrSystem::RvrSystem(RvrConfig config, pubsub::SubscriptionTable subscriptions,
+                     std::uint64_t seed, bool start_online)
+    : BaselineSystem(config.base, std::move(subscriptions), seed,
+                     start_online),
+      config_(config),
+      trees_(node_count()) {
+  VITIS_CHECK(config_.tree_refresh_interval > 0);
+}
+
+// Subscription-oblivious Symphony selection: ring links first, every
+// remaining slot a small-world link at a random harmonic distance.
+void RvrSystem::select_neighbors(ids::NodeIndex self,
+                                 std::span<const gossip::Descriptor> candidates,
+                                 overlay::RoutingTable& rt) {
+  const ids::RingId self_id = ring_id(self);
+  std::vector<gossip::Descriptor> buffer(candidates.begin(), candidates.end());
+  std::vector<overlay::RoutingEntry> selected;
+  selected.reserve(base_config().routing_table_size);
+
+  const auto take = [&](std::size_t index, overlay::LinkKind kind) {
+    const gossip::Descriptor& d = buffer[index];
+    selected.push_back(overlay::RoutingEntry{d.node, d.id, kind, 0});
+    buffer.erase(buffer.begin() + static_cast<std::ptrdiff_t>(index));
+  };
+
+  if (const auto succ = overlay::best_successor(buffer, self_id, self)) {
+    take(*succ, overlay::LinkKind::kSuccessor);
+  }
+  if (const auto pred = overlay::best_predecessor(buffer, self_id, self)) {
+    take(*pred, overlay::LinkKind::kPredecessor);
+  }
+  while (selected.size() < base_config().routing_table_size &&
+         !buffer.empty()) {
+    const ids::RingId target = overlay::random_sw_target(
+        self_id, std::max<std::size_t>(alive_count(), 2), rng());
+    const auto sw = overlay::closest_to_target(buffer, target, self);
+    if (!sw.has_value()) break;
+    take(*sw, overlay::LinkKind::kSmallWorld);
+  }
+
+  rt.assign(std::move(selected));
+}
+
+void RvrSystem::maintenance_extra() {
+  const auto alive = engine().alive_nodes();
+  for (const ids::NodeIndex node : alive) {
+    trees_[node].age_and_expire(config_.tree_ttl());
+  }
+  // Staggered Scribe-style resubscription: each (node, topic) pair routes
+  // toward the rendezvous once every tree_refresh_interval cycles.
+  const std::size_t interval = config_.tree_refresh_interval;
+  const std::size_t now = engine().cycle();
+  for (const ids::NodeIndex node : alive) {
+    for (const ids::TopicIndex topic :
+         subscriptions().of(node).topics()) {
+      const std::uint64_t stagger =
+          ids::mix64((static_cast<std::uint64_t>(node) << 32) | topic);
+      if ((now + stagger) % interval == 0) {
+        refresh_subscription(node, topic);
+      }
+    }
+  }
+}
+
+void RvrSystem::refresh_subscription(ids::NodeIndex node,
+                                     ids::TopicIndex topic) {
+  const auto route = lookup(node, ids::topic_ring_id(topic));
+  if (!route.converged) return;
+  install_tree_path(route.path, topic, trees_);
+}
+
+pubsub::DisseminationReport RvrSystem::publish(ids::TopicIndex topic,
+                                               ids::NodeIndex publisher) {
+  PublishContext ctx = start_publish(topic, publisher);
+
+  // Scribe publish: route the event to the rendezvous node...
+  const auto route = lookup(publisher, ids::topic_ring_id(topic));
+  std::vector<TreeItem> queue;
+  queue.reserve(64);
+  for (std::size_t i = 1; i < route.path.size(); ++i) {
+    if (transmit(ctx, route.path[i], static_cast<std::uint32_t>(i))) {
+      // Route nodes that are also tree members may disseminate early (they
+      // hold tree links); harmless and closer to real Scribe behavior.
+      queue.push_back(TreeItem{route.path[i], route.path[i - 1],
+                               static_cast<std::uint32_t>(i)});
+    }
+  }
+  if (queue.empty()) {
+    // Publisher is itself the rendezvous node (or routing stalled there).
+    queue.push_back(TreeItem{route.owner, ids::kInvalidNode,
+                             static_cast<std::uint32_t>(route.hops())});
+  }
+
+  // ...then flood the multicast tree from the root outward.
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const TreeItem item = queue[head];
+    for (const ids::NodeIndex y : trees_[item.node].links(topic)) {
+      if (y == item.from || !is_alive(y)) continue;
+      if (transmit(ctx, y, item.hop + 1)) {
+        queue.push_back(TreeItem{y, item.node, item.hop + 1});
+      }
+    }
+  }
+
+  metrics().on_report(ctx.report);
+  return ctx.report;
+}
+
+}  // namespace vitis::baselines::rvr

@@ -1,0 +1,43 @@
+#include "core/config.hpp"
+
+#include <stdexcept>
+
+namespace vitis::core {
+
+void VitisConfig::validate() const {
+  if (routing_table_size < 3) {
+    throw std::invalid_argument(
+        "routing_table_size must be at least 3 (pred + succ + one more)");
+  }
+  if (structural_links < 2) {
+    throw std::invalid_argument(
+        "structural_links (k) must be at least 2 (predecessor + successor)");
+  }
+  if (structural_links > routing_table_size) {
+    throw std::invalid_argument(
+        "structural_links (k) cannot exceed routing_table_size");
+  }
+  if (gateway_depth == 0) {
+    throw std::invalid_argument("gateway_depth (d) must be positive");
+  }
+  if (view_size == 0) {
+    throw std::invalid_argument("view_size must be positive");
+  }
+  if (relay_ttl == 0) {
+    throw std::invalid_argument("relay_ttl must be positive");
+  }
+  if (lookup_hop_budget == 0) {
+    throw std::invalid_argument("lookup_hop_budget must be positive");
+  }
+  if (bootstrap_contacts == 0) {
+    throw std::invalid_argument("bootstrap_contacts must be positive");
+  }
+  if (message_loss < 0.0 || message_loss >= 1.0) {
+    throw std::invalid_argument("message_loss must be in [0, 1)");
+  }
+  if (proximity_weight < 0.0) {
+    throw std::invalid_argument("proximity_weight must be non-negative");
+  }
+}
+
+}  // namespace vitis::core

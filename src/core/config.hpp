@@ -1,0 +1,72 @@
+// Vitis system parameters (§III-A and §IV-A of the paper).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gossip/sampling_service.hpp"
+
+namespace vitis::core {
+
+struct VitisConfig {
+  /// Routing-table size bound ("the routing table size is set to 15").
+  std::size_t routing_table_size = 15;
+
+  /// k — number of structural links: predecessor + successor + (k-2)
+  /// small-world links ("k is set to 3" = pred, succ, one sw-neighbor).
+  /// Trades traffic overhead (small k) against propagation delay (large k).
+  std::size_t structural_links = 3;
+
+  /// d — gateway depth threshold (Algorithm 5): a gateway serves nodes at
+  /// most d cluster-hops away, making gateways-per-cluster proportional to
+  /// the cluster diameter ("d is set to 5").
+  std::uint32_t gateway_depth = 5;
+
+  /// Peer-sampling partial-view size (Newscast).
+  std::size_t view_size = 20;
+
+  /// Fresh descriptors the peer-sampling service feeds each T-Man exchange.
+  std::size_t sample_size = 10;
+
+  /// Heartbeat rounds after which a silent routing-table entry is dropped
+  /// (Algorithm 6 THRESHOLD); trades failure-detection speed for accuracy.
+  std::uint32_t staleness_threshold = 8;
+
+  /// Relay-table entries expire after this many rounds without being
+  /// refreshed by a gateway's lookup.
+  std::uint32_t relay_ttl = 3;
+
+  /// Hop budget for greedy lookups (guards not-yet-converged overlays).
+  std::size_t lookup_hop_budget = 128;
+
+  /// Cycles a freshly joined node is excluded from expected-delivery
+  /// accounting ("hit ratio for a node is calculated 10 seconds after the
+  /// node joins", one gossip period here).
+  std::size_t join_grace_cycles = 1;
+
+  /// Number of bootstrap contacts a joining node receives.
+  std::size_t bootstrap_contacts = 5;
+
+  /// Which peer-sampling service feeds the gossip layers (the paper cites
+  /// Newscast and Cyclon interchangeably; Newscast is its evaluation pick).
+  gossip::SamplingPolicy sampling = gossip::SamplingPolicy::kNewscast;
+
+  /// Probability that a dissemination transmission is lost (failure
+  /// injection; 0 in the paper's loss-free simulation model).
+  double message_loss = 0.0;
+
+  /// Physical-proximity bias of the preference function (§III-A2's
+  /// extension: "account for the underlying network topology"). 0 disables;
+  /// larger values discount far-away candidates when ranking friends.
+  /// Requires coordinates via VitisSystem::set_coordinates().
+  double proximity_weight = 0.0;
+
+  [[nodiscard]] std::size_t friend_links() const {
+    return routing_table_size - structural_links;
+  }
+
+  /// Throws std::invalid_argument on inconsistent settings.
+  void validate() const;
+};
+
+}  // namespace vitis::core

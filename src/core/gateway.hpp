@@ -1,0 +1,50 @@
+// Gateway election (Algorithm 5, "Update Profile").
+//
+// Each round, for each subscribed topic, a node starts from the
+// self-proposal (self, self, 0) and considers the proposals piggybacked on
+// its interested neighbors' profiles. A neighbor's proposal is admissible
+// only under the loop-avoidance filter of line 7 (the neighbor itself is the
+// proposal's parent, or the parent is not one of our own neighbors). Among
+// admissible proposals the node adopts the gateway whose id is closest to
+// hash(t) — provided the hop counter stays below the depth threshold d —
+// and, for equal gateways, the shorter path. A node whose final proposal
+// names itself is a gateway and must request a relay path.
+//
+// The election is a pure function here so it can be property-tested in
+// isolation; VitisSystem feeds it live neighbor state.
+#pragma once
+
+#include <span>
+
+#include "core/profile.hpp"
+#include "ids/id.hpp"
+
+namespace vitis::core {
+
+/// One interested neighbor's piggybacked proposal for the topic under
+/// election, plus whether that proposal's parent is in our routing scope
+/// (the Algorithm 5 line-7 test, evaluated by the caller who knows the RT).
+struct NeighborProposal {
+  ids::NodeIndex neighbor = ids::kInvalidNode;
+  GatewayProposal proposal;
+  bool parent_in_rt = false;
+};
+
+struct ElectionInput {
+  ids::NodeIndex self = ids::kInvalidNode;
+  ids::RingId self_id = 0;
+  ids::RingId topic_hash = 0;
+  std::uint32_t depth_threshold = 5;  // d
+};
+
+/// Runs one election round; returns the node's new proposal for the topic.
+[[nodiscard]] GatewayProposal elect_gateway(
+    const ElectionInput& input, std::span<const NeighborProposal> neighbors);
+
+/// True when the proposal names the node itself (it must RequestRelay).
+[[nodiscard]] inline bool is_self_gateway(ids::NodeIndex self,
+                                          const GatewayProposal& proposal) {
+  return proposal.gateway == self;
+}
+
+}  // namespace vitis::core

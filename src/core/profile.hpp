@@ -1,0 +1,70 @@
+// Node profiles (§III): the subscription set plus, piggybacked per
+// subscribed topic, the node's current gateway proposal (Algorithm 5's
+// (GW, parent, hops) triple). Profiles are what nodes exchange as heartbeat
+// messages every gossip period.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ids/id.hpp"
+#include "pubsub/subscription.hpp"
+
+namespace vitis::core {
+
+struct GatewayProposal {
+  ids::NodeIndex gateway = ids::kInvalidNode;
+  ids::RingId gateway_id = 0;
+  ids::NodeIndex parent = ids::kInvalidNode;  // who proposed this gateway
+  std::uint32_t hops = 0;                     // distance to gateway in hops
+
+  friend bool operator==(const GatewayProposal&,
+                         const GatewayProposal&) = default;
+};
+
+class Profile {
+ public:
+  Profile() = default;
+  explicit Profile(pubsub::SubscriptionSet subscriptions);
+
+  [[nodiscard]] const pubsub::SubscriptionSet& subscriptions() const {
+    return subscriptions_;
+  }
+
+  [[nodiscard]] bool subscribes(ids::TopicIndex topic) const {
+    return subscriptions_.contains(topic);
+  }
+
+  /// Proposal for one subscribed topic; nullopt when `topic` is not in the
+  /// subscription set.
+  [[nodiscard]] std::optional<GatewayProposal> proposal(
+      ids::TopicIndex topic) const;
+
+  /// Store the proposal for a subscribed topic (checked).
+  void set_proposal(ids::TopicIndex topic, const GatewayProposal& proposal);
+
+  /// Dynamic subscription change (§III): inserts the topic with a fresh
+  /// self-proposal / erases it along with its proposal. Returns false when
+  /// the subscription state already matched.
+  bool add_topic(ids::TopicIndex topic, ids::NodeIndex self,
+                 ids::RingId self_id);
+  bool remove_topic(ids::TopicIndex topic);
+
+  /// Reset all proposals to the self-proposal state (used on join/leave:
+  /// "each node initially proposes itself as gateway").
+  void reset_proposals(ids::NodeIndex self, ids::RingId self_id);
+
+  /// Position of `topic` inside the sorted subscription set, if subscribed.
+  [[nodiscard]] std::optional<std::size_t> topic_position(
+      ids::TopicIndex topic) const;
+
+  /// Proposal at a known position (bounds-checked in debug builds).
+  [[nodiscard]] const GatewayProposal& proposal_at(std::size_t position) const;
+
+ private:
+  pubsub::SubscriptionSet subscriptions_;
+  std::vector<GatewayProposal> proposals_;  // aligned with subscriptions_
+};
+
+}  // namespace vitis::core

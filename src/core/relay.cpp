@@ -1,0 +1,54 @@
+#include "core/relay.hpp"
+
+#include <algorithm>
+
+namespace vitis::core {
+
+void RelayTable::add_link(ids::TopicIndex topic, ids::NodeIndex peer) {
+  auto& links = table_[topic];
+  for (auto& link : links) {
+    if (link.peer == peer) {
+      link.age = 0;
+      return;
+    }
+  }
+  links.push_back(Link{peer, 0});
+}
+
+std::vector<ids::NodeIndex> RelayTable::links(ids::TopicIndex topic) const {
+  const auto it = table_.find(topic);
+  if (it == table_.end()) return {};
+  std::vector<ids::NodeIndex> peers;
+  peers.reserve(it->second.size());
+  for (const auto& link : it->second) peers.push_back(link.peer);
+  return peers;
+}
+
+bool RelayTable::is_relay_for(ids::TopicIndex topic) const {
+  return table_.contains(topic);
+}
+
+std::size_t RelayTable::link_count() const {
+  std::size_t count = 0;
+  for (const auto& [topic, links] : table_) count += links.size();
+  return count;
+}
+
+void RelayTable::remove_peer(ids::NodeIndex peer) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    auto& links = it->second;
+    std::erase_if(links, [peer](const Link& l) { return l.peer == peer; });
+    it = links.empty() ? table_.erase(it) : std::next(it);
+  }
+}
+
+void RelayTable::age_and_expire(std::uint32_t ttl) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    auto& links = it->second;
+    for (auto& link : links) ++link.age;
+    std::erase_if(links, [ttl](const Link& l) { return l.age > ttl; });
+    it = links.empty() ? table_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace vitis::core

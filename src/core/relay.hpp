@@ -1,0 +1,50 @@
+// Per-node relay state (§III-B): a node on the lookup path from a gateway
+// to a rendezvous node becomes a *relay node* for that topic. We store, per
+// topic, the adjacent nodes on relay paths (toward gateways and toward the
+// rendezvous alike — the union of paths is an undirected tree rooted at the
+// rendezvous node). Links age out unless a gateway's periodic lookup
+// refreshes them, which is how departed relays are pruned.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ids/id.hpp"
+
+namespace vitis::core {
+
+class RelayTable {
+ public:
+  /// Add (or refresh) a relay link to `peer` for `topic`.
+  void add_link(ids::TopicIndex topic, ids::NodeIndex peer);
+
+  /// Relay peers for a topic (empty when not a relay for it).
+  [[nodiscard]] std::vector<ids::NodeIndex> links(ids::TopicIndex topic) const;
+
+  [[nodiscard]] bool is_relay_for(ids::TopicIndex topic) const;
+
+  /// Number of topics this node currently relays.
+  [[nodiscard]] std::size_t topic_count() const { return table_.size(); }
+
+  /// Total number of relay links across all topics.
+  [[nodiscard]] std::size_t link_count() const;
+
+  /// Remove every link to `peer` (the peer left the overlay).
+  void remove_peer(ids::NodeIndex peer);
+
+  /// Age all links by one round and drop those older than `ttl`.
+  void age_and_expire(std::uint32_t ttl);
+
+  void clear() { table_.clear(); }
+
+ private:
+  struct Link {
+    ids::NodeIndex peer;
+    std::uint32_t age;
+  };
+  std::unordered_map<ids::TopicIndex, std::vector<Link>> table_;
+};
+
+}  // namespace vitis::core

@@ -1,0 +1,24 @@
+#include "core/utility.hpp"
+
+#include "support/check.hpp"
+
+namespace vitis::core {
+
+UtilityFunction::UtilityFunction(std::span<const double> rates)
+    : rates_(rates.begin(), rates.end()) {
+  for (const double r : rates_) VITIS_CHECK(r >= 0.0);
+}
+
+UtilityFunction UtilityFunction::uniform(std::size_t topic_count) {
+  return UtilityFunction(std::vector<double>(topic_count, 1.0));
+}
+
+double UtilityFunction::operator()(const pubsub::SubscriptionSet& a,
+                                   const pubsub::SubscriptionSet& b) const {
+  const double shared = pubsub::weighted_intersection(a, b, rates_);
+  if (shared == 0.0) return 0.0;  // avoids the union scan for strangers
+  const double combined = pubsub::weighted_union(a, b, rates_);
+  return combined == 0.0 ? 0.0 : shared / combined;
+}
+
+}  // namespace vitis::core

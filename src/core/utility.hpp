@@ -1,0 +1,37 @@
+// The preference (utility) function of §III-A2, Equation 1:
+//
+//            Σ_{t ∈ subs(i) ∩ subs(j)} rate(t)
+//   u(i,j) = ---------------------------------
+//            Σ_{t ∈ subs(i) ∪ subs(j)} rate(t)
+//
+// With uniform rates this is plain Jaccard similarity of subscription sets;
+// skewed rates weight shared hot topics up, so clusters consolidate around
+// high-traffic topics first (evaluated in Fig. 7).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pubsub/subscription.hpp"
+
+namespace vitis::core {
+
+class UtilityFunction {
+ public:
+  /// `rates[t]` is the publication rate of topic t. Rates must be
+  /// non-negative; they need not be normalized (Eq. 1 is scale-free).
+  explicit UtilityFunction(std::span<const double> rates);
+
+  /// Uniform-rate utility over `topic_count` topics (pure Jaccard).
+  static UtilityFunction uniform(std::size_t topic_count);
+
+  [[nodiscard]] double operator()(const pubsub::SubscriptionSet& a,
+                                  const pubsub::SubscriptionSet& b) const;
+
+  [[nodiscard]] std::span<const double> rates() const { return rates_; }
+
+ private:
+  std::vector<double> rates_;
+};
+
+}  // namespace vitis::core

@@ -1,0 +1,11 @@
+#include "core/vitis_node.hpp"
+
+namespace vitis::core {
+
+void VitisNode::reset_overlay_state(ids::NodeIndex self) {
+  rt.clear();
+  relay.clear();
+  profile.reset_proposals(self, id);
+}
+
+}  // namespace vitis::core

@@ -1,0 +1,32 @@
+// Per-node protocol state of a Vitis peer: ring id, profile (subscriptions
+// + gateway proposals), bounded routing table, and relay-path state.
+#pragma once
+
+#include <cstddef>
+
+#include "core/profile.hpp"
+#include "core/relay.hpp"
+#include "ids/id.hpp"
+#include "overlay/routing_table.hpp"
+
+namespace vitis::core {
+
+struct VitisNode {
+  VitisNode(ids::RingId ring_id, Profile node_profile,
+            std::size_t routing_table_capacity)
+      : id(ring_id),
+        profile(std::move(node_profile)),
+        rt(routing_table_capacity) {}
+
+  ids::RingId id;
+  Profile profile;
+  overlay::RoutingTable rt;
+  RelayTable relay;
+  std::size_t join_cycle = 0;
+
+  /// Reset volatile overlay state on (re)join or departure; subscriptions
+  /// persist across sessions, proposals restart from self.
+  void reset_overlay_state(ids::NodeIndex self);
+};
+
+}  // namespace vitis::core

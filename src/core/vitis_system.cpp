@@ -1,0 +1,616 @@
+#include "core/vitis_system.hpp"
+
+#include <algorithm>
+
+#include "ids/hash.hpp"
+#include "overlay/small_world.hpp"
+#include "sim/event_queue.hpp"
+#include "support/check.hpp"
+
+namespace vitis::core {
+namespace {
+
+/// Transmission queue item of the dissemination BFS.
+struct FloodItem {
+  ids::NodeIndex node;
+  ids::NodeIndex from;
+  std::uint32_t hop;
+};
+
+}  // namespace
+
+VitisSystem::VitisSystem(VitisConfig config,
+                         pubsub::SubscriptionTable subscriptions,
+                         std::vector<double> rates, std::uint64_t seed,
+                         bool start_online)
+    : config_(config),
+      subscriptions_(std::move(subscriptions)),
+      utility_(rates),
+      engine_(subscriptions_.node_count(), sim::Rng(seed ^ 0x656e67696e65ULL)),
+      metrics_(subscriptions_.node_count()),
+      rng_(seed) {
+  config_.validate();
+  VITIS_CHECK(rates.size() == subscriptions_.topic_count());
+
+  const std::size_t n = subscriptions_.node_count();
+  nodes_.reserve(n);
+  std::vector<ids::RingId> ring_ids(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto node = static_cast<ids::NodeIndex>(i);
+    ring_ids[i] = ids::node_ring_id(node);
+    nodes_.emplace_back(ring_ids[i], Profile(subscriptions_.of(node)),
+                        config_.routing_table_size);
+    nodes_.back().profile.reset_proposals(node, ring_ids[i]);
+  }
+
+  const auto is_alive = [this](ids::NodeIndex node) {
+    return engine_.is_alive(node);
+  };
+  sampling_ = gossip::make_sampling_service(config_.sampling, ring_ids,
+                                            config_.view_size, is_alive,
+                                            rng_.split(0x73616d70));
+  tman_ = std::make_unique<gossip::TManProtocol>(
+      [this](ids::NodeIndex node) -> overlay::RoutingTable& {
+        return nodes_[node].rt;
+      },
+      *sampling_, is_alive,
+      [this](ids::NodeIndex self,
+             std::span<const gossip::Descriptor> candidates,
+             overlay::RoutingTable& table) {
+        select_neighbors(self, candidates, table);
+      },
+      gossip::TManProtocol::Config{config_.sample_size},
+      rng_.split(0x746d616e));
+
+  engine_.add_protocol("peer-sampling", [this](ids::NodeIndex node,
+                                               std::size_t) {
+    sampling_->step(node);
+  });
+  engine_.add_protocol(
+      "t-man", [this](ids::NodeIndex node, std::size_t) { tman_->step(node); });
+  engine_.add_cycle_hook("vitis-maintenance",
+                         [this](std::size_t) { cycle_maintenance(); });
+
+  undirected_.resize(n);
+  visit_stamp_.assign(n, 0);
+  expected_stamp_.assign(n, 0);
+
+  if (start_online) {
+    for (std::size_t i = 0; i < n; ++i) {
+      engine_.set_alive(static_cast<ids::NodeIndex>(i), true);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto node = static_cast<ids::NodeIndex>(i);
+      const auto contacts =
+          random_alive_contacts(config_.bootstrap_contacts, node);
+      sampling_->init_node(node, contacts);
+    }
+  }
+}
+
+std::vector<ids::NodeIndex> VitisSystem::random_alive_contacts(
+    std::size_t count, ids::NodeIndex exclude) {
+  std::vector<ids::NodeIndex> contacts;
+  const std::size_t n = nodes_.size();
+  if (engine_.alive_count() == 0) return contacts;
+  // Rejection sampling: the alive fraction is high in every scenario we
+  // simulate, so a bounded number of draws suffices.
+  const std::size_t max_draws = 20 * count + 100;
+  for (std::size_t draw = 0; draw < max_draws && contacts.size() < count;
+       ++draw) {
+    const auto candidate = static_cast<ids::NodeIndex>(rng_.index(n));
+    if (candidate == exclude || !engine_.is_alive(candidate)) continue;
+    if (std::find(contacts.begin(), contacts.end(), candidate) !=
+        contacts.end()) {
+      continue;
+    }
+    contacts.push_back(candidate);
+  }
+  return contacts;
+}
+
+void VitisSystem::run_cycles(std::size_t cycles) { engine_.run(cycles); }
+
+// ---------------------------------------------------------------------------
+// Algorithm 4: selectNeighbors.
+// ---------------------------------------------------------------------------
+void VitisSystem::select_neighbors(
+    ids::NodeIndex self, std::span<const gossip::Descriptor> candidates,
+    overlay::RoutingTable& table) {
+  const ids::RingId self_id = nodes_[self].id;
+  std::vector<gossip::Descriptor> buffer(candidates.begin(), candidates.end());
+  std::vector<overlay::RoutingEntry> selected;
+  selected.reserve(config_.routing_table_size);
+
+  const auto take = [&](std::size_t index, overlay::LinkKind kind) {
+    const gossip::Descriptor& d = buffer[index];
+    selected.push_back(overlay::RoutingEntry{d.node, d.id, kind, 0});
+    buffer.erase(buffer.begin() + static_cast<std::ptrdiff_t>(index));
+  };
+
+  // Lines 2-7: ring neighbors first (lookup consistency depends on them).
+  if (const auto succ = overlay::best_successor(buffer, self_id, self)) {
+    take(*succ, overlay::LinkKind::kSuccessor);
+  }
+  if (const auto pred = overlay::best_predecessor(buffer, self_id, self)) {
+    take(*pred, overlay::LinkKind::kPredecessor);
+  }
+
+  // Lines 8-10: small-world links at random harmonic distances.
+  const std::size_t sw_links = config_.structural_links - 2;
+  for (std::size_t i = 0; i < sw_links && !buffer.empty(); ++i) {
+    const ids::RingId target = overlay::random_sw_target(
+        self_id, std::max<std::size_t>(engine_.alive_count(), 2), rng_);
+    if (const auto sw = overlay::closest_to_target(buffer, target, self)) {
+      take(*sw, overlay::LinkKind::kSmallWorld);
+    }
+  }
+
+  // Lines 11-16: rank the rest by the preference function, keep the top.
+  // With coordinates installed and proximity_weight > 0, physically distant
+  // candidates are discounted (§III-A2's network-topology extension).
+  const pubsub::SubscriptionSet& my_subs = nodes_[self].profile.subscriptions();
+  const bool use_proximity =
+      config_.proximity_weight > 0.0 && !coordinates_.empty();
+  std::vector<std::pair<double, std::size_t>> ranked;
+  ranked.reserve(buffer.size());
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    const auto& their_subs = nodes_[buffer[i].node].profile.subscriptions();
+    double score = utility_(my_subs, their_subs);
+    if (use_proximity && score > 0.0) {
+      const double normalized =
+          sim::latency_ms(coordinates_[self], coordinates_[buffer[i].node]) /
+          sim::kMaxLatencyMs;
+      score /= 1.0 + config_.proximity_weight * normalized;
+    }
+    ranked.emplace_back(score, i);
+  }
+  // Ties (common under uniform rates: many candidates share utility 0) are
+  // broken by a per-node pseudo-random order. A global order — e.g. by node
+  // index — would funnel every tie toward the same few nodes and grow
+  // pathological hubs.
+  const std::uint64_t tie_salt = ids::mix64(self ^ 0x7469656272656b00ULL);
+  std::sort(ranked.begin(), ranked.end(),
+            [&](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return ids::mix64(tie_salt ^ buffer[a.second].node) <
+                     ids::mix64(tie_salt ^ buffer[b.second].node);
+            });
+  const std::size_t friend_slots =
+      std::min(config_.friend_links(), ranked.size());
+  for (std::size_t i = 0; i < friend_slots; ++i) {
+    const gossip::Descriptor& d = buffer[ranked[i].second];
+    selected.push_back(
+        overlay::RoutingEntry{d.node, d.id, overlay::LinkKind::kFriend, 0});
+  }
+
+  table.assign(std::move(selected));
+}
+
+// ---------------------------------------------------------------------------
+// Per-cycle maintenance: heartbeats, gateway election, relay refresh.
+// ---------------------------------------------------------------------------
+void VitisSystem::cycle_maintenance() {
+  auto order = engine_.alive_nodes();
+  for (const ids::NodeIndex node : order) refresh_heartbeats(node);
+  rebuild_undirected();
+  rng_.shuffle(order);
+  for (const ids::NodeIndex node : order) run_election(node);
+}
+
+void VitisSystem::refresh_heartbeats(ids::NodeIndex node) {
+  VitisNode& nd = nodes_[node];
+  nd.rt.increment_ages();
+  for (const auto& entry : nd.rt.entries()) {
+    if (engine_.is_alive(entry.node)) nd.rt.mark_fresh(entry.node);
+  }
+  (void)nd.rt.drop_older_than(config_.staleness_threshold);
+  nd.relay.age_and_expire(config_.relay_ttl);
+}
+
+void VitisSystem::rebuild_undirected() {
+  for (auto& neighbors : undirected_) neighbors.clear();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto node = static_cast<ids::NodeIndex>(i);
+    if (!engine_.is_alive(node)) continue;
+    for (const auto& entry : nodes_[i].rt.entries()) {
+      if (entry.node == node || !engine_.is_alive(entry.node)) continue;
+      undirected_[i].push_back(entry.node);
+      undirected_[entry.node].push_back(node);
+    }
+  }
+  for (auto& neighbors : undirected_) {
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+  }
+}
+
+void VitisSystem::run_election(ids::NodeIndex node) {
+  VitisNode& nd = nodes_[node];
+  const auto my_topics = nd.profile.subscriptions().topics();
+  if (my_topics.empty()) return;
+
+  if (election_scratch_.size() < my_topics.size()) {
+    election_scratch_.resize(my_topics.size());
+  }
+  for (std::size_t i = 0; i < my_topics.size(); ++i) {
+    election_scratch_[i].clear();
+  }
+
+  const auto& my_neighbors = undirected_[node];
+  for (const ids::NodeIndex neighbor : my_neighbors) {
+    const Profile& their_profile = nodes_[neighbor].profile;
+    const auto their_topics = their_profile.subscriptions().topics();
+    // Linear merge over both sorted subscription lists; `pos` tracks the
+    // topic's position in each so proposals are fetched without searching.
+    std::size_t a = 0;
+    std::size_t b = 0;
+    while (a < my_topics.size() && b < their_topics.size()) {
+      if (my_topics[a] < their_topics[b]) {
+        ++a;
+      } else if (their_topics[b] < my_topics[a]) {
+        ++b;
+      } else {
+        const GatewayProposal& prop = their_profile.proposal_at(b);
+        const bool parent_in_rt =
+            prop.parent == node ||
+            std::binary_search(my_neighbors.begin(), my_neighbors.end(),
+                               prop.parent);
+        election_scratch_[a].push_back(
+            NeighborProposal{neighbor, prop, parent_in_rt});
+        ++a;
+        ++b;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < my_topics.size(); ++i) {
+    const ids::TopicIndex topic = my_topics[i];
+    const ElectionInput input{node, nd.id, ids::topic_ring_id(topic),
+                              config_.gateway_depth};
+    const GatewayProposal result =
+        elect_gateway(input, election_scratch_[i]);
+    nd.profile.set_proposal(topic, result);
+    if (is_self_gateway(node, result)) {
+      request_relay(node, topic);  // Algorithm 5 lines 20-22
+    }
+  }
+}
+
+void VitisSystem::request_relay(ids::NodeIndex gateway,
+                                ids::TopicIndex topic) {
+  const auto result = lookup(gateway, ids::topic_ring_id(topic));
+  if (!result.converged || result.path.size() < 2) return;
+  for (std::size_t i = 0; i + 1 < result.path.size(); ++i) {
+    nodes_[result.path[i]].relay.add_link(topic, result.path[i + 1]);
+    nodes_[result.path[i + 1]].relay.add_link(topic, result.path[i]);
+  }
+}
+
+overlay::LookupResult VitisSystem::lookup(ids::NodeIndex origin,
+                                          ids::RingId target) const {
+  const overlay::NeighborFn neighbors =
+      [this](ids::NodeIndex node) -> std::span<const overlay::RoutingEntry> {
+    lookup_scratch_.clear();
+    for (const auto& entry : nodes_[node].rt.entries()) {
+      if (engine_.is_alive(entry.node)) lookup_scratch_.push_back(entry);
+    }
+    return lookup_scratch_;
+  };
+  return overlay::greedy_lookup(
+      neighbors, [this](ids::NodeIndex n) { return nodes_[n].id; }, origin,
+      target, config_.lookup_hop_budget);
+}
+
+// ---------------------------------------------------------------------------
+// Event dissemination (§III-C).
+// ---------------------------------------------------------------------------
+pubsub::DisseminationReport VitisSystem::publish(ids::TopicIndex topic,
+                                                 ids::NodeIndex publisher) {
+  VITIS_CHECK(topic < subscriptions_.topic_count());
+  VITIS_CHECK(engine_.is_alive(publisher));
+
+  pubsub::DisseminationReport report;
+  report.topic = topic;
+  report.publisher = publisher;
+
+  // Fresh visit/expected stamps; on wrap-around reset the arrays once.
+  if (++current_stamp_ == 0) {
+    std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0);
+    std::fill(expected_stamp_.begin(), expected_stamp_.end(), 0);
+    current_stamp_ = 1;
+  }
+  const std::uint32_t stamp = current_stamp_;
+
+  for (const ids::NodeIndex s : subscriptions_.subscribers(topic)) {
+    if (s == publisher || !engine_.is_alive(s)) continue;
+    if (nodes_[s].join_cycle + config_.join_grace_cycles > engine_.cycle()) {
+      continue;  // freshly joined: not yet expected to receive events
+    }
+    expected_stamp_[s] = stamp;
+    ++report.expected;
+  }
+
+  std::vector<FloodItem> queue;
+  queue.reserve(64);
+  visit_stamp_[publisher] = stamp;
+  queue.push_back(FloodItem{publisher, ids::kInvalidNode, 0});
+
+  // A publisher outside any cluster of the topic (not subscribed, not a
+  // relay) hands the event to the rendezvous node by greedy routing first.
+  if (!subscriptions_.subscribes(publisher, topic) &&
+      !nodes_[publisher].relay.is_relay_for(topic)) {
+    const auto route = lookup(publisher, ids::topic_ring_id(topic));
+    for (std::size_t i = 1; i < route.path.size(); ++i) {
+      const ids::NodeIndex hopper = route.path[i];
+      metrics_.on_message(hopper, subscriptions_.subscribes(hopper, topic));
+      ++report.messages;
+      if (visit_stamp_[hopper] != stamp) {
+        visit_stamp_[hopper] = stamp;
+        const auto hop = static_cast<std::uint32_t>(i);
+        if (expected_stamp_[hopper] == stamp) {
+          ++report.delivered;
+          report.delay_sum += hop;
+          report.max_delay = std::max<std::size_t>(report.max_delay, hop);
+          metrics_.on_delivery(hop);
+        }
+        queue.push_back(FloodItem{hopper, route.path[i - 1], hop});
+      }
+    }
+  }
+
+  std::vector<ids::NodeIndex> targets;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const FloodItem item = queue[head];
+
+    targets.clear();
+    for (const ids::NodeIndex y : undirected_[item.node]) {
+      if (subscriptions_.subscribes(y, topic)) targets.push_back(y);
+    }
+    for (const ids::NodeIndex y : nodes_[item.node].relay.links(topic)) {
+      if (engine_.is_alive(y)) targets.push_back(y);
+    }
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+
+    for (const ids::NodeIndex y : targets) {
+      if (y == item.from || y == item.node) continue;
+      // Failure injection: a lost transmission never reaches the receiver.
+      if (config_.message_loss > 0.0 &&
+          rng_.bernoulli(config_.message_loss)) {
+        continue;
+      }
+      metrics_.on_message(y, subscriptions_.subscribes(y, topic));
+      ++report.messages;
+      if (visit_stamp_[y] == stamp) continue;
+      visit_stamp_[y] = stamp;
+      const std::uint32_t hop = item.hop + 1;
+      if (expected_stamp_[y] == stamp) {
+        ++report.delivered;
+        report.delay_sum += hop;
+        report.max_delay = std::max<std::size_t>(report.max_delay, hop);
+        metrics_.on_delivery(hop);
+      }
+      queue.push_back(FloodItem{y, item.node, hop});
+    }
+  }
+
+  metrics_.on_report(report);
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Churn (§III-D).
+// ---------------------------------------------------------------------------
+void VitisSystem::node_join(ids::NodeIndex node) {
+  VITIS_CHECK(node < nodes_.size());
+  if (engine_.is_alive(node)) return;
+  engine_.set_alive(node, true);
+  nodes_[node].reset_overlay_state(node);
+  nodes_[node].join_cycle = engine_.cycle();
+  const auto contacts = random_alive_contacts(config_.bootstrap_contacts, node);
+  sampling_->init_node(node, contacts);
+}
+
+void VitisSystem::node_leave(ids::NodeIndex node) {
+  VITIS_CHECK(node < nodes_.size());
+  if (!engine_.is_alive(node)) return;
+  engine_.set_alive(node, false);
+  nodes_[node].reset_overlay_state(node);
+  sampling_->remove_node(node);
+}
+
+// ---------------------------------------------------------------------------
+// Event-driven (latency-aware) dissemination.
+// ---------------------------------------------------------------------------
+TimedDisseminationReport VitisSystem::publish_timed(ids::TopicIndex topic,
+                                                    ids::NodeIndex publisher) {
+  VITIS_CHECK(topic < subscriptions_.topic_count());
+  VITIS_CHECK(engine_.is_alive(publisher));
+
+  TimedDisseminationReport timed;
+  pubsub::DisseminationReport& report = timed.base;
+  report.topic = topic;
+  report.publisher = publisher;
+
+  if (++current_stamp_ == 0) {
+    std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0);
+    std::fill(expected_stamp_.begin(), expected_stamp_.end(), 0);
+    current_stamp_ = 1;
+  }
+  const std::uint32_t stamp = current_stamp_;
+  for (const ids::NodeIndex s : subscriptions_.subscribers(topic)) {
+    if (s == publisher || !engine_.is_alive(s)) continue;
+    if (nodes_[s].join_cycle + config_.join_grace_cycles > engine_.cycle()) {
+      continue;
+    }
+    expected_stamp_[s] = stamp;
+    ++report.expected;
+  }
+
+  const auto link_latency = [this](ids::NodeIndex a, ids::NodeIndex b) {
+    return coordinates_.empty()
+               ? 1.0
+               : 1.0 + sim::latency_ms(coordinates_[a], coordinates_[b]);
+  };
+
+  struct Arrival {
+    ids::NodeIndex to;
+    ids::NodeIndex from;
+    std::uint32_t hop;
+  };
+  sim::EventQueue<Arrival> queue;
+  visit_stamp_[publisher] = stamp;
+
+  // Forward from a node that just (first-)received the event at `now`.
+  std::vector<ids::NodeIndex> targets;
+  const auto forward_from = [&](ids::NodeIndex x, ids::NodeIndex from,
+                                std::uint32_t hop, double now) {
+    targets.clear();
+    for (const ids::NodeIndex y : undirected_[x]) {
+      if (subscriptions_.subscribes(y, topic)) targets.push_back(y);
+    }
+    for (const ids::NodeIndex y : nodes_[x].relay.links(topic)) {
+      if (engine_.is_alive(y)) targets.push_back(y);
+    }
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+    for (const ids::NodeIndex y : targets) {
+      if (y == from || y == x) continue;
+      if (config_.message_loss > 0.0 &&
+          rng_.bernoulli(config_.message_loss)) {
+        continue;
+      }
+      queue.schedule(now + link_latency(x, y), Arrival{y, x, hop + 1});
+    }
+  };
+
+  // Non-subscriber publishers hand the event toward the rendezvous first.
+  if (!subscriptions_.subscribes(publisher, topic) &&
+      !nodes_[publisher].relay.is_relay_for(topic)) {
+    const auto route = lookup(publisher, ids::topic_ring_id(topic));
+    double t = 0.0;
+    for (std::size_t i = 1; i < route.path.size(); ++i) {
+      t += link_latency(route.path[i - 1], route.path[i]);
+      queue.schedule(t, Arrival{route.path[i], route.path[i - 1],
+                                static_cast<std::uint32_t>(i)});
+    }
+  }
+  forward_from(publisher, ids::kInvalidNode, 0, 0.0);
+
+  while (!queue.empty()) {
+    const auto event = queue.pop();
+    const Arrival& arrival = event.payload;
+    metrics_.on_message(arrival.to,
+                        subscriptions_.subscribes(arrival.to, topic));
+    ++report.messages;
+    if (visit_stamp_[arrival.to] == stamp) continue;  // duplicate arrival
+    visit_stamp_[arrival.to] = stamp;
+    if (expected_stamp_[arrival.to] == stamp) {
+      ++report.delivered;
+      report.delay_sum += arrival.hop;
+      report.max_delay = std::max<std::size_t>(report.max_delay, arrival.hop);
+      metrics_.on_delivery(arrival.hop);
+      timed.delay_ms_sum += event.time;
+      timed.max_delay_ms = std::max(timed.max_delay_ms, event.time);
+    }
+    forward_from(arrival.to, arrival.from, arrival.hop, event.time);
+  }
+
+  metrics_.on_report(report);
+  return timed;
+}
+
+// ---------------------------------------------------------------------------
+// Physical proximity extension (§III-A2).
+// ---------------------------------------------------------------------------
+void VitisSystem::set_coordinates(std::vector<sim::Coordinate> coordinates) {
+  VITIS_CHECK(coordinates.size() == nodes_.size());
+  coordinates_ = std::move(coordinates);
+}
+
+double VitisSystem::mean_friend_latency_ms() const {
+  if (coordinates_.empty()) return 0.0;
+  double sum = 0.0;
+  std::size_t links = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto node = static_cast<ids::NodeIndex>(i);
+    if (!engine_.is_alive(node)) continue;
+    for (const auto& entry : nodes_[i].rt.entries()) {
+      if (entry.kind != overlay::LinkKind::kFriend) continue;
+      sum += sim::latency_ms(coordinates_[i], coordinates_[entry.node]);
+      ++links;
+    }
+  }
+  return links == 0 ? 0.0 : sum / static_cast<double>(links);
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic subscriptions (§III).
+// ---------------------------------------------------------------------------
+bool VitisSystem::subscribe(ids::NodeIndex node, ids::TopicIndex topic) {
+  VITIS_CHECK(node < nodes_.size());
+  if (!subscriptions_.subscribe(node, topic)) return false;
+  const bool added = nodes_[node].profile.add_topic(topic, node,
+                                                    nodes_[node].id);
+  VITIS_CHECK(added);
+  return true;
+}
+
+bool VitisSystem::unsubscribe(ids::NodeIndex node, ids::TopicIndex topic) {
+  VITIS_CHECK(node < nodes_.size());
+  if (!subscriptions_.unsubscribe(node, topic)) return false;
+  const bool removed = nodes_[node].profile.remove_topic(topic);
+  VITIS_CHECK(removed);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection.
+// ---------------------------------------------------------------------------
+bool VitisSystem::is_gateway(ids::NodeIndex node, ids::TopicIndex topic) const {
+  const auto proposal = nodes_[node].profile.proposal(topic);
+  return proposal.has_value() && proposal->gateway == node;
+}
+
+std::vector<ids::NodeIndex> VitisSystem::gateways_of(
+    ids::TopicIndex topic) const {
+  std::vector<ids::NodeIndex> gateways;
+  for (const ids::NodeIndex node : subscriptions_.subscribers(topic)) {
+    if (engine_.is_alive(node) && is_gateway(node, topic)) {
+      gateways.push_back(node);
+    }
+  }
+  return gateways;
+}
+
+ids::NodeIndex VitisSystem::global_rendezvous(ids::TopicIndex topic) const {
+  const ids::RingId target = ids::topic_ring_id(topic);
+  ids::NodeIndex best = ids::kInvalidNode;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto node = static_cast<ids::NodeIndex>(i);
+    if (!engine_.is_alive(node)) continue;
+    if (best == ids::kInvalidNode ||
+        ids::closer_to(target, nodes_[node].id, nodes_[best].id)) {
+      best = node;
+    }
+  }
+  return best;
+}
+
+analysis::Graph VitisSystem::overlay_snapshot() const {
+  analysis::Graph graph(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto node = static_cast<ids::NodeIndex>(i);
+    if (!engine_.is_alive(node)) continue;
+    for (const auto& entry : nodes_[i].rt.entries()) {
+      if (entry.node != node && engine_.is_alive(entry.node)) {
+        graph.add_edge(node, entry.node);
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace vitis::core

@@ -1,0 +1,188 @@
+// VitisSystem — the complete Vitis protocol stack over the simulation
+// substrate. One instance simulates a whole network:
+//
+//   * Newscast peer sampling feeds fresh descriptors (§III-A);
+//   * T-Man exchanges rebuild routing tables with Algorithm 4's selection
+//     (ring links + Symphony small-world links + utility-ranked friends);
+//   * profile exchange ages heartbeats, runs the Algorithm 5 gateway
+//     election, and lets elected gateways establish relay paths by greedy
+//     lookup toward hash(t) (§III-B);
+//   * publish() disseminates an event by flooding inside clusters and
+//     forwarding along relay trees (§III-C), collecting the paper's three
+//     metrics.
+//
+// Churn enters through node_join()/node_leave() (§III-D): state of departed
+// nodes is dropped, neighbors detect the silence through heartbeat ages,
+// relay paths decay through their TTL, and the next election rounds repair
+// gateways.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/graph.hpp"
+#include "core/config.hpp"
+#include "core/gateway.hpp"
+#include "core/utility.hpp"
+#include "core/vitis_node.hpp"
+#include "gossip/sampling_service.hpp"
+#include "gossip/tman.hpp"
+#include "overlay/greedy_routing.hpp"
+#include "pubsub/system.hpp"
+#include "sim/coordinates.hpp"
+#include "sim/cycle_engine.hpp"
+
+namespace vitis::core {
+
+/// publish_timed() result: hop-based accounting plus wall-clock latency.
+struct TimedDisseminationReport {
+  pubsub::DisseminationReport base;
+  double delay_ms_sum = 0.0;  // over delivered subscribers
+  double max_delay_ms = 0.0;
+
+  [[nodiscard]] double mean_delay_ms() const {
+    return base.delivered == 0
+               ? 0.0
+               : delay_ms_sum / static_cast<double>(base.delivered);
+  }
+};
+
+class VitisSystem final : public pubsub::PubSubSystem {
+ public:
+  /// `rates[t]` is topic t's publication rate (drives Eq. 1); pass uniform
+  /// rates when unknown. With `start_online` every node boots immediately
+  /// with random bootstrap contacts; otherwise all nodes start offline and
+  /// join through node_join() (churn experiments).
+  VitisSystem(VitisConfig config, pubsub::SubscriptionTable subscriptions,
+              std::vector<double> rates, std::uint64_t seed,
+              bool start_online = true);
+
+  // --- PubSubSystem --------------------------------------------------------
+  [[nodiscard]] std::string name() const override { return "Vitis"; }
+  void run_cycles(std::size_t cycles) override;
+  pubsub::DisseminationReport publish(ids::TopicIndex topic,
+                                      ids::NodeIndex publisher) override;
+  [[nodiscard]] pubsub::MetricsCollector& metrics() override {
+    return metrics_;
+  }
+  [[nodiscard]] const pubsub::MetricsCollector& metrics() const override {
+    return metrics_;
+  }
+  [[nodiscard]] const pubsub::SubscriptionTable& subscriptions()
+      const override {
+    return subscriptions_;
+  }
+  [[nodiscard]] std::size_t alive_count() const override {
+    return engine_.alive_count();
+  }
+
+  // --- churn ---------------------------------------------------------------
+  void node_join(ids::NodeIndex node);
+  void node_leave(ids::NodeIndex node);
+  [[nodiscard]] bool is_alive(ids::NodeIndex node) const {
+    return engine_.is_alive(node);
+  }
+
+  // --- dynamic subscriptions (§III) ----------------------------------------
+  /// Add/remove a topic from a node's profile at runtime; friend selection,
+  /// clustering, gateway election and relay paths adapt over the following
+  /// gossip cycles. Returns false when the relation already held.
+  bool subscribe(ids::NodeIndex node, ids::TopicIndex topic);
+  bool unsubscribe(ids::NodeIndex node, ids::TopicIndex topic);
+
+  // --- introspection (tests, benches, analysis) ----------------------------
+  [[nodiscard]] const VitisConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t cycle() const { return engine_.cycle(); }
+  [[nodiscard]] ids::RingId ring_id(ids::NodeIndex node) const {
+    return nodes_[node].id;
+  }
+  [[nodiscard]] const overlay::RoutingTable& routing_table(
+      ids::NodeIndex node) const {
+    return nodes_[node].rt;
+  }
+  [[nodiscard]] const RelayTable& relay_table(ids::NodeIndex node) const {
+    return nodes_[node].relay;
+  }
+  [[nodiscard]] const Profile& profile(ids::NodeIndex node) const {
+    return nodes_[node].profile;
+  }
+
+  /// True when `node` currently proposes itself as gateway for `topic`.
+  [[nodiscard]] bool is_gateway(ids::NodeIndex node,
+                                ids::TopicIndex topic) const;
+
+  /// All current gateways of a topic.
+  [[nodiscard]] std::vector<ids::NodeIndex> gateways_of(
+      ids::TopicIndex topic) const;
+
+  /// The alive node whose id is globally closest to hash(topic) — what a
+  /// perfect lookup should find (test oracle).
+  [[nodiscard]] ids::NodeIndex global_rendezvous(ids::TopicIndex topic) const;
+
+  /// Greedy lookup from `origin` toward `target` over live routing state.
+  [[nodiscard]] overlay::LookupResult lookup(ids::NodeIndex origin,
+                                             ids::RingId target) const;
+
+  /// Undirected snapshot of the current overlay (alive nodes only).
+  [[nodiscard]] analysis::Graph overlay_snapshot() const;
+
+  // --- physical proximity extension (§III-A2) -------------------------------
+  /// Install per-node coordinates; with config().proximity_weight > 0 the
+  /// preference function discounts physically distant candidates.
+  void set_coordinates(std::vector<sim::Coordinate> coordinates);
+
+  /// Mean physical latency across current friend links (ms); 0 when no
+  /// coordinates are installed or no friend links exist.
+  [[nodiscard]] double mean_friend_latency_ms() const;
+
+  /// Event-driven dissemination: identical forwarding rule to publish(),
+  /// but each transmission arrives after its link latency (from the
+  /// installed coordinates; a uniform 1 ms without them), and deliveries
+  /// are timed by earliest arrival. Updates metrics() like publish().
+  [[nodiscard]] TimedDisseminationReport publish_timed(
+      ids::TopicIndex topic, ids::NodeIndex publisher);
+
+ private:
+  // Algorithm 4.
+  void select_neighbors(ids::NodeIndex self,
+                        std::span<const gossip::Descriptor> candidates,
+                        overlay::RoutingTable& table);
+
+  // Heartbeats + election + relay refresh, once per cycle.
+  void cycle_maintenance();
+
+  void rebuild_undirected();
+  void refresh_heartbeats(ids::NodeIndex node);
+  void run_election(ids::NodeIndex node);
+  void request_relay(ids::NodeIndex gateway, ids::TopicIndex topic);
+
+  [[nodiscard]] std::vector<ids::NodeIndex> random_alive_contacts(
+      std::size_t count, ids::NodeIndex exclude);
+
+  VitisConfig config_;
+  pubsub::SubscriptionTable subscriptions_;
+  UtilityFunction utility_;
+  sim::CycleEngine engine_;
+  std::vector<VitisNode> nodes_;
+  std::unique_ptr<gossip::SamplingService> sampling_;
+  std::unique_ptr<gossip::TManProtocol> tman_;
+  pubsub::MetricsCollector metrics_;
+  sim::Rng rng_;
+
+  // Per-cycle undirected adjacency (sorted per node, for binary search).
+  std::vector<std::vector<ids::NodeIndex>> undirected_;
+
+  // Physical coordinates (empty unless set_coordinates() was called).
+  std::vector<sim::Coordinate> coordinates_;
+
+  // Scratch buffers, reused to keep the hot paths allocation-free.
+  mutable std::vector<overlay::RoutingEntry> lookup_scratch_;
+  std::vector<std::vector<NeighborProposal>> election_scratch_;
+  mutable std::vector<std::uint32_t> visit_stamp_;
+  mutable std::vector<std::uint32_t> expected_stamp_;
+  mutable std::uint32_t current_stamp_ = 0;
+};
+
+}  // namespace vitis::core

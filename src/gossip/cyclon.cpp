@@ -1,0 +1,106 @@
+#include "gossip/cyclon.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace vitis::gossip {
+
+CyclonSampling::CyclonSampling(std::span<const ids::RingId> ring_ids,
+                               std::size_t view_size,
+                               std::size_t shuffle_size,
+                               std::function<bool(ids::NodeIndex)> is_alive,
+                               sim::Rng rng)
+    : ring_ids_(ring_ids.begin(), ring_ids.end()),
+      view_size_(view_size),
+      shuffle_size_(shuffle_size),
+      is_alive_(std::move(is_alive)),
+      rng_(rng) {
+  VITIS_CHECK(view_size_ > 0);
+  VITIS_CHECK(shuffle_size_ > 0 && shuffle_size_ <= view_size_);
+  VITIS_CHECK(is_alive_ != nullptr);
+  views_.reserve(ring_ids_.size());
+  for (std::size_t i = 0; i < ring_ids_.size(); ++i) {
+    views_.emplace_back(view_size_);
+  }
+}
+
+void CyclonSampling::init_node(ids::NodeIndex node,
+                               std::span<const ids::NodeIndex> bootstrap) {
+  VITIS_CHECK(node < views_.size());
+  views_[node].clear();
+  for (const ids::NodeIndex contact : bootstrap) {
+    if (contact == node) continue;
+    views_[node].insert(Descriptor{contact, ring_ids_[contact], 0});
+  }
+}
+
+void CyclonSampling::remove_node(ids::NodeIndex node) {
+  VITIS_CHECK(node < views_.size());
+  views_[node].clear();
+}
+
+void CyclonSampling::step(ids::NodeIndex node) {
+  PartialView& view = views_[node];
+  view.increment_ages();
+  if (view.empty()) return;
+
+  // Tail shuffle: pick the oldest entry as partner (bounds staleness).
+  const auto entries = view.entries();
+  std::size_t oldest = 0;
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i].age > entries[oldest].age) oldest = i;
+  }
+  const Descriptor partner = entries[oldest];
+  view.remove(partner.node);
+  if (!is_alive_(partner.node)) return;  // timeout; the slot is now free
+
+  // Initiator subset: up to shuffle_size-1 random entries plus self.
+  std::vector<Descriptor> outgoing(view.entries().begin(),
+                                   view.entries().end());
+  rng_.shuffle(outgoing);
+  if (outgoing.size() > shuffle_size_ - 1) {
+    outgoing.resize(shuffle_size_ - 1);
+  }
+  outgoing.push_back(self_descriptor(node));
+
+  // Partner subset.
+  PartialView& partner_view = views_[partner.node];
+  std::vector<Descriptor> incoming(partner_view.entries().begin(),
+                                   partner_view.entries().end());
+  rng_.shuffle(incoming);
+  if (incoming.size() > shuffle_size_) incoming.resize(shuffle_size_);
+
+  // Initiator drops what it sent (except self) to make room, then merges.
+  for (const auto& d : outgoing) {
+    if (d.node != node) view.remove(d.node);
+  }
+  for (const auto& d : incoming) {
+    if (d.node == node) continue;
+    view.insert(d);
+  }
+
+  // Partner merges the initiator's subset symmetrically.
+  for (const auto& d : outgoing) {
+    if (d.node == partner.node) continue;
+    partner_view.insert(d);
+  }
+  partner_view.remove(partner.node);
+}
+
+std::vector<Descriptor> CyclonSampling::sample(ids::NodeIndex node,
+                                               std::size_t k) {
+  const PartialView& view = views_[node];
+  std::vector<Descriptor> alive;
+  alive.reserve(view.size());
+  for (const auto& d : view.entries()) {
+    if (is_alive_(d.node)) alive.push_back(d);
+  }
+  if (alive.size() > k) {
+    rng_.shuffle(alive);
+    alive.resize(k);
+  }
+  return alive;
+}
+
+}  // namespace vitis::gossip

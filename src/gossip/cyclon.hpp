@@ -1,0 +1,58 @@
+// Cyclon-style peer sampling (Voulgaris et al.), the second of the sampling
+// services the paper cites ([24]). Differs from the Newscast-style shuffle
+// in peer_sampling.hpp in two ways that improve in-degree balance:
+//
+//   * the exchange partner is the *oldest* view entry (tail shuffle), and
+//   * the two sides swap fixed-size random subsets rather than full views,
+//     with the initiator replacing the entries it sent away.
+//
+// Exposes the same surface as PeerSamplingService so overlay systems can be
+// configured with either implementation (core::SamplingPolicy).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "gossip/sampling_service.hpp"
+#include "gossip/view.hpp"
+#include "sim/rng.hpp"
+
+namespace vitis::gossip {
+
+class CyclonSampling final : public SamplingService {
+ public:
+  CyclonSampling(std::span<const ids::RingId> ring_ids, std::size_t view_size,
+                 std::size_t shuffle_size,
+                 std::function<bool(ids::NodeIndex)> is_alive, sim::Rng rng);
+
+  void init_node(ids::NodeIndex node,
+                 std::span<const ids::NodeIndex> bootstrap) override;
+  void remove_node(ids::NodeIndex node) override;
+
+  /// One active Cyclon shuffle for `node`.
+  void step(ids::NodeIndex node) override;
+
+  /// Up to `k` random alive descriptors from the node's view.
+  [[nodiscard]] std::vector<Descriptor> sample(ids::NodeIndex node,
+                                               std::size_t k) override;
+
+  [[nodiscard]] const PartialView& view(ids::NodeIndex node) const override {
+    return views_[node];
+  }
+  [[nodiscard]] Descriptor self_descriptor(
+      ids::NodeIndex node) const override {
+    return Descriptor{node, ring_ids_[node], 0};
+  }
+  [[nodiscard]] std::size_t shuffle_size() const { return shuffle_size_; }
+
+ private:
+  std::vector<ids::RingId> ring_ids_;
+  std::size_t view_size_;
+  std::size_t shuffle_size_;
+  std::function<bool(ids::NodeIndex)> is_alive_;
+  std::vector<PartialView> views_;
+  sim::Rng rng_;
+};
+
+}  // namespace vitis::gossip

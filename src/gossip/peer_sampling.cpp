@@ -1,0 +1,83 @@
+#include "gossip/peer_sampling.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace vitis::gossip {
+
+PeerSamplingService::PeerSamplingService(
+    std::span<const ids::RingId> ring_ids, std::size_t view_size,
+    std::function<bool(ids::NodeIndex)> is_alive, sim::Rng rng)
+    : ring_ids_(ring_ids.begin(), ring_ids.end()),
+      view_size_(view_size),
+      is_alive_(std::move(is_alive)),
+      rng_(rng) {
+  VITIS_CHECK(view_size_ > 0);
+  VITIS_CHECK(is_alive_ != nullptr);
+  views_.reserve(ring_ids_.size());
+  for (std::size_t i = 0; i < ring_ids_.size(); ++i) {
+    views_.emplace_back(view_size_);
+  }
+}
+
+void PeerSamplingService::init_node(ids::NodeIndex node,
+                                    std::span<const ids::NodeIndex> bootstrap) {
+  VITIS_CHECK(node < views_.size());
+  views_[node].clear();
+  for (const ids::NodeIndex contact : bootstrap) {
+    if (contact == node) continue;
+    views_[node].insert(Descriptor{contact, ring_ids_[contact], 0});
+  }
+}
+
+void PeerSamplingService::remove_node(ids::NodeIndex node) {
+  VITIS_CHECK(node < views_.size());
+  views_[node].clear();
+}
+
+void PeerSamplingService::step(ids::NodeIndex node) {
+  PartialView& view = views_[node];
+  // Age first so our own information decays even in isolation.
+  view.increment_ages();
+  if (view.empty()) return;
+
+  const std::size_t pick = rng_.index(view.size());
+  const Descriptor partner = view.entries()[pick];
+  if (!is_alive_(partner.node)) {
+    // Stand-in for a connection timeout: evict the dead contact.
+    view.remove(partner.node);
+    return;
+  }
+
+  PartialView& partner_view = views_[partner.node];
+
+  // Snapshot both sides before mutation (a real exchange is symmetric).
+  std::vector<Descriptor> mine(view.entries().begin(), view.entries().end());
+  mine.push_back(self_descriptor(node));
+  std::vector<Descriptor> theirs(partner_view.entries().begin(),
+                                 partner_view.entries().end());
+  theirs.push_back(self_descriptor(partner.node));
+
+  view.merge(theirs);
+  view.remove(node);  // never keep self
+  partner_view.merge(mine);
+  partner_view.remove(partner.node);
+}
+
+std::vector<Descriptor> PeerSamplingService::sample(ids::NodeIndex node,
+                                                    std::size_t k) {
+  const PartialView& view = views_[node];
+  std::vector<Descriptor> alive;
+  alive.reserve(view.size());
+  for (const auto& d : view.entries()) {
+    if (is_alive_(d.node)) alive.push_back(d);
+  }
+  if (alive.size() > k) {
+    rng_.shuffle(alive);
+    alive.resize(k);
+  }
+  return alive;
+}
+
+}  // namespace vitis::gossip

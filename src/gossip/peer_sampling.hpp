@@ -1,0 +1,66 @@
+// Gossip-based peer sampling service (Newscast-style, per Jelasity et al.),
+// the substrate under every overlay in the paper's evaluation ("the three
+// systems use the same peer sampling service (Newscast)").
+//
+// The service is simulated network-wide: it owns one PartialView per node.
+// Each cycle a node exchanges its view (plus its own fresh descriptor) with
+// a random view member and both keep the freshest entries. Exchanging with a
+// dead peer stands in for a timeout and evicts the peer.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "gossip/sampling_service.hpp"
+#include "gossip/view.hpp"
+#include "sim/rng.hpp"
+
+namespace vitis::gossip {
+
+class PeerSamplingService final : public SamplingService {
+ public:
+  /// `ring_ids[i]` is node i's position in the identifier space.
+  /// `is_alive(i)` reports whether node i is currently online.
+  PeerSamplingService(std::span<const ids::RingId> ring_ids,
+                      std::size_t view_size,
+                      std::function<bool(ids::NodeIndex)> is_alive,
+                      sim::Rng rng);
+
+  /// Bootstrap a joining node with some introduction contacts.
+  void init_node(ids::NodeIndex node,
+                 std::span<const ids::NodeIndex> bootstrap) override;
+
+  /// Forget all state of a departed node.
+  void remove_node(ids::NodeIndex node) override;
+
+  /// One active gossip exchange for `node` (Newscast shuffle).
+  void step(ids::NodeIndex node) override;
+
+  /// Up to `k` uniformly random descriptors of alive peers from the view;
+  /// the "fresh list of nodes provided by the underlying peer sampling
+  /// service" of Algorithm 2.
+  [[nodiscard]] std::vector<Descriptor> sample(ids::NodeIndex node,
+                                               std::size_t k) override;
+
+  [[nodiscard]] const PartialView& view(ids::NodeIndex node) const override {
+    return views_[node];
+  }
+
+  [[nodiscard]] std::size_t view_size() const { return view_size_; }
+
+  /// Fresh self-descriptor for a node.
+  [[nodiscard]] Descriptor self_descriptor(
+      ids::NodeIndex node) const override {
+    return Descriptor{node, ring_ids_[node], 0};
+  }
+
+ private:
+  std::vector<ids::RingId> ring_ids_;
+  std::size_t view_size_;
+  std::function<bool(ids::NodeIndex)> is_alive_;
+  std::vector<PartialView> views_;
+  sim::Rng rng_;
+};
+
+}  // namespace vitis::gossip

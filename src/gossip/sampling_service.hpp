@@ -1,0 +1,57 @@
+// The peer-sampling abstraction (Jelasity et al., "Gossip-based peer
+// sampling"): a service every node queries for fresh, roughly uniform
+// random peers. The paper notes any implementation works ([6], [23]-[25]);
+// we ship the two it cites — a Newscast-style full-view shuffle
+// (PeerSamplingService) and Cyclon (CyclonSampling) — behind this
+// interface, selectable per system via SamplingPolicy.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "gossip/view.hpp"
+#include "sim/rng.hpp"
+
+namespace vitis::gossip {
+
+class SamplingService {
+ public:
+  virtual ~SamplingService() = default;
+
+  /// Bootstrap a joining node with introduction contacts.
+  virtual void init_node(ids::NodeIndex node,
+                         std::span<const ids::NodeIndex> bootstrap) = 0;
+
+  /// Forget all state of a departed node.
+  virtual void remove_node(ids::NodeIndex node) = 0;
+
+  /// One active gossip exchange for `node`.
+  virtual void step(ids::NodeIndex node) = 0;
+
+  /// Up to `k` uniformly random descriptors of alive peers.
+  [[nodiscard]] virtual std::vector<Descriptor> sample(ids::NodeIndex node,
+                                                       std::size_t k) = 0;
+
+  [[nodiscard]] virtual const PartialView& view(
+      ids::NodeIndex node) const = 0;
+
+  [[nodiscard]] virtual Descriptor self_descriptor(
+      ids::NodeIndex node) const = 0;
+};
+
+enum class SamplingPolicy {
+  kNewscast,  // full-view freshest-entries shuffle with a random partner
+  kCyclon,    // fixed-size subset swap with the oldest partner
+};
+
+[[nodiscard]] const char* to_string(SamplingPolicy policy);
+
+/// Build the configured sampling service.
+[[nodiscard]] std::unique_ptr<SamplingService> make_sampling_service(
+    SamplingPolicy policy, std::span<const ids::RingId> ring_ids,
+    std::size_t view_size, std::function<bool(ids::NodeIndex)> is_alive,
+    sim::Rng rng);
+
+}  // namespace vitis::gossip

@@ -1,0 +1,83 @@
+#include "gossip/tman.hpp"
+
+#include "support/check.hpp"
+
+namespace vitis::gossip {
+
+TManProtocol::TManProtocol(TableFn table_of, SamplingService& sampling,
+                           std::function<bool(ids::NodeIndex)> is_alive,
+                           SelectFn select, Config config, sim::Rng rng)
+    : table_of_(std::move(table_of)),
+      sampling_(&sampling),
+      is_alive_(std::move(is_alive)),
+      select_(std::move(select)),
+      config_(config),
+      rng_(rng) {
+  VITIS_CHECK(table_of_ != nullptr);
+  VITIS_CHECK(is_alive_ != nullptr);
+  VITIS_CHECK(select_ != nullptr);
+}
+
+void TManProtocol::merge_unique(std::vector<Descriptor>& buffer,
+                                const Descriptor& d,
+                                ids::NodeIndex exclude) const {
+  if (d.node == exclude || !is_alive_(d.node)) return;
+  for (auto& existing : buffer) {
+    if (existing.node == d.node) {
+      if (d.age < existing.age) existing = d;
+      return;
+    }
+  }
+  buffer.push_back(d);
+}
+
+std::vector<Descriptor> TManProtocol::build_buffer(
+    ids::NodeIndex node, ids::NodeIndex exclude) const {
+  std::vector<Descriptor> buffer;
+  buffer.reserve(config_.sample_size + table_of_(node).size() + 1);
+  for (const auto& d : sampling_->sample(node, config_.sample_size)) {
+    merge_unique(buffer, d, exclude);
+  }
+  for (const auto& e : table_of_(node).entries()) {
+    merge_unique(buffer, Descriptor{e.node, e.id, e.age}, exclude);
+  }
+  return buffer;
+}
+
+void TManProtocol::step(ids::NodeIndex node) {
+  overlay::RoutingTable& table = table_of_(node);
+
+  // selectRandomNeighbor(): uniform over the routing table, with the
+  // peer-sampling view as a bootstrap fallback.
+  ids::NodeIndex partner = ids::kInvalidNode;
+  if (!table.empty()) {
+    partner = table.entries()[rng_.index(table.size())].node;
+  } else {
+    const auto seeds = sampling_->sample(node, 1);
+    if (!seeds.empty()) partner = seeds.front().node;
+  }
+  if (partner == ids::kInvalidNode) return;
+  if (!is_alive_(partner)) {
+    table.remove(partner);  // timeout stand-in
+    return;
+  }
+
+  // Algorithm 2 lines 3-4 / Algorithm 3 lines 3-4: both sides assemble
+  // sample ∪ own RT; then each merges the other's buffer plus the other's
+  // own descriptor (lines 6-8).
+  std::vector<Descriptor> mine = build_buffer(node, /*exclude=*/partner);
+  std::vector<Descriptor> theirs = build_buffer(partner, /*exclude=*/node);
+
+  std::vector<Descriptor> for_me = mine;
+  for (const auto& d : theirs) merge_unique(for_me, d, node);
+  merge_unique(for_me, sampling_->self_descriptor(partner), node);
+
+  std::vector<Descriptor> for_partner = theirs;
+  for (const auto& d : mine) merge_unique(for_partner, d, partner);
+  merge_unique(for_partner, sampling_->self_descriptor(node), partner);
+
+  select_(node, for_me, table);
+  select_(partner, for_partner, table_of_(partner));
+}
+
+}  // namespace vitis::gossip

@@ -1,0 +1,61 @@
+// T-Man topology construction (Jelasity & Babaoglu), the overlay
+// construction protocol shared by Vitis, RVR and OPT in the paper's
+// evaluation. Implements Algorithms 2 (active thread) and 3 (passive
+// thread): each round a node merges its routing table with a random
+// neighbor's and a fresh peer-sampling batch, then a pluggable
+// `selectNeighbors` policy (Algorithm 4 for Vitis) rebuilds the table.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "gossip/sampling_service.hpp"
+#include "overlay/routing_table.hpp"
+#include "sim/rng.hpp"
+
+namespace vitis::gossip {
+
+class TManProtocol {
+ public:
+  /// Rebuilds `table` for node `self` from the merged candidate buffer.
+  /// Candidates never include `self` and are unique by node.
+  using SelectFn = std::function<void(ids::NodeIndex self,
+                                      std::span<const Descriptor> candidates,
+                                      overlay::RoutingTable& table)>;
+
+  struct Config {
+    std::size_t sample_size = 10;  // fresh descriptors drawn per exchange
+  };
+
+  /// Access to a node's routing table (they live inside each system's
+  /// node-state records).
+  using TableFn = std::function<overlay::RoutingTable&(ids::NodeIndex)>;
+
+  TManProtocol(TableFn table_of, SamplingService& sampling,
+               std::function<bool(ids::NodeIndex)> is_alive, SelectFn select,
+               Config config, sim::Rng rng);
+
+  /// One active exchange for `node`: pick a random routing-table neighbor
+  /// (falling back to the peer-sampling view when the table is empty),
+  /// exchange buffers, and run selection on both ends.
+  void step(ids::NodeIndex node);
+
+  /// The merged candidate buffer node would use this instant (exposed for
+  /// tests and for protocols that piggyback on the exchange).
+  [[nodiscard]] std::vector<Descriptor> build_buffer(
+      ids::NodeIndex node, ids::NodeIndex exclude) const;
+
+ private:
+  void merge_unique(std::vector<Descriptor>& buffer, const Descriptor& d,
+                    ids::NodeIndex exclude) const;
+
+  TableFn table_of_;
+  SamplingService* sampling_;
+  std::function<bool(ids::NodeIndex)> is_alive_;
+  SelectFn select_;
+  Config config_;
+  sim::Rng rng_;
+};
+
+}  // namespace vitis::gossip

@@ -1,0 +1,59 @@
+#include "gossip/view.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace vitis::gossip {
+
+PartialView::PartialView(std::size_t capacity) : capacity_(capacity) {
+  VITIS_CHECK(capacity > 0);
+  entries_.reserve(capacity);
+}
+
+void PartialView::insert(const Descriptor& descriptor) {
+  VITIS_DCHECK(descriptor.node != ids::kInvalidNode);
+  for (auto& existing : entries_) {
+    if (existing.node == descriptor.node) {
+      if (descriptor.age < existing.age) existing = descriptor;
+      return;
+    }
+  }
+  if (entries_.size() < capacity_) {
+    entries_.push_back(descriptor);
+    return;
+  }
+  auto oldest = std::max_element(
+      entries_.begin(), entries_.end(),
+      [](const Descriptor& a, const Descriptor& b) { return a.age < b.age; });
+  if (descriptor.age < oldest->age) *oldest = descriptor;
+}
+
+void PartialView::merge(std::span<const Descriptor> batch) {
+  for (const auto& d : batch) insert(d);
+}
+
+bool PartialView::remove(ids::NodeIndex node) {
+  const auto it =
+      std::find_if(entries_.begin(), entries_.end(),
+                   [node](const Descriptor& d) { return d.node == node; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+bool PartialView::contains(ids::NodeIndex node) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [node](const Descriptor& d) { return d.node == node; });
+}
+
+void PartialView::increment_ages() {
+  for (auto& d : entries_) ++d.age;
+}
+
+void PartialView::drop_older_than(std::uint32_t max_age) {
+  std::erase_if(entries_,
+                [max_age](const Descriptor& d) { return d.age > max_age; });
+}
+
+}  // namespace vitis::gossip

@@ -1,0 +1,49 @@
+// Bounded partial view of the network, the state of the peer sampling
+// service at one node. Holds at most `capacity` descriptors, unique by node,
+// always keeping the freshest copy of a duplicate.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gossip/descriptor.hpp"
+
+namespace vitis::gossip {
+
+class PartialView {
+ public:
+  explicit PartialView(std::size_t capacity);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::span<const Descriptor> entries() const {
+    return entries_;
+  }
+
+  void clear() { entries_.clear(); }
+
+  /// Insert or refresh (keep the younger age); evicts the oldest entry when
+  /// at capacity and the newcomer is younger than it.
+  void insert(const Descriptor& descriptor);
+
+  /// Merge a batch of descriptors (e.g. a peer's view) via `insert`.
+  void merge(std::span<const Descriptor> batch);
+
+  /// Remove the entry for `node` if present; returns true when removed.
+  bool remove(ids::NodeIndex node);
+
+  [[nodiscard]] bool contains(ids::NodeIndex node) const;
+
+  /// Age every entry by one round.
+  void increment_ages();
+
+  /// Drop entries older than `max_age`.
+  void drop_older_than(std::uint32_t max_age);
+
+ private:
+  std::size_t capacity_;
+  std::vector<Descriptor> entries_;  // unsorted, unique by node
+};
+
+}  // namespace vitis::gossip

@@ -1,0 +1,14 @@
+#include "ids/hash.hpp"
+
+namespace vitis::ids {
+
+RingId hash_string(std::string_view text) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return mix64(h);
+}
+
+}  // namespace vitis::ids

@@ -1,0 +1,40 @@
+// Hashing into the shared identifier space.
+//
+// The paper uses "a globally known hash function that generates ids that are
+// uniformly distributed in the identifier space, e.g. SHA-1". We substitute
+// a SplitMix64 finalizer (for integers) and FNV-1a + finalizer (for strings):
+// at simulated scales (<= 10^5 ids in a 2^64 space) the observable property —
+// uniform, collision-free id placement — is identical (DESIGN.md §3).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "ids/id.hpp"
+
+namespace vitis::ids {
+
+/// SplitMix64 finalizer: bijective, avalanching 64-bit mixer.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Ring id of a node given its dense index. A fixed domain-separation tag
+/// keeps node ids and topic ids independent even for equal indices.
+[[nodiscard]] constexpr RingId node_ring_id(NodeIndex node) noexcept {
+  return mix64(0x6e6f64655f696431ULL ^ static_cast<std::uint64_t>(node));
+}
+
+/// Ring id of a topic ("hash(t)" in the paper) given its dense index.
+[[nodiscard]] constexpr RingId topic_ring_id(TopicIndex topic) noexcept {
+  return mix64(0x746f7069635f6964ULL ^ static_cast<std::uint64_t>(topic));
+}
+
+/// FNV-1a over bytes, finalized with mix64; used to hash external topic
+/// names (examples expose string-keyed topics through this).
+[[nodiscard]] RingId hash_string(std::string_view text) noexcept;
+
+}  // namespace vitis::ids

@@ -1,0 +1,20 @@
+#include "ids/id.hpp"
+
+// Header-only arithmetic; this translation unit pins the module into the
+// library and hosts compile-time self-checks of the ring metric.
+
+namespace vitis::ids {
+namespace {
+
+static_assert(ring_distance(0, 0) == 0);
+static_assert(ring_distance(0, 1) == 1);
+static_assert(ring_distance(1, 0) == 1);
+static_assert(ring_distance(0, ~std::uint64_t{0}) == 1);
+static_assert(clockwise_distance(~std::uint64_t{0}, 0) == 1);
+static_assert(closer_to(10, 11, 13));
+static_assert(!closer_to(10, 13, 11));
+// Equidistant tie: candidate clockwise-before the target wins.
+static_assert(closer_to(10, 9, 11));
+
+}  // namespace
+}  // namespace vitis::ids

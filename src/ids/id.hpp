@@ -1,0 +1,63 @@
+// The shared identifier space of Vitis.
+//
+// Node ids and topic ids live in the same circular 64-bit identifier space
+// (the paper uses SHA-1; only uniformity matters at simulated scales, see
+// DESIGN.md §3). Dense indices (`NodeIndex`, `TopicIndex`) address simulator
+// arrays; `RingId` values position nodes and topics on the ring.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace vitis::ids {
+
+/// Position in the circular identifier space [0, 2^64).
+using RingId = std::uint64_t;
+
+/// Dense simulator index of a node (array offset, not a ring position).
+using NodeIndex = std::uint32_t;
+
+/// Dense simulator index of a topic.
+using TopicIndex = std::uint32_t;
+
+inline constexpr NodeIndex kInvalidNode =
+    std::numeric_limits<NodeIndex>::max();
+inline constexpr TopicIndex kInvalidTopic =
+    std::numeric_limits<TopicIndex>::max();
+
+/// Clockwise distance from `from` to `to` on the ring; wraps modulo 2^64.
+[[nodiscard]] constexpr std::uint64_t clockwise_distance(RingId from,
+                                                         RingId to) noexcept {
+  return to - from;  // unsigned wrap-around is exactly mod-2^64 arithmetic
+}
+
+/// Circular (undirected) distance between two ring positions: the length of
+/// the shorter arc. This is the metric used both for successor/predecessor
+/// maintenance and for rendezvous ("closest id to hash(t)") resolution.
+[[nodiscard]] constexpr std::uint64_t ring_distance(RingId a,
+                                                    RingId b) noexcept {
+  const std::uint64_t cw = clockwise_distance(a, b);
+  const std::uint64_t ccw = clockwise_distance(b, a);
+  return cw < ccw ? cw : ccw;
+}
+
+/// True when candidate `a` is strictly closer to `target` than `b` is.
+/// Ties break toward the smaller clockwise distance so that rendezvous
+/// resolution is a total order (required for lookup consistency).
+[[nodiscard]] constexpr bool closer_to(RingId target, RingId a,
+                                       RingId b) noexcept {
+  const std::uint64_t da = ring_distance(target, a);
+  const std::uint64_t db = ring_distance(target, b);
+  if (da != db) return da < db;
+  return clockwise_distance(a, target) < clockwise_distance(b, target);
+}
+
+/// True if `id` lies on the clockwise arc (from, to]; used by ring-link
+/// maintenance to decide whether a candidate is a better successor.
+[[nodiscard]] constexpr bool in_clockwise_arc(RingId from, RingId id,
+                                              RingId to) noexcept {
+  return clockwise_distance(from, id) <= clockwise_distance(from, to) &&
+         id != from;
+}
+
+}  // namespace vitis::ids

@@ -1,0 +1,43 @@
+#include "overlay/greedy_routing.hpp"
+
+#include "support/check.hpp"
+
+namespace vitis::overlay {
+
+LookupResult greedy_lookup(
+    const NeighborFn& neighbors,
+    const std::function<ids::RingId(ids::NodeIndex)>& ring_id_of,
+    ids::NodeIndex origin, ids::RingId target, std::size_t max_hops) {
+  VITIS_CHECK(neighbors != nullptr && ring_id_of != nullptr);
+  LookupResult result;
+  ids::NodeIndex current = origin;
+  result.path.push_back(current);
+
+  for (std::size_t hop = 0; hop < max_hops; ++hop) {
+    const ids::RingId current_id = ring_id_of(current);
+    ids::NodeIndex best_node = ids::kInvalidNode;
+    ids::RingId best_id = current_id;
+    for (const RoutingEntry& entry : neighbors(current)) {
+      if (entry.node == current) continue;
+      if (ids::closer_to(target, entry.id, best_id)) {
+        best_node = entry.node;
+        best_id = entry.id;
+      }
+    }
+    if (best_node == ids::kInvalidNode) {
+      // Local minimum: `current` is the closest node it knows of — done.
+      result.owner = current;
+      result.converged = true;
+      return result;
+    }
+    current = best_node;
+    result.path.push_back(current);
+  }
+
+  // Budget exhausted; report the last node but flag non-convergence.
+  result.owner = current;
+  result.converged = false;
+  return result;
+}
+
+}  // namespace vitis::overlay

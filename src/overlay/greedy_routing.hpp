@@ -1,0 +1,44 @@
+// Greedy lookup over the navigable overlay (rendezvous routing, §III-B).
+//
+// A lookup for `target` starts at a node and repeatedly forwards to the
+// routing-table neighbor whose id is closest to the target, over any link
+// kind ("this path can include any kinds of links, e.g. friend, sw-neighbor
+// or ring links"). It terminates at the node that is locally closest — with
+// a converged ring that is the globally closest node, i.e. the rendezvous
+// node for hash(t).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "ids/id.hpp"
+#include "overlay/routing_table.hpp"
+
+namespace vitis::overlay {
+
+struct LookupResult {
+  /// Visited nodes in order, starting with the origin, ending at the owner.
+  std::vector<ids::NodeIndex> path;
+  /// The node that answered the lookup (rendezvous node for the target).
+  ids::NodeIndex owner = ids::kInvalidNode;
+  /// False when the hop budget was exhausted before converging.
+  bool converged = false;
+
+  [[nodiscard]] std::size_t hops() const {
+    return path.empty() ? 0 : path.size() - 1;
+  }
+};
+
+/// Access to every node's routing entries; implemented by each system.
+using NeighborFn =
+    std::function<std::span<const RoutingEntry>(ids::NodeIndex)>;
+
+/// Greedy lookup. `ring_id_of(n)` gives node n's ring id. The hop budget
+/// guards against routing loops on not-yet-converged overlays.
+[[nodiscard]] LookupResult greedy_lookup(
+    const NeighborFn& neighbors,
+    const std::function<ids::RingId(ids::NodeIndex)>& ring_id_of,
+    ids::NodeIndex origin, ids::RingId target, std::size_t max_hops = 256);
+
+}  // namespace vitis::overlay

@@ -1,0 +1,113 @@
+#include "overlay/routing_table.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace vitis::overlay {
+
+const char* to_string(LinkKind kind) {
+  switch (kind) {
+    case LinkKind::kPredecessor:
+      return "predecessor";
+    case LinkKind::kSuccessor:
+      return "successor";
+    case LinkKind::kSmallWorld:
+      return "small-world";
+    case LinkKind::kFriend:
+      return "friend";
+    case LinkKind::kCoverage:
+      return "coverage";
+  }
+  return "?";
+}
+
+RoutingTable::RoutingTable(std::size_t capacity) : capacity_(capacity) {
+  VITIS_CHECK(capacity > 0);
+  entries_.reserve(capacity);
+}
+
+bool RoutingTable::contains(ids::NodeIndex node) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [node](const RoutingEntry& e) { return e.node == node; });
+}
+
+std::optional<RoutingEntry> RoutingTable::find(ids::NodeIndex node) const {
+  for (const auto& e : entries_) {
+    if (e.node == node) return e;
+  }
+  return std::nullopt;
+}
+
+void RoutingTable::assign(std::vector<RoutingEntry> entries) {
+  VITIS_CHECK(entries.size() <= capacity_);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (std::size_t j = i + 1; j < entries.size(); ++j) {
+      VITIS_CHECK(entries[i].node != entries[j].node);
+    }
+  }
+  entries_ = std::move(entries);
+}
+
+bool RoutingTable::add(const RoutingEntry& entry) {
+  if (entries_.size() >= capacity_ || contains(entry.node)) return false;
+  entries_.push_back(entry);
+  return true;
+}
+
+bool RoutingTable::remove(ids::NodeIndex node) {
+  const auto it =
+      std::find_if(entries_.begin(), entries_.end(),
+                   [node](const RoutingEntry& e) { return e.node == node; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+void RoutingTable::increment_ages() {
+  for (auto& e : entries_) ++e.age;
+}
+
+void RoutingTable::mark_fresh(ids::NodeIndex node) {
+  for (auto& e : entries_) {
+    if (e.node == node) {
+      e.age = 0;
+      return;
+    }
+  }
+}
+
+std::vector<ids::NodeIndex> RoutingTable::drop_older_than(
+    std::uint32_t max_age) {
+  std::vector<ids::NodeIndex> dropped;
+  std::erase_if(entries_, [&](const RoutingEntry& e) {
+    if (e.age > max_age) {
+      dropped.push_back(e.node);
+      return true;
+    }
+    return false;
+  });
+  return dropped;
+}
+
+std::vector<ids::NodeIndex> RoutingTable::neighbor_indices() const {
+  std::vector<ids::NodeIndex> nodes;
+  nodes.reserve(entries_.size());
+  for (const auto& e : entries_) nodes.push_back(e.node);
+  return nodes;
+}
+
+std::optional<RoutingEntry> RoutingTable::first_of(LinkKind kind) const {
+  for (const auto& e : entries_) {
+    if (e.kind == kind) return e;
+  }
+  return std::nullopt;
+}
+
+std::size_t RoutingTable::count_of(LinkKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(entries_.begin(), entries_.end(),
+                    [kind](const RoutingEntry& e) { return e.kind == kind; }));
+}
+
+}  // namespace vitis::overlay

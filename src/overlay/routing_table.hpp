@@ -1,0 +1,90 @@
+// Bounded routing tables (§III: "Every Vitis node maintains a bounded-size
+// routing table (RT) … entries are selected either as small-world
+// connections or similarity connections").
+//
+// Entries are tagged with the link kind so selection policies, dissemination
+// and the analysis toolkit can distinguish structural links (ring + small
+// world) from similarity links (friends) and OPT's coverage links.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gossip/descriptor.hpp"
+#include "ids/id.hpp"
+
+namespace vitis::overlay {
+
+enum class LinkKind : std::uint8_t {
+  kPredecessor,  // ring link, counterclockwise
+  kSuccessor,    // ring link, clockwise
+  kSmallWorld,   // Symphony-style long link
+  kFriend,       // similarity link (Vitis preference function)
+  kCoverage,     // OPT/SpiderCast per-topic coverage link
+};
+
+[[nodiscard]] const char* to_string(LinkKind kind);
+
+/// True for links that define the navigable structure (ring + small world).
+[[nodiscard]] constexpr bool is_structural(LinkKind kind) {
+  return kind == LinkKind::kPredecessor || kind == LinkKind::kSuccessor ||
+         kind == LinkKind::kSmallWorld;
+}
+
+struct RoutingEntry {
+  ids::NodeIndex node = ids::kInvalidNode;
+  ids::RingId id = 0;
+  LinkKind kind = LinkKind::kFriend;
+  std::uint32_t age = 0;  // profile-exchange rounds since last heartbeat
+};
+
+class RoutingTable {
+ public:
+  explicit RoutingTable(std::size_t capacity);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::span<const RoutingEntry> entries() const {
+    return entries_;
+  }
+
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] bool contains(ids::NodeIndex node) const;
+  [[nodiscard]] std::optional<RoutingEntry> find(ids::NodeIndex node) const;
+
+  /// Replace the whole table with a fresh selection (the T-Man way: the
+  /// selection function rebuilds the table each round). Capacity enforced;
+  /// duplicates by node are rejected.
+  void assign(std::vector<RoutingEntry> entries);
+
+  /// Add one entry if there is room and the node is absent. Returns success.
+  bool add(const RoutingEntry& entry);
+
+  bool remove(ids::NodeIndex node);
+
+  /// Heartbeat bookkeeping (Algorithms 6-7): age everything...
+  void increment_ages();
+  /// ...mark one neighbor fresh on response...
+  void mark_fresh(ids::NodeIndex node);
+  /// ...and drop stale entries. Returns the dropped nodes.
+  std::vector<ids::NodeIndex> drop_older_than(std::uint32_t max_age);
+
+  /// All neighbor indices (unordered).
+  [[nodiscard]] std::vector<ids::NodeIndex> neighbor_indices() const;
+
+  /// First entry of the given kind, if any.
+  [[nodiscard]] std::optional<RoutingEntry> first_of(LinkKind kind) const;
+
+  /// Number of entries of the given kind.
+  [[nodiscard]] std::size_t count_of(LinkKind kind) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<RoutingEntry> entries_;  // unique by node
+};
+
+}  // namespace vitis::overlay

@@ -1,0 +1,80 @@
+#include "overlay/small_world.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace vitis::overlay {
+
+double harmonic_distance(std::size_t network_size_estimate, sim::Rng& rng) {
+  const double n = static_cast<double>(
+      network_size_estimate < 2 ? 2 : network_size_estimate);
+  // Inverse CDF of p(x) = 1/(x ln n) on [1/n, 1]: x = n^(u-1).
+  return std::pow(n, rng.real01() - 1.0);
+}
+
+ids::RingId random_sw_target(ids::RingId self,
+                             std::size_t network_size_estimate,
+                             sim::Rng& rng) {
+  const double d = harmonic_distance(network_size_estimate, rng);
+  // d ∈ (0, 1]; scale to ring units. 2^64 cannot be represented in a
+  // uint64_t, so clamp to the maximum offset.
+  const double units = d * 18446744073709551616.0;  // d * 2^64
+  const auto offset =
+      units >= 18446744073709551615.0
+          ? ~std::uint64_t{0}
+          : static_cast<std::uint64_t>(units);
+  return self + offset;  // wraps mod 2^64
+}
+
+std::optional<std::size_t> closest_to_target(
+    std::span<const gossip::Descriptor> candidates, ids::RingId target,
+    ids::NodeIndex self) {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].node == self) continue;
+    if (!best.has_value() ||
+        ids::closer_to(target, candidates[i].id, candidates[*best].id)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::optional<std::size_t> best_successor(
+    std::span<const gossip::Descriptor> candidates, ids::RingId self_id,
+    ids::NodeIndex self) {
+  std::optional<std::size_t> best;
+  std::uint64_t best_distance = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].node == self) continue;
+    const std::uint64_t d =
+        ids::clockwise_distance(self_id, candidates[i].id);
+    if (d == 0) continue;  // identical id; cannot order on the ring
+    if (!best.has_value() || d < best_distance) {
+      best = i;
+      best_distance = d;
+    }
+  }
+  return best;
+}
+
+std::optional<std::size_t> best_predecessor(
+    std::span<const gossip::Descriptor> candidates, ids::RingId self_id,
+    ids::NodeIndex self) {
+  std::optional<std::size_t> best;
+  std::uint64_t best_distance = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].node == self) continue;
+    const std::uint64_t d =
+        ids::clockwise_distance(candidates[i].id, self_id);
+    if (d == 0) continue;
+    if (!best.has_value() || d < best_distance) {
+      best = i;
+      best_distance = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace vitis::overlay

@@ -1,0 +1,48 @@
+// Symphony-style navigable small-world link selection (§III-A1).
+//
+// Symphony (Manku et al.) draws a distance d from the harmonic pdf
+// p(x) = 1/(x ln n) on [1/n, 1] and links to the node managing the point
+// `self + d · 2^64` clockwise. With k such links greedy routing costs
+// O((1/k) log² n) hops. Vitis establishes these links through gossip: a node
+// draws a random harmonic target and picks, from its current candidate
+// buffer, the candidate closest to the target ("select-sw-neighbor
+// (RANDOM-DISTANCE)" in Algorithm 4).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "gossip/descriptor.hpp"
+#include "ids/id.hpp"
+#include "sim/rng.hpp"
+
+namespace vitis::overlay {
+
+/// Draw a harmonic distance d ∈ [1/n, 1) (as a fraction of the ring).
+[[nodiscard]] double harmonic_distance(std::size_t network_size_estimate,
+                                       sim::Rng& rng);
+
+/// A random small-world target point for `self`: self + d · 2^64 clockwise.
+[[nodiscard]] ids::RingId random_sw_target(ids::RingId self,
+                                           std::size_t network_size_estimate,
+                                           sim::Rng& rng);
+
+/// Index (into `candidates`) of the candidate whose id is closest to
+/// `target` by the ring metric, excluding `self`; nullopt when empty.
+[[nodiscard]] std::optional<std::size_t> closest_to_target(
+    std::span<const gossip::Descriptor> candidates, ids::RingId target,
+    ids::NodeIndex self);
+
+/// Index of the best successor for `self_id` among candidates: the one at
+/// the smallest non-zero clockwise distance. nullopt when no candidate.
+[[nodiscard]] std::optional<std::size_t> best_successor(
+    std::span<const gossip::Descriptor> candidates, ids::RingId self_id,
+    ids::NodeIndex self);
+
+/// Index of the best predecessor: smallest non-zero counterclockwise
+/// distance.
+[[nodiscard]] std::optional<std::size_t> best_predecessor(
+    std::span<const gossip::Descriptor> candidates, ids::RingId self_id,
+    ids::NodeIndex self);
+
+}  // namespace vitis::overlay

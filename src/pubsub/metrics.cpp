@@ -1,0 +1,120 @@
+#include "pubsub/metrics.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace vitis::pubsub {
+
+MetricsCollector::MetricsCollector(std::size_t node_count)
+    : traffic_(node_count) {}
+
+void MetricsCollector::on_message(ids::NodeIndex node, bool interested) {
+  VITIS_DCHECK(node < traffic_.size());
+  if (interested) {
+    ++traffic_[node].interested;
+  } else {
+    ++traffic_[node].uninterested;
+  }
+}
+
+void MetricsCollector::on_delivery(std::size_t hops) {
+  const std::size_t bucket = std::min(hops, kDelayBuckets - 1);
+  ++delay_histogram_[bucket];
+}
+
+std::size_t MetricsCollector::delay_percentile(double quantile) const {
+  VITIS_DCHECK(quantile >= 0.0 && quantile <= 1.0);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : delay_histogram_) total += c;
+  if (total == 0) return 0;
+  const auto threshold = static_cast<std::uint64_t>(
+      quantile * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (std::size_t h = 0; h < delay_histogram_.size(); ++h) {
+    seen += delay_histogram_[h];
+    if (seen >= threshold && seen > 0) return h;
+  }
+  return delay_histogram_.size() - 1;
+}
+
+void MetricsCollector::on_report(const DisseminationReport& report) {
+  VITIS_DCHECK(report.delivered <= report.expected);
+  expected_ += report.expected;
+  delivered_ += report.delivered;
+  delay_sum_ += report.delay_sum;
+  ++events_;
+}
+
+void MetricsCollector::reset() {
+  for (auto& t : traffic_) t = NodeTraffic{};
+  expected_ = 0;
+  delivered_ = 0;
+  delay_sum_ = 0;
+  events_ = 0;
+  std::fill(delay_histogram_.begin(), delay_histogram_.end(), 0);
+}
+
+double MetricsCollector::hit_ratio() const {
+  return expected_ == 0 ? 1.0
+                        : static_cast<double>(delivered_) /
+                              static_cast<double>(expected_);
+}
+
+double MetricsCollector::mean_delay_hops() const {
+  return delivered_ == 0 ? 0.0
+                         : static_cast<double>(delay_sum_) /
+                               static_cast<double>(delivered_);
+}
+
+double MetricsCollector::mean_node_overhead() const {
+  double sum = 0.0;
+  std::size_t active = 0;
+  for (const auto& t : traffic_) {
+    if (t.total() == 0) continue;
+    sum += t.overhead_fraction();
+    ++active;
+  }
+  return active == 0 ? 0.0 : sum / static_cast<double>(active);
+}
+
+double MetricsCollector::global_overhead() const {
+  std::uint64_t uninterested = 0;
+  std::uint64_t total = 0;
+  for (const auto& t : traffic_) {
+    uninterested += t.uninterested;
+    total += t.total();
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(uninterested) /
+                          static_cast<double>(total);
+}
+
+std::vector<double> MetricsCollector::node_overhead_fractions() const {
+  std::vector<double> fractions;
+  fractions.reserve(traffic_.size());
+  for (const auto& t : traffic_) {
+    if (t.total() == 0) continue;
+    fractions.push_back(t.overhead_fraction());
+  }
+  return fractions;
+}
+
+std::uint64_t MetricsCollector::total_messages() const {
+  std::uint64_t total = 0;
+  for (const auto& t : traffic_) total += t.total();
+  return total;
+}
+
+MetricsSummary MetricsSummary::from(const MetricsCollector& collector) {
+  MetricsSummary summary;
+  summary.hit_ratio = collector.hit_ratio();
+  // The paper's line plots report "the proportion of relay (uninteresting)
+  // traffic that nodes experience" in aggregate; the per-node breakdown is
+  // only used for the Fig. 5 distribution (node_overhead_fractions()).
+  summary.traffic_overhead_pct = collector.global_overhead() * 100.0;
+  summary.delay_hops = collector.mean_delay_hops();
+  return summary;
+}
+
+}  // namespace vitis::pubsub

@@ -1,0 +1,129 @@
+// The three evaluation metrics of §IV, measured exactly as the paper
+// defines them:
+//
+//  * Hit ratio — fraction of (event, subscriber) deliveries that succeed.
+//  * Traffic overhead — per-node proportion of received messages that the
+//    node did not subscribe to (relay traffic); line plots use the mean
+//    over nodes that received any traffic, Fig. 5 uses the full per-node
+//    distribution.
+//  * Propagation delay — average number of hops an event takes to reach
+//    each subscriber.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ids/id.hpp"
+
+namespace vitis::pubsub {
+
+/// Message counters of one node over a measurement window.
+struct NodeTraffic {
+  std::uint64_t interested = 0;    // received messages on subscribed topics
+  std::uint64_t uninterested = 0;  // received relay messages
+
+  [[nodiscard]] std::uint64_t total() const { return interested + uninterested; }
+  [[nodiscard]] double overhead_fraction() const {
+    const std::uint64_t t = total();
+    return t == 0 ? 0.0 : static_cast<double>(uninterested) /
+                              static_cast<double>(t);
+  }
+};
+
+/// Outcome of disseminating one published event.
+struct DisseminationReport {
+  ids::TopicIndex topic = 0;
+  ids::NodeIndex publisher = 0;
+  std::size_t expected = 0;        // alive subscribers other than publisher
+  std::size_t delivered = 0;       // of those, how many were reached
+  std::uint64_t delay_sum = 0;     // sum of hop counts over delivered
+  std::size_t max_delay = 0;       // worst hop count over delivered
+  std::uint64_t messages = 0;      // total point-to-point messages sent
+
+  [[nodiscard]] double hit_ratio() const {
+    return expected == 0 ? 1.0
+                         : static_cast<double>(delivered) /
+                               static_cast<double>(expected);
+  }
+  [[nodiscard]] double mean_delay() const {
+    return delivered == 0 ? 0.0
+                          : static_cast<double>(delay_sum) /
+                                static_cast<double>(delivered);
+  }
+};
+
+/// Aggregates per-node traffic and per-event reports across a measurement
+/// window, producing the paper's three metrics.
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(std::size_t node_count);
+
+  /// A message was received by `node`; `interested` says whether the node
+  /// subscribes to the message's topic.
+  void on_message(ids::NodeIndex node, bool interested);
+
+  /// A subscriber was delivered to after `hops` hops (feeds the delay
+  /// histogram; systems call this alongside their report bookkeeping).
+  void on_delivery(std::size_t hops);
+
+  void on_report(const DisseminationReport& report);
+
+  void reset();
+
+  // --- summaries -----------------------------------------------------------
+
+  /// delivered / expected over all recorded events.
+  [[nodiscard]] double hit_ratio() const;
+
+  /// Mean hops per successful delivery.
+  [[nodiscard]] double mean_delay_hops() const;
+
+  /// Mean of per-node overhead fractions over nodes with any traffic.
+  [[nodiscard]] double mean_node_overhead() const;
+
+  /// Global overhead: total uninterested messages / total messages.
+  [[nodiscard]] double global_overhead() const;
+
+  /// Per-node overhead fractions (nodes with no traffic omitted), for the
+  /// Fig. 5 distribution.
+  [[nodiscard]] std::vector<double> node_overhead_fractions() const;
+
+  /// Count of deliveries per hop distance (index = hops; saturates at the
+  /// last bucket). Enables delay percentiles beyond the paper's averages.
+  [[nodiscard]] std::span<const std::uint64_t> delay_histogram() const {
+    return delay_histogram_;
+  }
+
+  /// Smallest hop count h such that at least `quantile` of deliveries
+  /// arrived within h hops (0 when nothing was delivered).
+  [[nodiscard]] std::size_t delay_percentile(double quantile) const;
+
+  [[nodiscard]] std::uint64_t total_messages() const;
+  [[nodiscard]] std::size_t events_recorded() const { return events_; }
+  [[nodiscard]] const std::vector<NodeTraffic>& traffic() const {
+    return traffic_;
+  }
+
+ private:
+  static constexpr std::size_t kDelayBuckets = 64;
+
+  std::vector<NodeTraffic> traffic_;
+  std::uint64_t expected_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t delay_sum_ = 0;
+  std::size_t events_ = 0;
+  std::vector<std::uint64_t> delay_histogram_ =
+      std::vector<std::uint64_t>(kDelayBuckets, 0);
+};
+
+/// Point summary used by benches: one row of a paper plot.
+struct MetricsSummary {
+  double hit_ratio = 0.0;
+  double traffic_overhead_pct = 0.0;  // global relay-traffic share, percent
+  double delay_hops = 0.0;
+
+  static MetricsSummary from(const MetricsCollector& collector);
+};
+
+}  // namespace vitis::pubsub

@@ -1,0 +1,13 @@
+#include "pubsub/system.hpp"
+
+namespace vitis::pubsub {
+
+MetricsSummary measure(PubSubSystem& system,
+                       std::span<const Publication> schedule) {
+  for (const auto& [topic, publisher] : schedule) {
+    (void)system.publish(topic, publisher);
+  }
+  return MetricsSummary::from(system.metrics());
+}
+
+}  // namespace vitis::pubsub

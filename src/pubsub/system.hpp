@@ -1,0 +1,52 @@
+// The common interface implemented by Vitis and both baselines (RVR, OPT),
+// so benches and examples can sweep systems uniformly.
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+
+#include "ids/id.hpp"
+#include "pubsub/metrics.hpp"
+#include "pubsub/subscription.hpp"
+
+namespace vitis::pubsub {
+
+/// One planned publication: (topic, publishing node).
+using Publication = std::pair<ids::TopicIndex, ids::NodeIndex>;
+
+class PubSubSystem {
+ public:
+  virtual ~PubSubSystem() = default;
+
+  PubSubSystem(const PubSubSystem&) = delete;
+  PubSubSystem& operator=(const PubSubSystem&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Advance the gossip/maintenance protocols by `cycles` rounds.
+  virtual void run_cycles(std::size_t cycles) = 0;
+
+  /// Publish one event and disseminate it through the current overlay.
+  /// Updates metrics() and returns the per-event report.
+  virtual DisseminationReport publish(ids::TopicIndex topic,
+                                      ids::NodeIndex publisher) = 0;
+
+  [[nodiscard]] virtual MetricsCollector& metrics() = 0;
+  [[nodiscard]] virtual const MetricsCollector& metrics() const = 0;
+
+  [[nodiscard]] virtual const SubscriptionTable& subscriptions() const = 0;
+
+  /// Nodes currently online.
+  [[nodiscard]] virtual std::size_t alive_count() const = 0;
+
+ protected:
+  PubSubSystem() = default;
+};
+
+/// Publish every event in `schedule`, then summarize the collector. Does not
+/// reset metrics beforehand, so callers can window measurements themselves.
+MetricsSummary measure(PubSubSystem& system,
+                       std::span<const Publication> schedule);
+
+}  // namespace vitis::pubsub

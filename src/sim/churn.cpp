@@ -1,0 +1,73 @@
+#include "sim/churn.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace vitis::sim {
+
+ChurnTrace::ChurnTrace(std::vector<ChurnEvent> events)
+    : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     return a.time_s < b.time_s;
+                   });
+}
+
+double ChurnTrace::duration_s() const {
+  return events_.empty() ? 0.0 : events_.back().time_s;
+}
+
+std::size_t ChurnTrace::universe_size() const {
+  std::size_t max_node = 0;
+  for (const auto& e : events_) {
+    max_node = std::max(max_node, static_cast<std::size_t>(e.node));
+  }
+  return events_.empty() ? 0 : max_node + 1;
+}
+
+std::span<const ChurnEvent> ChurnTrace::events_between(double t0,
+                                                       double t1) const {
+  const auto lo = std::lower_bound(
+      events_.begin(), events_.end(), t0,
+      [](const ChurnEvent& e, double t) { return e.time_s < t; });
+  const auto hi = std::lower_bound(
+      lo, events_.end(), t1,
+      [](const ChurnEvent& e, double t) { return e.time_s < t; });
+  return {lo, hi};
+}
+
+std::size_t ChurnTrace::population_at(double t) const {
+  std::size_t online = 0;
+  for (const auto& e : events_) {
+    if (e.time_s > t) break;
+    if (e.join) {
+      ++online;
+    } else {
+      VITIS_DCHECK(online > 0);
+      --online;
+    }
+  }
+  return online;
+}
+
+ChurnPlayback::ChurnPlayback(const ChurnTrace& trace, CycleEngine& engine)
+    : trace_(&trace), engine_(&engine) {
+  VITIS_CHECK(trace.universe_size() <= engine.node_count());
+}
+
+ChurnPlayback::StateChanges ChurnPlayback::advance_to(double t) {
+  VITIS_CHECK(t >= position_s_);
+  StateChanges changes;
+  const auto& events = trace_->events();
+  while (next_event_ < events.size() && events[next_event_].time_s < t) {
+    const ChurnEvent& e = events[next_event_++];
+    if (e.join == engine_->is_alive(e.node)) continue;  // redundant event
+    engine_->set_alive(e.node, e.join);
+    (e.join ? changes.joined : changes.left).push_back(e.node);
+  }
+  position_s_ = t;
+  return changes;
+}
+
+}  // namespace vitis::sim

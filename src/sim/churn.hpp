@@ -1,0 +1,82 @@
+// Churn traces and their playback against a CycleEngine.
+//
+// A trace is a time-ordered list of join/leave events over a node universe
+// (the Skype super-peer measurement in the paper has this exact shape:
+// per-node session intervals over one month). Playback maps trace time to
+// engine cycles through a fixed cycle length in seconds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ids/id.hpp"
+#include "sim/cycle_engine.hpp"
+
+namespace vitis::sim {
+
+struct ChurnEvent {
+  double time_s = 0.0;       // trace time, seconds from trace start
+  ids::NodeIndex node = 0;   // which node joins or leaves
+  bool join = true;          // true = join, false = leave
+
+  friend bool operator==(const ChurnEvent&, const ChurnEvent&) = default;
+};
+
+class ChurnTrace {
+ public:
+  ChurnTrace() = default;
+  /// Takes events in any order; sorts by time (stable on ties).
+  explicit ChurnTrace(std::vector<ChurnEvent> events);
+
+  [[nodiscard]] const std::vector<ChurnEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Duration covered by the trace: time of the last event.
+  [[nodiscard]] double duration_s() const;
+
+  /// Largest node index referenced, plus one (the required universe size).
+  [[nodiscard]] std::size_t universe_size() const;
+
+  /// Events with time in [t0, t1), in time order.
+  [[nodiscard]] std::span<const ChurnEvent> events_between(double t0,
+                                                           double t1) const;
+
+  /// Number of nodes online at time t (events at exactly t included).
+  [[nodiscard]] std::size_t population_at(double t) const;
+
+ private:
+  std::vector<ChurnEvent> events_;  // sorted by time_s
+};
+
+/// Streams a trace into an engine: each call to `advance_to(t)` applies all
+/// not-yet-applied events with time < t (joins -> set_alive(true), leaves ->
+/// set_alive(false)) and reports which nodes changed state, so the pub/sub
+/// system can initialize or tear down their protocol state.
+class ChurnPlayback {
+ public:
+  ChurnPlayback(const ChurnTrace& trace, CycleEngine& engine);
+
+  struct StateChanges {
+    std::vector<ids::NodeIndex> joined;
+    std::vector<ids::NodeIndex> left;
+  };
+
+  [[nodiscard]] StateChanges advance_to(double t);
+
+  [[nodiscard]] double position_s() const { return position_s_; }
+  [[nodiscard]] bool finished() const {
+    return next_event_ >= trace_->events().size();
+  }
+
+ private:
+  const ChurnTrace* trace_;
+  CycleEngine* engine_;
+  std::size_t next_event_ = 0;
+  double position_s_ = 0.0;
+};
+
+}  // namespace vitis::sim

@@ -1,0 +1,49 @@
+// Synthetic physical-network coordinates.
+//
+// §III-A2 notes the preference function "can also be extended to account
+// for the underlying network topology and reduce the cost of data transfer
+// in the physical network". We model node positions as points in a unit
+// square (a 2-d Vivaldi-style embedding) and physical latency as scaled
+// Euclidean distance — enough to measure whether proximity-biased friend
+// selection shortens physical links without disturbing the protocol.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "ids/id.hpp"
+#include "sim/rng.hpp"
+
+namespace vitis::sim {
+
+struct Coordinate {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Coordinate&, const Coordinate&) = default;
+};
+
+/// Latency of the full diagonal of the unit square, in milliseconds.
+inline constexpr double kMaxLatencyMs = 200.0;
+
+/// Euclidean distance in the unit square, scaled to milliseconds.
+[[nodiscard]] inline double latency_ms(const Coordinate& a,
+                                       const Coordinate& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy) / std::numbers::sqrt2 * kMaxLatencyMs;
+}
+
+/// Uniform random positions for n nodes.
+[[nodiscard]] inline std::vector<Coordinate> random_coordinates(std::size_t n,
+                                                                Rng& rng) {
+  std::vector<Coordinate> coords;
+  coords.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    coords.push_back(Coordinate{rng.real01(), rng.real01()});
+  }
+  return coords;
+}
+
+}  // namespace vitis::sim

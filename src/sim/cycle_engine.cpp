@@ -1,0 +1,55 @@
+#include "sim/cycle_engine.hpp"
+
+#include "support/check.hpp"
+
+namespace vitis::sim {
+
+CycleEngine::CycleEngine(std::size_t node_count, Rng rng)
+    : alive_(node_count, false), rng_(rng) {}
+
+void CycleEngine::add_protocol(std::string name, NodeProtocol protocol) {
+  VITIS_CHECK(protocol != nullptr);
+  protocols_.emplace_back(std::move(name), std::move(protocol));
+}
+
+void CycleEngine::add_cycle_hook(std::string name, CycleHook hook) {
+  VITIS_CHECK(hook != nullptr);
+  hooks_.emplace_back(std::move(name), std::move(hook));
+}
+
+void CycleEngine::set_alive(ids::NodeIndex node, bool alive) {
+  VITIS_CHECK(node < alive_.size());
+  if (alive_[node] == alive) return;
+  alive_[node] = alive;
+  alive_count_ += alive ? 1 : std::size_t(-1);
+}
+
+std::vector<ids::NodeIndex> CycleEngine::alive_nodes() const {
+  std::vector<ids::NodeIndex> nodes;
+  nodes.reserve(alive_count_);
+  for (std::size_t i = 0; i < alive_.size(); ++i) {
+    if (alive_[i]) nodes.push_back(static_cast<ids::NodeIndex>(i));
+  }
+  return nodes;
+}
+
+void CycleEngine::run(std::size_t cycles) {
+  for (std::size_t c = 0; c < cycles; ++c) {
+    auto order = alive_nodes();
+    rng_.shuffle(order);
+    for (const auto& [name, protocol] : protocols_) {
+      (void)name;
+      for (const ids::NodeIndex node : order) {
+        // A protocol earlier in this cycle may have killed the node.
+        if (alive_[node]) protocol(node, cycle_);
+      }
+    }
+    for (const auto& [name, hook] : hooks_) {
+      (void)name;
+      hook(cycle_);
+    }
+    ++cycle_;
+  }
+}
+
+}  // namespace vitis::sim

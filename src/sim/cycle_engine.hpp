@@ -1,0 +1,64 @@
+// Cycle-driven simulation engine (PeerSim cycle-based mode substitute).
+//
+// A *cycle* corresponds to one gossip period δt: within a cycle every alive
+// node executes each registered protocol once, in a fresh random order per
+// cycle (as PeerSim does, avoiding activation-order artifacts). Protocols
+// are closures registered by the pub/sub systems; the engine owns only the
+// clock, the alive set, and the activation schedule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ids/id.hpp"
+#include "sim/rng.hpp"
+
+namespace vitis::sim {
+
+class CycleEngine {
+ public:
+  /// `node_count` fixes the universe of node indices; nodes start dead and
+  /// must be activated via `set_alive`.
+  CycleEngine(std::size_t node_count, Rng rng);
+
+  /// A protocol body: invoked once per alive node per cycle.
+  using NodeProtocol =
+      std::function<void(ids::NodeIndex node, std::size_t cycle)>;
+
+  /// A per-cycle hook: invoked once per cycle after all node protocols.
+  using CycleHook = std::function<void(std::size_t cycle)>;
+
+  void add_protocol(std::string name, NodeProtocol protocol);
+  void add_cycle_hook(std::string name, CycleHook hook);
+
+  void set_alive(ids::NodeIndex node, bool alive);
+  [[nodiscard]] bool is_alive(ids::NodeIndex node) const {
+    return alive_[node];
+  }
+  [[nodiscard]] std::size_t alive_count() const { return alive_count_; }
+  [[nodiscard]] std::size_t node_count() const { return alive_.size(); }
+
+  /// Indices of currently alive nodes, ascending.
+  [[nodiscard]] std::vector<ids::NodeIndex> alive_nodes() const;
+
+  /// Run `cycles` more cycles.
+  void run(std::size_t cycles);
+
+  /// Number of completed cycles since construction.
+  [[nodiscard]] std::size_t cycle() const { return cycle_; }
+
+  /// Engine-owned RNG, shared with protocols that need scheduling noise.
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  std::vector<bool> alive_;
+  std::size_t alive_count_ = 0;
+  std::vector<std::pair<std::string, NodeProtocol>> protocols_;
+  std::vector<std::pair<std::string, CycleHook>> hooks_;
+  std::size_t cycle_ = 0;
+  Rng rng_;
+};
+
+}  // namespace vitis::sim

@@ -1,0 +1,122 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+#include "ids/hash.hpp"
+
+namespace vitis::sim {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // SplitMix64 expansion of the seed; guarantees a non-zero state.
+  std::uint64_t s = seed;
+  for (auto& word : state_) {
+    s += 0x9e3779b97f4a7c15ULL;
+    word = ids::mix64(s);
+  }
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t bound) noexcept {
+  VITIS_DCHECK(bound > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::real01() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) noexcept {
+  return lo + (hi - lo) * real01();
+}
+
+bool Rng::bernoulli(double p) noexcept { return real01() < p; }
+
+double Rng::exponential(double rate) noexcept {
+  VITIS_DCHECK(rate > 0.0);
+  // 1 - real01() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - real01()) / rate;
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  // Box-Muller; draws two uniforms per normal, discards the spare to keep
+  // the stream position independent of call history.
+  const double u1 = 1.0 - real01();  // (0, 1]
+  const double u2 = real01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::pareto(double xm, double alpha) noexcept {
+  VITIS_DCHECK(xm > 0.0 && alpha > 0.0);
+  return xm / std::pow(1.0 - real01(), 1.0 / alpha);
+}
+
+std::uint64_t Rng::power_law_int(std::uint64_t xmin, std::uint64_t xmax,
+                                 double alpha) noexcept {
+  VITIS_DCHECK(xmin >= 1 && xmax >= xmin);
+  if (xmin == xmax) return xmin;
+  // Inverse CDF of the continuous power law on [xmin, xmax+1).
+  const double a = 1.0 - alpha;
+  const double lo = std::pow(static_cast<double>(xmin), a);
+  const double hi = std::pow(static_cast<double>(xmax) + 1.0, a);
+  const double u = real01();
+  const double x = std::pow(lo + u * (hi - lo), 1.0 / a);
+  auto v = static_cast<std::uint64_t>(x);
+  if (v < xmin) v = xmin;
+  if (v > xmax) v = xmax;
+  return v;
+}
+
+Rng Rng::split(std::uint64_t stream_id) noexcept {
+  return Rng(next_u64() ^ ids::mix64(stream_id));
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  VITIS_CHECK(k <= n);
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + index(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace vitis::sim

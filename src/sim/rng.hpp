@@ -1,0 +1,85 @@
+// Deterministic random number generation for the simulator.
+//
+// Every stochastic component draws from a seeded xoshiro256++ stream, so a
+// run is reproducible bit-for-bit given (seed, scale). We implement our own
+// samplers instead of <random> distributions because libstdc++ does not
+// guarantee cross-version stability of distribution outputs, which would
+// make recorded experiment outputs unstable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace vitis::sim {
+
+class Rng {
+ public:
+  /// Seeds the four 64-bit words of state via SplitMix64, per the xoshiro
+  /// authors' recommendation. Any seed (including 0) is valid.
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit value (xoshiro256++).
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  /// `bound` must be > 0.
+  [[nodiscard]] std::uint64_t uniform_u64(std::uint64_t bound) noexcept;
+
+  /// Uniform size_t in [0, n); convenience over uniform_u64.
+  [[nodiscard]] std::size_t index(std::size_t n) noexcept {
+    return static_cast<std::size_t>(uniform_u64(n));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  [[nodiscard]] double real01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi) noexcept;
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Exponential with the given rate (mean 1/rate).
+  [[nodiscard]] double exponential(double rate) noexcept;
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  /// Lognormal: exp(normal(mu, sigma)).
+  [[nodiscard]] double lognormal(double mu, double sigma) noexcept;
+
+  /// Continuous Pareto with scale xm > 0 and shape alpha > 0.
+  [[nodiscard]] double pareto(double xm, double alpha) noexcept;
+
+  /// Discrete power-law sample in [xmin, xmax] with P(x) ∝ x^-alpha,
+  /// via inverse-CDF of the continuous law rounded down (standard
+  /// approximation; exact enough for degree-sequence generation).
+  [[nodiscard]] std::uint64_t power_law_int(std::uint64_t xmin,
+                                            std::uint64_t xmax,
+                                            double alpha) noexcept;
+
+  /// Derive an independent stream for a subcomponent; streams seeded from
+  /// distinct ids never correlate in practice.
+  [[nodiscard]] Rng split(std::uint64_t stream_id) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// Reservoir-free sampling of k distinct indices out of [0, n) (k <= n),
+  /// via partial Fisher-Yates over a scratch vector.
+  [[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n,
+                                                        std::size_t k);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace vitis::sim

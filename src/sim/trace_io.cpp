@@ -1,0 +1,86 @@
+#include "sim/trace_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "support/format.hpp"
+
+namespace vitis::sim {
+namespace {
+
+std::vector<std::string> split_csv_row(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+std::string churn_trace_to_csv(const ChurnTrace& trace) {
+  std::string out = "time_s,node,event\n";
+  for (const auto& e : trace.events()) {
+    out += support::format_fixed(e.time_s, 3);
+    out += ',';
+    out += std::to_string(e.node);
+    out += ',';
+    out += e.join ? "join" : "leave";
+    out += '\n';
+  }
+  return out;
+}
+
+void save_churn_trace(const ChurnTrace& trace, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) throw TraceIoError("cannot open for writing: " + path);
+  file << churn_trace_to_csv(trace);
+  if (!file) throw TraceIoError("write failed: " + path);
+}
+
+ChurnTrace parse_churn_trace(const std::string& csv_text) {
+  std::istringstream stream(csv_text);
+  std::string line;
+  if (!std::getline(stream, line) || line != "time_s,node,event") {
+    throw TraceIoError("missing or bad header, expected 'time_s,node,event'");
+  }
+  std::vector<ChurnEvent> events;
+  std::size_t row = 1;
+  while (std::getline(stream, line)) {
+    ++row;
+    if (line.empty()) continue;
+    const auto fields = split_csv_row(line);
+    if (fields.size() != 3) {
+      throw TraceIoError("row " + std::to_string(row) + ": expected 3 fields");
+    }
+    ChurnEvent e;
+    try {
+      e.time_s = std::stod(fields[0]);
+      const unsigned long node = std::stoul(fields[1]);
+      e.node = static_cast<ids::NodeIndex>(node);
+    } catch (const std::exception&) {
+      throw TraceIoError("row " + std::to_string(row) + ": bad number");
+    }
+    if (fields[2] == "join") {
+      e.join = true;
+    } else if (fields[2] == "leave") {
+      e.join = false;
+    } else {
+      throw TraceIoError("row " + std::to_string(row) + ": bad event '" +
+                         fields[2] + "'");
+    }
+    events.push_back(e);
+  }
+  return ChurnTrace(std::move(events));
+}
+
+ChurnTrace load_churn_trace(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw TraceIoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_churn_trace(buffer.str());
+}
+
+}  // namespace vitis::sim

@@ -1,0 +1,31 @@
+// CSV persistence for churn traces, so generated workloads can be saved,
+// inspected and replayed across runs (the paper's Skype trace is a file of
+// exactly this form).
+//
+// Format: header "time_s,node,event" then one row per event, where event is
+// "join" or "leave". Parsing is strict: malformed rows raise TraceIoError.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/churn.hpp"
+
+namespace vitis::sim {
+
+class TraceIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+void save_churn_trace(const ChurnTrace& trace, const std::string& path);
+
+[[nodiscard]] ChurnTrace load_churn_trace(const std::string& path);
+
+/// Parse a trace from text (exposed for tests and in-memory round-trips).
+[[nodiscard]] ChurnTrace parse_churn_trace(const std::string& csv_text);
+
+/// Serialize a trace to CSV text.
+[[nodiscard]] std::string churn_trace_to_csv(const ChurnTrace& trace);
+
+}  // namespace vitis::sim

@@ -1,0 +1,35 @@
+// Lightweight runtime checking macros.
+//
+// VITIS_CHECK fires in every build type: it guards conditions whose failure
+// would make simulation results silently wrong (e.g. inconsistent routing
+// state). VITIS_DCHECK compiles away in release builds and is reserved for
+// hot-path invariants.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vitis::support {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "VITIS_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace vitis::support
+
+#define VITIS_CHECK(expr)                                       \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::vitis::support::check_failed(#expr, __FILE__, __LINE__); \
+    }                                                           \
+  } while (false)
+
+#ifdef NDEBUG
+#define VITIS_DCHECK(expr) \
+  do {                     \
+  } while (false)
+#else
+#define VITIS_DCHECK(expr) VITIS_CHECK(expr)
+#endif

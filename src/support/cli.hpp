@@ -1,0 +1,56 @@
+// Tiny command-line / environment option parser used by benches and
+// examples. Supports `--name=value`, `--name value` and boolean `--flag`
+// syntax, with environment-variable fallbacks so harness scripts can steer
+// every binary uniformly (e.g. REPRO_SCALE=paper).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vitis::support {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if `--name` was passed (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non --option) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> options_;
+  std::vector<std::string> positional_;
+};
+
+/// Read an environment variable, empty optional when unset.
+[[nodiscard]] std::optional<std::string> env_string(const std::string& name);
+
+/// Benchmark scale selector: "quick" (default) or "paper". Controlled by the
+/// REPRO_SCALE environment variable or an explicit --scale option.
+struct BenchScale {
+  std::string name;     // "quick" or "paper"
+  std::size_t nodes;    // network size for synthetic experiments
+  std::size_t topics;   // topic universe for synthetic experiments
+  std::size_t cycles;   // gossip cycles to convergence
+  std::size_t events;   // published events measured per configuration
+};
+
+[[nodiscard]] BenchScale resolve_scale(const CliArgs& args);
+
+}  // namespace vitis::support

@@ -1,0 +1,50 @@
+#include "support/format.hpp"
+
+#include <cstdio>
+
+namespace vitis::support {
+
+std::string format_fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string format_percent(double fraction, int precision) {
+  return format_fixed(fraction * 100.0, precision) + "%";
+}
+
+std::string format_count(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t leading = digits.size() % 3;
+  if (leading == 0) leading = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i + 3 - leading) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string pad_left(const std::string& text, std::size_t width) {
+  if (text.size() >= width) return text;
+  return std::string(width - text.size(), ' ') + text;
+}
+
+std::string pad_right(const std::string& text, std::size_t width) {
+  if (text.size() >= width) return text;
+  return text + std::string(width - text.size(), ' ');
+}
+
+}  // namespace vitis::support

@@ -1,0 +1,32 @@
+// Small string-formatting helpers shared by the table writers, benches and
+// examples. Keeps the library free of iostream formatting boilerplate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vitis::support {
+
+/// Format a double with fixed precision, e.g. format_fixed(3.14159, 2) ==
+/// "3.14".
+[[nodiscard]] std::string format_fixed(double value, int precision);
+
+/// Format a fraction in [0,1] as a percentage string, e.g. "42.1%".
+[[nodiscard]] std::string format_percent(double fraction, int precision = 1);
+
+/// Thousands-separated integer, e.g. 1234567 -> "1,234,567".
+[[nodiscard]] std::string format_count(std::uint64_t value);
+
+/// Join strings with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               const std::string& sep);
+
+/// Left-pad (right-align) a string to the given width with spaces.
+[[nodiscard]] std::string pad_left(const std::string& text, std::size_t width);
+
+/// Right-pad (left-align) a string to the given width with spaces.
+[[nodiscard]] std::string pad_right(const std::string& text,
+                                    std::size_t width);
+
+}  // namespace vitis::support

@@ -1,0 +1,25 @@
+// Minimal leveled logging to stderr. The simulator is deterministic and
+// single-threaded per run, so no synchronization is required; benches that
+// run sweeps in worker threads must confine logging to the main thread.
+#pragma once
+
+#include <string>
+
+namespace vitis::support {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Set the global minimum level (default: kInfo).
+void set_log_level(LogLevel level);
+
+[[nodiscard]] LogLevel log_level();
+
+/// Emit a message if `level` >= the global minimum.
+void log(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
+inline void log_error(const std::string& m) { log(LogLevel::kError, m); }
+
+}  // namespace vitis::support

@@ -1,0 +1,31 @@
+// Umbrella header: the full public API of the Vitis library.
+//
+// Prefer including the specific module headers in long-lived code; this
+// header exists for examples, quick experiments and downstream consumers
+// that want everything at once.
+#pragma once
+
+#include "analysis/components.hpp"    // IWYU pragma: export
+#include "analysis/graph.hpp"         // IWYU pragma: export
+#include "analysis/histogram.hpp"     // IWYU pragma: export
+#include "analysis/smallworld.hpp"    // IWYU pragma: export
+#include "analysis/table.hpp"         // IWYU pragma: export
+#include "baselines/opt/opt_system.hpp"  // IWYU pragma: export
+#include "baselines/rvr/rvr_system.hpp"  // IWYU pragma: export
+#include "core/config.hpp"            // IWYU pragma: export
+#include "core/vitis_system.hpp"      // IWYU pragma: export
+#include "ids/hash.hpp"               // IWYU pragma: export
+#include "ids/id.hpp"                 // IWYU pragma: export
+#include "pubsub/metrics.hpp"         // IWYU pragma: export
+#include "pubsub/subscription.hpp"    // IWYU pragma: export
+#include "pubsub/system.hpp"          // IWYU pragma: export
+#include "sim/churn.hpp"              // IWYU pragma: export
+#include "sim/coordinates.hpp"        // IWYU pragma: export
+#include "sim/cycle_engine.hpp"       // IWYU pragma: export
+#include "sim/rng.hpp"                // IWYU pragma: export
+#include "sim/trace_io.hpp"           // IWYU pragma: export
+#include "workload/publication.hpp"   // IWYU pragma: export
+#include "workload/scenario.hpp"      // IWYU pragma: export
+#include "workload/skype_churn.hpp"   // IWYU pragma: export
+#include "workload/subscription_models.hpp"  // IWYU pragma: export
+#include "workload/twitter.hpp"       // IWYU pragma: export

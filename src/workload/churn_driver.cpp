@@ -1,0 +1,28 @@
+#include "workload/churn_driver.hpp"
+
+#include "support/check.hpp"
+
+namespace vitis::workload {
+
+ChurnDriver::ChurnDriver(const sim::ChurnTrace& trace) : trace_(&trace) {}
+
+void ChurnDriver::add_hook(Hook hook) {
+  VITIS_CHECK(hook != nullptr);
+  hooks_.push_back(std::move(hook));
+}
+
+std::size_t ChurnDriver::advance_to(double t_seconds) {
+  VITIS_CHECK(t_seconds >= position_s_);
+  const auto& events = trace_->events();
+  std::size_t fired = 0;
+  while (next_event_ < events.size() &&
+         events[next_event_].time_s < t_seconds) {
+    const auto& e = events[next_event_++];
+    for (const Hook& hook : hooks_) hook(e.node, e.join);
+    ++fired;
+  }
+  position_s_ = t_seconds;
+  return fired;
+}
+
+}  // namespace vitis::workload

@@ -1,0 +1,55 @@
+// ChurnDriver: plays a churn trace into any number of systems at once.
+//
+// The Fig. 12 experiment runs Vitis and RVR against the *same* trace; the
+// examples replay traces into a single system. This helper owns the
+// trace-cursor logic (time ordering, half-open windows) and fans events out
+// to registered join/leave hooks, so every consumer stays a three-liner.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ids/id.hpp"
+#include "sim/churn.hpp"
+
+namespace vitis::workload {
+
+class ChurnDriver {
+ public:
+  explicit ChurnDriver(const sim::ChurnTrace& trace);
+
+  /// Called for every applied event: (node, true) on join, (node, false)
+  /// on leave.
+  using Hook = std::function<void(ids::NodeIndex, bool)>;
+
+  void add_hook(Hook hook);
+
+  /// Convenience: register any object with node_join/node_leave members.
+  template <typename System>
+  void attach(System& system) {
+    add_hook([&system](ids::NodeIndex node, bool join) {
+      if (join) {
+        system.node_join(node);
+      } else {
+        system.node_leave(node);
+      }
+    });
+  }
+
+  /// Apply all events with time < t_seconds (strictly); returns how many
+  /// events fired.
+  std::size_t advance_to(double t_seconds);
+
+  [[nodiscard]] double position_s() const { return position_s_; }
+  [[nodiscard]] bool finished() const {
+    return next_event_ >= trace_->events().size();
+  }
+
+ private:
+  const sim::ChurnTrace* trace_;
+  std::vector<Hook> hooks_;
+  std::size_t next_event_ = 0;
+  double position_s_ = 0.0;
+};
+
+}  // namespace vitis::workload

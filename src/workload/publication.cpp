@@ -1,0 +1,83 @@
+#include "workload/publication.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ids/hash.hpp"
+#include "support/check.hpp"
+
+namespace vitis::workload {
+
+PublicationRates::PublicationRates(std::vector<double> rates)
+    : rates_(std::move(rates)) {
+  VITIS_CHECK(!rates_.empty());
+  cumulative_.reserve(rates_.size());
+  double total = 0.0;
+  for (const double r : rates_) {
+    VITIS_CHECK(r >= 0.0);
+    total += r;
+    cumulative_.push_back(total);
+  }
+  VITIS_CHECK(total > 0.0);
+}
+
+PublicationRates PublicationRates::uniform(std::size_t topic_count) {
+  return PublicationRates(std::vector<double>(topic_count, 1.0));
+}
+
+PublicationRates PublicationRates::power_law(std::size_t topic_count,
+                                             double alpha) {
+  VITIS_CHECK(alpha > 0.0);
+  // Rank permutation: sort topics by a hash of their index so the hottest
+  // topics land at deterministic but id-space-uniform positions.
+  std::vector<std::size_t> order(topic_count);
+  for (std::size_t i = 0; i < topic_count; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [](std::size_t a, std::size_t b) {
+    return ids::mix64(0x72616e6bULL ^ a) < ids::mix64(0x72616e6bULL ^ b);
+  });
+  std::vector<double> rates(topic_count);
+  for (std::size_t rank = 0; rank < topic_count; ++rank) {
+    rates[order[rank]] =
+        std::pow(static_cast<double>(rank + 1), -alpha);
+  }
+  return PublicationRates(std::move(rates));
+}
+
+ids::TopicIndex PublicationRates::sample(sim::Rng& rng) const {
+  const double u = rng.real01() * cumulative_.back();
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  const auto idx = static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                               static_cast<std::ptrdiff_t>(rates_.size()) - 1));
+  return static_cast<ids::TopicIndex>(idx);
+}
+
+std::vector<pubsub::Publication> make_schedule(
+    const pubsub::SubscriptionTable& subscriptions,
+    const PublicationRates& rates, std::size_t count, sim::Rng& rng,
+    const std::function<bool(ids::NodeIndex)>& eligible) {
+  VITIS_CHECK(rates.topic_count() == subscriptions.topic_count());
+  std::vector<pubsub::Publication> schedule;
+  schedule.reserve(count);
+  const std::size_t max_attempts = 200 * count + 1000;
+  std::size_t attempts = 0;
+  while (schedule.size() < count && attempts < max_attempts) {
+    ++attempts;
+    const ids::TopicIndex topic = rates.sample(rng);
+    const auto subscribers = subscriptions.subscribers(topic);
+    if (subscribers.empty()) continue;
+    // Up to a few tries to land on an eligible subscriber for this topic.
+    for (int probe = 0; probe < 8; ++probe) {
+      const ids::NodeIndex publisher =
+          subscribers[rng.index(subscribers.size())];
+      if (!eligible || eligible(publisher)) {
+        schedule.emplace_back(topic, publisher);
+        break;
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace vitis::workload

@@ -1,0 +1,53 @@
+#include "workload/scenario.hpp"
+
+#include <vector>
+
+namespace vitis::workload {
+
+SyntheticScenario make_synthetic_scenario(
+    const SyntheticScenarioParams& params) {
+  sim::Rng rng(params.seed);
+  auto subscriptions = make_synthetic_subscriptions(params.subscriptions, rng);
+  auto rates =
+      params.rate_alpha > 0.0
+          ? PublicationRates::power_law(params.subscriptions.topics,
+                                        params.rate_alpha)
+          : PublicationRates::uniform(params.subscriptions.topics);
+  auto schedule = make_schedule(subscriptions, rates, params.events, rng);
+  return SyntheticScenario{std::move(subscriptions), std::move(rates),
+                           std::move(schedule)};
+}
+
+std::unique_ptr<core::VitisSystem> make_vitis(const SyntheticScenario& scenario,
+                                              const core::VitisConfig& config,
+                                              std::uint64_t seed,
+                                              bool start_online) {
+  const auto weights = scenario.rates.weights();
+  return std::make_unique<core::VitisSystem>(
+      config, scenario.subscriptions,
+      std::vector<double>(weights.begin(), weights.end()), seed, start_online);
+}
+
+std::unique_ptr<baselines::rvr::RvrSystem> make_rvr(
+    const SyntheticScenario& scenario, const baselines::rvr::RvrConfig& config,
+    std::uint64_t seed, bool start_online) {
+  return std::make_unique<baselines::rvr::RvrSystem>(
+      config, scenario.subscriptions, seed, start_online);
+}
+
+std::unique_ptr<baselines::opt::OptSystem> make_opt(
+    const SyntheticScenario& scenario, const baselines::opt::OptConfig& config,
+    std::uint64_t seed, bool start_online) {
+  return std::make_unique<baselines::opt::OptSystem>(
+      config, scenario.subscriptions, seed, start_online);
+}
+
+pubsub::MetricsSummary run_measurement(
+    pubsub::PubSubSystem& system, std::size_t warmup_cycles,
+    std::span<const pubsub::Publication> schedule) {
+  system.run_cycles(warmup_cycles);
+  system.metrics().reset();
+  return pubsub::measure(system, schedule);
+}
+
+}  // namespace vitis::workload

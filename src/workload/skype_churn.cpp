@@ -1,0 +1,104 @@
+#include "workload/skype_churn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "support/check.hpp"
+
+namespace vitis::workload {
+namespace {
+
+constexpr double kSecondsPerHour = 3600.0;
+
+/// mu of a lognormal with the requested mean and sigma.
+double lognormal_mu(double mean, double sigma) {
+  VITIS_CHECK(mean > 0.0);
+  return std::log(mean) - 0.5 * sigma * sigma;
+}
+
+}  // namespace
+
+sim::ChurnTrace make_skype_churn(const SkypeChurnParams& params,
+                                 sim::Rng& rng) {
+  VITIS_CHECK(params.nodes > 0);
+  VITIS_CHECK(params.duration_hours > 0.0);
+  VITIS_CHECK(params.initial_online_fraction >= 0.0 &&
+              params.initial_online_fraction <= 1.0);
+  VITIS_CHECK(params.flash_crowd_size <= params.nodes);
+
+  const double mu_on =
+      lognormal_mu(params.mean_session_hours, params.session_sigma);
+  const double mu_off =
+      lognormal_mu(params.mean_offline_hours, params.offline_sigma);
+
+  // Flash-crowd membership: a random subset of nodes gets a forced session.
+  std::vector<char> in_flash(params.nodes, 0);
+  if (params.flash_crowd_size > 0) {
+    for (const std::size_t i :
+         rng.sample_indices(params.nodes, params.flash_crowd_size)) {
+      in_flash[i] = 1;
+    }
+  }
+
+  std::vector<sim::ChurnEvent> events;
+  events.reserve(params.nodes * 8);
+
+  for (std::size_t i = 0; i < params.nodes; ++i) {
+    const auto node = static_cast<ids::NodeIndex>(i);
+    double t = 0.0;  // hours
+    bool online = rng.bernoulli(params.initial_online_fraction);
+    if (online) {
+      events.push_back(sim::ChurnEvent{0.0, node, true});
+    }
+
+    const double flash_join =
+        params.flash_crowd_time_hours +
+        rng.uniform_real(0.0, params.flash_crowd_spread_hours);
+    const double flash_leave = flash_join + params.flash_crowd_stay_hours;
+    bool flash_pending = in_flash[i] != 0;
+
+    while (t < params.duration_hours) {
+      if (online) {
+        double session = rng.lognormal(mu_on, params.session_sigma);
+        t += session;
+        if (t >= params.duration_hours) break;
+        events.push_back(sim::ChurnEvent{t * kSecondsPerHour, node, false});
+        online = false;
+      } else {
+        double gap = rng.lognormal(mu_off, params.offline_sigma);
+        // Diurnal modulation: long gaps at "night" (sine trough).
+        if (params.diurnal_amplitude > 0.0) {
+          const double phase =
+              std::sin(2.0 * std::numbers::pi * t / 24.0);
+          gap *= 1.0 + params.diurnal_amplitude * phase;
+        }
+        double next_join = t + gap;
+        // The flash crowd overrides the natural gap once.
+        if (flash_pending && t <= flash_join && next_join > flash_join) {
+          next_join = flash_join;
+        }
+        t = next_join;
+        if (t >= params.duration_hours) break;
+        events.push_back(sim::ChurnEvent{t * kSecondsPerHour, node, true});
+        online = true;
+        if (flash_pending && t >= flash_join) {
+          flash_pending = false;
+          // Pin this session's end to the flash-crowd stay, then resume the
+          // normal alternation.
+          const double leave = std::min(flash_leave, params.duration_hours);
+          if (leave > t) {
+            events.push_back(
+                sim::ChurnEvent{leave * kSecondsPerHour, node, false});
+            t = leave;
+            online = false;
+          }
+        }
+      }
+    }
+  }
+
+  return sim::ChurnTrace(std::move(events));
+}
+
+}  // namespace vitis::workload

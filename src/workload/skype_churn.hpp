@@ -1,0 +1,53 @@
+// Synthetic Skype-like churn trace (substitute for the super-peer
+// measurement of [10]; see DESIGN.md §3).
+//
+// The paper's Fig. 12 needs three properties of that trace: (i) a
+// fluctuating online population around ~¼ of the 4000-node universe,
+// (ii) heavy-tailed session and inter-session times, (iii) flash crowds —
+// bursts of simultaneous joins. The generator produces per-node alternating
+// online/offline sessions with lognormal durations, a diurnal modulation of
+// session starts, and one configurable flash-crowd join spike.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/churn.hpp"
+#include "sim/rng.hpp"
+
+namespace vitis::workload {
+
+struct SkypeChurnParams {
+  std::size_t nodes = 4'000;
+  double duration_hours = 1'400.0;  // ≈ one month + margin, as in the trace
+
+  /// Lognormal session (online) durations.
+  double mean_session_hours = 10.0;
+  double session_sigma = 1.3;
+
+  /// Lognormal inter-session (offline) durations. The steady-state online
+  /// fraction is mean_session / (mean_session + mean_offline) ≈ 0.23 with
+  /// the defaults — matching the ~900-node concurrent population of Fig. 12.
+  double mean_offline_hours = 34.0;
+  double offline_sigma = 1.5;
+
+  /// Diurnal modulation of offline gaps (0 disables): gaps stretch and
+  /// shrink with a 24 h sine so the population breathes daily.
+  double diurnal_amplitude = 0.25;
+
+  /// Fraction of nodes online at t = 0.
+  double initial_online_fraction = 0.22;
+
+  /// One flash crowd: `flash_crowd_size` currently-offline nodes join within
+  /// `flash_crowd_spread_hours` of `flash_crowd_time_hours`, staying for a
+  /// session of `flash_crowd_stay_hours`. Size 0 disables.
+  double flash_crowd_time_hours = 700.0;
+  std::size_t flash_crowd_size = 500;
+  double flash_crowd_spread_hours = 2.0;
+  double flash_crowd_stay_hours = 60.0;
+};
+
+/// Generate a join/leave trace (times in seconds).
+[[nodiscard]] sim::ChurnTrace make_skype_churn(const SkypeChurnParams& params,
+                                               sim::Rng& rng);
+
+}  // namespace vitis::workload

@@ -1,0 +1,93 @@
+#include "workload/subscription_models.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace vitis::workload {
+namespace {
+
+/// Draw `count` distinct values from [base, base + range).
+std::vector<ids::TopicIndex> draw_distinct(std::size_t base, std::size_t range,
+                                           std::size_t count, sim::Rng& rng) {
+  VITIS_CHECK(count <= range);
+  auto offsets = rng.sample_indices(range, count);
+  std::vector<ids::TopicIndex> picks;
+  picks.reserve(count);
+  for (const std::size_t off : offsets) {
+    picks.push_back(static_cast<ids::TopicIndex>(base + off));
+  }
+  return picks;
+}
+
+}  // namespace
+
+const char* to_string(CorrelationPattern pattern) {
+  switch (pattern) {
+    case CorrelationPattern::kRandom:
+      return "random";
+    case CorrelationPattern::kLowCorrelation:
+      return "low-correlation";
+    case CorrelationPattern::kHighCorrelation:
+      return "high-correlation";
+  }
+  return "?";
+}
+
+std::size_t bucket_count(const SyntheticSubscriptionParams& params) {
+  VITIS_CHECK(params.subs_per_node > 0);
+  return std::max<std::size_t>(2, params.topics / params.subs_per_node);
+}
+
+pubsub::SubscriptionTable make_synthetic_subscriptions(
+    const SyntheticSubscriptionParams& params, sim::Rng& rng) {
+  VITIS_CHECK(params.subs_per_node <= params.topics);
+
+  const std::size_t buckets_per_node =
+      params.pattern == CorrelationPattern::kHighCorrelation  ? 2
+      : params.pattern == CorrelationPattern::kLowCorrelation ? 5
+                                                              : 0;
+
+  std::vector<pubsub::SubscriptionSet> by_node;
+  by_node.reserve(params.nodes);
+
+  if (params.pattern == CorrelationPattern::kRandom) {
+    for (std::size_t i = 0; i < params.nodes; ++i) {
+      by_node.emplace_back(
+          draw_distinct(0, params.topics, params.subs_per_node, rng));
+    }
+    return pubsub::SubscriptionTable(std::move(by_node), params.topics);
+  }
+
+  const std::size_t n_buckets = bucket_count(params);
+  // Tiny topic universes may offer fewer buckets than the pattern asks for;
+  // clamp and keep the per-node subscription count intact.
+  const std::size_t buckets_used = std::min(buckets_per_node, n_buckets);
+  const std::size_t bucket_size = params.topics / n_buckets;
+  const std::size_t per_bucket =
+      std::min(params.subs_per_node / buckets_used, bucket_size);
+  VITIS_CHECK(per_bucket > 0);
+
+  for (std::size_t i = 0; i < params.nodes; ++i) {
+    const auto chosen_buckets = rng.sample_indices(n_buckets, buckets_used);
+    std::vector<ids::TopicIndex> picks;
+    picks.reserve(params.subs_per_node);
+    for (const std::size_t bucket : chosen_buckets) {
+      const auto from_bucket =
+          draw_distinct(bucket * bucket_size, bucket_size, per_bucket, rng);
+      picks.insert(picks.end(), from_bucket.begin(), from_bucket.end());
+    }
+    // Integer division may leave a remainder; top up uniformly at random.
+    while (picks.size() < params.subs_per_node) {
+      const auto extra = static_cast<ids::TopicIndex>(
+          rng.index(params.topics));
+      if (std::find(picks.begin(), picks.end(), extra) == picks.end()) {
+        picks.push_back(extra);
+      }
+    }
+    by_node.emplace_back(std::move(picks));
+  }
+  return pubsub::SubscriptionTable(std::move(by_node), params.topics);
+}
+
+}  // namespace vitis::workload

@@ -1,0 +1,41 @@
+// Synthetic subscription patterns of §IV-A, after Wong et al.'s preference
+// clustering model:
+//
+//   * Random           — each node picks `subs_per_node` topics uniformly.
+//   * Low correlation  — topics are grouped into buckets; each node picks 5
+//                        buckets and draws subs/5 topics from each.
+//   * High correlation — 2 buckets, subs/2 topics from each.
+//
+// All three keep average topic popularity uniform; only the interest
+// correlation (Eq. 1) differs. Bucket size scales with the topic universe so
+// quick-scale runs preserve the paper's geometry (5000 topics / 100 buckets
+// = 50 topics per bucket at paper scale).
+#pragma once
+
+#include <cstddef>
+
+#include "pubsub/subscription.hpp"
+#include "sim/rng.hpp"
+
+namespace vitis::workload {
+
+enum class CorrelationPattern { kRandom, kLowCorrelation, kHighCorrelation };
+
+[[nodiscard]] const char* to_string(CorrelationPattern pattern);
+
+struct SyntheticSubscriptionParams {
+  std::size_t nodes = 10'000;
+  std::size_t topics = 5'000;
+  std::size_t subs_per_node = 50;
+  CorrelationPattern pattern = CorrelationPattern::kRandom;
+};
+
+/// Number of buckets used for the correlated patterns at this scale
+/// (topics / subs_per_node, min 2 — 100 buckets at paper scale).
+[[nodiscard]] std::size_t bucket_count(
+    const SyntheticSubscriptionParams& params);
+
+[[nodiscard]] pubsub::SubscriptionTable make_synthetic_subscriptions(
+    const SyntheticSubscriptionParams& params, sim::Rng& rng);
+
+}  // namespace vitis::workload

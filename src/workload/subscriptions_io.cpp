@@ -1,0 +1,99 @@
+#include "workload/subscriptions_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace vitis::workload {
+
+std::string subscriptions_to_csv(const pubsub::SubscriptionTable& table) {
+  std::string out = "node,topic\n";
+  for (std::size_t n = 0; n < table.node_count(); ++n) {
+    for (const ids::TopicIndex topic :
+         table.of(static_cast<ids::NodeIndex>(n))) {
+      out += std::to_string(n);
+      out += ',';
+      out += std::to_string(topic);
+      out += '\n';
+    }
+  }
+  out += "# nodes=" + std::to_string(table.node_count()) +
+         " topics=" + std::to_string(table.topic_count()) + "\n";
+  return out;
+}
+
+pubsub::SubscriptionTable parse_subscriptions(const std::string& csv_text) {
+  std::istringstream stream(csv_text);
+  std::string line;
+  if (!std::getline(stream, line) || line != "node,topic") {
+    throw SubscriptionsIoError("missing or bad header, expected 'node,topic'");
+  }
+  std::size_t declared_nodes = 0;
+  std::size_t declared_topics = 0;
+  bool saw_dimensions = false;
+  std::vector<std::vector<ids::TopicIndex>> picks;
+  std::size_t row = 1;
+  while (std::getline(stream, line)) {
+    ++row;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (std::sscanf(line.c_str(), "# nodes=%zu topics=%zu", &declared_nodes,
+                      &declared_topics) == 2) {
+        saw_dimensions = true;
+      }
+      continue;
+    }
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) {
+      throw SubscriptionsIoError("row " + std::to_string(row) +
+                                 ": expected 'node,topic'");
+    }
+    std::size_t node = 0;
+    std::size_t topic = 0;
+    try {
+      node = std::stoul(line.substr(0, comma));
+      topic = std::stoul(line.substr(comma + 1));
+    } catch (const std::exception&) {
+      throw SubscriptionsIoError("row " + std::to_string(row) +
+                                 ": bad number");
+    }
+    if (picks.size() <= node) picks.resize(node + 1);
+    picks[node].push_back(static_cast<ids::TopicIndex>(topic));
+  }
+  if (!saw_dimensions) {
+    throw SubscriptionsIoError("missing '# nodes=N topics=T' trailer");
+  }
+  if (picks.size() > declared_nodes) {
+    throw SubscriptionsIoError("rows reference more nodes than declared");
+  }
+  picks.resize(declared_nodes);
+
+  std::vector<pubsub::SubscriptionSet> by_node;
+  by_node.reserve(declared_nodes);
+  for (auto& topics : picks) {
+    for (const ids::TopicIndex t : topics) {
+      if (t >= declared_topics) {
+        throw SubscriptionsIoError("topic index exceeds declared topics");
+      }
+    }
+    by_node.emplace_back(std::move(topics));
+  }
+  return pubsub::SubscriptionTable(std::move(by_node), declared_topics);
+}
+
+void save_subscriptions(const pubsub::SubscriptionTable& table,
+                        const std::string& path) {
+  std::ofstream file(path);
+  if (!file) throw SubscriptionsIoError("cannot open for writing: " + path);
+  file << subscriptions_to_csv(table);
+  if (!file) throw SubscriptionsIoError("write failed: " + path);
+}
+
+pubsub::SubscriptionTable load_subscriptions(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw SubscriptionsIoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_subscriptions(buffer.str());
+}
+
+}  // namespace vitis::workload

@@ -1,0 +1,34 @@
+// CSV persistence for subscription tables, so generated workloads (and, in
+// a real deployment, measured traces like the paper's Twitter data set) can
+// be saved, inspected and replayed bit-for-bit across runs.
+//
+// Format: header "node,topic", one row per (node, topic) relation, plus a
+// trailing comment line "# nodes=N topics=T" carrying the table dimensions
+// (needed to round-trip nodes with zero subscriptions and empty topics).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "pubsub/subscription.hpp"
+
+namespace vitis::workload {
+
+class SubscriptionsIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+[[nodiscard]] std::string subscriptions_to_csv(
+    const pubsub::SubscriptionTable& table);
+
+[[nodiscard]] pubsub::SubscriptionTable parse_subscriptions(
+    const std::string& csv_text);
+
+void save_subscriptions(const pubsub::SubscriptionTable& table,
+                        const std::string& path);
+
+[[nodiscard]] pubsub::SubscriptionTable load_subscriptions(
+    const std::string& path);
+
+}  // namespace vitis::workload

@@ -1,0 +1,151 @@
+#include "workload/twitter.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "analysis/histogram.hpp"
+#include "support/check.hpp"
+
+namespace vitis::workload {
+
+pubsub::SubscriptionTable make_twitter_subscriptions(
+    const TwitterModelParams& params, sim::Rng& rng) {
+  VITIS_CHECK(params.users >= 2);
+  VITIS_CHECK(params.min_out >= 1 && params.max_out >= params.min_out);
+  VITIS_CHECK(params.attractiveness_alpha > 1.0);
+
+  const std::size_t n = params.users;
+  const std::size_t max_out = std::min(params.max_out, n - 1);
+
+  // Fitness model: each user gets a heavy-tailed attractiveness weight and
+  // followees are drawn proportionally to it, so in-degrees inherit the
+  // configured power-law tail.
+  std::vector<double> cumulative(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += rng.pareto(1.0, params.attractiveness_alpha - 1.0);
+    cumulative[i] = total;
+  }
+  const auto draw_target = [&]() -> ids::NodeIndex {
+    const double u = rng.real01() * total;
+    const auto it = std::upper_bound(cumulative.begin(), cumulative.end(), u);
+    const auto idx = static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - cumulative.begin(),
+                                 static_cast<std::ptrdiff_t>(n) - 1));
+    return static_cast<ids::NodeIndex>(idx);
+  };
+
+  std::vector<std::vector<ids::TopicIndex>> followees(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto out = static_cast<std::size_t>(
+        rng.power_law_int(params.min_out, max_out, params.alpha));
+    auto& mine = followees[u];
+    mine.reserve(out + 1);
+    std::size_t guard = 0;
+    while (mine.size() < out && guard < 20 * out + 100) {
+      ++guard;
+      const ids::NodeIndex target = draw_target();
+      if (target == u) continue;
+      if (std::find(mine.begin(), mine.end(), target) != mine.end()) continue;
+      mine.push_back(target);
+    }
+  }
+
+  std::vector<pubsub::SubscriptionSet> by_node;
+  by_node.reserve(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    auto topics = followees[u];
+    topics.push_back(static_cast<ids::TopicIndex>(u));  // own timeline
+    by_node.emplace_back(std::move(topics));
+  }
+  return pubsub::SubscriptionTable(std::move(by_node), n);
+}
+
+TwitterStats analyze_twitter(const pubsub::SubscriptionTable& table) {
+  VITIS_CHECK(table.topic_count() == table.node_count());
+  TwitterStats stats;
+  stats.users = table.node_count();
+
+  analysis::FrequencyTable out_degrees;
+  analysis::FrequencyTable in_degrees;
+  std::uint64_t edges = 0;
+  for (std::size_t u = 0; u < table.node_count(); ++u) {
+    const auto node = static_cast<ids::NodeIndex>(u);
+    const auto& subs = table.of(node);
+    const std::uint64_t out =
+        subs.size() - (subs.contains(static_cast<ids::TopicIndex>(u)) ? 1 : 0);
+    out_degrees.add(out);
+    edges += out;
+
+    const auto followers = table.subscribers(static_cast<ids::TopicIndex>(u));
+    std::uint64_t in = followers.size();
+    for (const ids::NodeIndex f : followers) {
+      if (f == node) --in;  // ignore the self-subscription
+    }
+    in_degrees.add(in);
+  }
+
+  stats.follow_edges = edges;
+  stats.mean_out_degree =
+      static_cast<double>(edges) / static_cast<double>(stats.users);
+  stats.max_out_degree = out_degrees.max_value();
+  stats.max_in_degree = in_degrees.max_value();
+  // Fit above the distribution head — low-degree noise biases the MLE down
+  // (standard practice: pick xmin past the curvature of the head).
+  const auto xmin = std::max<std::uint64_t>(
+      2, static_cast<std::uint64_t>(stats.mean_out_degree / 8));
+  stats.alpha_out_mle = out_degrees.power_law_alpha_mle(xmin);
+  stats.alpha_in_mle = in_degrees.power_law_alpha_mle(xmin);
+  return stats;
+}
+
+pubsub::SubscriptionTable sample_twitter(const pubsub::SubscriptionTable& full,
+                                         std::size_t target_nodes,
+                                         sim::Rng& rng) {
+  VITIS_CHECK(full.topic_count() == full.node_count());
+  VITIS_CHECK(target_nodes >= 2);
+  const std::size_t n = full.node_count();
+  if (target_nodes >= n) target_nodes = n;
+
+  // Seed users + their followees, until the sample is large enough.
+  std::vector<char> in_sample(n, 0);
+  std::vector<ids::NodeIndex> sample;
+  sample.reserve(target_nodes + 64);
+  const auto admit = [&](ids::NodeIndex user) {
+    if (in_sample[user]) return;
+    in_sample[user] = 1;
+    sample.push_back(user);
+  };
+  std::size_t guard = 0;
+  while (sample.size() < target_nodes && guard < 50 * target_nodes) {
+    ++guard;
+    const auto seed = static_cast<ids::NodeIndex>(rng.index(n));
+    admit(seed);
+    for (const ids::TopicIndex followee : full.of(seed)) {
+      if (sample.size() >= target_nodes) break;
+      admit(static_cast<ids::NodeIndex>(followee));
+    }
+  }
+
+  // Re-index and keep only relations inside the sample.
+  std::unordered_map<ids::NodeIndex, ids::NodeIndex> remap;
+  remap.reserve(sample.size());
+  std::sort(sample.begin(), sample.end());
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    remap.emplace(sample[i], static_cast<ids::NodeIndex>(i));
+  }
+
+  std::vector<pubsub::SubscriptionSet> by_node;
+  by_node.reserve(sample.size());
+  for (const ids::NodeIndex user : sample) {
+    std::vector<ids::TopicIndex> kept;
+    for (const ids::TopicIndex followee : full.of(user).topics()) {
+      const auto it = remap.find(static_cast<ids::NodeIndex>(followee));
+      if (it != remap.end()) kept.push_back(it->second);
+    }
+    by_node.emplace_back(std::move(kept));
+  }
+  return pubsub::SubscriptionTable(std::move(by_node), sample.size());
+}
+
+}  // namespace vitis::workload

@@ -1,0 +1,67 @@
+// Synthetic Twitter-like subscription workload (substitute for the
+// proprietary trace of [9]; see DESIGN.md §3).
+//
+// In the paper's Twitter experiment each user is both a node and a topic:
+// following user u means subscribing to topic u. The measured trace has
+// power-law in- and out-degree with exponent ≈ 1.65 (Fig. 8) and a ~10k-node
+// sample with ≈ 80 subscriptions per node on average (Fig. 9 / §IV-E).
+//
+// The generator draws each user's out-degree from a discrete power law
+// calibrated to that mean, then picks followees proportionally to a
+// power-law "attractiveness" weight per user (a fitness model), which makes
+// the in-degree law mirror the configured exponent — plain preferential
+// attachment cannot reach tails as heavy as 1.65. A sampler mirrors the
+// paper's subsampling procedure. Every user also subscribes to their own
+// topic, so publishers are subscribers of what they publish (users see
+// their own tweets).
+#pragma once
+
+#include <cstdint>
+
+#include "pubsub/subscription.hpp"
+#include "sim/rng.hpp"
+
+namespace vitis::workload {
+
+struct TwitterModelParams {
+  std::size_t users = 10'000;
+  /// Power-law exponent of the out-degree (subscription count) law.
+  double alpha = 1.65;
+  /// Degree-law support; defaults calibrated so the mean lands near the
+  /// paper's ≈80 subscriptions per node.
+  std::size_t min_out = 8;
+  std::size_t max_out = 2'000;
+  /// Exponent of the per-user attractiveness (fitness) law that shapes the
+  /// in-degree distribution; the paper measures ≈1.65 for both directions.
+  double attractiveness_alpha = 1.65;
+};
+
+struct TwitterStats {
+  std::size_t users = 0;
+  std::size_t follow_edges = 0;       // excluding self-subscriptions
+  double mean_out_degree = 0.0;       // followees per user
+  std::uint64_t max_out_degree = 0;
+  std::uint64_t max_in_degree = 0;
+  double alpha_out_mle = 0.0;         // fitted power-law exponents
+  double alpha_in_mle = 0.0;
+};
+
+/// Generate the full synthetic follower graph as a SubscriptionTable with
+/// topic_count == users.
+[[nodiscard]] pubsub::SubscriptionTable make_twitter_subscriptions(
+    const TwitterModelParams& params, sim::Rng& rng);
+
+/// Degree statistics of a Twitter-shaped table (self-subscriptions are
+/// excluded from the counts, matching the trace semantics).
+[[nodiscard]] TwitterStats analyze_twitter(
+    const pubsub::SubscriptionTable& table);
+
+/// The paper's sampling procedure (§IV-E): seed users are drawn at random,
+/// their followees are added, relations among the sample are kept and
+/// subscriptions to outside users dropped. Returns a re-indexed table with
+/// ≈ `target_nodes` nodes (== topics).
+[[nodiscard]] pubsub::SubscriptionTable sample_twitter(
+    const pubsub::SubscriptionTable& full, std::size_t target_nodes,
+    sim::Rng& rng);
+
+}  // namespace vitis::workload

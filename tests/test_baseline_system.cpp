@@ -1,0 +1,134 @@
+// Behaviors of the shared baseline scaffolding, exercised through the RVR
+// subclass (the base class is abstract).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/rvr/rvr_system.hpp"
+#include "ids/hash.hpp"
+#include "workload/scenario.hpp"
+
+namespace vitis::baselines {
+namespace {
+
+workload::SyntheticScenario scenario_for(std::uint64_t seed) {
+  workload::SyntheticScenarioParams params;
+  params.subscriptions.nodes = 200;
+  params.subscriptions.topics = 80;
+  params.subscriptions.subs_per_node = 10;
+  params.subscriptions.pattern =
+      workload::CorrelationPattern::kLowCorrelation;
+  params.events = 40;
+  params.seed = seed;
+  return workload::make_synthetic_scenario(params);
+}
+
+TEST(BaselineConfig, Validation) {
+  BaselineConfig config;
+  EXPECT_NO_THROW(config.validate());
+  config.routing_table_size = 1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = BaselineConfig{};
+  config.view_size = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = BaselineConfig{};
+  config.bootstrap_contacts = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = BaselineConfig{};
+  config.lookup_hop_budget = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(BaselineSystem, JoinGraceExcludesFreshNodes) {
+  const auto scenario = scenario_for(3);
+  rvr::RvrConfig config;
+  config.base.join_grace_cycles = 5;
+  auto system = workload::make_rvr(scenario, config, 3,
+                                   /*start_online=*/false);
+  for (ids::NodeIndex n = 0; n < 200; ++n) system->node_join(n);
+  system->run_cycles(2);  // less than the grace period
+
+  // Every subscriber is inside the grace window: zero expected deliveries.
+  const ids::TopicIndex topic = 1;
+  const auto subscribers = system->subscriptions().subscribers(topic);
+  ASSERT_FALSE(subscribers.empty());
+  const auto report = system->publish(topic, subscribers[0]);
+  EXPECT_EQ(report.expected, 0u);
+  EXPECT_DOUBLE_EQ(report.hit_ratio(), 1.0);
+
+  // After the grace period they are accountable.
+  system->run_cycles(6);
+  const auto later = system->publish(topic, subscribers[0]);
+  EXPECT_GT(later.expected, 0u);
+}
+
+TEST(BaselineSystem, OverlaySnapshotExcludesDeadNodes) {
+  const auto scenario = scenario_for(5);
+  auto system = workload::make_rvr(scenario, rvr::RvrConfig{}, 5);
+  system->run_cycles(20);
+  system->node_leave(7);
+  const auto overlay = system->overlay_snapshot();
+  EXPECT_EQ(overlay.degree(7), 0u);
+}
+
+TEST(BaselineSystem, LookupSkipsDeadNeighbors) {
+  const auto scenario = scenario_for(7);
+  auto system = workload::make_rvr(scenario, rvr::RvrConfig{}, 7);
+  system->run_cycles(25);
+  // Kill a band of nodes; lookups must still converge via alive routes.
+  for (ids::NodeIndex n = 50; n < 80; ++n) system->node_leave(n);
+  for (int probe = 0; probe < 20; ++probe) {
+    const auto origin = static_cast<ids::NodeIndex>(probe);
+    const auto result =
+        system->lookup(origin, ids::topic_ring_id(
+                                   static_cast<ids::TopicIndex>(probe)));
+    EXPECT_TRUE(result.converged);
+    for (const ids::NodeIndex hop : result.path) {
+      EXPECT_TRUE(system->is_alive(hop)) << "routed through dead node";
+    }
+  }
+}
+
+TEST(BaselineSystem, RejoinResetsJoinCycleAccounting) {
+  const auto scenario = scenario_for(9);
+  rvr::RvrConfig config;
+  config.base.join_grace_cycles = 3;
+  auto system = workload::make_rvr(scenario, config, 9);
+  system->run_cycles(15);
+
+  const ids::TopicIndex topic = 2;
+  const auto subscribers = system->subscriptions().subscribers(topic);
+  ASSERT_GT(subscribers.size(), 2u);
+  const ids::NodeIndex bouncer = subscribers[0];
+  const std::size_t expected_before =
+      system->publish(topic, subscribers[1]).expected;
+
+  system->node_leave(bouncer);
+  system->node_join(bouncer);  // freshly rejoined: inside grace again
+  const std::size_t expected_after =
+      system->publish(topic, subscribers[1]).expected;
+  EXPECT_EQ(expected_after, expected_before - 1);
+}
+
+TEST(BaselineSystem, RingIdsMatchHashFunction) {
+  const auto scenario = scenario_for(11);
+  auto system = workload::make_rvr(scenario, rvr::RvrConfig{}, 11);
+  for (ids::NodeIndex n = 0; n < 20; ++n) {
+    EXPECT_EQ(system->ring_id(n), ids::node_ring_id(n));
+  }
+}
+
+TEST(BaselineSystem, AliveCountTracksChurn) {
+  const auto scenario = scenario_for(13);
+  auto system = workload::make_rvr(scenario, rvr::RvrConfig{}, 13);
+  EXPECT_EQ(system->alive_count(), 200u);
+  system->node_leave(0);
+  system->node_leave(1);
+  system->node_leave(0);  // idempotent
+  EXPECT_EQ(system->alive_count(), 198u);
+  system->node_join(0);
+  EXPECT_EQ(system->alive_count(), 199u);
+}
+
+}  // namespace
+}  // namespace vitis::baselines

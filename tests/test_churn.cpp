@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "sim/churn.hpp"
+
+namespace vitis::sim {
+namespace {
+
+ChurnTrace simple_trace() {
+  return ChurnTrace({
+      {0.0, 0, true},
+      {1.0, 1, true},
+      {2.0, 0, false},
+      {3.0, 2, true},
+      {4.0, 1, false},
+  });
+}
+
+TEST(ChurnTrace, SortsEventsByTime) {
+  ChurnTrace trace({{5.0, 0, false}, {1.0, 0, true}, {3.0, 1, true}});
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.events()[0].time_s, 1.0);
+  EXPECT_DOUBLE_EQ(trace.events()[1].time_s, 3.0);
+  EXPECT_DOUBLE_EQ(trace.events()[2].time_s, 5.0);
+}
+
+TEST(ChurnTrace, DurationAndUniverse) {
+  const auto trace = simple_trace();
+  EXPECT_DOUBLE_EQ(trace.duration_s(), 4.0);
+  EXPECT_EQ(trace.universe_size(), 3u);
+  EXPECT_EQ(ChurnTrace{}.universe_size(), 0u);
+  EXPECT_DOUBLE_EQ(ChurnTrace{}.duration_s(), 0.0);
+}
+
+TEST(ChurnTrace, EventsBetweenHalfOpenInterval) {
+  const auto trace = simple_trace();
+  const auto window = trace.events_between(1.0, 3.0);
+  ASSERT_EQ(window.size(), 2u);
+  EXPECT_DOUBLE_EQ(window[0].time_s, 1.0);
+  EXPECT_DOUBLE_EQ(window[1].time_s, 2.0);
+  EXPECT_TRUE(trace.events_between(10.0, 20.0).empty());
+}
+
+TEST(ChurnTrace, PopulationAt) {
+  const auto trace = simple_trace();
+  EXPECT_EQ(trace.population_at(0.5), 1u);
+  EXPECT_EQ(trace.population_at(1.5), 2u);
+  EXPECT_EQ(trace.population_at(2.5), 1u);
+  EXPECT_EQ(trace.population_at(3.5), 2u);
+  EXPECT_EQ(trace.population_at(100.0), 1u);  // node 1 left, 2 stayed
+}
+
+TEST(ChurnPlayback, AppliesEventsInOrder) {
+  const auto trace = simple_trace();
+  CycleEngine engine(3, Rng(1));
+  ChurnPlayback playback(trace, engine);
+
+  auto changes = playback.advance_to(1.5);
+  EXPECT_EQ(changes.joined, (std::vector<ids::NodeIndex>{0, 1}));
+  EXPECT_TRUE(changes.left.empty());
+  EXPECT_EQ(engine.alive_count(), 2u);
+
+  changes = playback.advance_to(4.5);
+  EXPECT_EQ(changes.joined, (std::vector<ids::NodeIndex>{2}));
+  EXPECT_EQ(changes.left, (std::vector<ids::NodeIndex>{0, 1}));
+  EXPECT_EQ(engine.alive_count(), 1u);
+  EXPECT_TRUE(playback.finished());
+}
+
+TEST(ChurnPlayback, SkipsRedundantEvents) {
+  ChurnTrace trace({{1.0, 0, true}, {2.0, 0, true}, {3.0, 0, false}});
+  CycleEngine engine(1, Rng(1));
+  ChurnPlayback playback(trace, engine);
+  const auto changes = playback.advance_to(2.5);
+  EXPECT_EQ(changes.joined.size(), 1u);  // the duplicate join is swallowed
+  EXPECT_EQ(engine.alive_count(), 1u);
+}
+
+TEST(ChurnPlayback, HalfOpenBoundary) {
+  ChurnTrace trace({{1.0, 0, true}});
+  CycleEngine engine(1, Rng(1));
+  ChurnPlayback playback(trace, engine);
+  // advance_to(t) applies events with time < t strictly.
+  EXPECT_TRUE(playback.advance_to(1.0).joined.empty());
+  EXPECT_EQ(playback.advance_to(1.01).joined.size(), 1u);
+}
+
+}  // namespace
+}  // namespace vitis::sim

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workload/churn_driver.hpp"
+
+namespace vitis::workload {
+namespace {
+
+sim::ChurnTrace trace3() {
+  return sim::ChurnTrace({
+      {1.0, 0, true},
+      {2.0, 1, true},
+      {3.0, 0, false},
+  });
+}
+
+TEST(ChurnDriver, FansOutToAllHooks) {
+  const auto trace = trace3();
+  ChurnDriver driver(trace);
+  std::vector<std::pair<ids::NodeIndex, bool>> a;
+  std::vector<std::pair<ids::NodeIndex, bool>> b;
+  driver.add_hook([&](ids::NodeIndex n, bool join) { a.emplace_back(n, join); });
+  driver.add_hook([&](ids::NodeIndex n, bool join) { b.emplace_back(n, join); });
+
+  EXPECT_EQ(driver.advance_to(2.5), 2u);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0], (std::pair<ids::NodeIndex, bool>{0, true}));
+  EXPECT_EQ(a[1], (std::pair<ids::NodeIndex, bool>{1, true}));
+
+  EXPECT_EQ(driver.advance_to(10.0), 1u);
+  EXPECT_TRUE(driver.finished());
+  EXPECT_EQ(a.back(), (std::pair<ids::NodeIndex, bool>{0, false}));
+}
+
+TEST(ChurnDriver, StrictHalfOpenBoundary) {
+  const auto trace = trace3();
+  ChurnDriver driver(trace);
+  int fired = 0;
+  driver.add_hook([&](ids::NodeIndex, bool) { ++fired; });
+  EXPECT_EQ(driver.advance_to(1.0), 0u);  // events at exactly t not applied
+  EXPECT_EQ(driver.advance_to(1.0001), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ChurnDriver, AttachUsesJoinLeaveMembers) {
+  struct FakeSystem {
+    std::vector<ids::NodeIndex> joined;
+    std::vector<ids::NodeIndex> left;
+    void node_join(ids::NodeIndex n) { joined.push_back(n); }
+    void node_leave(ids::NodeIndex n) { left.push_back(n); }
+  };
+  const auto trace = trace3();
+  ChurnDriver driver(trace);
+  FakeSystem fake;
+  driver.attach(fake);
+  (void)driver.advance_to(100.0);
+  EXPECT_EQ(fake.joined, (std::vector<ids::NodeIndex>{0, 1}));
+  EXPECT_EQ(fake.left, (std::vector<ids::NodeIndex>{0}));
+}
+
+TEST(ChurnDriver, PositionAdvancesMonotonically) {
+  const auto trace = trace3();
+  ChurnDriver driver(trace);
+  (void)driver.advance_to(5.0);
+  EXPECT_DOUBLE_EQ(driver.position_s(), 5.0);
+  EXPECT_EQ(driver.advance_to(5.0), 0u);  // same time is allowed, no-op
+}
+
+TEST(ChurnDriver, EmptyTrace) {
+  sim::ChurnTrace trace;
+  ChurnDriver driver(trace);
+  EXPECT_TRUE(driver.finished());
+  EXPECT_EQ(driver.advance_to(10.0), 0u);
+}
+
+}  // namespace
+}  // namespace vitis::workload

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cycle_engine.hpp"
+
+namespace vitis::sim {
+namespace {
+
+TEST(CycleEngine, StartsWithEveryoneDead) {
+  CycleEngine engine(10, Rng(1));
+  EXPECT_EQ(engine.alive_count(), 0u);
+  EXPECT_EQ(engine.node_count(), 10u);
+  EXPECT_TRUE(engine.alive_nodes().empty());
+}
+
+TEST(CycleEngine, AliveBookkeeping) {
+  CycleEngine engine(5, Rng(1));
+  engine.set_alive(0, true);
+  engine.set_alive(3, true);
+  EXPECT_EQ(engine.alive_count(), 2u);
+  EXPECT_TRUE(engine.is_alive(0));
+  EXPECT_FALSE(engine.is_alive(1));
+  engine.set_alive(0, true);  // idempotent
+  EXPECT_EQ(engine.alive_count(), 2u);
+  engine.set_alive(0, false);
+  EXPECT_EQ(engine.alive_count(), 1u);
+  EXPECT_EQ(engine.alive_nodes(), std::vector<ids::NodeIndex>{3});
+}
+
+TEST(CycleEngine, ProtocolRunsOncePerAliveNodePerCycle) {
+  CycleEngine engine(6, Rng(2));
+  for (ids::NodeIndex i = 0; i < 4; ++i) engine.set_alive(i, true);
+  std::vector<int> calls(6, 0);
+  engine.add_protocol("count", [&](ids::NodeIndex node, std::size_t) {
+    ++calls[node];
+  });
+  engine.run(3);
+  for (ids::NodeIndex i = 0; i < 4; ++i) EXPECT_EQ(calls[i], 3);
+  EXPECT_EQ(calls[4], 0);
+  EXPECT_EQ(calls[5], 0);
+  EXPECT_EQ(engine.cycle(), 3u);
+}
+
+TEST(CycleEngine, ProtocolsRunInRegistrationOrder) {
+  CycleEngine engine(2, Rng(3));
+  engine.set_alive(0, true);
+  std::vector<int> trace;
+  engine.add_protocol("first", [&](ids::NodeIndex, std::size_t) {
+    trace.push_back(1);
+  });
+  engine.add_protocol("second", [&](ids::NodeIndex, std::size_t) {
+    trace.push_back(2);
+  });
+  engine.run(2);
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 1, 2}));
+}
+
+TEST(CycleEngine, HookRunsAfterProtocols) {
+  CycleEngine engine(3, Rng(4));
+  engine.set_alive(0, true);
+  engine.set_alive(1, true);
+  std::vector<int> trace;
+  engine.add_protocol("p", [&](ids::NodeIndex, std::size_t) {
+    trace.push_back(0);
+  });
+  engine.add_cycle_hook("h", [&](std::size_t cycle) {
+    trace.push_back(100 + static_cast<int>(cycle));
+  });
+  engine.run(2);
+  EXPECT_EQ(trace, (std::vector<int>{0, 0, 100, 0, 0, 101}));
+}
+
+TEST(CycleEngine, NodeKilledMidCycleIsSkippedByLaterProtocols) {
+  CycleEngine engine(2, Rng(5));
+  engine.set_alive(0, true);
+  engine.set_alive(1, true);
+  int second_protocol_runs = 0;
+  engine.add_protocol("killer", [&](ids::NodeIndex node, std::size_t) {
+    if (node == 1) engine.set_alive(1, false);
+  });
+  engine.add_protocol("observer", [&](ids::NodeIndex node, std::size_t) {
+    if (node == 1) ++second_protocol_runs;
+  });
+  engine.run(1);
+  EXPECT_EQ(second_protocol_runs, 0);
+}
+
+TEST(CycleEngine, ActivationOrderVariesAcrossCycles) {
+  CycleEngine engine(50, Rng(6));
+  for (ids::NodeIndex i = 0; i < 50; ++i) engine.set_alive(i, true);
+  std::vector<std::vector<ids::NodeIndex>> orders;
+  orders.emplace_back();
+  engine.add_protocol("record", [&](ids::NodeIndex node, std::size_t) {
+    orders.back().push_back(node);
+  });
+  engine.add_cycle_hook("next", [&](std::size_t) { orders.emplace_back(); });
+  engine.run(3);
+  ASSERT_GE(orders.size(), 3u);
+  EXPECT_NE(orders[0], orders[1]);  // shuffled per cycle
+}
+
+TEST(CycleEngine, CycleCounterAdvancesAcrossRuns) {
+  CycleEngine engine(1, Rng(7));
+  engine.set_alive(0, true);
+  engine.run(2);
+  engine.run(3);
+  EXPECT_EQ(engine.cycle(), 5u);
+}
+
+}  // namespace
+}  // namespace vitis::sim

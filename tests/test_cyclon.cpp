@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "gossip/cyclon.hpp"
+#include "gossip/sampling_service.hpp"
+#include "ids/hash.hpp"
+
+namespace vitis::gossip {
+namespace {
+
+class CyclonFixture : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNodes = 60;
+
+  CyclonFixture() {
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      ring_ids_.push_back(ids::node_ring_id(static_cast<ids::NodeIndex>(i)));
+      alive_.push_back(true);
+    }
+    service_ = std::make_unique<CyclonSampling>(
+        ring_ids_, /*view_size=*/8, /*shuffle_size=*/4,
+        [this](ids::NodeIndex n) { return alive_[n]; }, sim::Rng(7));
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      std::vector<ids::NodeIndex> contacts;
+      for (std::size_t k = 1; k <= 3; ++k) {
+        contacts.push_back(static_cast<ids::NodeIndex>((i + k) % kNodes));
+      }
+      service_->init_node(static_cast<ids::NodeIndex>(i), contacts);
+    }
+  }
+
+  void run_rounds(int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      for (std::size_t i = 0; i < kNodes; ++i) {
+        service_->step(static_cast<ids::NodeIndex>(i));
+      }
+    }
+  }
+
+  std::vector<ids::RingId> ring_ids_;
+  std::vector<bool> alive_;
+  std::unique_ptr<CyclonSampling> service_;
+};
+
+TEST_F(CyclonFixture, ViewsNeverContainSelf) {
+  run_rounds(20);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    EXPECT_FALSE(service_->view(static_cast<ids::NodeIndex>(i))
+                     .contains(static_cast<ids::NodeIndex>(i)));
+  }
+}
+
+TEST_F(CyclonFixture, ViewsStayBounded) {
+  run_rounds(20);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    EXPECT_LE(service_->view(static_cast<ids::NodeIndex>(i)).size(), 8u);
+  }
+}
+
+TEST_F(CyclonFixture, ViewsDiversifyBeyondBootstrap) {
+  run_rounds(25);
+  std::size_t diversified = 0;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    for (const auto& d :
+         service_->view(static_cast<ids::NodeIndex>(i)).entries()) {
+      const std::size_t forward_gap = (d.node + kNodes - i) % kNodes;
+      if (forward_gap > 3) {
+        ++diversified;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(diversified, kNodes / 2);
+}
+
+TEST_F(CyclonFixture, DeadPeersGetEvicted) {
+  run_rounds(10);
+  for (std::size_t i = 0; i < kNodes; i += 4) {
+    alive_[i] = false;
+    service_->remove_node(static_cast<ids::NodeIndex>(i));
+  }
+  run_rounds(30);
+  std::size_t dead_refs = 0;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    if (!alive_[i]) continue;
+    for (const auto& d :
+         service_->view(static_cast<ids::NodeIndex>(i)).entries()) {
+      if (!alive_[d.node]) ++dead_refs;
+    }
+  }
+  // The tail shuffle probes oldest entries first, so dead references decay
+  // quickly; a stray one or two may persist in a 60-node run.
+  EXPECT_LE(dead_refs, 3u);
+}
+
+TEST_F(CyclonFixture, SampleFiltersDeadAndIsDistinct) {
+  run_rounds(10);
+  alive_[1] = false;
+  const auto sample = service_->sample(0, 6);
+  std::set<ids::NodeIndex> unique;
+  for (const auto& d : sample) {
+    EXPECT_TRUE(alive_[d.node]);
+    unique.insert(d.node);
+  }
+  EXPECT_EQ(unique.size(), sample.size());
+}
+
+TEST(SamplingFactory, BuildsBothPolicies) {
+  std::vector<ids::RingId> ring_ids{1, 2, 3};
+  const auto alive = [](ids::NodeIndex) { return true; };
+  const auto newscast = make_sampling_service(
+      SamplingPolicy::kNewscast, ring_ids, 4, alive, sim::Rng(1));
+  const auto cyclon = make_sampling_service(SamplingPolicy::kCyclon, ring_ids,
+                                            4, alive, sim::Rng(1));
+  ASSERT_NE(newscast, nullptr);
+  ASSERT_NE(cyclon, nullptr);
+  EXPECT_EQ(newscast->self_descriptor(1).id, ring_ids[1]);
+  EXPECT_EQ(cyclon->self_descriptor(2).id, ring_ids[2]);
+  EXPECT_STREQ(to_string(SamplingPolicy::kNewscast), "newscast");
+  EXPECT_STREQ(to_string(SamplingPolicy::kCyclon), "cyclon");
+}
+
+}  // namespace
+}  // namespace vitis::gossip

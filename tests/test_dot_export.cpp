@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "analysis/dot_export.hpp"
+
+namespace vitis::analysis {
+namespace {
+
+TEST(DotExport, EmitsEachUndirectedEdgeOnce) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("graph overlay {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1;"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -- n2;"), std::string::npos);
+  EXPECT_EQ(dot.find("n1 -- n0;"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(DotExport, OmitsIsolatedNodes) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const std::string dot = to_dot(g);
+  EXPECT_EQ(dot.find("n2"), std::string::npos);
+}
+
+TEST(DotExport, AppliesLabelsAndColors) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  DotStyle style;
+  style.graph_name = "demo";
+  style.label = [](ids::NodeIndex n) { return "node-" + std::to_string(n); };
+  style.color = [](ids::NodeIndex n) {
+    return n == 0 ? std::string("red") : std::string("blue");
+  };
+  const std::string dot = to_dot(g, style);
+  EXPECT_NE(dot.find("graph demo {"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"node-0\""), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=\"red\""), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=\"blue\""), std::string::npos);
+}
+
+TEST(DotExport, TopicStyleClassifiesRoles) {
+  const auto style = topic_style(
+      [](ids::NodeIndex n) { return n == 0; },   // subscriber
+      [](ids::NodeIndex n) { return n == 1; });  // relay
+  ASSERT_TRUE(style.color);
+  EXPECT_EQ(style.color(0), "lightblue");
+  EXPECT_EQ(style.color(1), "orange");
+  EXPECT_EQ(style.color(2), "gray90");
+}
+
+TEST(DotExport, EmptyGraph) {
+  Graph g(0);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("graph overlay {"), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vitis::analysis

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/vitis_system.hpp"
+#include "sim/event_queue.hpp"
+#include "workload/scenario.hpp"
+
+namespace vitis {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  sim::EventQueue<int> queue;
+  queue.schedule(3.0, 30);
+  queue.schedule(1.0, 10);
+  queue.schedule(2.0, 20);
+  EXPECT_EQ(queue.pop().payload, 10);
+  EXPECT_EQ(queue.pop().payload, 20);
+  EXPECT_EQ(queue.pop().payload, 30);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, ClockAdvancesWithPops) {
+  sim::EventQueue<int> queue;
+  EXPECT_DOUBLE_EQ(queue.now(), 0.0);
+  queue.schedule(5.0, 1);
+  queue.schedule(7.5, 2);
+  (void)queue.pop();
+  EXPECT_DOUBLE_EQ(queue.now(), 5.0);
+  (void)queue.pop();
+  EXPECT_DOUBLE_EQ(queue.now(), 7.5);
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo) {
+  sim::EventQueue<std::string> queue;
+  queue.schedule(1.0, "first");
+  queue.schedule(1.0, "second");
+  queue.schedule(1.0, "third");
+  EXPECT_EQ(queue.pop().payload, "first");
+  EXPECT_EQ(queue.pop().payload, "second");
+  EXPECT_EQ(queue.pop().payload, "third");
+}
+
+TEST(EventQueue, SchedulingWhileDraining) {
+  sim::EventQueue<int> queue;
+  queue.schedule(1.0, 1);
+  const auto event = queue.pop();
+  queue.schedule(event.time + 1.0, 2);  // relative scheduling pattern
+  EXPECT_EQ(queue.pop().payload, 2);
+  EXPECT_DOUBLE_EQ(queue.now(), 2.0);
+}
+
+TEST(EventQueue, ClearResets) {
+  sim::EventQueue<int> queue;
+  queue.schedule(9.0, 1);
+  (void)queue.pop();
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_DOUBLE_EQ(queue.now(), 0.0);
+  queue.schedule(0.5, 2);  // earlier than the old clock: fine after clear
+  EXPECT_EQ(queue.pop().payload, 2);
+}
+
+class TimedPublishFixture : public ::testing::Test {
+ protected:
+  TimedPublishFixture() {
+    workload::SyntheticScenarioParams params;
+    params.subscriptions.nodes = 250;
+    params.subscriptions.topics = 100;
+    params.subscriptions.subs_per_node = 12;
+    params.subscriptions.pattern =
+        workload::CorrelationPattern::kLowCorrelation;
+    params.events = 40;
+    params.seed = 55;
+    scenario_ = std::make_unique<workload::SyntheticScenario>(
+        workload::make_synthetic_scenario(params));
+    system_ = workload::make_vitis(*scenario_, core::VitisConfig{}, 55);
+    system_->run_cycles(30);
+  }
+
+  std::unique_ptr<workload::SyntheticScenario> scenario_;
+  std::unique_ptr<core::VitisSystem> system_;
+};
+
+TEST_F(TimedPublishFixture, MatchesHopPublishWithoutCoordinates) {
+  // With unit link latencies the event-driven dissemination must reach the
+  // same set with the same hop counts as the BFS variant.
+  for (std::size_t i = 0; i < 15; ++i) {
+    const auto& [topic, publisher] = scenario_->schedule[i];
+    const auto timed = system_->publish_timed(topic, publisher);
+    const auto plain = system_->publish(topic, publisher);
+    EXPECT_EQ(timed.base.delivered, plain.delivered);
+    EXPECT_EQ(timed.base.expected, plain.expected);
+    EXPECT_EQ(timed.base.delay_sum, plain.delay_sum);
+    // Unit latencies: ms delay equals hop delay exactly.
+    EXPECT_DOUBLE_EQ(timed.delay_ms_sum,
+                     static_cast<double>(plain.delay_sum));
+  }
+}
+
+TEST_F(TimedPublishFixture, CoordinatesProduceRealisticLatencies) {
+  sim::Rng rng(56);
+  system_->set_coordinates(
+      sim::random_coordinates(system_->node_count(), rng));
+  const auto& [topic, publisher] = scenario_->schedule[0];
+  const auto timed = system_->publish_timed(topic, publisher);
+  ASSERT_GT(timed.base.delivered, 0u);
+  EXPECT_GT(timed.mean_delay_ms(), 1.0);
+  EXPECT_GE(timed.max_delay_ms, timed.mean_delay_ms());
+  // Even the slowest delivery is a small number of link traversals.
+  EXPECT_LT(timed.max_delay_ms,
+            static_cast<double>(timed.base.max_delay + 1) *
+                (sim::kMaxLatencyMs + 1.0));
+}
+
+TEST_F(TimedPublishFixture, EarliestArrivalIsNoSlowerThanAnyPath) {
+  // Event-driven visiting takes the earliest arrival: delivering later than
+  // max_hops * max_link_latency would be a contradiction.
+  sim::Rng rng(57);
+  system_->set_coordinates(
+      sim::random_coordinates(system_->node_count(), rng));
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto& [topic, publisher] = scenario_->schedule[i];
+    const auto timed = system_->publish_timed(topic, publisher);
+    if (timed.base.delivered == 0) continue;
+    EXPECT_LE(timed.mean_delay_ms() / (sim::kMaxLatencyMs + 1.0),
+              static_cast<double>(timed.base.max_delay));
+  }
+}
+
+}  // namespace
+}  // namespace vitis

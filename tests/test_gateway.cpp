@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "core/gateway.hpp"
+
+namespace vitis::core {
+namespace {
+
+// Fixed geometry for readability: topic hash at 1000; smaller |id - 1000|
+// is closer.
+constexpr ids::RingId kTopicHash = 1000;
+
+ElectionInput input(ids::NodeIndex self, ids::RingId self_id,
+                    std::uint32_t d = 5) {
+  return ElectionInput{self, self_id, kTopicHash, d};
+}
+
+NeighborProposal neighbor(ids::NodeIndex who, ids::NodeIndex gw,
+                          ids::RingId gw_id, ids::NodeIndex parent,
+                          std::uint32_t hops, bool parent_in_rt) {
+  return NeighborProposal{who, GatewayProposal{gw, gw_id, parent, hops},
+                          parent_in_rt};
+}
+
+TEST(GatewayElection, NoNeighborsMeansSelfGateway) {
+  const auto prop = elect_gateway(input(1, 900), {});
+  EXPECT_EQ(prop.gateway, 1u);
+  EXPECT_EQ(prop.parent, 1u);
+  EXPECT_EQ(prop.hops, 0u);
+  EXPECT_TRUE(is_self_gateway(1, prop));
+}
+
+TEST(GatewayElection, AdoptsCloserGateway) {
+  // Self at 900 (distance 100); neighbor proposes gateway at 990
+  // (distance 10) via itself.
+  const std::vector<NeighborProposal> neighbors{
+      neighbor(2, 7, 990, 2, 0, true)};
+  const auto prop = elect_gateway(input(1, 900), neighbors);
+  EXPECT_EQ(prop.gateway, 7u);
+  EXPECT_EQ(prop.parent, 2u);
+  EXPECT_EQ(prop.hops, 1u);
+  EXPECT_FALSE(is_self_gateway(1, prop));
+}
+
+TEST(GatewayElection, RejectsFartherGateway) {
+  // Self at 990 is already closer than the proposed 900.
+  const std::vector<NeighborProposal> neighbors{
+      neighbor(2, 7, 900, 2, 0, true)};
+  const auto prop = elect_gateway(input(1, 990), neighbors);
+  EXPECT_EQ(prop.gateway, 1u);
+}
+
+TEST(GatewayElection, DepthThresholdBlocksDeepProposals) {
+  // Proposal already 4 hops away with d=5: hops+1 == 5 is not < 5.
+  const std::vector<NeighborProposal> neighbors{
+      neighbor(2, 7, 999, 2, 4, true)};
+  const auto prop = elect_gateway(input(1, 900, /*d=*/5), neighbors);
+  EXPECT_EQ(prop.gateway, 1u);  // rejected, stays self
+
+  // With a deeper threshold it is accepted.
+  const auto prop_deep = elect_gateway(input(1, 900, /*d=*/6), neighbors);
+  EXPECT_EQ(prop_deep.gateway, 7u);
+  EXPECT_EQ(prop_deep.hops, 5u);
+}
+
+TEST(GatewayElection, PicksClosestAmongMany) {
+  const std::vector<NeighborProposal> neighbors{
+      neighbor(2, 7, 980, 2, 0, true),
+      neighbor(3, 8, 995, 3, 1, true),
+      neighbor(4, 9, 970, 4, 0, true),
+  };
+  const auto prop = elect_gateway(input(1, 900), neighbors);
+  EXPECT_EQ(prop.gateway, 8u);  // 995 is closest to 1000
+  EXPECT_EQ(prop.parent, 3u);
+  EXPECT_EQ(prop.hops, 2u);
+}
+
+TEST(GatewayElection, ShorterPathToSameGatewayWins) {
+  const std::vector<NeighborProposal> neighbors{
+      neighbor(2, 7, 990, 2, 3, true),  // gateway 7 via 4 hops
+      neighbor(3, 7, 990, 3, 0, true),  // gateway 7 via 1 hop
+  };
+  const auto prop = elect_gateway(input(1, 900), neighbors);
+  EXPECT_EQ(prop.gateway, 7u);
+  EXPECT_EQ(prop.hops, 1u);
+  EXPECT_EQ(prop.parent, 3u);
+}
+
+TEST(GatewayElection, LoopAvoidanceFilter) {
+  // Line 7: a proposal is admissible only if the neighbor is its parent or
+  // the parent is outside our neighborhood.
+  const std::vector<NeighborProposal> filtered{
+      // Parent is some third node that IS in our RT, and the neighbor is
+      // not the parent: inadmissible.
+      neighbor(2, 7, 999, /*parent=*/9, 0, /*parent_in_rt=*/true)};
+  EXPECT_EQ(elect_gateway(input(1, 900), filtered).gateway, 1u);
+
+  const std::vector<NeighborProposal> admissible{
+      // Same proposal, but the parent is outside our RT: admissible.
+      neighbor(2, 7, 999, /*parent=*/9, 0, /*parent_in_rt=*/false)};
+  EXPECT_EQ(elect_gateway(input(1, 900), admissible).gateway, 7u);
+}
+
+TEST(GatewayElection, NeverAdoptsProposalPointingBackAtSelf) {
+  // A proposal whose parent is ourselves would create a routing loop.
+  const std::vector<NeighborProposal> neighbors{
+      neighbor(2, 7, 999, /*parent=*/1, 0, /*parent_in_rt=*/false)};
+  const auto prop = elect_gateway(input(1, 900), neighbors);
+  EXPECT_EQ(prop.gateway, 1u);
+}
+
+TEST(GatewayElection, IgnoresUninitializedProposals) {
+  const std::vector<NeighborProposal> neighbors{
+      neighbor(2, ids::kInvalidNode, 0, 2, 0, true)};
+  const auto prop = elect_gateway(input(1, 900), neighbors);
+  EXPECT_EQ(prop.gateway, 1u);
+}
+
+TEST(GatewayElection, ConvergesOnALineOfNodes) {
+  // Chain 0-1-2-3 all subscribed; node 3 is closest to the hash. Iterate
+  // the election until stable: everyone should converge to gateway 3 with
+  // hop counts equal to chain distance (d large enough).
+  const ids::RingId node_ids[4] = {400, 600, 800, 950};
+  std::vector<GatewayProposal> props(4);
+  for (ids::NodeIndex i = 0; i < 4; ++i) {
+    props[i] = GatewayProposal{i, node_ids[i], i, 0};
+  }
+  // parent_in_rt as VitisSystem computes it: the parent is ourselves or one
+  // of our chain neighbors.
+  const auto parent_known = [](ids::NodeIndex self, ids::NodeIndex parent) {
+    return parent == self || (parent + 1 == self) || (self + 1 == parent);
+  };
+  for (int round = 0; round < 6; ++round) {
+    std::vector<GatewayProposal> next(4);
+    for (ids::NodeIndex i = 0; i < 4; ++i) {
+      std::vector<NeighborProposal> neighbors;
+      if (i > 0) neighbors.push_back({static_cast<ids::NodeIndex>(i - 1),
+                                      props[i - 1],
+                                      parent_known(i, props[i - 1].parent)});
+      if (i < 3) neighbors.push_back({static_cast<ids::NodeIndex>(i + 1),
+                                      props[i + 1],
+                                      parent_known(i, props[i + 1].parent)});
+      next[i] = elect_gateway(
+          ElectionInput{i, node_ids[i], kTopicHash, 8}, neighbors);
+    }
+    props = next;
+  }
+  for (ids::NodeIndex i = 0; i < 4; ++i) {
+    EXPECT_EQ(props[i].gateway, 3u) << "node " << i;
+    EXPECT_EQ(props[i].hops, 3u - i) << "node " << i;
+  }
+}
+
+TEST(GatewayElection, DepthBoundSplitsLongChains) {
+  // Same chain, but d=2: nodes farther than 1 hop from the best gateway
+  // must elect a nearer one (possibly themselves).
+  const ids::RingId node_ids[4] = {400, 600, 800, 950};
+  std::vector<GatewayProposal> props(4);
+  for (ids::NodeIndex i = 0; i < 4; ++i) {
+    props[i] = GatewayProposal{i, node_ids[i], i, 0};
+  }
+  const auto parent_known = [](ids::NodeIndex self, ids::NodeIndex parent) {
+    return parent == self || (parent + 1 == self) || (self + 1 == parent);
+  };
+  for (int round = 0; round < 6; ++round) {
+    std::vector<GatewayProposal> next(4);
+    for (ids::NodeIndex i = 0; i < 4; ++i) {
+      std::vector<NeighborProposal> neighbors;
+      if (i > 0) neighbors.push_back({static_cast<ids::NodeIndex>(i - 1),
+                                      props[i - 1],
+                                      parent_known(i, props[i - 1].parent)});
+      if (i < 3) neighbors.push_back({static_cast<ids::NodeIndex>(i + 1),
+                                      props[i + 1],
+                                      parent_known(i, props[i + 1].parent)});
+      next[i] = elect_gateway(
+          ElectionInput{i, node_ids[i], kTopicHash, 2}, neighbors);
+    }
+    props = next;
+  }
+  // Node 3 is gateway; node 2 follows it (1 hop); nodes 0 and 1 are beyond
+  // the depth bound, so a second gateway emerges among them.
+  EXPECT_EQ(props[3].gateway, 3u);
+  EXPECT_EQ(props[2].gateway, 3u);
+  EXPECT_LT(props[1].hops, 2u);
+  EXPECT_LT(props[0].hops, 2u);
+}
+
+}  // namespace
+}  // namespace vitis::core

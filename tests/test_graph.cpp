@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "analysis/components.hpp"
+#include "analysis/graph.hpp"
+
+namespace vitis::analysis {
+namespace {
+
+const auto kAll = [](ids::NodeIndex) { return true; };
+
+TEST(Graph, AddEdgeDeduplicatesAndIgnoresSelfLoops) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);  // duplicate, reversed
+  g.add_edge(2, 2);  // self loop
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(Graph, BfsDistances) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 4);
+  const auto dist = g.bfs_distances(0, kAll);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[3], 3u);
+  EXPECT_EQ(dist[4], 1u);
+  EXPECT_EQ(dist[5], Graph::kUnreachable);
+}
+
+TEST(Graph, BfsAdmitFilterRestrictsPaths) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 3);
+  g.add_edge(3, 2);
+  const auto dist =
+      g.bfs_distances(0, [](ids::NodeIndex n) { return n != 1; });
+  EXPECT_EQ(dist[1], Graph::kUnreachable);
+  EXPECT_EQ(dist[2], 2u);  // forced through node 3
+}
+
+TEST(Graph, InducedComponents) {
+  Graph g(7);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  g.add_edge(2, 3);  // connects, but 3 may be outside the member set
+  const std::vector<ids::NodeIndex> members{0, 1, 2, 4, 5};
+  const auto components = g.induced_components(members);
+  // {0,1,2} connected; {4} isolated (3 excluded); {5} isolated.
+  ASSERT_EQ(components.size(), 3u);
+  std::size_t sizes[3] = {components[0].size(), components[1].size(),
+                          components[2].size()};
+  std::sort(sizes, sizes + 3);
+  EXPECT_EQ(sizes[0], 1u);
+  EXPECT_EQ(sizes[1], 1u);
+  EXPECT_EQ(sizes[2], 3u);
+}
+
+TEST(Graph, ComponentDiameter) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const std::vector<ids::NodeIndex> path{0, 1, 2, 3};
+  EXPECT_EQ(g.component_diameter(path), 3u);
+  const std::vector<ids::NodeIndex> single{4};
+  EXPECT_EQ(g.component_diameter(single), 0u);
+}
+
+TEST(Graph, FromRoutingTables) {
+  std::vector<overlay::RoutingTable> tables(3, overlay::RoutingTable(2));
+  tables[0].add({1, 10, overlay::LinkKind::kFriend, 0});
+  tables[1].add({2, 20, overlay::LinkKind::kFriend, 0});
+  tables[2].add({0, 0, overlay::LinkKind::kFriend, 0});
+  const auto g = Graph::from_routing_tables(tables, kAll);
+  EXPECT_EQ(g.edge_count(), 3u);
+
+  // Excluding node 1 removes its incident edges.
+  const auto g2 = Graph::from_routing_tables(
+      tables, [](ids::NodeIndex n) { return n != 1; });
+  EXPECT_EQ(g2.edge_count(), 1u);
+}
+
+TEST(TopicClusters, CountsClustersPerTopic) {
+  // Overlay: 0-1-2 chain and 3-4 pair.
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+
+  std::vector<pubsub::SubscriptionSet> by_node;
+  by_node.emplace_back(std::vector<ids::TopicIndex>{0});      // node 0
+  by_node.emplace_back(std::vector<ids::TopicIndex>{0});      // node 1
+  by_node.emplace_back(std::vector<ids::TopicIndex>{1});      // node 2
+  by_node.emplace_back(std::vector<ids::TopicIndex>{0});      // node 3
+  by_node.emplace_back(std::vector<ids::TopicIndex>{0, 1});   // node 4
+  pubsub::SubscriptionTable table(std::move(by_node), 2);
+
+  // Topic 0 subscribers {0,1,3,4}: {0,1} connected, {3,4} connected -> 2.
+  EXPECT_EQ(topic_clusters(g, table, 0).size(), 2u);
+  // Topic 1 subscribers {2,4}: disconnected -> 2 clusters.
+  EXPECT_EQ(topic_clusters(g, table, 1).size(), 2u);
+
+  const auto stats = all_topic_cluster_stats(g, table);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].subscriber_count, 4u);
+  EXPECT_EQ(stats[0].largest_cluster, 2u);
+  EXPECT_DOUBLE_EQ(mean_clusters_per_topic(g, table), 2.0);
+}
+
+TEST(TopicClusters, SkipsEmptyTopics) {
+  Graph g(2);
+  std::vector<pubsub::SubscriptionSet> by_node(2);
+  pubsub::SubscriptionTable table(std::move(by_node), 3);
+  EXPECT_TRUE(all_topic_cluster_stats(g, table).empty());
+  EXPECT_DOUBLE_EQ(mean_clusters_per_topic(g, table), 0.0);
+}
+
+}  // namespace
+}  // namespace vitis::analysis

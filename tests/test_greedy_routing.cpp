@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "ids/hash.hpp"
+#include "overlay/greedy_routing.hpp"
+#include "sim/rng.hpp"
+
+namespace vitis::overlay {
+namespace {
+
+// A hand-built static overlay: perfect ring over sorted ids plus a few
+// Symphony chords per node. This isolates greedy routing from gossip.
+class StaticOverlay {
+ public:
+  StaticOverlay(std::size_t n, std::size_t chords, std::uint64_t seed) {
+    ids_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids_[i] = ids::node_ring_id(static_cast<ids::NodeIndex>(i));
+    }
+    // Sort indices by ring id to identify true ring neighbors.
+    order_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) order_[i] = static_cast<ids::NodeIndex>(i);
+    std::sort(order_.begin(), order_.end(),
+              [&](ids::NodeIndex a, ids::NodeIndex b) {
+                return ids_[a] < ids_[b];
+              });
+    tables_.assign(n, RoutingTable(2 + chords));
+    sim::Rng rng(seed);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      const ids::NodeIndex node = order_[pos];
+      const ids::NodeIndex succ = order_[(pos + 1) % n];
+      const ids::NodeIndex pred = order_[(pos + n - 1) % n];
+      tables_[node].add({succ, ids_[succ], LinkKind::kSuccessor, 0});
+      tables_[node].add({pred, ids_[pred], LinkKind::kPredecessor, 0});
+      for (std::size_t c = 0; c < chords; ++c) {
+        const auto other = static_cast<ids::NodeIndex>(rng.index(n));
+        if (other != node) {
+          tables_[node].add({other, ids_[other], LinkKind::kSmallWorld, 0});
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] NeighborFn neighbor_fn() const {
+    return [this](ids::NodeIndex n) -> std::span<const RoutingEntry> {
+      return tables_[n].entries();
+    };
+  }
+  [[nodiscard]] std::function<ids::RingId(ids::NodeIndex)> id_fn() const {
+    return [this](ids::NodeIndex n) { return ids_[n]; };
+  }
+
+  [[nodiscard]] ids::NodeIndex globally_closest(ids::RingId target) const {
+    ids::NodeIndex best = 0;
+    for (std::size_t i = 1; i < ids_.size(); ++i) {
+      if (ids::closer_to(target, ids_[i], ids_[best])) {
+        best = static_cast<ids::NodeIndex>(i);
+      }
+    }
+    return best;
+  }
+
+  std::vector<ids::RingId> ids_;
+  std::vector<ids::NodeIndex> order_;
+  std::vector<RoutingTable> tables_;
+};
+
+TEST(GreedyLookup, FindsGloballyClosestNodeOnPerfectRing) {
+  StaticOverlay overlay(200, 3, 11);
+  sim::Rng rng(12);
+  for (int trial = 0; trial < 50; ++trial) {
+    const ids::RingId target = rng.next_u64();
+    const auto origin = static_cast<ids::NodeIndex>(rng.index(200));
+    const auto result = greedy_lookup(overlay.neighbor_fn(), overlay.id_fn(),
+                                      origin, target);
+    EXPECT_TRUE(result.converged);
+    EXPECT_EQ(result.owner, overlay.globally_closest(target))
+        << "trial " << trial;
+  }
+}
+
+TEST(GreedyLookup, PathStartsAtOriginEndsAtOwner) {
+  StaticOverlay overlay(100, 2, 13);
+  const auto result = greedy_lookup(overlay.neighbor_fn(), overlay.id_fn(), 5,
+                                    ids::topic_ring_id(77));
+  ASSERT_FALSE(result.path.empty());
+  EXPECT_EQ(result.path.front(), 5u);
+  EXPECT_EQ(result.path.back(), result.owner);
+  EXPECT_EQ(result.hops(), result.path.size() - 1);
+}
+
+TEST(GreedyLookup, PathIsLoopFree) {
+  StaticOverlay overlay(300, 3, 17);
+  sim::Rng rng(18);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto result =
+        greedy_lookup(overlay.neighbor_fn(), overlay.id_fn(),
+                      static_cast<ids::NodeIndex>(rng.index(300)),
+                      rng.next_u64());
+    auto path = result.path;
+    std::sort(path.begin(), path.end());
+    EXPECT_EQ(std::adjacent_find(path.begin(), path.end()), path.end());
+  }
+}
+
+TEST(GreedyLookup, SelfLookupTerminatesImmediately) {
+  StaticOverlay overlay(50, 2, 19);
+  const auto result = greedy_lookup(overlay.neighbor_fn(), overlay.id_fn(), 7,
+                                    overlay.ids_[7]);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.owner, 7u);
+  EXPECT_EQ(result.hops(), 0u);
+}
+
+TEST(GreedyLookup, HopBudgetFlagsNonConvergence) {
+  StaticOverlay overlay(400, 0, 23);  // ring only: O(n) routing
+  const auto result = greedy_lookup(overlay.neighbor_fn(), overlay.id_fn(), 0,
+                                    ids::topic_ring_id(1), /*max_hops=*/3);
+  // With only 3 hops on a 400-node ring, most targets are unreachable.
+  if (!result.converged) {
+    EXPECT_EQ(result.path.size(), 4u);  // origin + 3 hops
+  }
+}
+
+TEST(GreedyLookup, ChordsShortenPaths) {
+  StaticOverlay ring_only(500, 0, 29);
+  StaticOverlay with_chords(500, 4, 29);
+  sim::Rng rng(30);
+  std::size_t ring_hops = 0;
+  std::size_t chord_hops = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const ids::RingId target = rng.next_u64();
+    const auto origin = static_cast<ids::NodeIndex>(rng.index(500));
+    ring_hops += greedy_lookup(ring_only.neighbor_fn(), ring_only.id_fn(),
+                               origin, target, 1000)
+                     .hops();
+    chord_hops += greedy_lookup(with_chords.neighbor_fn(),
+                                with_chords.id_fn(), origin, target, 1000)
+                      .hops();
+  }
+  EXPECT_LT(chord_hops * 3, ring_hops);  // chords cut hops dramatically
+}
+
+TEST(GreedyLookup, IsolatedNodeOwnsEverything) {
+  RoutingTable empty(2);
+  const NeighborFn neighbors =
+      [&](ids::NodeIndex) -> std::span<const RoutingEntry> {
+    return empty.entries();
+  };
+  const auto result = greedy_lookup(
+      neighbors, [](ids::NodeIndex) { return ids::RingId{42}; }, 0, 999999);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.owner, 0u);
+}
+
+}  // namespace
+}  // namespace vitis::overlay

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/histogram.hpp"
+
+namespace vitis::analysis {
+namespace {
+
+TEST(Histogram, BinsLinearly) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(42.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, FractionsAndCenters) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 8; ++i) h.add(5.0);
+  for (int i = 0; i < 2; ++i) h.add(95.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.8);
+  EXPECT_DOUBLE_EQ(h.fraction(9), 0.2);
+  EXPECT_DOUBLE_EQ(h.fraction(5), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(9), 95.0);
+}
+
+TEST(Histogram, TailFraction) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);
+  h.add(0.5);
+  h.add(0.9);
+  EXPECT_DOUBLE_EQ(h.tail_fraction(0.5), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h.tail_fraction(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.tail_fraction(2.0), 0.0);
+}
+
+TEST(Histogram, EmptyHistogram) {
+  Histogram h(0.0, 1.0, 3);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.tail_fraction(0.5), 0.0);
+}
+
+TEST(FrequencyTable, CountsAndRows) {
+  FrequencyTable t;
+  t.add(3);
+  t.add(3);
+  t.add(1);
+  t.add(7);
+  const auto rows = t.rows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].value, 1u);
+  EXPECT_EQ(rows[0].frequency, 1u);
+  EXPECT_EQ(rows[1].value, 3u);
+  EXPECT_EQ(rows[1].frequency, 2u);
+  EXPECT_EQ(rows[2].value, 7u);
+  EXPECT_EQ(t.total(), 4u);
+}
+
+TEST(FrequencyTable, MeanMaxAndTail) {
+  FrequencyTable t;
+  t.add(1);
+  t.add(2);
+  t.add(3);
+  t.add(10);
+  EXPECT_DOUBLE_EQ(t.mean(), 4.0);
+  EXPECT_EQ(t.max_value(), 10u);
+  EXPECT_DOUBLE_EQ(t.fraction_above(3), 0.25);
+  EXPECT_DOUBLE_EQ(t.fraction_above(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.fraction_above(10), 0.0);
+}
+
+TEST(FrequencyTable, EmptyDefaults) {
+  FrequencyTable t;
+  EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+  EXPECT_EQ(t.max_value(), 0u);
+  EXPECT_DOUBLE_EQ(t.fraction_above(1), 0.0);
+  EXPECT_DOUBLE_EQ(t.power_law_alpha_mle(), 0.0);
+  EXPECT_TRUE(t.rows().empty());
+}
+
+TEST(FrequencyTable, PowerLawMleRecoversExponent) {
+  // Feed a synthetic power law with known exponent and check the fit.
+  FrequencyTable t;
+  const double alpha = 2.0;
+  for (std::uint64_t x = 1; x <= 1000; ++x) {
+    const auto freq = static_cast<std::uint64_t>(
+        1e6 * std::pow(static_cast<double>(x), -alpha));
+    for (std::uint64_t i = 0; i < freq / 1000 + (x <= 20 ? 1 : 0); ++i) {
+      t.add(x);
+    }
+  }
+  const double fitted = t.power_law_alpha_mle(1);
+  EXPECT_NEAR(fitted, alpha, 0.35);
+}
+
+}  // namespace
+}  // namespace vitis::analysis

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+#include "ids/hash.hpp"
+#include "ids/id.hpp"
+#include "sim/rng.hpp"
+
+namespace vitis::ids {
+namespace {
+
+constexpr RingId kMax = std::numeric_limits<RingId>::max();
+
+TEST(RingDistance, Identity) {
+  EXPECT_EQ(ring_distance(0, 0), 0u);
+  EXPECT_EQ(ring_distance(kMax, kMax), 0u);
+}
+
+TEST(RingDistance, Symmetry) {
+  EXPECT_EQ(ring_distance(10, 20), ring_distance(20, 10));
+  EXPECT_EQ(ring_distance(0, kMax), ring_distance(kMax, 0));
+}
+
+TEST(RingDistance, WrapAround) {
+  EXPECT_EQ(ring_distance(0, kMax), 1u);
+  EXPECT_EQ(ring_distance(5, kMax - 4), 10u);
+}
+
+TEST(RingDistance, NeverExceedsHalfRing) {
+  // The shorter arc is at most 2^63.
+  EXPECT_EQ(ring_distance(0, RingId{1} << 63), RingId{1} << 63);
+  EXPECT_EQ(ring_distance(0, (RingId{1} << 63) + 1),
+            (RingId{1} << 63) - 1);
+}
+
+TEST(ClockwiseDistance, Wraps) {
+  EXPECT_EQ(clockwise_distance(kMax, 2), 3u);
+  EXPECT_EQ(clockwise_distance(2, kMax), kMax - 2);
+}
+
+TEST(CloserTo, StrictOrdering) {
+  EXPECT_TRUE(closer_to(100, 101, 105));
+  EXPECT_FALSE(closer_to(100, 105, 101));
+  EXPECT_FALSE(closer_to(100, 101, 101));  // irreflexive
+}
+
+TEST(CloserTo, EquidistantTieBreaksTotalOrder) {
+  // 9 and 11 are equidistant from 10: exactly one of them must win.
+  const bool a = closer_to(10, 9, 11);
+  const bool b = closer_to(10, 11, 9);
+  EXPECT_NE(a, b);
+}
+
+class RingMetricProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RingMetricProperties, TriangleInequality) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const RingId a = rng.next_u64();
+    const RingId b = rng.next_u64();
+    const RingId c = rng.next_u64();
+    // The ring metric satisfies d(a,c) <= d(a,b) + d(b,c); careful with
+    // overflow: compare in __uint128_t.
+    const auto ab = static_cast<__uint128_t>(ring_distance(a, b));
+    const auto bc = static_cast<__uint128_t>(ring_distance(b, c));
+    const auto ac = static_cast<__uint128_t>(ring_distance(a, c));
+    EXPECT_LE(ac, ab + bc);
+  }
+}
+
+TEST_P(RingMetricProperties, CloserToIsTotalAndTransitiveOnSamples) {
+  sim::Rng rng(GetParam());
+  const RingId target = rng.next_u64();
+  for (int i = 0; i < 300; ++i) {
+    const RingId a = rng.next_u64();
+    const RingId b = rng.next_u64();
+    if (a == b) continue;
+    // Totality: exactly one direction holds for distinct points.
+    EXPECT_NE(closer_to(target, a, b), closer_to(target, b, a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingMetricProperties,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+TEST(InClockwiseArc, BasicMembership) {
+  EXPECT_TRUE(in_clockwise_arc(10, 15, 20));
+  EXPECT_TRUE(in_clockwise_arc(10, 20, 20));
+  EXPECT_FALSE(in_clockwise_arc(10, 25, 20));
+  EXPECT_FALSE(in_clockwise_arc(10, 10, 20));  // excludes the start
+}
+
+TEST(InClockwiseArc, WrapsAroundZero) {
+  EXPECT_TRUE(in_clockwise_arc(kMax - 5, 2, 10));
+  EXPECT_FALSE(in_clockwise_arc(kMax - 5, kMax - 20, 10));
+}
+
+TEST(Hash, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+  // Adjacent inputs should differ in many bits (avalanche smoke test).
+  const std::uint64_t diff = mix64(1000) ^ mix64(1001);
+  EXPECT_GT(__builtin_popcountll(diff), 10);
+}
+
+TEST(Hash, NodeAndTopicDomainsAreSeparated) {
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_NE(node_ring_id(i), topic_ring_id(i));
+  }
+}
+
+TEST(Hash, NodeIdsCollisionFreeAtScale) {
+  std::set<RingId> seen;
+  for (std::uint32_t i = 0; i < 100'000; ++i) {
+    EXPECT_TRUE(seen.insert(node_ring_id(i)).second) << "collision at " << i;
+  }
+}
+
+TEST(Hash, StringHashingStableAndSensitive) {
+  EXPECT_EQ(hash_string("sports"), hash_string("sports"));
+  EXPECT_NE(hash_string("sports"), hash_string("Sports"));
+  EXPECT_NE(hash_string(""), hash_string(" "));
+}
+
+TEST(Hash, IdsAreRoughlyUniform) {
+  // Bucket 64k node ids into 16 ranges; each should hold ~4096.
+  constexpr int kBuckets = 16;
+  int counts[kBuckets] = {};
+  constexpr std::uint32_t kN = 1 << 16;
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    ++counts[node_ring_id(i) >> 60];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kN / kBuckets, kN / kBuckets / 4.0);
+  }
+}
+
+}  // namespace
+}  // namespace vitis::ids

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "pubsub/metrics.hpp"
+
+namespace vitis::pubsub {
+namespace {
+
+TEST(NodeTraffic, OverheadFraction) {
+  NodeTraffic t;
+  EXPECT_DOUBLE_EQ(t.overhead_fraction(), 0.0);  // no traffic, no overhead
+  t.interested = 3;
+  t.uninterested = 1;
+  EXPECT_EQ(t.total(), 4u);
+  EXPECT_DOUBLE_EQ(t.overhead_fraction(), 0.25);
+}
+
+TEST(DisseminationReport, Ratios) {
+  DisseminationReport r;
+  EXPECT_DOUBLE_EQ(r.hit_ratio(), 1.0);  // zero expected counts as full hit
+  EXPECT_DOUBLE_EQ(r.mean_delay(), 0.0);
+  r.expected = 10;
+  r.delivered = 7;
+  r.delay_sum = 21;
+  EXPECT_DOUBLE_EQ(r.hit_ratio(), 0.7);
+  EXPECT_DOUBLE_EQ(r.mean_delay(), 3.0);
+}
+
+TEST(MetricsCollector, MessageAccounting) {
+  MetricsCollector collector(3);
+  collector.on_message(0, true);
+  collector.on_message(0, false);
+  collector.on_message(1, false);
+  EXPECT_EQ(collector.total_messages(), 3u);
+  EXPECT_DOUBLE_EQ(collector.traffic()[0].overhead_fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(collector.traffic()[1].overhead_fraction(), 1.0);
+  EXPECT_EQ(collector.traffic()[2].total(), 0u);
+}
+
+TEST(MetricsCollector, MeanNodeOverheadSkipsIdleNodes) {
+  MetricsCollector collector(3);
+  collector.on_message(0, true);   // overhead 0
+  collector.on_message(1, false);  // overhead 1
+  // node 2 idle: not part of the mean
+  EXPECT_DOUBLE_EQ(collector.mean_node_overhead(), 0.5);
+  EXPECT_EQ(collector.node_overhead_fractions().size(), 2u);
+}
+
+TEST(MetricsCollector, GlobalOverheadWeighsByVolume) {
+  MetricsCollector collector(2);
+  for (int i = 0; i < 9; ++i) collector.on_message(0, true);
+  collector.on_message(1, false);
+  EXPECT_DOUBLE_EQ(collector.global_overhead(), 0.1);
+  // Per-node mean treats both nodes equally: (0 + 1)/2.
+  EXPECT_DOUBLE_EQ(collector.mean_node_overhead(), 0.5);
+}
+
+TEST(MetricsCollector, ReportAggregation) {
+  MetricsCollector collector(1);
+  DisseminationReport a;
+  a.expected = 4;
+  a.delivered = 4;
+  a.delay_sum = 8;
+  DisseminationReport b;
+  b.expected = 6;
+  b.delivered = 3;
+  b.delay_sum = 9;
+  collector.on_report(a);
+  collector.on_report(b);
+  EXPECT_EQ(collector.events_recorded(), 2u);
+  EXPECT_DOUBLE_EQ(collector.hit_ratio(), 0.7);
+  EXPECT_DOUBLE_EQ(collector.mean_delay_hops(), 17.0 / 7.0);
+}
+
+TEST(MetricsCollector, EmptyCollectorDefaults) {
+  MetricsCollector collector(5);
+  EXPECT_DOUBLE_EQ(collector.hit_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(collector.mean_delay_hops(), 0.0);
+  EXPECT_DOUBLE_EQ(collector.mean_node_overhead(), 0.0);
+  EXPECT_DOUBLE_EQ(collector.global_overhead(), 0.0);
+  EXPECT_TRUE(collector.node_overhead_fractions().empty());
+}
+
+TEST(MetricsCollector, ResetClearsEverything) {
+  MetricsCollector collector(2);
+  collector.on_message(0, false);
+  DisseminationReport r;
+  r.expected = 2;
+  r.delivered = 1;
+  r.delay_sum = 5;
+  collector.on_report(r);
+  collector.reset();
+  EXPECT_EQ(collector.total_messages(), 0u);
+  EXPECT_EQ(collector.events_recorded(), 0u);
+  EXPECT_DOUBLE_EQ(collector.hit_ratio(), 1.0);
+}
+
+TEST(MetricsSummary, FromCollector) {
+  MetricsCollector collector(2);
+  collector.on_message(0, false);
+  collector.on_message(1, true);
+  DisseminationReport r;
+  r.expected = 2;
+  r.delivered = 2;
+  r.delay_sum = 6;
+  collector.on_report(r);
+  const MetricsSummary summary = MetricsSummary::from(collector);
+  EXPECT_DOUBLE_EQ(summary.hit_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(summary.traffic_overhead_pct, 50.0);
+  EXPECT_DOUBLE_EQ(summary.delay_hops, 3.0);
+}
+
+}  // namespace
+}  // namespace vitis::pubsub

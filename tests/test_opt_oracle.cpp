@@ -1,0 +1,61 @@
+// Oracle test: OPT's deliveries must equal exactly the publisher's
+// connected component in the topic-induced subgraph — the structural fact
+// that explains OPT's hit-ratio ceiling (Fig. 10a).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/components.hpp"
+#include "baselines/opt/opt_system.hpp"
+#include "workload/scenario.hpp"
+
+namespace vitis::baselines::opt {
+namespace {
+
+TEST(OptOracle, DeliveredSetEqualsTopicComponentOfPublisher) {
+  workload::SyntheticScenarioParams params;
+  params.subscriptions.nodes = 250;
+  params.subscriptions.topics = 100;
+  params.subscriptions.subs_per_node = 12;
+  params.subscriptions.pattern = workload::CorrelationPattern::kLowCorrelation;
+  params.events = 80;
+  params.seed = 99;
+  const auto scenario = workload::make_synthetic_scenario(params);
+
+  OptConfig config;
+  config.base.routing_table_size = 8;  // starve coverage to force splits
+  auto system = workload::make_opt(scenario, config, 99);
+  system->run_cycles(30);
+
+  const auto overlay = system->overlay_snapshot();
+  std::size_t events_with_splits = 0;
+  for (const auto& [topic, publisher] : scenario.schedule) {
+    const auto clusters = analysis::topic_clusters(
+        overlay, system->subscriptions(), topic);
+    // Find the publisher's component.
+    std::size_t component_size = 0;
+    for (const auto& cluster : clusters) {
+      if (std::find(cluster.begin(), cluster.end(), publisher) !=
+          cluster.end()) {
+        component_size = cluster.size();
+        break;
+      }
+    }
+    ASSERT_GT(component_size, 0u) << "publisher missing from its own topic";
+    if (clusters.size() > 1) ++events_with_splits;
+
+    const auto report = system->publish(topic, publisher);
+    // Delivered = component members minus the publisher itself (grace
+    // cycles are irrelevant in this static run).
+    EXPECT_EQ(report.delivered, component_size - 1)
+        << "topic " << topic << " publisher " << publisher;
+    EXPECT_EQ(report.expected,
+              system->subscriptions().subscribers(topic).size() - 1);
+  }
+  // The starved configuration must actually produce split topics, or the
+  // oracle is vacuous.
+  EXPECT_GT(events_with_splits, 0u);
+}
+
+}  // namespace
+}  // namespace vitis::baselines::opt

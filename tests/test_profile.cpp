@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "core/profile.hpp"
+
+namespace vitis::core {
+namespace {
+
+Profile make_profile() {
+  return Profile(pubsub::SubscriptionSet({10, 20, 30}));
+}
+
+TEST(Profile, SubscriptionAccess) {
+  const Profile p = make_profile();
+  EXPECT_TRUE(p.subscribes(10));
+  EXPECT_FALSE(p.subscribes(15));
+  EXPECT_EQ(p.subscriptions().size(), 3u);
+}
+
+TEST(Profile, TopicPositions) {
+  const Profile p = make_profile();
+  EXPECT_EQ(p.topic_position(10).value(), 0u);
+  EXPECT_EQ(p.topic_position(20).value(), 1u);
+  EXPECT_EQ(p.topic_position(30).value(), 2u);
+  EXPECT_FALSE(p.topic_position(25).has_value());
+}
+
+TEST(Profile, ProposalsDefaultEmpty) {
+  const Profile p = make_profile();
+  const auto prop = p.proposal(10);
+  ASSERT_TRUE(prop.has_value());
+  EXPECT_EQ(prop->gateway, ids::kInvalidNode);
+  EXPECT_FALSE(p.proposal(99).has_value());
+}
+
+TEST(Profile, SetAndGetProposals) {
+  Profile p = make_profile();
+  const GatewayProposal prop{7, 777, 3, 2};
+  p.set_proposal(20, prop);
+  EXPECT_EQ(p.proposal(20).value(), prop);
+  EXPECT_EQ(p.proposal_at(1), prop);
+  // Other topics untouched.
+  EXPECT_EQ(p.proposal(10)->gateway, ids::kInvalidNode);
+}
+
+TEST(Profile, ResetProposalsSelfProposes) {
+  Profile p = make_profile();
+  p.set_proposal(30, GatewayProposal{9, 99, 9, 4});
+  p.reset_proposals(5, 555);
+  for (const ids::TopicIndex topic : p.subscriptions()) {
+    const auto prop = p.proposal(topic);
+    ASSERT_TRUE(prop.has_value());
+    EXPECT_EQ(prop->gateway, 5u);
+    EXPECT_EQ(prop->gateway_id, 555u);
+    EXPECT_EQ(prop->parent, 5u);
+    EXPECT_EQ(prop->hops, 0u);
+  }
+}
+
+TEST(Profile, EmptyProfile) {
+  Profile p;
+  EXPECT_TRUE(p.subscriptions().empty());
+  EXPECT_FALSE(p.proposal(0).has_value());
+  p.reset_proposals(1, 2);  // no-op, must not crash
+}
+
+}  // namespace
+}  // namespace vitis::core

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/relay.hpp"
+
+namespace vitis::core {
+namespace {
+
+TEST(RelayTable, AddAndQueryLinks) {
+  RelayTable relay;
+  EXPECT_FALSE(relay.is_relay_for(5));
+  relay.add_link(5, 10);
+  relay.add_link(5, 11);
+  relay.add_link(6, 10);
+  EXPECT_TRUE(relay.is_relay_for(5));
+  EXPECT_TRUE(relay.is_relay_for(6));
+  EXPECT_EQ(relay.topic_count(), 2u);
+  EXPECT_EQ(relay.link_count(), 3u);
+  auto links = relay.links(5);
+  std::sort(links.begin(), links.end());
+  EXPECT_EQ(links, (std::vector<ids::NodeIndex>{10, 11}));
+  EXPECT_TRUE(relay.links(99).empty());
+}
+
+TEST(RelayTable, AddIsIdempotentAndRefreshes) {
+  RelayTable relay;
+  relay.add_link(1, 2);
+  relay.age_and_expire(10);  // age -> 1
+  relay.add_link(1, 2);      // refresh -> age 0
+  EXPECT_EQ(relay.link_count(), 1u);
+  // Two more agings with ttl 1: survives because it was refreshed.
+  relay.age_and_expire(1);
+  EXPECT_TRUE(relay.is_relay_for(1));
+}
+
+TEST(RelayTable, ExpiryDropsStaleLinks) {
+  RelayTable relay;
+  relay.add_link(1, 2);
+  relay.add_link(1, 3);
+  relay.age_and_expire(2);
+  relay.add_link(1, 3);  // keep one fresh
+  relay.age_and_expire(2);
+  relay.age_and_expire(2);  // link to 2 now age 3 > ttl 2
+  const auto links = relay.links(1);
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0], 3u);
+}
+
+TEST(RelayTable, ExpiryRemovesEmptyTopics) {
+  RelayTable relay;
+  relay.add_link(7, 1);
+  relay.age_and_expire(0);  // ttl 0: everything aged once is dropped
+  EXPECT_FALSE(relay.is_relay_for(7));
+  EXPECT_EQ(relay.topic_count(), 0u);
+}
+
+TEST(RelayTable, RemovePeerAcrossTopics) {
+  RelayTable relay;
+  relay.add_link(1, 5);
+  relay.add_link(2, 5);
+  relay.add_link(2, 6);
+  relay.remove_peer(5);
+  EXPECT_FALSE(relay.is_relay_for(1));
+  EXPECT_TRUE(relay.is_relay_for(2));
+  EXPECT_EQ(relay.links(2), (std::vector<ids::NodeIndex>{6}));
+}
+
+TEST(RelayTable, ClearResets) {
+  RelayTable relay;
+  relay.add_link(1, 2);
+  relay.clear();
+  EXPECT_EQ(relay.topic_count(), 0u);
+  EXPECT_EQ(relay.link_count(), 0u);
+}
+
+}  // namespace
+}  // namespace vitis::core

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "sim/rng.hpp"
+
+namespace vitis::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng rng(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 50; ++i) values.insert(rng.next_u64());
+  EXPECT_GT(values.size(), 45u);  // not stuck
+}
+
+TEST(Rng, UniformU64RespectsBound) {
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.uniform_u64(7), 7u);
+  }
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_EQ(rng.uniform_u64(1), 0u);
+  }
+}
+
+TEST(Rng, UniformU64CoversAllResidues) {
+  Rng rng(6);
+  int counts[5] = {};
+  for (int i = 0; i < 50'000; ++i) ++counts[rng.uniform_u64(5)];
+  for (const int c : counts) EXPECT_NEAR(c, 10'000, 800);
+}
+
+TEST(Rng, Real01InUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double v = rng.real01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRealRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1'000; ++i) {
+    const double v = rng.uniform_real(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100'000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 100'000; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(23);
+  std::vector<double> samples;
+  for (int i = 0; i < 50'000; ++i) samples.push_back(rng.lognormal(1.0, 0.8));
+  std::nth_element(samples.begin(), samples.begin() + 25'000, samples.end());
+  // Median of lognormal(mu, sigma) is exp(mu).
+  EXPECT_NEAR(samples[25'000], std::exp(1.0), 0.1);
+}
+
+TEST(Rng, ParetoTailAndLowerBound) {
+  Rng rng(29);
+  int above_double = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.pareto(2.0, 1.5);
+    ASSERT_GE(v, 2.0);
+    if (v > 4.0) ++above_double;
+  }
+  // P(X > 2 xm) = 2^-alpha ≈ 0.3536.
+  EXPECT_NEAR(above_double / static_cast<double>(kN), 0.3536, 0.02);
+}
+
+class PowerLawParams
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(PowerLawParams, SamplesStayInSupportAndSkewLow) {
+  const auto [alpha, xmax] = GetParam();
+  Rng rng(31);
+  std::uint64_t low_half = 0;
+  constexpr int kN = 20'000;
+  for (int i = 0; i < kN; ++i) {
+    const std::uint64_t v = rng.power_law_int(1, xmax, alpha);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, xmax);
+    if (v <= xmax / 2) ++low_half;
+  }
+  // Power laws concentrate mass at small values.
+  EXPECT_GT(low_half, kN * 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PowerLawParams,
+    ::testing::Combine(::testing::Values(1.5, 1.65, 2.0, 3.0),
+                       ::testing::Values(std::uint64_t{100},
+                                         std::uint64_t{1000})));
+
+TEST(Rng, PowerLawDegenerateRange) {
+  Rng rng(37);
+  EXPECT_EQ(rng.power_law_int(5, 5, 1.65), 5u);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(41);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(43);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(47);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(53);
+  const auto picks = rng.sample_indices(100, 30);
+  ASSERT_EQ(picks.size(), 30u);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const std::size_t p : picks) EXPECT_LT(p, 100u);
+}
+
+TEST(Rng, SampleIndicesFullRange) {
+  Rng rng(59);
+  const auto picks = rng.sample_indices(10, 10);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleIndicesEmpty) {
+  Rng rng(61);
+  EXPECT_TRUE(rng.sample_indices(10, 0).empty());
+  EXPECT_TRUE(rng.sample_indices(0, 0).empty());
+}
+
+}  // namespace
+}  // namespace vitis::sim

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workload/skype_churn.hpp"
+
+namespace vitis::workload {
+namespace {
+
+SkypeChurnParams small_params() {
+  SkypeChurnParams p;
+  p.nodes = 500;
+  p.duration_hours = 300.0;
+  p.flash_crowd_time_hours = 150.0;
+  p.flash_crowd_size = 100;
+  p.flash_crowd_stay_hours = 20.0;
+  return p;
+}
+
+TEST(SkypeChurn, TraceCoversConfiguredUniverseAndDuration) {
+  sim::Rng rng(1);
+  const auto trace = make_skype_churn(small_params(), rng);
+  EXPECT_FALSE(trace.empty());
+  EXPECT_LE(trace.universe_size(), 500u);
+  EXPECT_LE(trace.duration_s(), 300.0 * 3600.0);
+}
+
+TEST(SkypeChurn, EventsAlternatePerNode) {
+  sim::Rng rng(2);
+  const auto trace = make_skype_churn(small_params(), rng);
+  std::vector<int> state(500, 0);  // 0 = offline, 1 = online
+  for (const auto& e : trace.events()) {
+    if (e.join) {
+      EXPECT_EQ(state[e.node], 0) << "double join for node " << e.node;
+      state[e.node] = 1;
+    } else {
+      EXPECT_EQ(state[e.node], 1) << "leave while offline for " << e.node;
+      state[e.node] = 0;
+    }
+  }
+}
+
+TEST(SkypeChurn, SteadyStatePopulationNearTheory) {
+  sim::Rng rng(3);
+  auto params = small_params();
+  params.flash_crowd_size = 0;  // isolate the steady state
+  const auto trace = make_skype_churn(params, rng);
+  // Expected online fraction = s/(s+o).
+  const double expected =
+      params.mean_session_hours /
+      (params.mean_session_hours + params.mean_offline_hours);
+  double sum = 0.0;
+  int samples = 0;
+  for (double t = 50.0; t <= 250.0; t += 25.0) {
+    sum += static_cast<double>(trace.population_at(t * 3600.0));
+    ++samples;
+  }
+  const double mean_population = sum / samples;
+  EXPECT_NEAR(mean_population / 500.0, expected, 0.12);
+}
+
+TEST(SkypeChurn, FlashCrowdSpikesThePopulation) {
+  sim::Rng rng(4);
+  const auto params = small_params();
+  const auto trace = make_skype_churn(params, rng);
+  const double before =
+      static_cast<double>(trace.population_at(140.0 * 3600.0));
+  const double during =
+      static_cast<double>(trace.population_at(160.0 * 3600.0));
+  // 100 extra joiners on a ~110-node baseline: a visible spike.
+  EXPECT_GT(during, before + params.flash_crowd_size / 3.0);
+}
+
+TEST(SkypeChurn, InitialFractionRespected) {
+  sim::Rng rng(5);
+  auto params = small_params();
+  params.initial_online_fraction = 0.5;
+  const auto trace = make_skype_churn(params, rng);
+  std::size_t initial_joins = 0;
+  for (const auto& e : trace.events()) {
+    if (e.time_s == 0.0 && e.join) ++initial_joins;
+  }
+  EXPECT_NEAR(static_cast<double>(initial_joins), 250.0, 40.0);
+}
+
+TEST(SkypeChurn, DeterministicForSeed) {
+  sim::Rng a(6);
+  sim::Rng b(6);
+  const auto ta = make_skype_churn(small_params(), a);
+  const auto tb = make_skype_churn(small_params(), b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta.events()[i], tb.events()[i]);
+  }
+}
+
+TEST(SkypeChurn, DisabledFlashCrowd) {
+  sim::Rng rng(7);
+  auto params = small_params();
+  params.flash_crowd_size = 0;
+  const auto trace = make_skype_churn(params, rng);
+  const double before =
+      static_cast<double>(trace.population_at(140.0 * 3600.0));
+  const double during =
+      static_cast<double>(trace.population_at(160.0 * 3600.0));
+  EXPECT_LT(std::abs(during - before), 60.0);  // no spike
+}
+
+TEST(SkypeChurn, SessionsAreHeavyTailed) {
+  // Some sessions should be far longer than the mean (lognormal tail).
+  sim::Rng rng(8);
+  auto params = small_params();
+  params.flash_crowd_size = 0;
+  const auto trace = make_skype_churn(params, rng);
+  std::vector<double> join_time(500, -1.0);
+  double longest_session = 0.0;
+  for (const auto& e : trace.events()) {
+    if (e.join) {
+      join_time[e.node] = e.time_s;
+    } else if (join_time[e.node] >= 0.0) {
+      longest_session =
+          std::max(longest_session, e.time_s - join_time[e.node]);
+      join_time[e.node] = -1.0;
+    }
+  }
+  EXPECT_GT(longest_session, 5.0 * params.mean_session_hours * 3600.0);
+}
+
+}  // namespace
+}  // namespace vitis::workload

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ids/hash.hpp"
+#include "overlay/small_world.hpp"
+
+namespace vitis::overlay {
+namespace {
+
+TEST(HarmonicDistance, StaysInSymphonyRange) {
+  sim::Rng rng(1);
+  constexpr std::size_t kN = 1000;
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = harmonic_distance(kN, rng);
+    EXPECT_GE(d, 1.0 / kN);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(HarmonicDistance, MedianMatchesTheory) {
+  // CDF of p(x)=1/(x ln n) on [1/n, 1] is F(x) = 1 + ln(x)/ln(n); the
+  // median is n^-0.5.
+  sim::Rng rng(2);
+  constexpr std::size_t kN = 10'000;
+  std::vector<double> samples;
+  for (int i = 0; i < 20'000; ++i) samples.push_back(harmonic_distance(kN, rng));
+  std::nth_element(samples.begin(), samples.begin() + 10'000, samples.end());
+  EXPECT_NEAR(samples[10'000], std::pow(kN, -0.5), 0.002);
+}
+
+TEST(HarmonicDistance, SmallNetworksClampToTwo) {
+  sim::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double d = harmonic_distance(1, rng);  // clamped to n=2
+    EXPECT_GE(d, 0.5);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(RandomSwTarget, AlwaysClockwiseOfSelf) {
+  sim::Rng rng(4);
+  const ids::RingId self = 1234567;
+  for (int i = 0; i < 1000; ++i) {
+    const ids::RingId target = random_sw_target(self, 1000, rng);
+    EXPECT_NE(target, self);
+  }
+}
+
+gossip::Descriptor d(ids::NodeIndex node, ids::RingId id) {
+  return gossip::Descriptor{node, id, 0};
+}
+
+TEST(ClosestToTarget, PicksRingClosest) {
+  const std::vector<gossip::Descriptor> candidates{
+      d(1, 100), d(2, 200), d(3, 250)};
+  const auto best = closest_to_target(candidates, 230, /*self=*/0);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(candidates[*best].node, 3u);
+}
+
+TEST(ClosestToTarget, ExcludesSelfAndHandlesEmpty) {
+  const std::vector<gossip::Descriptor> only_self{d(7, 100)};
+  EXPECT_FALSE(closest_to_target(only_self, 100, 7).has_value());
+  EXPECT_FALSE(closest_to_target({}, 100, 7).has_value());
+}
+
+TEST(BestSuccessor, SmallestClockwiseDistance) {
+  const std::vector<gossip::Descriptor> candidates{
+      d(1, 50), d(2, 150), d(3, 5)};  // self at 100
+  const auto succ = best_successor(candidates, 100, /*self=*/0);
+  ASSERT_TRUE(succ.has_value());
+  EXPECT_EQ(candidates[*succ].node, 2u);  // 150 is 50 clockwise
+}
+
+TEST(BestSuccessor, WrapsAroundZero) {
+  const ids::RingId self = ~ids::RingId{0} - 10;
+  const std::vector<gossip::Descriptor> candidates{d(1, 5), d(2, self - 100)};
+  const auto succ = best_successor(candidates, self, 0);
+  ASSERT_TRUE(succ.has_value());
+  EXPECT_EQ(candidates[*succ].node, 1u);
+}
+
+TEST(BestPredecessor, SmallestCounterClockwiseDistance) {
+  const std::vector<gossip::Descriptor> candidates{
+      d(1, 50), d(2, 150), d(3, 90)};
+  const auto pred = best_predecessor(candidates, 100, 0);
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_EQ(candidates[*pred].node, 3u);
+}
+
+TEST(RingNeighborSelection, IgnoresIdenticalIds) {
+  const std::vector<gossip::Descriptor> candidates{d(1, 100)};
+  EXPECT_FALSE(best_successor(candidates, 100, 0).has_value());
+  EXPECT_FALSE(best_predecessor(candidates, 100, 0).has_value());
+}
+
+class SwDistributionFixture : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SwDistributionFixture, ShortDistancesDominateLong) {
+  // Harmonic selection is scale-free: each decade of distance gets roughly
+  // equal probability, so distances below n^-0.5 are ~half of all draws and
+  // distances above 0.5 are rare.
+  const std::size_t n = GetParam();
+  sim::Rng rng(7);
+  int below_sqrt = 0;
+  int above_half = 0;
+  constexpr int kDraws = 20'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double dist = harmonic_distance(n, rng);
+    if (dist < std::pow(static_cast<double>(n), -0.5)) ++below_sqrt;
+    if (dist > 0.5) ++above_half;
+  }
+  EXPECT_NEAR(below_sqrt / static_cast<double>(kDraws), 0.5, 0.03);
+  EXPECT_NEAR(above_half / static_cast<double>(kDraws),
+              std::log(2.0) / std::log(static_cast<double>(n)), 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SwDistributionFixture,
+                         ::testing::Values(100u, 1000u, 10000u));
+
+}  // namespace
+}  // namespace vitis::overlay

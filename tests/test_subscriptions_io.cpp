@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "sim/rng.hpp"
+#include "workload/subscription_models.hpp"
+#include "workload/subscriptions_io.hpp"
+
+namespace vitis::workload {
+namespace {
+
+pubsub::SubscriptionTable sample_table() {
+  std::vector<pubsub::SubscriptionSet> by_node;
+  by_node.emplace_back(std::vector<ids::TopicIndex>{0, 2});
+  by_node.emplace_back(std::vector<ids::TopicIndex>{});  // empty node
+  by_node.emplace_back(std::vector<ids::TopicIndex>{1});
+  return pubsub::SubscriptionTable(std::move(by_node), 4);
+}
+
+TEST(SubscriptionsIo, RoundTripInMemory) {
+  const auto table = sample_table();
+  const auto parsed = parse_subscriptions(subscriptions_to_csv(table));
+  ASSERT_EQ(parsed.node_count(), 3u);
+  ASSERT_EQ(parsed.topic_count(), 4u);
+  for (ids::NodeIndex n = 0; n < 3; ++n) {
+    EXPECT_EQ(parsed.of(n), table.of(n)) << "node " << n;
+  }
+}
+
+TEST(SubscriptionsIo, RoundTripPreservesGeneratedWorkload) {
+  sim::Rng rng(5);
+  SyntheticSubscriptionParams params;
+  params.nodes = 120;
+  params.topics = 60;
+  params.subs_per_node = 8;
+  params.pattern = CorrelationPattern::kLowCorrelation;
+  const auto table = make_synthetic_subscriptions(params, rng);
+  const auto parsed = parse_subscriptions(subscriptions_to_csv(table));
+  ASSERT_EQ(parsed.node_count(), table.node_count());
+  for (std::size_t n = 0; n < table.node_count(); ++n) {
+    EXPECT_EQ(parsed.of(static_cast<ids::NodeIndex>(n)),
+              table.of(static_cast<ids::NodeIndex>(n)));
+  }
+  // Reverse index intact.
+  for (std::size_t t = 0; t < table.topic_count(); ++t) {
+    EXPECT_EQ(parsed.subscribers(static_cast<ids::TopicIndex>(t)).size(),
+              table.subscribers(static_cast<ids::TopicIndex>(t)).size());
+  }
+}
+
+TEST(SubscriptionsIo, RejectsBadInputs) {
+  EXPECT_THROW(parse_subscriptions(""), SubscriptionsIoError);
+  EXPECT_THROW(parse_subscriptions("wrong,header\n"), SubscriptionsIoError);
+  // Missing dimension trailer.
+  EXPECT_THROW(parse_subscriptions("node,topic\n0,1\n"), SubscriptionsIoError);
+  // Malformed row.
+  EXPECT_THROW(
+      parse_subscriptions("node,topic\nbogus\n# nodes=1 topics=2\n"),
+      SubscriptionsIoError);
+  EXPECT_THROW(
+      parse_subscriptions("node,topic\nx,y\n# nodes=1 topics=2\n"),
+      SubscriptionsIoError);
+  // Topic out of declared range.
+  EXPECT_THROW(
+      parse_subscriptions("node,topic\n0,5\n# nodes=1 topics=2\n"),
+      SubscriptionsIoError);
+  // More nodes than declared.
+  EXPECT_THROW(
+      parse_subscriptions("node,topic\n3,0\n# nodes=2 topics=2\n"),
+      SubscriptionsIoError);
+}
+
+TEST(SubscriptionsIo, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "vitis_subs_test.csv")
+          .string();
+  const auto table = sample_table();
+  save_subscriptions(table, path);
+  const auto loaded = load_subscriptions(path);
+  EXPECT_EQ(loaded.node_count(), 3u);
+  EXPECT_TRUE(loaded.subscribes(0, 2));
+  std::remove(path.c_str());
+}
+
+TEST(SubscriptionsIo, MissingFileThrows) {
+  EXPECT_THROW(load_subscriptions("/nonexistent/subs.csv"),
+               SubscriptionsIoError);
+}
+
+}  // namespace
+}  // namespace vitis::workload

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "support/cli.hpp"
+#include "support/format.hpp"
+#include "support/log.hpp"
+
+namespace vitis::support {
+namespace {
+
+TEST(Format, FixedPrecision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(3.14159, 0), "3");
+  EXPECT_EQ(format_fixed(-1.005, 1), "-1.0");
+  EXPECT_EQ(format_fixed(0.0, 3), "0.000");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.421), "42.1%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+  EXPECT_EQ(format_percent(0.0), "0.0%");
+}
+
+TEST(Format, CountSeparators) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_count(10000000), "10,000,000");
+}
+
+TEST(Format, Join) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Format, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcd", 2), "abcd");  // never truncates
+  EXPECT_EQ(pad_right("abcd", 2), "abcd");
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--nodes=100", "--name=abc"};
+  CliArgs args(3, argv);
+  EXPECT_EQ(args.get_int("nodes", 0), 100);
+  EXPECT_EQ(args.get_string("name", ""), "abc");
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--nodes", "250", "--flag"};
+  CliArgs args(4, argv);
+  EXPECT_EQ(args.get_int("nodes", 0), 250);
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_TRUE(args.get_bool("flag", false));
+}
+
+TEST(Cli, BooleanValues) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=yes", "--d=off"};
+  CliArgs args(5, argv);
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_TRUE(args.get_bool("c", false));
+  EXPECT_FALSE(args.get_bool("d", true));
+  EXPECT_TRUE(args.get_bool("missing", true));
+}
+
+TEST(Cli, PositionalAndFallbacks) {
+  const char* argv[] = {"prog", "input.csv", "--x=1.5", "other"};
+  CliArgs args(4, argv);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.csv");
+  EXPECT_DOUBLE_EQ(args.get_double("x", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(args.get_double("y", 2.5), 2.5);
+  EXPECT_EQ(args.get_int("z", -3), -3);
+}
+
+TEST(Cli, ScaleResolutionDefaults) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, argv);
+  ::unsetenv("REPRO_SCALE");
+  const BenchScale scale = resolve_scale(args);
+  EXPECT_EQ(scale.name, "quick");
+  EXPECT_GT(scale.nodes, 0u);
+  EXPECT_GT(scale.topics, 0u);
+}
+
+TEST(Cli, ScaleExplicitPaper) {
+  const char* argv[] = {"prog", "--scale=paper"};
+  CliArgs args(2, argv);
+  const BenchScale scale = resolve_scale(args);
+  EXPECT_EQ(scale.name, "paper");
+  EXPECT_EQ(scale.nodes, 10'000u);
+  EXPECT_EQ(scale.topics, 5'000u);
+}
+
+TEST(Cli, ScaleOverrides) {
+  const char* argv[] = {"prog", "--scale=paper", "--nodes=123",
+                        "--cycles=7"};
+  CliArgs args(4, argv);
+  const BenchScale scale = resolve_scale(args);
+  EXPECT_EQ(scale.nodes, 123u);
+  EXPECT_EQ(scale.cycles, 7u);
+  EXPECT_EQ(scale.topics, 5'000u);  // untouched
+}
+
+TEST(Log, LevelFiltering) {
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  log_info("should be filtered");  // must not crash
+  set_log_level(LogLevel::kInfo);
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace vitis::support

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/table.hpp"
+
+namespace vitis::analysis {
+namespace {
+
+TEST(TableWriter, TextAlignment) {
+  TableWriter t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "12345"});
+  const std::string text = t.to_text();
+  std::istringstream lines(text);
+  std::string header;
+  std::string separator;
+  std::string row1;
+  std::string row2;
+  std::getline(lines, header);
+  std::getline(lines, separator);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(header.size(), row1.size());
+  EXPECT_EQ(row1.size(), row2.size());
+  EXPECT_NE(separator.find("---"), std::string::npos);
+}
+
+TEST(TableWriter, CsvOutput) {
+  TableWriter t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(TableWriter, NumericRows) {
+  TableWriter t({"a", "b"});
+  t.add_numeric_row({1.23456, 7.0}, 2);
+  EXPECT_EQ(t.to_csv(), "a,b\n1.23,7.00\n");
+}
+
+TEST(TableWriter, CountsAndEmpty) {
+  TableWriter t({"only"});
+  EXPECT_EQ(t.row_count(), 0u);
+  EXPECT_EQ(t.column_count(), 1u);
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("only"), std::string::npos);
+}
+
+TEST(TableWriter, SaveCsv) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "vitis_table_test.csv")
+          .string();
+  TableWriter t({"h"});
+  t.add_row({"v"});
+  t.save_csv(path);
+  std::ifstream file(path);
+  std::stringstream content;
+  content << file.rdbuf();
+  EXPECT_EQ(content.str(), "h\nv\n");
+  std::remove(path.c_str());
+}
+
+TEST(TableWriter, PrintToStream) {
+  TableWriter t({"col"});
+  t.add_row({"cell"});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("cell"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vitis::analysis

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "sim/trace_io.hpp"
+
+namespace vitis::sim {
+namespace {
+
+TEST(TraceIo, RoundTripInMemory) {
+  ChurnTrace trace({{0.5, 3, true}, {1.25, 3, false}, {2.0, 7, true}});
+  const std::string csv = churn_trace_to_csv(trace);
+  const ChurnTrace parsed = parse_churn_trace(csv);
+  ASSERT_EQ(parsed.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_NEAR(parsed.events()[i].time_s, trace.events()[i].time_s, 1e-3);
+    EXPECT_EQ(parsed.events()[i].node, trace.events()[i].node);
+    EXPECT_EQ(parsed.events()[i].join, trace.events()[i].join);
+  }
+}
+
+TEST(TraceIo, HeaderIsFirstLine) {
+  ChurnTrace trace({{1.0, 0, true}});
+  const std::string csv = churn_trace_to_csv(trace);
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "time_s,node,event");
+}
+
+TEST(TraceIo, EmptyTraceRoundTrip) {
+  const ChurnTrace parsed = parse_churn_trace(churn_trace_to_csv(ChurnTrace{}));
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+  EXPECT_THROW(parse_churn_trace("1.0,0,join\n"), TraceIoError);
+  EXPECT_THROW(parse_churn_trace(""), TraceIoError);
+}
+
+TEST(TraceIo, RejectsBadFieldCount) {
+  EXPECT_THROW(parse_churn_trace("time_s,node,event\n1.0,0\n"), TraceIoError);
+}
+
+TEST(TraceIo, RejectsBadEventKind) {
+  EXPECT_THROW(parse_churn_trace("time_s,node,event\n1.0,0,jump\n"),
+               TraceIoError);
+}
+
+TEST(TraceIo, RejectsBadNumbers) {
+  EXPECT_THROW(parse_churn_trace("time_s,node,event\nabc,0,join\n"),
+               TraceIoError);
+  EXPECT_THROW(parse_churn_trace("time_s,node,event\n1.0,xyz,join\n"),
+               TraceIoError);
+}
+
+TEST(TraceIo, SkipsBlankLines) {
+  const auto parsed =
+      parse_churn_trace("time_s,node,event\n\n1.0,0,join\n\n");
+  EXPECT_EQ(parsed.size(), 1u);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "vitis_trace_test.csv")
+          .string();
+  ChurnTrace trace({{10.0, 1, true}, {20.0, 1, false}});
+  save_churn_trace(trace, path);
+  const ChurnTrace loaded = load_churn_trace(path);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.universe_size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_churn_trace("/nonexistent/path/trace.csv"), TraceIoError);
+}
+
+}  // namespace
+}  // namespace vitis::sim

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "workload/twitter.hpp"
+
+namespace vitis::workload {
+namespace {
+
+TwitterModelParams small_params() {
+  TwitterModelParams p;
+  p.users = 1'500;
+  p.min_out = 4;
+  p.max_out = 300;
+  return p;
+}
+
+TEST(TwitterModel, TopicsEqualUsers) {
+  sim::Rng rng(1);
+  const auto table = make_twitter_subscriptions(small_params(), rng);
+  EXPECT_EQ(table.node_count(), 1'500u);
+  EXPECT_EQ(table.topic_count(), 1'500u);
+}
+
+TEST(TwitterModel, EveryUserFollowsThemselves) {
+  sim::Rng rng(2);
+  const auto table = make_twitter_subscriptions(small_params(), rng);
+  for (std::size_t u = 0; u < table.node_count(); ++u) {
+    EXPECT_TRUE(table.subscribes(static_cast<ids::NodeIndex>(u),
+                                 static_cast<ids::TopicIndex>(u)));
+  }
+}
+
+TEST(TwitterModel, OutDegreesWithinConfiguredSupport) {
+  sim::Rng rng(3);
+  const auto params = small_params();
+  const auto table = make_twitter_subscriptions(params, rng);
+  for (std::size_t u = 0; u < table.node_count(); ++u) {
+    const std::size_t out =
+        table.of(static_cast<ids::NodeIndex>(u)).size() - 1;  // minus self
+    EXPECT_LE(out, params.max_out);
+    // The dedup guard can fall slightly short of min_out in dense draws,
+    // so only sanity-check the lower side loosely.
+    EXPECT_GE(out, 1u);
+  }
+}
+
+TEST(TwitterModel, DegreesAreHeavyTailed) {
+  sim::Rng rng(4);
+  const auto stats = analyze_twitter(
+      make_twitter_subscriptions(small_params(), rng));
+  EXPECT_EQ(stats.users, 1'500u);
+  // Heavy tail: the max out-degree dwarfs the mean.
+  EXPECT_GT(static_cast<double>(stats.max_out_degree),
+            4.0 * stats.mean_out_degree);
+  EXPECT_GT(static_cast<double>(stats.max_in_degree),
+            4.0 * stats.mean_out_degree);
+  // Fitted exponents in a plausible power-law band around the paper's 1.65.
+  EXPECT_GT(stats.alpha_out_mle, 1.2);
+  EXPECT_LT(stats.alpha_out_mle, 2.6);
+  EXPECT_GT(stats.alpha_in_mle, 1.2);
+  EXPECT_LT(stats.alpha_in_mle, 3.0);
+}
+
+TEST(TwitterModel, DefaultCalibrationNearEightySubscriptions) {
+  // Fig. 9 reports ≈80 subscriptions per node in the paper's 10k sample.
+  sim::Rng rng(5);
+  TwitterModelParams params;
+  params.users = 4'000;
+  const auto stats = analyze_twitter(make_twitter_subscriptions(params, rng));
+  EXPECT_GT(stats.mean_out_degree, 40.0);
+  EXPECT_LT(stats.mean_out_degree, 160.0);
+}
+
+TEST(TwitterModel, PreferentialAttachmentSkewsInDegrees) {
+  sim::Rng rng(6);
+  const auto table = make_twitter_subscriptions(small_params(), rng);
+  // The most-followed user should hold a large share of all follows.
+  std::size_t max_in = 0;
+  for (std::size_t t = 0; t < table.topic_count(); ++t) {
+    max_in = std::max(max_in,
+                      table.subscribers(static_cast<ids::TopicIndex>(t)).size());
+  }
+  const auto stats = analyze_twitter(table);
+  EXPECT_GT(static_cast<double>(max_in),
+            10.0 * stats.mean_out_degree / 2.0);
+}
+
+TEST(TwitterSample, ProducesRequestedSizeAndValidIndices) {
+  sim::Rng rng(7);
+  TwitterModelParams params;
+  params.users = 3'000;
+  params.min_out = 4;
+  params.max_out = 200;
+  const auto full = make_twitter_subscriptions(params, rng);
+  const auto sample = sample_twitter(full, 800, rng);
+  EXPECT_GE(sample.node_count(), 700u);
+  EXPECT_LE(sample.node_count(), 900u);
+  EXPECT_EQ(sample.node_count(), sample.topic_count());
+  for (std::size_t u = 0; u < sample.node_count(); ++u) {
+    for (const auto topic : sample.of(static_cast<ids::NodeIndex>(u))) {
+      EXPECT_LT(topic, sample.topic_count());
+    }
+  }
+}
+
+TEST(TwitterSample, PreservesSelfSubscription) {
+  sim::Rng rng(8);
+  TwitterModelParams params;
+  params.users = 1'000;
+  params.min_out = 3;
+  params.max_out = 100;
+  const auto full = make_twitter_subscriptions(params, rng);
+  const auto sample = sample_twitter(full, 300, rng);
+  for (std::size_t u = 0; u < sample.node_count(); ++u) {
+    EXPECT_TRUE(sample.subscribes(static_cast<ids::NodeIndex>(u),
+                                  static_cast<ids::TopicIndex>(u)));
+  }
+}
+
+TEST(TwitterSample, WholeGraphWhenTargetExceedsUsers) {
+  sim::Rng rng(9);
+  TwitterModelParams params;
+  params.users = 200;
+  params.min_out = 2;
+  params.max_out = 50;
+  const auto full = make_twitter_subscriptions(params, rng);
+  const auto sample = sample_twitter(full, 10'000, rng);
+  EXPECT_EQ(sample.node_count(), 200u);
+}
+
+TEST(TwitterSample, SamplePreservesHeavyTail) {
+  // §IV-E: "the similarity of in-degree and out-degree distribution of the
+  // samples and that of the full log was confirmed."
+  sim::Rng rng(10);
+  TwitterModelParams params;
+  params.users = 3'000;
+  const auto full = make_twitter_subscriptions(params, rng);
+  const auto sample = sample_twitter(full, 1'000, rng);
+  const auto full_stats = analyze_twitter(full);
+  const auto sample_stats = analyze_twitter(sample);
+  EXPECT_GT(static_cast<double>(sample_stats.max_in_degree),
+            3.0 * sample_stats.mean_out_degree);
+  // Exponents in the same band.
+  EXPECT_NEAR(sample_stats.alpha_in_mle, full_stats.alpha_in_mle, 1.0);
+}
+
+}  // namespace
+}  // namespace vitis::workload

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/utility.hpp"
+#include "sim/rng.hpp"
+
+namespace vitis::core {
+namespace {
+
+using pubsub::SubscriptionSet;
+
+TEST(Utility, PaperExampleFromSectionIIIA2) {
+  // "if node p subscribes to topics {A,B,C}, node q subscribes to {C,D},
+  // and node r subscribes to {C,D,E,F,G,H}, then utility(p,q)=0.25,
+  // utility(p,r)=0.125, and utility(q,r)=0.33" (topics A..H -> 0..7).
+  const auto u = UtilityFunction::uniform(8);
+  SubscriptionSet p({0, 1, 2});
+  SubscriptionSet q({2, 3});
+  SubscriptionSet r({2, 3, 4, 5, 6, 7});
+  EXPECT_DOUBLE_EQ(u(p, q), 0.25);
+  EXPECT_DOUBLE_EQ(u(p, r), 0.125);
+  EXPECT_NEAR(u(q, r), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Utility, RangeAndIdentity) {
+  const auto u = UtilityFunction::uniform(10);
+  SubscriptionSet a({1, 2, 3});
+  SubscriptionSet b({7, 8});
+  EXPECT_DOUBLE_EQ(u(a, b), 0.0);       // disjoint
+  EXPECT_DOUBLE_EQ(u(a, a), 1.0);       // identical
+  EXPECT_DOUBLE_EQ(u(a, SubscriptionSet{}), 0.0);
+  EXPECT_DOUBLE_EQ(u(SubscriptionSet{}, SubscriptionSet{}), 0.0);
+}
+
+TEST(Utility, Symmetry) {
+  const auto u = UtilityFunction::uniform(20);
+  sim::Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<ids::TopicIndex> ta;
+    std::vector<ids::TopicIndex> tb;
+    for (int i = 0; i < 6; ++i) {
+      ta.push_back(static_cast<ids::TopicIndex>(rng.index(20)));
+      tb.push_back(static_cast<ids::TopicIndex>(rng.index(20)));
+    }
+    SubscriptionSet a(ta);
+    SubscriptionSet b(tb);
+    EXPECT_DOUBLE_EQ(u(a, b), u(b, a));
+  }
+}
+
+TEST(Utility, ZeroRateTopicsAreIgnored) {
+  // §III-A2: "if the publication rate for topic t goes to zero ... t is
+  // practically ignored in the preference function."
+  std::vector<double> rates{1.0, 1.0, 0.0};
+  const UtilityFunction u(rates);
+  SubscriptionSet a({0, 2});
+  SubscriptionSet b({0, 1});
+  // Shared: {0} weight 1; union: {0,1,2} weight 2 (topic 2 contributes 0).
+  EXPECT_DOUBLE_EQ(u(a, b), 0.5);
+
+  SubscriptionSet c({2});
+  SubscriptionSet d({2});
+  EXPECT_DOUBLE_EQ(u(c, d), 0.0);  // only a dead topic in common
+}
+
+TEST(Utility, HotTopicsDominate) {
+  // Sharing a hot topic must beat sharing a cold one.
+  std::vector<double> rates{100.0, 1.0, 1.0, 1.0};
+  const UtilityFunction u(rates);
+  SubscriptionSet self({0, 1});
+  SubscriptionSet hot_friend({0, 2});   // shares hot topic 0
+  SubscriptionSet cold_friend({1, 3});  // shares cold topic 1
+  EXPECT_GT(u(self, hot_friend), u(self, cold_friend));
+}
+
+TEST(Utility, ScaleInvariance) {
+  // Eq. 1 is a ratio: multiplying all rates by a constant changes nothing.
+  std::vector<double> rates{2.0, 5.0, 1.0, 7.0};
+  std::vector<double> scaled{20.0, 50.0, 10.0, 70.0};
+  const UtilityFunction u1(rates);
+  const UtilityFunction u2(scaled);
+  SubscriptionSet a({0, 1});
+  SubscriptionSet b({1, 2, 3});
+  EXPECT_NEAR(u1(a, b), u2(a, b), 1e-12);
+}
+
+TEST(Utility, MoreOverlapRelativeToUnionWins) {
+  const auto u = UtilityFunction::uniform(100);
+  SubscriptionSet self({0, 1, 2, 3});
+  SubscriptionSet small_similar({0, 1});          // |∩|=2, |∪|=4 -> 0.5
+  SubscriptionSet large_overlapping({0, 1, 2, 50, 51, 52, 53, 54});
+  // |∩|=3, |∪|=9 -> 0.333: fewer shared *relative* topics loses.
+  EXPECT_GT(u(self, small_similar), u(self, large_overlapping));
+}
+
+}  // namespace
+}  // namespace vitis::core

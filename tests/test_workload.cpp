@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/utility.hpp"
+#include "workload/publication.hpp"
+#include "workload/scenario.hpp"
+#include "workload/subscription_models.hpp"
+
+namespace vitis::workload {
+namespace {
+
+SyntheticSubscriptionParams params_for(CorrelationPattern pattern) {
+  SyntheticSubscriptionParams p;
+  p.nodes = 400;
+  p.topics = 500;
+  p.subs_per_node = 50;
+  p.pattern = pattern;
+  return p;
+}
+
+class SubscriptionModelFixture
+    : public ::testing::TestWithParam<CorrelationPattern> {};
+
+TEST_P(SubscriptionModelFixture, EveryNodeGetsExactlyTheRequestedCount) {
+  sim::Rng rng(1);
+  const auto params = params_for(GetParam());
+  const auto table = make_synthetic_subscriptions(params, rng);
+  EXPECT_EQ(table.node_count(), params.nodes);
+  EXPECT_EQ(table.topic_count(), params.topics);
+  for (std::size_t n = 0; n < params.nodes; ++n) {
+    EXPECT_EQ(table.of(static_cast<ids::NodeIndex>(n)).size(),
+              params.subs_per_node);
+  }
+}
+
+TEST_P(SubscriptionModelFixture, TopicsStayInRange) {
+  sim::Rng rng(2);
+  const auto table = make_synthetic_subscriptions(params_for(GetParam()), rng);
+  for (std::size_t n = 0; n < table.node_count(); ++n) {
+    for (const auto topic : table.of(static_cast<ids::NodeIndex>(n))) {
+      EXPECT_LT(topic, table.topic_count());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, SubscriptionModelFixture,
+                         ::testing::Values(
+                             CorrelationPattern::kRandom,
+                             CorrelationPattern::kLowCorrelation,
+                             CorrelationPattern::kHighCorrelation));
+
+/// Fraction of random node pairs whose Eq. 1 utility exceeds `threshold`.
+/// Correlation does not raise the *average* similarity (topic popularity is
+/// uniform in all three patterns); it concentrates similarity into a heavy
+/// tail of highly similar pairs, which is what friend selection exploits.
+double similar_pair_fraction(const pubsub::SubscriptionTable& table,
+                             double threshold, std::size_t pairs,
+                             sim::Rng& rng) {
+  const auto u = core::UtilityFunction::uniform(table.topic_count());
+  std::size_t above = 0;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const auto a = static_cast<ids::NodeIndex>(rng.index(table.node_count()));
+    const auto b = static_cast<ids::NodeIndex>(rng.index(table.node_count()));
+    if (a != b && u(table.of(a), table.of(b)) >= threshold) ++above;
+  }
+  return static_cast<double>(above) / static_cast<double>(pairs);
+}
+
+TEST(SubscriptionModels, CorrelationOrderingHolds) {
+  SyntheticSubscriptionParams params;
+  params.nodes = 400;
+  params.topics = 2'000;  // paper-like topics-per-subscription geometry
+  params.subs_per_node = 50;
+
+  sim::Rng gen(3);
+  params.pattern = CorrelationPattern::kRandom;
+  const auto random_table = make_synthetic_subscriptions(params, gen);
+  params.pattern = CorrelationPattern::kLowCorrelation;
+  const auto low_table = make_synthetic_subscriptions(params, gen);
+  params.pattern = CorrelationPattern::kHighCorrelation;
+  const auto high_table = make_synthetic_subscriptions(params, gen);
+
+  // High correlation concentrates mass far into the tail...
+  sim::Rng probe(4);
+  const double threshold = 0.08;  // far above the random-overlap baseline
+  const double f_random =
+      similar_pair_fraction(random_table, threshold, 4000, probe);
+  const double f_high =
+      similar_pair_fraction(high_table, threshold, 4000, probe);
+  EXPECT_GT(f_high, f_random + 0.02);
+  EXPECT_LT(f_random, 0.01);
+
+  // ...while low correlation shows as inflated overlap *variance* (the mean
+  // overlap is identical across patterns by construction).
+  const auto overlap_variance = [&](const pubsub::SubscriptionTable& table) {
+    sim::Rng pair_rng(5);
+    double sum = 0.0;
+    double sq = 0.0;
+    constexpr int kPairs = 8000;
+    for (int i = 0; i < kPairs; ++i) {
+      const auto a =
+          static_cast<ids::NodeIndex>(pair_rng.index(table.node_count()));
+      auto b = a;
+      while (b == a) {
+        b = static_cast<ids::NodeIndex>(pair_rng.index(table.node_count()));
+      }
+      const auto x = static_cast<double>(
+          pubsub::intersection_size(table.of(a), table.of(b)));
+      sum += x;
+      sq += x * x;
+    }
+    const double mean = sum / kPairs;
+    return sq / kPairs - mean * mean;
+  };
+  const double var_random = overlap_variance(random_table);
+  const double var_low = overlap_variance(low_table);
+  const double var_high = overlap_variance(high_table);
+  EXPECT_GT(var_low, 1.5 * var_random);
+  EXPECT_GT(var_high, 2.0 * var_low);
+}
+
+TEST(SubscriptionModels, CorrelatedPicksComeFromFewBuckets) {
+  sim::Rng rng(5);
+  const auto params = params_for(CorrelationPattern::kHighCorrelation);
+  const auto table = make_synthetic_subscriptions(params, rng);
+  const std::size_t n_buckets = bucket_count(params);
+  const std::size_t bucket_size = params.topics / n_buckets;
+  for (std::size_t n = 0; n < 50; ++n) {
+    std::set<std::size_t> buckets;
+    for (const auto topic : table.of(static_cast<ids::NodeIndex>(n))) {
+      buckets.insert(topic / bucket_size);
+    }
+    // 2 buckets plus possibly a couple of remainder top-ups.
+    EXPECT_LE(buckets.size(), 4u) << "node " << n;
+  }
+}
+
+TEST(SubscriptionModels, BucketCountMatchesPaperAtPaperScale) {
+  SyntheticSubscriptionParams p;
+  p.topics = 5000;
+  p.subs_per_node = 50;
+  EXPECT_EQ(bucket_count(p), 100u);  // §IV-A geometry
+}
+
+TEST(PublicationRates, UniformSamplesEveryTopic) {
+  const auto rates = PublicationRates::uniform(10);
+  sim::Rng rng(6);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20'000; ++i) ++counts[rates.sample(rng)];
+  for (const int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(PublicationRates, PowerLawConcentratesOnHotTopics) {
+  const auto rates = PublicationRates::power_law(100, 3.0);
+  sim::Rng rng(7);
+  // With alpha=3 the hottest topic takes the overwhelming share (§IV-D:
+  // "when α is 3, almost all the events are published on a single topic").
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 10'000; ++i) ++counts[rates.sample(rng)];
+  const int max_count = *std::max_element(counts.begin(), counts.end());
+  EXPECT_GT(max_count, 7'500);
+}
+
+TEST(PublicationRates, LowAlphaApproachesUniform) {
+  const auto rates = PublicationRates::power_law(100, 0.3);
+  double min_rate = 1e9;
+  double max_rate = 0.0;
+  for (std::size_t t = 0; t < 100; ++t) {
+    min_rate = std::min(min_rate, rates.rate(static_cast<ids::TopicIndex>(t)));
+    max_rate = std::max(max_rate, rates.rate(static_cast<ids::TopicIndex>(t)));
+  }
+  EXPECT_LT(max_rate / min_rate, 4.5);  // 100^0.3 ≈ 3.98
+}
+
+TEST(PublicationRates, WeightsExposedForUtility) {
+  const auto rates = PublicationRates::power_law(50, 1.0);
+  EXPECT_EQ(rates.weights().size(), 50u);
+  double sum = 0.0;
+  for (const double w : rates.weights()) {
+    EXPECT_GT(w, 0.0);
+    sum += w;
+  }
+  EXPECT_GT(sum, 0.0);
+}
+
+TEST(Schedule, PublishersSubscribeToTheirTopics) {
+  sim::Rng rng(8);
+  const auto table =
+      make_synthetic_subscriptions(params_for(CorrelationPattern::kRandom), rng);
+  const auto rates = PublicationRates::uniform(table.topic_count());
+  const auto schedule = make_schedule(table, rates, 200, rng);
+  ASSERT_EQ(schedule.size(), 200u);
+  for (const auto& [topic, publisher] : schedule) {
+    EXPECT_TRUE(table.subscribes(publisher, topic));
+  }
+}
+
+TEST(Schedule, EligibilityFilterRespected) {
+  sim::Rng rng(9);
+  const auto table =
+      make_synthetic_subscriptions(params_for(CorrelationPattern::kRandom), rng);
+  const auto rates = PublicationRates::uniform(table.topic_count());
+  const auto schedule = make_schedule(
+      table, rates, 100, rng,
+      [](ids::NodeIndex node) { return node % 2 == 0; });
+  for (const auto& [topic, publisher] : schedule) {
+    EXPECT_EQ(publisher % 2, 0u);
+  }
+}
+
+TEST(Scenario, AssemblesConsistently) {
+  SyntheticScenarioParams params;
+  params.subscriptions.nodes = 100;
+  params.subscriptions.topics = 60;
+  params.subscriptions.subs_per_node = 10;
+  params.events = 50;
+  params.rate_alpha = 1.0;
+  const auto scenario = make_synthetic_scenario(params);
+  EXPECT_EQ(scenario.subscriptions.node_count(), 100u);
+  EXPECT_EQ(scenario.rates.topic_count(), 60u);
+  EXPECT_EQ(scenario.schedule.size(), 50u);
+}
+
+TEST(Scenario, DeterministicForSeed) {
+  SyntheticScenarioParams params;
+  params.subscriptions.nodes = 80;
+  params.subscriptions.topics = 40;
+  params.subscriptions.subs_per_node = 8;
+  params.events = 30;
+  params.seed = 1234;
+  const auto a = make_synthetic_scenario(params);
+  const auto b = make_synthetic_scenario(params);
+  EXPECT_EQ(a.schedule, b.schedule);
+  for (std::size_t n = 0; n < 80; ++n) {
+    EXPECT_EQ(a.subscriptions.of(static_cast<ids::NodeIndex>(n)),
+              b.subscriptions.of(static_cast<ids::NodeIndex>(n)));
+  }
+}
+
+}  // namespace
+}  // namespace vitis::workload

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md placeholders from bench_output.txt.
+
+Each {{TAG}} placeholder is replaced by the corresponding bench binary's
+output section (without the '#####' separator line). Idempotent only on a
+template that still contains placeholders; keep EXPERIMENTS.md.in-style
+edits in git history if re-running.
+"""
+import re
+import sys
+
+TAGS = {
+    "FIG4": "bench_fig04_friends_vs_sw",
+    "FIG5": "bench_fig05_overhead_distribution",
+    "FIG6": "bench_fig06_routing_table_size",
+    "FIG7": "bench_fig07_publication_rate",
+    "FIG8": "bench_fig08_twitter_degrees",
+    "FIG9": "bench_fig09_twitter_stats",
+    "FIG10": "bench_fig10_twitter_pubsub",
+    "FIG11": "bench_fig11_opt_degree",
+    "FIG12": "bench_fig12_churn",
+    "ABL_GATEWAY": "bench_ablation_gateway",
+    "ABL_PROXIMITY": "bench_ablation_proximity",
+}
+
+
+def main() -> int:
+    bench_path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    doc_path = sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md"
+
+    with open(bench_path) as f:
+        output = f.read()
+
+    sections = {}
+    current = None
+    lines = []
+    for line in output.splitlines():
+        if line.startswith("##### "):
+            if current is not None:
+                sections[current] = "\n".join(lines).strip()
+            current = line.split("/")[-1].strip()
+            lines = []
+        else:
+            lines.append(line)
+    if current is not None:
+        sections[current] = "\n".join(lines).strip()
+
+    with open(doc_path) as f:
+        doc = f.read()
+
+    missing = []
+    for tag, binary in TAGS.items():
+        placeholder = "{{" + tag + "}}"
+        if placeholder not in doc:
+            continue
+        if binary not in sections:
+            missing.append(binary)
+            continue
+        doc = doc.replace(placeholder, sections[binary])
+
+    with open(doc_path, "w") as f:
+        f.write(doc)
+
+    leftover = re.findall(r"\{\{[A-Z0-9_]+\}\}", doc)
+    if missing or leftover:
+        print(f"missing sections: {missing}; unfilled: {leftover}")
+        return 1
+    print("EXPERIMENTS.md filled")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
