@@ -10,6 +10,22 @@
 
 #include "bench_common.hpp"
 
+namespace {
+
+using namespace vitis;
+
+// One sweep point: a gateway-depth setting.
+struct Point {
+  std::uint32_t depth = 5;
+};
+
+struct Result {
+  pubsub::MetricsSummary summary;
+  double gateways_per_topic = 0.0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace vitis;
   const auto ctx = bench::BenchContext::from_args(argc, argv);
@@ -21,35 +37,60 @@ int main(int argc, char** argv) {
                               workload::CorrelationPattern::kLowCorrelation));
 
   const std::vector<std::uint32_t> depths{1, 2, 3, 5, 8, 12};
+  std::vector<Point> points;
+  for (const std::uint32_t d : depths) points.push_back(Point{d});
+
+  const auto outcomes = bench::sweep(
+      ctx, points,
+      [&](const Point& point, support::RunTelemetry& telemetry) -> Result {
+        core::VitisConfig config;
+        config.gateway_depth = point.depth;
+        auto system = workload::make_vitis(scenario, config, ctx.seed);
+        Result result;
+        result.summary = workload::run_measurement(
+            *system, ctx.scale.cycles, scenario.schedule);
+        telemetry.cycles = ctx.scale.cycles;
+        telemetry.messages = system->metrics().total_messages();
+        // Mean gateways per topic (the redundancy d controls).
+        double gateway_sum = 0.0;
+        std::size_t measured_topics = 0;
+        for (std::size_t t = 0; t < scenario.subscriptions.topic_count();
+             t += 7) {  // sample every 7th topic; plenty for a mean
+          const auto topic = static_cast<ids::TopicIndex>(t);
+          if (scenario.subscriptions.subscribers(topic).empty()) continue;
+          gateway_sum +=
+              static_cast<double>(system->gateways_of(topic).size());
+          ++measured_topics;
+        }
+        result.gateways_per_topic =
+            measured_topics == 0
+                ? 0.0
+                : gateway_sum / static_cast<double>(measured_topics);
+        return result;
+      });
+
   analysis::TableWriter table({"d", "hit-ratio", "overhead (%)",
                                "delay (hops)", "gateways/topic"});
-  for (const std::uint32_t d : depths) {
-    core::VitisConfig config;
-    config.gateway_depth = d;
-    auto system = workload::make_vitis(scenario, config, ctx.seed);
-    const auto summary =
-        workload::run_measurement(*system, ctx.scale.cycles,
-                                  scenario.schedule);
-    // Mean gateways per topic (the redundancy d controls).
-    double gateway_sum = 0.0;
-    std::size_t measured_topics = 0;
-    for (std::size_t t = 0; t < scenario.subscriptions.topic_count();
-         t += 7) {  // sample every 7th topic; plenty for a mean
-      const auto topic = static_cast<ids::TopicIndex>(t);
-      if (scenario.subscriptions.subscribers(topic).empty()) continue;
-      gateway_sum += static_cast<double>(system->gateways_of(topic).size());
-      ++measured_topics;
-    }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& summary = outcomes[i].result.summary;
     table.add_row(
-        {std::to_string(d), support::format_fixed(summary.hit_ratio * 100, 2),
+        {std::to_string(points[i].depth),
+         support::format_fixed(summary.hit_ratio * 100, 2),
          support::format_fixed(summary.traffic_overhead_pct, 1),
          support::format_fixed(summary.delay_hops, 2),
-         support::format_fixed(
-             measured_topics == 0
-                 ? 0.0
-                 : gateway_sum / static_cast<double>(measured_topics),
-             2)});
+         support::format_fixed(outcomes[i].result.gateways_per_topic, 2)});
   }
   bench::emit(ctx, table);
+
+  auto artifact = bench::make_artifact(ctx, "ablation_gateway");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto& record = artifact.add_point();
+    record.param("system", "vitis");
+    record.param("gateway_depth", static_cast<std::int64_t>(points[i].depth));
+    bench::add_summary_metrics(record, outcomes[i].result.summary);
+    record.metric("gateways_per_topic", outcomes[i].result.gateways_per_topic);
+    record.set_telemetry(outcomes[i].telemetry);
+  }
+  bench::write_artifact(ctx, artifact);
   return 0;
 }

@@ -12,6 +12,24 @@
 #include "bench_common.hpp"
 #include "sim/coordinates.hpp"
 
+namespace {
+
+using namespace vitis;
+
+// One sweep point: a proximity-weight setting.
+struct Point {
+  double weight = 0.0;
+};
+
+struct Result {
+  pubsub::MetricsSummary summary;
+  double friend_latency_ms = 0.0;
+  double average_path_length = 0.0;
+  double clustering_coefficient = 0.0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace vitis;
   const auto ctx = bench::BenchContext::from_args(argc, argv);
@@ -26,28 +44,58 @@ int main(int argc, char** argv) {
       scenario.subscriptions.node_count(), coord_rng);
 
   const std::vector<double> weights{0.0, 1.0, 2.0, 4.0, 8.0};
+  std::vector<Point> points;
+  for (const double weight : weights) points.push_back(Point{weight});
+
+  const auto outcomes = bench::sweep(
+      ctx, points,
+      [&](const Point& point, support::RunTelemetry& telemetry) -> Result {
+        core::VitisConfig config;
+        config.proximity_weight = point.weight;
+        auto system = workload::make_vitis(scenario, config, ctx.seed);
+        system->set_coordinates(coords);
+        Result result;
+        result.summary = workload::run_measurement(
+            *system, ctx.scale.cycles, scenario.schedule);
+        telemetry.cycles = ctx.scale.cycles;
+        telemetry.messages = system->metrics().total_messages();
+        sim::Rng probe_rng(ctx.seed);
+        const auto overlay = system->overlay_snapshot();
+        const auto sw = analysis::small_world_stats(overlay, 20, probe_rng);
+        result.friend_latency_ms = system->mean_friend_latency_ms();
+        result.average_path_length = sw.average_path_length;
+        result.clustering_coefficient = sw.clustering_coefficient;
+        return result;
+      });
+
   analysis::TableWriter table({"weight", "friend-link latency (ms)",
                                "hit-ratio", "overhead (%)", "delay (hops)",
                                "avg path", "clustering"});
-  for (const double weight : weights) {
-    core::VitisConfig config;
-    config.proximity_weight = weight;
-    auto system = workload::make_vitis(scenario, config, ctx.seed);
-    system->set_coordinates(coords);
-    const auto summary = workload::run_measurement(
-        *system, ctx.scale.cycles, scenario.schedule);
-    sim::Rng probe_rng(ctx.seed);
-    const auto overlay = system->overlay_snapshot();
-    const auto sw = analysis::small_world_stats(overlay, 20, probe_rng);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& r = outcomes[i].result;
     table.add_row(
-        {support::format_fixed(weight, 1),
-         support::format_fixed(system->mean_friend_latency_ms(), 1),
-         support::format_fixed(summary.hit_ratio * 100, 2),
-         support::format_fixed(summary.traffic_overhead_pct, 1),
-         support::format_fixed(summary.delay_hops, 2),
-         support::format_fixed(sw.average_path_length, 2),
-         support::format_fixed(sw.clustering_coefficient, 3)});
+        {support::format_fixed(points[i].weight, 1),
+         support::format_fixed(r.friend_latency_ms, 1),
+         support::format_fixed(r.summary.hit_ratio * 100, 2),
+         support::format_fixed(r.summary.traffic_overhead_pct, 1),
+         support::format_fixed(r.summary.delay_hops, 2),
+         support::format_fixed(r.average_path_length, 2),
+         support::format_fixed(r.clustering_coefficient, 3)});
   }
   bench::emit(ctx, table);
+
+  auto artifact = bench::make_artifact(ctx, "ablation_proximity");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& r = outcomes[i].result;
+    auto& record = artifact.add_point();
+    record.param("system", "vitis");
+    record.param("proximity_weight", points[i].weight);
+    bench::add_summary_metrics(record, r.summary);
+    record.metric("friend_latency_ms", r.friend_latency_ms);
+    record.metric("average_path_length", r.average_path_length);
+    record.metric("clustering_coefficient", r.clustering_coefficient);
+    record.set_telemetry(outcomes[i].telemetry);
+  }
+  bench::write_artifact(ctx, artifact);
   return 0;
 }

@@ -4,18 +4,33 @@
 //   --scale quick|paper   (or env REPRO_SCALE; default quick)
 //   --nodes/--topics/--cycles/--events N   (override individual knobs)
 //   --seed N
+//   --jobs N              (worker threads for the sweep; or env REPRO_JOBS)
 //   --csv path            (also dump the table as CSV)
+//   --json path           (override the BENCH_<name>.json artifact path)
 //
 // "quick" preserves all qualitative shapes at ~1/5 the paper's size;
 // "paper" matches §IV-A (10,000 nodes, 5,000 topics, 50 subs/node).
+//
+// Benches declare their experiment as a list of parameter points and hand
+// it to sweep(): each point runs as an independent deterministic simulation
+// (own sim::Rng, own system instance), points are distributed over a
+// bounded worker pool, and outcomes come back in declaration order — so
+// stdout is byte-identical whatever --jobs is. Telemetry (wall time, peak
+// RSS, cycles, messages) is confined to the JSON artifact and stderr.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "analysis/table.hpp"
+#include "support/bench_artifact.hpp"
 #include "support/cli.hpp"
 #include "support/format.hpp"
+#include "support/log.hpp"
+#include "support/sweep.hpp"
+#include "support/version.hpp"
 #include "workload/scenario.hpp"
 
 namespace vitis::bench {
@@ -23,14 +38,24 @@ namespace vitis::bench {
 struct BenchContext {
   support::BenchScale scale;
   std::uint64_t seed = 42;
-  std::string csv_path;  // empty = no CSV dump
+  std::size_t jobs = 1;
+  std::string csv_path;   // empty = no CSV dump
+  std::string json_path;  // empty = BENCH_<name>.json in the working dir
 
   static BenchContext from_args(int argc, char** argv) {
     const support::CliArgs args(argc, argv);
     BenchContext ctx;
     ctx.scale = support::resolve_scale(args);
     ctx.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    const std::int64_t env_jobs = [] {
+      const auto env = support::env_string("REPRO_JOBS");
+      return env.has_value() ? std::strtoll(env->c_str(), nullptr, 10)
+                             : std::int64_t{1};
+    }();
+    const std::int64_t jobs = args.get_int("jobs", env_jobs);
+    ctx.jobs = jobs > 1 ? static_cast<std::size_t>(jobs) : 1;
     ctx.csv_path = args.get_string("csv", "");
+    ctx.json_path = args.get_string("json", "");
     return ctx;
   }
 };
@@ -70,6 +95,62 @@ inline workload::SyntheticScenarioParams synthetic_params(
 
 inline const char* pattern_label(workload::CorrelationPattern pattern) {
   return workload::to_string(pattern);
+}
+
+// --- sweep execution -------------------------------------------------------
+
+/// Run the declared parameter points through support::run_sweep with the
+/// context's worker-pool size, then report the sweep's shape to stderr
+/// (stdout stays reserved for the deterministic tables).
+template <typename Point, typename Fn>
+[[nodiscard]] auto sweep(const BenchContext& ctx,
+                         const std::vector<Point>& points, Fn&& fn) {
+  support::WallTimer timer;
+  auto outcomes =
+      support::run_sweep(points, ctx.jobs, std::forward<Fn>(fn));
+  support::log_info(
+      "sweep: " + std::to_string(points.size()) + " points, jobs=" +
+      std::to_string(support::effective_jobs(points.size(), ctx.jobs)) +
+      ", " + support::format_fixed(timer.elapsed_ms() / 1000.0, 1) + " s, " +
+      "peak rss " + std::to_string(support::peak_rss_kb() / 1024) + " MB");
+  return outcomes;
+}
+
+// --- artifact emission -----------------------------------------------------
+
+/// Start the BENCH_<name>.json artifact for this bench run. `name` is the
+/// bench's short name (binary name without the "bench_" prefix).
+inline support::BenchArtifact make_artifact(const BenchContext& ctx,
+                                            const std::string& name) {
+  support::BenchArtifact artifact(name);
+  artifact.set_scale(ctx.scale.name, ctx.scale.nodes, ctx.scale.topics,
+                     ctx.scale.cycles, ctx.scale.events);
+  artifact.set_seed(ctx.seed);
+  artifact.set_jobs(ctx.jobs);
+  artifact.set_git_describe(support::git_describe());
+  return artifact;
+}
+
+/// The paper's three metrics under their canonical artifact keys.
+inline void add_summary_metrics(support::BenchArtifact::Point& point,
+                                const pubsub::MetricsSummary& summary) {
+  point.metric("hit_ratio", summary.hit_ratio);
+  point.metric("traffic_overhead_pct", summary.traffic_overhead_pct);
+  point.metric("delay_hops", summary.delay_hops);
+}
+
+/// Write the artifact (default path BENCH_<name>.json, `--json` overrides)
+/// and note the location on stderr.
+inline void write_artifact(const BenchContext& ctx,
+                           const support::BenchArtifact& artifact) {
+  const std::string path = ctx.json_path.empty()
+                               ? "BENCH_" + artifact.name() + ".json"
+                               : ctx.json_path;
+  if (artifact.write(path)) {
+    support::log_info("artifact written to " + path);
+  } else {
+    support::log_warn("failed to write artifact " + path);
+  }
 }
 
 }  // namespace vitis::bench

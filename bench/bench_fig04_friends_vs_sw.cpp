@@ -18,11 +18,14 @@ namespace {
 
 using namespace vitis;
 
-struct Row {
-  std::size_t friends;
-  pubsub::MetricsSummary vitis[3];
-  pubsub::MetricsSummary rvr;
+// One sweep point: a (friend-count, pattern) Vitis run, or the single
+// friend-oblivious RVR reference when pattern < 0.
+struct Point {
+  std::size_t friends = 0;
+  int pattern = -1;  // index into the pattern array; -1 = RVR
 };
+
+constexpr const char* kPatternNames[3] = {"high", "low", "random"};
 
 }  // namespace
 
@@ -40,6 +43,7 @@ int main(int argc, char** argv) {
   };
 
   // Scenarios are fixed across the sweep; only the link budget varies.
+  // Shared read-only by every sweep point.
   std::vector<workload::SyntheticScenario> scenarios;
   for (const auto pattern : patterns) {
     scenarios.push_back(
@@ -48,28 +52,43 @@ int main(int argc, char** argv) {
 
   // RVR is friend-oblivious: one measurement per pattern is the paper's
   // single line (it behaves identically across patterns; use the random
-  // one).
-  baselines::rvr::RvrConfig rvr_config;
-  rvr_config.base.routing_table_size = kRtSize;
-  auto rvr = workload::make_rvr(scenarios[2], rvr_config, ctx.seed);
-  const auto rvr_summary =
-      workload::run_measurement(*rvr, ctx.scale.cycles, scenarios[2].schedule);
-
-  std::vector<Row> rows;
+  // one). Point 0; then one point per (friends, pattern).
+  std::vector<Point> points;
+  points.push_back(Point{0, -1});
   for (const std::size_t friends : friend_counts) {
-    Row row;
-    row.friends = friends;
-    row.rvr = rvr_summary;
-    for (int p = 0; p < 3; ++p) {
-      core::VitisConfig config;
-      config.routing_table_size = kRtSize;
-      config.structural_links = kRtSize - friends;
-      auto system = workload::make_vitis(scenarios[p], config, ctx.seed);
-      row.vitis[p] = workload::run_measurement(*system, ctx.scale.cycles,
-                                               scenarios[p].schedule);
-    }
-    rows.push_back(row);
+    for (int p = 0; p < 3; ++p) points.push_back(Point{friends, p});
   }
+
+  const auto outcomes = bench::sweep(
+      ctx, points,
+      [&](const Point& point,
+          support::RunTelemetry& telemetry) -> pubsub::MetricsSummary {
+        telemetry.cycles = ctx.scale.cycles;
+        if (point.pattern < 0) {
+          baselines::rvr::RvrConfig rvr_config;
+          rvr_config.base.routing_table_size = kRtSize;
+          auto rvr = workload::make_rvr(scenarios[2], rvr_config, ctx.seed);
+          const auto summary = workload::run_measurement(
+              *rvr, ctx.scale.cycles, scenarios[2].schedule);
+          telemetry.messages = rvr->metrics().total_messages();
+          return summary;
+        }
+        const auto& scenario = scenarios[point.pattern];
+        core::VitisConfig config;
+        config.routing_table_size = kRtSize;
+        config.structural_links = kRtSize - point.friends;
+        auto system = workload::make_vitis(scenario, config, ctx.seed);
+        const auto summary = workload::run_measurement(
+            *system, ctx.scale.cycles, scenario.schedule);
+        telemetry.messages = system->metrics().total_messages();
+        return summary;
+      });
+
+  const auto& rvr_summary = outcomes[0].result;
+  const auto vitis_summary = [&](std::size_t friend_index, int pattern) {
+    return outcomes[1 + friend_index * 3 + static_cast<std::size_t>(pattern)]
+        .result;
+  };
 
   analysis::TableWriter overhead(
       {"friends", "vitis-high", "vitis-low", "vitis-random", "rvr"});
@@ -77,20 +96,21 @@ int main(int argc, char** argv) {
       {"friends", "vitis-high", "vitis-low", "vitis-random", "rvr"});
   analysis::TableWriter hit(
       {"friends", "vitis-high", "vitis-low", "vitis-random", "rvr"});
-  for (const Row& row : rows) {
-    overhead.add_numeric_row({static_cast<double>(row.friends),
-                              row.vitis[0].traffic_overhead_pct,
-                              row.vitis[1].traffic_overhead_pct,
-                              row.vitis[2].traffic_overhead_pct,
-                              row.rvr.traffic_overhead_pct});
-    delay.add_numeric_row(
-        {static_cast<double>(row.friends), row.vitis[0].delay_hops,
-         row.vitis[1].delay_hops, row.vitis[2].delay_hops,
-         row.rvr.delay_hops});
-    hit.add_numeric_row(
-        {static_cast<double>(row.friends), row.vitis[0].hit_ratio * 100,
-         row.vitis[1].hit_ratio * 100, row.vitis[2].hit_ratio * 100,
-         row.rvr.hit_ratio * 100});
+  for (std::size_t f = 0; f < friend_counts.size(); ++f) {
+    const auto& v0 = vitis_summary(f, 0);
+    const auto& v1 = vitis_summary(f, 1);
+    const auto& v2 = vitis_summary(f, 2);
+    overhead.add_numeric_row({static_cast<double>(friend_counts[f]),
+                              v0.traffic_overhead_pct,
+                              v1.traffic_overhead_pct,
+                              v2.traffic_overhead_pct,
+                              rvr_summary.traffic_overhead_pct});
+    delay.add_numeric_row({static_cast<double>(friend_counts[f]),
+                           v0.delay_hops, v1.delay_hops, v2.delay_hops,
+                           rvr_summary.delay_hops});
+    hit.add_numeric_row({static_cast<double>(friend_counts[f]),
+                         v0.hit_ratio * 100, v1.hit_ratio * 100,
+                         v2.hit_ratio * 100, rvr_summary.hit_ratio * 100});
   }
 
   std::printf("--- Fig. 4(a): traffic overhead (%%) ---\n");
@@ -99,5 +119,19 @@ int main(int argc, char** argv) {
   std::printf("%s\n", delay.to_text().c_str());
   std::printf("--- hit ratio (%%), both systems should be ~100 ---\n");
   std::printf("%s\n", hit.to_text().c_str());
+
+  auto artifact = bench::make_artifact(ctx, "fig04_friends_vs_sw");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto& record = artifact.add_point();
+    record.param("system", points[i].pattern < 0 ? "rvr" : "vitis");
+    record.param("pattern", points[i].pattern < 0
+                                ? "random"
+                                : kPatternNames[points[i].pattern]);
+    record.param("friends", points[i].friends);
+    record.param("rt_size", kRtSize);
+    bench::add_summary_metrics(record, outcomes[i].result);
+    record.set_telemetry(outcomes[i].telemetry);
+  }
+  bench::write_artifact(ctx, artifact);
   return 0;
 }

@@ -4,11 +4,33 @@
 // random subscriptions, binned in 10%-wide buckets (the paper's x axis runs
 // 0..100%). Paper shape: Vitis shifts mass below 10-20%; the fraction of
 // nodes with more than 20% overhead drops to less than a third of RVR's.
+#include <string>
+#include <vector>
+
 #include "analysis/histogram.hpp"
 #include "bench_common.hpp"
 
+namespace {
+
+using namespace vitis;
+
+// One sweep point: a (system, subscription pattern) combination.
+struct Point {
+  bool vitis = true;
+  bool correlated = true;
+};
+
+// A point's output: the summary metrics plus the per-node overhead
+// fractions the Fig. 5 histogram is built from (binning happens on the
+// main thread after the sweep).
+struct Result {
+  pubsub::MetricsSummary summary;
+  std::vector<double> fractions;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace vitis;
   const auto ctx = bench::BenchContext::from_args(argc, argv);
   bench::print_banner(ctx, "Fig. 5",
                       "per-node distribution of traffic overhead");
@@ -19,29 +41,40 @@ int main(int argc, char** argv) {
   const auto random_scenario = workload::make_synthetic_scenario(
       bench::synthetic_params(ctx, workload::CorrelationPattern::kRandom));
 
+  const std::vector<Point> points{
+      {true, true}, {true, false}, {false, true}, {false, false}};
+
+  const auto outcomes = bench::sweep(
+      ctx, points,
+      [&](const Point& point, support::RunTelemetry& telemetry) -> Result {
+        const auto& scenario = point.correlated ? correlated : random_scenario;
+        std::unique_ptr<pubsub::PubSubSystem> system;
+        if (point.vitis) {
+          core::VitisConfig vitis_config;  // defaults: RT 15, k 3, d 5
+          system = workload::make_vitis(scenario, vitis_config, ctx.seed);
+        } else {
+          baselines::rvr::RvrConfig rvr_config;
+          system = workload::make_rvr(scenario, rvr_config, ctx.seed);
+        }
+        Result result;
+        result.summary = workload::run_measurement(*system, ctx.scale.cycles,
+                                                   scenario.schedule);
+        result.fractions = system->metrics().node_overhead_fractions();
+        telemetry.cycles = ctx.scale.cycles;
+        telemetry.messages = system->metrics().total_messages();
+        return result;
+      });
+
   constexpr std::size_t kBins = 10;
-  const auto node_histogram = [&](pubsub::PubSubSystem& system,
-                                  std::span<const pubsub::Publication>
-                                      schedule) {
-    (void)workload::run_measurement(system, ctx.scale.cycles, schedule);
+  const auto histogram_of = [&](std::size_t index) {
     analysis::Histogram histogram(0.0, 1.0, kBins);
-    histogram.add_all(system.metrics().node_overhead_fractions());
+    histogram.add_all(outcomes[index].result.fractions);
     return histogram;
   };
-
-  core::VitisConfig vitis_config;  // defaults: RT 15, k 3, d 5
-  baselines::rvr::RvrConfig rvr_config;
-
-  auto vitis_corr = workload::make_vitis(correlated, vitis_config, ctx.seed);
-  auto vitis_rand =
-      workload::make_vitis(random_scenario, vitis_config, ctx.seed);
-  auto rvr_corr = workload::make_rvr(correlated, rvr_config, ctx.seed);
-  auto rvr_rand = workload::make_rvr(random_scenario, rvr_config, ctx.seed);
-
-  const auto h_vc = node_histogram(*vitis_corr, correlated.schedule);
-  const auto h_vr = node_histogram(*vitis_rand, random_scenario.schedule);
-  const auto h_rc = node_histogram(*rvr_corr, correlated.schedule);
-  const auto h_rr = node_histogram(*rvr_rand, random_scenario.schedule);
+  const auto h_vc = histogram_of(0);
+  const auto h_vr = histogram_of(1);
+  const auto h_rc = histogram_of(2);
+  const auto h_rr = histogram_of(3);
 
   analysis::TableWriter table({"overhead-bin", "vitis-corr", "vitis-random",
                                "rvr-corr", "rvr-random"});
@@ -67,5 +100,18 @@ int main(int argc, char** argv) {
                  support::format_percent(h_rr.tail_fraction(0.2), 1)});
   std::printf("--- paper check: Vitis tail above 20%% < 1/3 of RVR's ---\n");
   std::printf("%s\n", tails.to_text().c_str());
+
+  auto artifact = bench::make_artifact(ctx, "fig05_overhead_distribution");
+  const analysis::Histogram* histograms[4] = {&h_vc, &h_vr, &h_rc, &h_rr};
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto& record = artifact.add_point();
+    record.param("system", points[i].vitis ? "vitis" : "rvr");
+    record.param("pattern", points[i].correlated ? "high" : "random");
+    bench::add_summary_metrics(record, outcomes[i].result.summary);
+    record.metric("nodes_above_20pct_overhead",
+                  histograms[i]->tail_fraction(0.2));
+    record.set_telemetry(outcomes[i].telemetry);
+  }
+  bench::write_artifact(ctx, artifact);
   return 0;
 }

@@ -9,8 +9,22 @@
 
 #include "bench_common.hpp"
 
+namespace {
+
+using namespace vitis;
+
+// One sweep point: routing-table size × pattern, or the per-RT RVR
+// reference when pattern < 0.
+struct Point {
+  std::size_t rt_size = 15;
+  int pattern = -1;  // -1 = RVR
+};
+
+constexpr const char* kPatternNames[3] = {"high", "low", "random"};
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace vitis;
   const auto ctx = bench::BenchContext::from_args(argc, argv);
   bench::print_banner(ctx, "Fig. 6",
                       "traffic overhead & propagation delay vs RT size");
@@ -27,41 +41,71 @@ int main(int argc, char** argv) {
         workload::make_synthetic_scenario(bench::synthetic_params(ctx, pattern)));
   }
 
+  std::vector<Point> points;
+  for (const std::size_t rt : rt_sizes) {
+    for (int p = 0; p < 3; ++p) points.push_back(Point{rt, p});
+    points.push_back(Point{rt, -1});
+  }
+
+  const auto outcomes = bench::sweep(
+      ctx, points,
+      [&](const Point& point,
+          support::RunTelemetry& telemetry) -> pubsub::MetricsSummary {
+        telemetry.cycles = ctx.scale.cycles;
+        if (point.pattern < 0) {
+          baselines::rvr::RvrConfig rvr_config;
+          rvr_config.base.routing_table_size = point.rt_size;
+          auto rvr = workload::make_rvr(scenarios[2], rvr_config, ctx.seed);
+          const auto summary = workload::run_measurement(
+              *rvr, ctx.scale.cycles, scenarios[2].schedule);
+          telemetry.messages = rvr->metrics().total_messages();
+          return summary;
+        }
+        const auto& scenario = scenarios[point.pattern];
+        core::VitisConfig config;
+        config.routing_table_size = point.rt_size;
+        config.structural_links = 3;  // k fixed; extra slots become friends
+        auto system = workload::make_vitis(scenario, config, ctx.seed);
+        const auto summary = workload::run_measurement(
+            *system, ctx.scale.cycles, scenario.schedule);
+        telemetry.messages = system->metrics().total_messages();
+        return summary;
+      });
+
   analysis::TableWriter overhead(
       {"rt-size", "vitis-high", "vitis-low", "vitis-random", "rvr"});
   analysis::TableWriter delay(
       {"rt-size", "vitis-high", "vitis-low", "vitis-random", "rvr"});
-
-  for (const std::size_t rt : rt_sizes) {
-    pubsub::MetricsSummary vitis_summary[3];
-    for (int p = 0; p < 3; ++p) {
-      core::VitisConfig config;
-      config.routing_table_size = rt;
-      config.structural_links = 3;  // k fixed; extra slots become friends
-      auto system = workload::make_vitis(scenarios[p], config, ctx.seed);
-      vitis_summary[p] = workload::run_measurement(*system, ctx.scale.cycles,
-                                                   scenarios[p].schedule);
-    }
-    baselines::rvr::RvrConfig rvr_config;
-    rvr_config.base.routing_table_size = rt;
-    auto rvr = workload::make_rvr(scenarios[2], rvr_config, ctx.seed);
-    const auto rvr_summary = workload::run_measurement(
-        *rvr, ctx.scale.cycles, scenarios[2].schedule);
-
-    overhead.add_numeric_row({static_cast<double>(rt),
-                              vitis_summary[0].traffic_overhead_pct,
-                              vitis_summary[1].traffic_overhead_pct,
-                              vitis_summary[2].traffic_overhead_pct,
-                              rvr_summary.traffic_overhead_pct});
-    delay.add_numeric_row(
-        {static_cast<double>(rt), vitis_summary[0].delay_hops,
-         vitis_summary[1].delay_hops, vitis_summary[2].delay_hops,
-         rvr_summary.delay_hops});
+  for (std::size_t r = 0; r < rt_sizes.size(); ++r) {
+    const auto& v0 = outcomes[r * 4 + 0].result;
+    const auto& v1 = outcomes[r * 4 + 1].result;
+    const auto& v2 = outcomes[r * 4 + 2].result;
+    const auto& rvr = outcomes[r * 4 + 3].result;
+    overhead.add_numeric_row({static_cast<double>(rt_sizes[r]),
+                              v0.traffic_overhead_pct,
+                              v1.traffic_overhead_pct,
+                              v2.traffic_overhead_pct,
+                              rvr.traffic_overhead_pct});
+    delay.add_numeric_row({static_cast<double>(rt_sizes[r]), v0.delay_hops,
+                           v1.delay_hops, v2.delay_hops, rvr.delay_hops});
   }
 
   std::printf("--- Fig. 6(a): traffic overhead (%%) ---\n");
   bench::emit(ctx, overhead);
   std::printf("--- Fig. 6(b): propagation delay (hops) ---\n");
   std::printf("%s\n", delay.to_text().c_str());
+
+  auto artifact = bench::make_artifact(ctx, "fig06_routing_table_size");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto& record = artifact.add_point();
+    record.param("system", points[i].pattern < 0 ? "rvr" : "vitis");
+    record.param("pattern", points[i].pattern < 0
+                                ? "random"
+                                : kPatternNames[points[i].pattern]);
+    record.param("rt_size", points[i].rt_size);
+    bench::add_summary_metrics(record, outcomes[i].result);
+    record.set_telemetry(outcomes[i].telemetry);
+  }
+  bench::write_artifact(ctx, artifact);
   return 0;
 }

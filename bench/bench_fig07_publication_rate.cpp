@@ -9,8 +9,23 @@
 
 #include "bench_common.hpp"
 
+namespace {
+
+using namespace vitis;
+
+// One sweep point: rate skew × pattern, or the per-alpha RVR reference
+// when pattern < 0. The scenario is a pure function of (alpha, pattern,
+// seed), so each point rebuilds its own — no shared mutable state.
+struct Point {
+  double alpha = 0.3;
+  int pattern = -1;  // -1 = RVR (runs on the random-pattern scenario)
+};
+
+constexpr const char* kPatternNames[3] = {"high", "low", "random"};
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace vitis;
   const auto ctx = bench::BenchContext::from_args(argc, argv);
   bench::print_banner(ctx, "Fig. 7",
                       "traffic overhead & propagation delay vs rate skew");
@@ -22,42 +37,70 @@ int main(int argc, char** argv) {
       workload::CorrelationPattern::kRandom,
   };
 
+  std::vector<Point> points;
+  for (const double alpha : alphas) {
+    for (int p = 0; p < 3; ++p) points.push_back(Point{alpha, p});
+    points.push_back(Point{alpha, -1});
+  }
+
+  const auto outcomes = bench::sweep(
+      ctx, points,
+      [&](const Point& point,
+          support::RunTelemetry& telemetry) -> pubsub::MetricsSummary {
+        telemetry.cycles = ctx.scale.cycles;
+        const int scenario_pattern = point.pattern < 0 ? 2 : point.pattern;
+        const auto scenario = workload::make_synthetic_scenario(
+            bench::synthetic_params(ctx, patterns[scenario_pattern],
+                                    point.alpha));
+        if (point.pattern < 0) {
+          baselines::rvr::RvrConfig rvr_config;
+          auto rvr = workload::make_rvr(scenario, rvr_config, ctx.seed);
+          const auto summary = workload::run_measurement(
+              *rvr, ctx.scale.cycles, scenario.schedule);
+          telemetry.messages = rvr->metrics().total_messages();
+          return summary;
+        }
+        core::VitisConfig config;  // RT 15, k 3
+        auto system = workload::make_vitis(scenario, config, ctx.seed);
+        const auto summary = workload::run_measurement(
+            *system, ctx.scale.cycles, scenario.schedule);
+        telemetry.messages = system->metrics().total_messages();
+        return summary;
+      });
+
   analysis::TableWriter overhead(
       {"alpha", "vitis-high", "vitis-low", "vitis-random", "rvr"});
   analysis::TableWriter delay(
       {"alpha", "vitis-high", "vitis-low", "vitis-random", "rvr"});
-
-  for (const double alpha : alphas) {
-    std::vector<workload::SyntheticScenario> scenarios;
-    for (const auto pattern : patterns) {
-      scenarios.push_back(workload::make_synthetic_scenario(
-          bench::synthetic_params(ctx, pattern, alpha)));
-    }
-    pubsub::MetricsSummary vitis_summary[3];
-    for (int p = 0; p < 3; ++p) {
-      core::VitisConfig config;  // RT 15, k 3
-      auto system = workload::make_vitis(scenarios[p], config, ctx.seed);
-      vitis_summary[p] = workload::run_measurement(*system, ctx.scale.cycles,
-                                                   scenarios[p].schedule);
-    }
-    baselines::rvr::RvrConfig rvr_config;
-    auto rvr = workload::make_rvr(scenarios[2], rvr_config, ctx.seed);
-    const auto rvr_summary = workload::run_measurement(
-        *rvr, ctx.scale.cycles, scenarios[2].schedule);
-
-    overhead.add_numeric_row({alpha, vitis_summary[0].traffic_overhead_pct,
-                              vitis_summary[1].traffic_overhead_pct,
-                              vitis_summary[2].traffic_overhead_pct,
-                              rvr_summary.traffic_overhead_pct});
-    delay.add_numeric_row({alpha, vitis_summary[0].delay_hops,
-                           vitis_summary[1].delay_hops,
-                           vitis_summary[2].delay_hops,
-                           rvr_summary.delay_hops});
+  for (std::size_t a = 0; a < alphas.size(); ++a) {
+    const auto& v0 = outcomes[a * 4 + 0].result;
+    const auto& v1 = outcomes[a * 4 + 1].result;
+    const auto& v2 = outcomes[a * 4 + 2].result;
+    const auto& rvr = outcomes[a * 4 + 3].result;
+    overhead.add_numeric_row({alphas[a], v0.traffic_overhead_pct,
+                              v1.traffic_overhead_pct,
+                              v2.traffic_overhead_pct,
+                              rvr.traffic_overhead_pct});
+    delay.add_numeric_row({alphas[a], v0.delay_hops, v1.delay_hops,
+                           v2.delay_hops, rvr.delay_hops});
   }
 
   std::printf("--- Fig. 7(a): traffic overhead (%%) ---\n");
   bench::emit(ctx, overhead);
   std::printf("--- Fig. 7(b): propagation delay (hops) ---\n");
   std::printf("%s\n", delay.to_text().c_str());
+
+  auto artifact = bench::make_artifact(ctx, "fig07_publication_rate");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto& record = artifact.add_point();
+    record.param("system", points[i].pattern < 0 ? "rvr" : "vitis");
+    record.param("pattern", points[i].pattern < 0
+                                ? "random"
+                                : kPatternNames[points[i].pattern]);
+    record.param("alpha", points[i].alpha);
+    bench::add_summary_metrics(record, outcomes[i].result);
+    record.set_telemetry(outcomes[i].telemetry);
+  }
+  bench::write_artifact(ctx, artifact);
   return 0;
 }

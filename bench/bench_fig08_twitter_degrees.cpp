@@ -12,28 +12,54 @@
 #include "bench_common.hpp"
 #include "workload/twitter.hpp"
 
+namespace {
+
+using namespace vitis;
+
+// A single sweep point: generate the follower graph and measure its degree
+// distributions (no simulation cycles; generation is the workload).
+struct Point {
+  std::size_t users = 0;
+};
+
+struct Result {
+  analysis::FrequencyTable out_degrees;
+  analysis::FrequencyTable in_degrees;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace vitis;
   const auto ctx = bench::BenchContext::from_args(argc, argv);
   bench::print_banner(ctx, "Fig. 8", "Twitter in/out-degree distributions");
 
-  sim::Rng rng(ctx.seed);
-  workload::TwitterModelParams params;
-  params.users = ctx.scale.nodes;
-  const auto table = workload::make_twitter_subscriptions(params, rng);
+  const std::vector<Point> points{{ctx.scale.nodes}};
+  const auto outcomes = bench::sweep(
+      ctx, points,
+      [&](const Point& point, support::RunTelemetry& telemetry) -> Result {
+        sim::Rng rng(ctx.seed);
+        workload::TwitterModelParams params;
+        params.users = point.users;
+        const auto table = workload::make_twitter_subscriptions(params, rng);
 
-  analysis::FrequencyTable out_degrees;
-  analysis::FrequencyTable in_degrees;
-  for (std::size_t u = 0; u < table.node_count(); ++u) {
-    const auto node = static_cast<ids::NodeIndex>(u);
-    out_degrees.add(table.of(node).size() - 1);  // excluding self
-    std::uint64_t in = 0;
-    for (const ids::NodeIndex f :
-         table.subscribers(static_cast<ids::TopicIndex>(u))) {
-      if (f != node) ++in;
-    }
-    in_degrees.add(in);
-  }
+        Result result;
+        for (std::size_t u = 0; u < table.node_count(); ++u) {
+          const auto node = static_cast<ids::NodeIndex>(u);
+          result.out_degrees.add(table.of(node).size() - 1);  // excluding self
+          std::uint64_t in = 0;
+          for (const ids::NodeIndex f :
+               table.subscribers(static_cast<ids::TopicIndex>(u))) {
+            if (f != node) ++in;
+          }
+          result.in_degrees.add(in);
+        }
+        telemetry.messages = result.out_degrees.total();
+        return result;
+      });
+  const auto& out_degrees = outcomes[0].result.out_degrees;
+  const auto& in_degrees = outcomes[0].result.in_degrees;
+
+  workload::TwitterModelParams params;  // for the paper's min_out reference
 
   // Log-binned frequencies: bin b covers degrees [2^b, 2^(b+1)).
   const auto log_bins = [](const analysis::FrequencyTable& degrees) {
@@ -63,19 +89,28 @@ int main(int argc, char** argv) {
   std::printf("--- Fig. 8: log-binned degree frequencies ---\n");
   bench::emit(ctx, table_out);
 
+  const double alpha_out = out_degrees.power_law_alpha_mle(params.min_out);
+  const double alpha_in = in_degrees.power_law_alpha_mle(1);
   analysis::TableWriter fits({"metric", "value", "paper"});
-  fits.add_row({"alpha (out-degree MLE)",
-                support::format_fixed(out_degrees.power_law_alpha_mle(
-                                          params.min_out),
-                                      2),
+  fits.add_row({"alpha (out-degree MLE)", support::format_fixed(alpha_out, 2),
                 "1.65"});
-  fits.add_row({"alpha (in-degree MLE)",
-                support::format_fixed(in_degrees.power_law_alpha_mle(1), 2),
+  fits.add_row({"alpha (in-degree MLE)", support::format_fixed(alpha_in, 2),
                 "1.65"});
   fits.add_row({"max out-degree",
                 std::to_string(out_degrees.max_value()), "(heavy tail)"});
   fits.add_row({"max in-degree", std::to_string(in_degrees.max_value()),
                 "(heavy tail)"});
   std::printf("--- power-law fits ---\n%s\n", fits.to_text().c_str());
+
+  auto artifact = bench::make_artifact(ctx, "fig08_twitter_degrees");
+  auto& record = artifact.add_point();
+  record.param("users", points[0].users);
+  record.metric("alpha_out_mle", alpha_out);
+  record.metric("alpha_in_mle", alpha_in);
+  record.metric("max_out_degree",
+                static_cast<double>(out_degrees.max_value()));
+  record.metric("max_in_degree", static_cast<double>(in_degrees.max_value()));
+  record.set_telemetry(outcomes[0].telemetry);
+  bench::write_artifact(ctx, artifact);
   return 0;
 }

@@ -4,23 +4,53 @@
 // in §IV-E (≈10k users via BFS-style sampling, ≈80 subscriptions/node,
 // power-law exponent ≈1.65). We print the same summary for the synthetic
 // model and its sample.
+#include <vector>
+
 #include "bench_common.hpp"
 #include "workload/twitter.hpp"
+
+namespace {
+
+using namespace vitis;
+
+// A single sweep point: generate the full graph, sample it, and analyze
+// both. The generation is the workload; nothing is simulated.
+struct Point {
+  std::size_t sample_users = 0;
+};
+
+struct Result {
+  workload::TwitterStats full;
+  workload::TwitterStats sample;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace vitis;
   const auto ctx = bench::BenchContext::from_args(argc, argv);
   bench::print_banner(ctx, "Fig. 9", "Twitter data set summary statistics");
 
-  sim::Rng rng(ctx.seed);
-  workload::TwitterModelParams params;
-  // Full graph ~3x the sample target, mirroring the paper's sub-sampling.
-  params.users = 3 * ctx.scale.nodes;
-  const auto full = workload::make_twitter_subscriptions(params, rng);
-  const auto sample = workload::sample_twitter(full, ctx.scale.nodes, rng);
-
-  const auto full_stats = workload::analyze_twitter(full);
-  const auto sample_stats = workload::analyze_twitter(sample);
+  const std::vector<Point> points{{ctx.scale.nodes}};
+  const auto outcomes = bench::sweep(
+      ctx, points,
+      [&](const Point& point, support::RunTelemetry& telemetry) -> Result {
+        sim::Rng rng(ctx.seed);
+        workload::TwitterModelParams params;
+        // Full graph ~3x the sample target, mirroring the paper's
+        // sub-sampling.
+        params.users = 3 * point.sample_users;
+        const auto full = workload::make_twitter_subscriptions(params, rng);
+        const auto sample =
+            workload::sample_twitter(full, point.sample_users, rng);
+        Result result;
+        result.full = workload::analyze_twitter(full);
+        result.sample = workload::analyze_twitter(sample);
+        telemetry.messages = result.full.follow_edges;
+        return result;
+      });
+  const auto& full_stats = outcomes[0].result.full;
+  const auto& sample_stats = outcomes[0].result.sample;
 
   analysis::TableWriter table({"statistic", "full graph", "sample", "paper"});
   table.add_row({"users", std::to_string(full_stats.users),
@@ -45,5 +75,17 @@ int main(int argc, char** argv) {
                  support::format_fixed(sample_stats.alpha_in_mle, 2),
                  "1.65"});
   bench::emit(ctx, table);
+
+  auto artifact = bench::make_artifact(ctx, "fig09_twitter_stats");
+  auto& record = artifact.add_point();
+  record.param("sample_users", points[0].sample_users);
+  record.metric("full_mean_out_degree", full_stats.mean_out_degree);
+  record.metric("sample_mean_out_degree", sample_stats.mean_out_degree);
+  record.metric("full_alpha_out_mle", full_stats.alpha_out_mle);
+  record.metric("sample_alpha_out_mle", sample_stats.alpha_out_mle);
+  record.metric("full_alpha_in_mle", full_stats.alpha_in_mle);
+  record.metric("sample_alpha_in_mle", sample_stats.alpha_in_mle);
+  record.set_telemetry(outcomes[0].telemetry);
+  bench::write_artifact(ctx, artifact);
   return 0;
 }

@@ -10,12 +10,29 @@
 #include "bench_common.hpp"
 #include "workload/twitter.hpp"
 
+namespace {
+
+using namespace vitis;
+
+// One sweep point: a (routing-table size, system) run over the shared
+// Twitter workload.
+struct Point {
+  std::size_t rt_size = 15;
+  int system = 0;  // 0 = vitis, 1 = rvr, 2 = opt
+};
+
+constexpr const char* kSystemNames[3] = {"vitis", "rvr", "opt"};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace vitis;
   const auto ctx = bench::BenchContext::from_args(argc, argv);
   bench::print_banner(ctx, "Fig. 10",
                       "hit ratio / overhead / delay vs RT size on Twitter");
 
+  // Workload construction consumes one rng stream in a fixed order; it is
+  // shared read-only by every sweep point.
   sim::Rng rng(ctx.seed);
   workload::TwitterModelParams params;
   params.users = 3 * ctx.scale.nodes;
@@ -31,36 +48,57 @@ int main(int argc, char** argv) {
               table.node_count(), table.mean_subscriptions());
 
   const std::vector<std::size_t> rt_sizes{15, 20, 25, 30, 35};
+  std::vector<Point> points;
+  for (const std::size_t rt : rt_sizes) {
+    for (int s = 0; s < 3; ++s) points.push_back(Point{rt, s});
+  }
+
+  const auto outcomes = bench::sweep(
+      ctx, points,
+      [&](const Point& point,
+          support::RunTelemetry& telemetry) -> pubsub::MetricsSummary {
+        telemetry.cycles = ctx.scale.cycles;
+        if (point.system == 0) {
+          core::VitisConfig vitis_config;
+          vitis_config.routing_table_size = point.rt_size;
+          core::VitisSystem system(vitis_config, table, weight_vec, ctx.seed);
+          const auto summary =
+              workload::run_measurement(system, ctx.scale.cycles, schedule);
+          telemetry.messages = system.metrics().total_messages();
+          return summary;
+        }
+        if (point.system == 1) {
+          baselines::rvr::RvrConfig rvr_config;
+          rvr_config.base.routing_table_size = point.rt_size;
+          baselines::rvr::RvrSystem system(rvr_config, table, ctx.seed);
+          const auto summary =
+              workload::run_measurement(system, ctx.scale.cycles, schedule);
+          telemetry.messages = system.metrics().total_messages();
+          return summary;
+        }
+        baselines::opt::OptConfig opt_config;
+        opt_config.base.routing_table_size = point.rt_size;
+        baselines::opt::OptSystem system(opt_config, table, ctx.seed);
+        const auto summary =
+            workload::run_measurement(system, ctx.scale.cycles, schedule);
+        telemetry.messages = system.metrics().total_messages();
+        return summary;
+      });
+
   analysis::TableWriter hit({"rt-size", "vitis", "rvr", "opt"});
   analysis::TableWriter overhead({"rt-size", "vitis", "rvr", "opt"});
   analysis::TableWriter delay({"rt-size", "vitis", "rvr", "opt"});
-
-  for (const std::size_t rt : rt_sizes) {
-    core::VitisConfig vitis_config;
-    vitis_config.routing_table_size = rt;
-    core::VitisSystem vitis_system(vitis_config, table, weight_vec, ctx.seed);
-    const auto sv =
-        workload::run_measurement(vitis_system, ctx.scale.cycles, schedule);
-
-    baselines::rvr::RvrConfig rvr_config;
-    rvr_config.base.routing_table_size = rt;
-    baselines::rvr::RvrSystem rvr_system(rvr_config, table, ctx.seed);
-    const auto sr =
-        workload::run_measurement(rvr_system, ctx.scale.cycles, schedule);
-
-    baselines::opt::OptConfig opt_config;
-    opt_config.base.routing_table_size = rt;
-    baselines::opt::OptSystem opt_system(opt_config, table, ctx.seed);
-    const auto so =
-        workload::run_measurement(opt_system, ctx.scale.cycles, schedule);
-
-    hit.add_numeric_row({static_cast<double>(rt), sv.hit_ratio * 100,
+  for (std::size_t r = 0; r < rt_sizes.size(); ++r) {
+    const auto& sv = outcomes[r * 3 + 0].result;
+    const auto& sr = outcomes[r * 3 + 1].result;
+    const auto& so = outcomes[r * 3 + 2].result;
+    hit.add_numeric_row({static_cast<double>(rt_sizes[r]), sv.hit_ratio * 100,
                          sr.hit_ratio * 100, so.hit_ratio * 100});
-    overhead.add_numeric_row({static_cast<double>(rt),
+    overhead.add_numeric_row({static_cast<double>(rt_sizes[r]),
                               sv.traffic_overhead_pct,
                               sr.traffic_overhead_pct,
                               so.traffic_overhead_pct});
-    delay.add_numeric_row({static_cast<double>(rt), sv.delay_hops,
+    delay.add_numeric_row({static_cast<double>(rt_sizes[r]), sv.delay_hops,
                            sr.delay_hops, so.delay_hops});
   }
 
@@ -70,5 +108,15 @@ int main(int argc, char** argv) {
   std::printf("%s\n", overhead.to_text().c_str());
   std::printf("--- Fig. 10(c): propagation delay (hops) ---\n");
   std::printf("%s\n", delay.to_text().c_str());
+
+  auto artifact = bench::make_artifact(ctx, "fig10_twitter_pubsub");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto& record = artifact.add_point();
+    record.param("system", kSystemNames[points[i].system]);
+    record.param("rt_size", points[i].rt_size);
+    bench::add_summary_metrics(record, outcomes[i].result);
+    record.set_telemetry(outcomes[i].telemetry);
+  }
+  bench::write_artifact(ctx, artifact);
   return 0;
 }

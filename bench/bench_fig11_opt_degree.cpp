@@ -10,30 +10,53 @@
 #include "bench_common.hpp"
 #include "workload/twitter.hpp"
 
+namespace {
+
+using namespace vitis;
+
+// A single sweep point: build the Twitter workload, run unbounded OPT, and
+// collect the per-node overlay degrees.
+struct Point {
+  std::size_t users = 0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace vitis;
   const auto ctx = bench::BenchContext::from_args(argc, argv);
   bench::print_banner(ctx, "Fig. 11", "OPT node degrees with unbounded RT");
 
-  sim::Rng rng(ctx.seed);
-  workload::TwitterModelParams params;
-  params.users = 3 * ctx.scale.nodes;
-  const auto full = workload::make_twitter_subscriptions(params, rng);
-  const auto table = workload::sample_twitter(full, ctx.scale.nodes, rng);
+  const std::vector<Point> points{{ctx.scale.nodes}};
+  const auto outcomes = bench::sweep(
+      ctx, points,
+      [&](const Point& point,
+          support::RunTelemetry& telemetry) -> analysis::FrequencyTable {
+        sim::Rng rng(ctx.seed);
+        workload::TwitterModelParams params;
+        params.users = 3 * point.users;
+        const auto full = workload::make_twitter_subscriptions(params, rng);
+        const auto table = workload::sample_twitter(full, point.users, rng);
 
-  baselines::opt::OptConfig config;
-  config.unbounded = true;
-  baselines::opt::OptSystem system(config, table, ctx.seed);
-  system.run_cycles(ctx.scale.cycles);
+        baselines::opt::OptConfig config;
+        config.unbounded = true;
+        baselines::opt::OptSystem system(config, table, ctx.seed);
+        system.run_cycles(ctx.scale.cycles);
+        telemetry.cycles = ctx.scale.cycles;
+        telemetry.messages = system.metrics().total_messages();
 
-  // A node's degree is the number of links it must maintain — outgoing
-  // coverage links plus links other nodes keep toward it (connections are
-  // bidirectional); popular users accumulate enormous in-link counts.
-  const auto overlay = system.overlay_snapshot();
-  analysis::FrequencyTable degrees;
-  for (ids::NodeIndex n = 0; n < system.node_count(); ++n) {
-    degrees.add(overlay.degree(n));
-  }
+        // A node's degree is the number of links it must maintain —
+        // outgoing coverage links plus links other nodes keep toward it
+        // (connections are bidirectional); popular users accumulate
+        // enormous in-link counts.
+        const auto overlay = system.overlay_snapshot();
+        analysis::FrequencyTable degrees;
+        for (ids::NodeIndex n = 0; n < system.node_count(); ++n) {
+          degrees.add(overlay.degree(n));
+        }
+        return degrees;
+      });
+  const auto& degrees = outcomes[0].result;
 
   // 10-wide bins as in the paper's bar chart.
   analysis::TableWriter table_out({"degree-bin", "fraction of nodes (%)"});
@@ -62,5 +85,17 @@ int main(int argc, char** argv) {
   stats.add_row({"mean degree", support::format_fixed(degrees.mean(), 1),
                  "-"});
   std::printf("--- paper checks ---\n%s\n", stats.to_text().c_str());
+
+  auto artifact = bench::make_artifact(ctx, "fig11_opt_degree");
+  auto& record = artifact.add_point();
+  record.param("system", "opt");
+  record.param("users", points[0].users);
+  record.param("unbounded", "true");
+  record.metric("fraction_degree_above_15", degrees.fraction_above(15));
+  record.metric("fraction_degree_above_200", degrees.fraction_above(200));
+  record.metric("max_degree", static_cast<double>(degrees.max_value()));
+  record.metric("mean_degree", degrees.mean());
+  record.set_telemetry(outcomes[0].telemetry);
+  bench::write_artifact(ctx, artifact);
   return 0;
 }

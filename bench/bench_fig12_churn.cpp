@@ -15,6 +15,29 @@
 #include "workload/churn_driver.hpp"
 #include "workload/skype_churn.hpp"
 
+namespace {
+
+using namespace vitis;
+
+// One sweep point: one system replaying the whole trace. Alive-ness is
+// purely trace-determined, so the sample windows (hour, alive count, and
+// publication schedule) are precomputed once by replaying the trace into an
+// alive bitmap; that makes the Vitis and RVR runs independent while
+// reproducing the exact serial numbers.
+struct Point {
+  int system = 0;  // 0 = vitis, 1 = rvr
+};
+
+// A precomputed sample window: simulated hour, network size, and the batch
+// of publications to measure with.
+struct SampleWindow {
+  std::size_t cycle = 0;
+  std::size_t alive = 0;
+  std::vector<pubsub::Publication> schedule;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace vitis;
   const auto ctx = bench::BenchContext::from_args(argc, argv);
@@ -46,73 +69,144 @@ int main(int argc, char** argv) {
   // few protocol cycles per simulated hour keeps repair speed realistic
   // relative to churn without simulating millions of rounds.
   const std::size_t cycles_per_hour = 4;
-  baselines::rvr::RvrConfig rvr_config;
-  rvr_config.tree_refresh_interval = 2;  // Scribe repairs trees aggressively
-  auto vitis_system = workload::make_vitis(scenario, core::VitisConfig{},
-                                           ctx.seed, /*start_online=*/false);
-  auto rvr_system = workload::make_rvr(scenario, rvr_config, ctx.seed,
-                                       /*start_online=*/false);
-
-  analysis::TableWriter table({"hour", "alive", "vitis-hit", "rvr-hit",
-                               "vitis-ovh", "rvr-ovh", "vitis-delay",
-                               "rvr-delay"});
-
   const double cycle_s = 3600.0;  // 1 cycle == 1 hour
   const std::size_t total_cycles =
       static_cast<std::size_t>(churn.duration_hours);
   const std::size_t sample_every = paper ? 50 : 20;
   const std::size_t events_per_window = 100;
-  sim::Rng pub_rng(ctx.seed ^ 0x70756273ULL);
-
-  workload::ChurnDriver driver(trace);
-  driver.attach(*vitis_system);
-  driver.attach(*rvr_system);
-
-  for (std::size_t cycle = 0; cycle < total_cycles; ++cycle) {
-    const double t = static_cast<double>(cycle + 1) * cycle_s;
-    (void)driver.advance_to(t);
+  const auto fc = static_cast<std::size_t>(churn.flash_crowd_time_hours);
+  const auto near_flash_crowd = [&](std::size_t cycle) {
     // Dense sampling around the flash crowd: the interesting transient
     // (paper: RVR dips to ≈87% while Vitis stays ≈99%) lasts only a few
     // hours, and the paper measures nodes ~10 s after they join — so in
     // flash-crowd hours we sample after a single gossip cycle, mid-
     // absorption, instead of at the settled end of the hour.
-    const auto fc = static_cast<std::size_t>(churn.flash_crowd_time_hours);
-    const bool near_flash_crowd = cycle + 2 >= fc && cycle <= fc + 10;
-    if (near_flash_crowd) {
-      vitis_system->run_cycles(1);
-      rvr_system->run_cycles(1);
-    } else {
-      vitis_system->run_cycles(cycles_per_hour);
-      rvr_system->run_cycles(cycles_per_hour);
-    }
+    return cycle + 2 >= fc && cycle <= fc + 10;
+  };
 
-    const bool warm = cycle >= 20;
-    if (warm && (cycle % sample_every == 0 || near_flash_crowd) &&
-        vitis_system->alive_count() > 20) {
-      const auto eligible = [&](ids::NodeIndex n) {
-        return vitis_system->is_alive(n);
-      };
-      const auto schedule =
-          workload::make_schedule(scenario.subscriptions, scenario.rates,
-                                  events_per_window, pub_rng, eligible);
-      vitis_system->metrics().reset();
-      rvr_system->metrics().reset();
-      const auto sv = pubsub::measure(*vitis_system, schedule);
-      const auto sr = pubsub::measure(*rvr_system, schedule);
-      table.add_row({std::to_string(cycle),
-                     std::to_string(vitis_system->alive_count()),
-                     support::format_fixed(sv.hit_ratio * 100, 2),
-                     support::format_fixed(sr.hit_ratio * 100, 2),
-                     support::format_fixed(sv.traffic_overhead_pct, 1),
-                     support::format_fixed(sr.traffic_overhead_pct, 1),
-                     support::format_fixed(sv.delay_hops, 2),
-                     support::format_fixed(sr.delay_hops, 2)});
+  // Pass 1: replay the trace into an alive bitmap to precompute every
+  // sample window. The schedules consume pub_rng in the same order the
+  // serial experiment did.
+  std::vector<SampleWindow> windows;
+  {
+    std::vector<char> alive(churn.nodes, 0);
+    std::size_t alive_count = 0;
+    workload::ChurnDriver driver(trace);
+    driver.add_hook([&](ids::NodeIndex node, bool join) {
+      if (join != static_cast<bool>(alive[node])) {
+        alive[node] = join ? 1 : 0;
+        alive_count += join ? 1 : std::size_t(-1);
+      }
+    });
+    sim::Rng pub_rng(ctx.seed ^ 0x70756273ULL);
+    for (std::size_t cycle = 0; cycle < total_cycles; ++cycle) {
+      (void)driver.advance_to(static_cast<double>(cycle + 1) * cycle_s);
+      const bool warm = cycle >= 20;
+      if (warm &&
+          (cycle % sample_every == 0 || near_flash_crowd(cycle)) &&
+          alive_count > 20) {
+        const auto eligible = [&](ids::NodeIndex n) {
+          return static_cast<bool>(alive[n]);
+        };
+        windows.push_back(SampleWindow{
+            cycle, alive_count,
+            workload::make_schedule(scenario.subscriptions, scenario.rates,
+                                    events_per_window, pub_rng, eligible)});
+      }
     }
+  }
+
+  // Pass 2: each system replays the trace independently and measures at
+  // the precomputed windows. The driver needs the concrete system type for
+  // its node_join/node_leave hooks, hence the generic replay helper.
+  const auto replay = [&](auto& system, support::RunTelemetry& telemetry) {
+    workload::ChurnDriver driver(trace);
+    driver.attach(system);
+    std::vector<pubsub::MetricsSummary> summaries;
+    summaries.reserve(windows.size());
+    std::size_t next_window = 0;
+    for (std::size_t cycle = 0; cycle < total_cycles; ++cycle) {
+      (void)driver.advance_to(static_cast<double>(cycle + 1) * cycle_s);
+      const std::size_t burst = near_flash_crowd(cycle) ? 1 : cycles_per_hour;
+      system.run_cycles(burst);
+      telemetry.cycles += burst;
+      if (next_window < windows.size() &&
+          windows[next_window].cycle == cycle) {
+        telemetry.messages += system.metrics().total_messages();
+        system.metrics().reset();
+        summaries.push_back(
+            pubsub::measure(system, windows[next_window].schedule));
+        ++next_window;
+      }
+    }
+    telemetry.messages += system.metrics().total_messages();
+    return summaries;
+  };
+
+  const std::vector<Point> points{{0}, {1}};
+  const auto outcomes = bench::sweep(
+      ctx, points,
+      [&](const Point& point, support::RunTelemetry& telemetry)
+          -> std::vector<pubsub::MetricsSummary> {
+        if (point.system == 0) {
+          auto system = workload::make_vitis(scenario, core::VitisConfig{},
+                                             ctx.seed, /*start_online=*/false);
+          return replay(*system, telemetry);
+        }
+        baselines::rvr::RvrConfig rvr_config;
+        rvr_config.tree_refresh_interval = 2;  // Scribe repairs aggressively
+        auto system = workload::make_rvr(scenario, rvr_config, ctx.seed,
+                                         /*start_online=*/false);
+        return replay(*system, telemetry);
+      });
+  const auto& vitis_rows = outcomes[0].result;
+  const auto& rvr_rows = outcomes[1].result;
+
+  analysis::TableWriter table({"hour", "alive", "vitis-hit", "rvr-hit",
+                               "vitis-ovh", "rvr-ovh", "vitis-delay",
+                               "rvr-delay"});
+  for (std::size_t k = 0; k < windows.size(); ++k) {
+    const auto& sv = vitis_rows[k];
+    const auto& sr = rvr_rows[k];
+    table.add_row({std::to_string(windows[k].cycle),
+                   std::to_string(windows[k].alive),
+                   support::format_fixed(sv.hit_ratio * 100, 2),
+                   support::format_fixed(sr.hit_ratio * 100, 2),
+                   support::format_fixed(sv.traffic_overhead_pct, 1),
+                   support::format_fixed(sr.traffic_overhead_pct, 1),
+                   support::format_fixed(sv.delay_hops, 2),
+                   support::format_fixed(sr.delay_hops, 2)});
   }
 
   std::printf(
       "--- Fig. 12(a/b/c): time series (flash crowd at hour %.0f) ---\n",
       churn.flash_crowd_time_hours);
   bench::emit(ctx, table);
+
+  auto artifact = bench::make_artifact(ctx, "fig12_churn");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& rows = outcomes[i].result;
+    double mean_hit = 0.0, min_hit = rows.empty() ? 0.0 : 1.0;
+    double mean_ovh = 0.0, mean_delay = 0.0;
+    for (const auto& s : rows) {
+      mean_hit += s.hit_ratio;
+      min_hit = std::min(min_hit, s.hit_ratio);
+      mean_ovh += s.traffic_overhead_pct;
+      mean_delay += s.delay_hops;
+    }
+    const double n = rows.empty() ? 1.0 : static_cast<double>(rows.size());
+    auto& record = artifact.add_point();
+    record.param("system", points[i].system == 0 ? "vitis" : "rvr");
+    record.param("nodes", churn.nodes);
+    record.param("duration_hours", churn.duration_hours);
+    record.param("flash_crowd_hour", churn.flash_crowd_time_hours);
+    record.metric("sample_windows", static_cast<double>(rows.size()));
+    record.metric("mean_hit_ratio", mean_hit / n);
+    record.metric("min_hit_ratio", min_hit);
+    record.metric("mean_traffic_overhead_pct", mean_ovh / n);
+    record.metric("mean_delay_hops", mean_delay / n);
+    record.set_telemetry(outcomes[i].telemetry);
+  }
+  bench::write_artifact(ctx, artifact);
   return 0;
 }

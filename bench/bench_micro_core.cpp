@@ -1,10 +1,18 @@
 // Micro-benchmarks (google-benchmark) of the hot paths: Eq. 1 utility
 // evaluation, subscription-set intersection, greedy lookup, a full gossip
 // cycle, gateway election, and event dissemination.
+//
+// The main() accepts (and ignores) the common bench flags so harness
+// scripts can pass --scale/--jobs uniformly to every binary; timings land
+// in BENCH_micro_core.json like the figure benches' artifacts.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
+
+#include "bench_common.hpp"
 
 #include "core/gateway.hpp"
 #include "core/utility.hpp"
@@ -189,6 +197,87 @@ void BM_TwitterGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_TwitterGeneration)->Unit(benchmark::kMillisecond)->Arg(2000);
 
+// Console output as usual, plus a machine-readable copy of every finished
+// run for the JSON artifact.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double real_time = 0.0;
+    double cpu_time = 0.0;
+    std::int64_t iterations = 0;
+    const char* time_unit = "ns";
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const auto& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      rows_.push_back(Row{run.benchmark_name(), run.GetAdjustedRealTime(),
+                          run.GetAdjustedCPUTime(),
+                          static_cast<std::int64_t>(run.iterations),
+                          benchmark::GetTimeUnitString(run.time_unit)});
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+// The common bench flags (and their detached values) must not reach
+// benchmark::Initialize, which rejects unknown options.
+bool is_common_flag(const char* arg) {
+  static const char* kFlags[] = {"--scale",  "--nodes", "--topics",
+                                 "--cycles", "--events", "--seed",
+                                 "--jobs",   "--csv",    "--json"};
+  for (const char* flag : kFlags) {
+    const std::size_t len = std::strlen(flag);
+    if (std::strncmp(arg, flag, len) == 0 &&
+        (arg[len] == '\0' || arg[len] == '=')) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto ctx = vitis::bench::BenchContext::from_args(argc, argv);
+
+  std::vector<char*> bench_argv{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (is_common_flag(argv[i])) {
+      // `--flag value` style: swallow the detached value token too.
+      if (i + 1 < argc && std::strchr(argv[i], '=') == nullptr &&
+          std::strncmp(argv[i + 1], "--", 2) != 0) {
+        ++i;
+      }
+      continue;
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  auto artifact = vitis::bench::make_artifact(ctx, "micro_core");
+  for (const auto& row : reporter.rows()) {
+    auto& record = artifact.add_point();
+    record.param("benchmark", row.name);
+    record.param("time_unit", row.time_unit);
+    record.metric("real_time", row.real_time);
+    record.metric("cpu_time", row.cpu_time);
+    record.metric("iterations", static_cast<double>(row.iterations));
+  }
+  vitis::bench::write_artifact(ctx, artifact);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -85,9 +85,7 @@ double MetricsCollector::global_overhead() const {
     uninterested += t.uninterested;
     total += t.total();
   }
-  return total == 0 ? 0.0
-                    : static_cast<double>(uninterested) /
-                          static_cast<double>(total);
+  return overhead_ratio(uninterested, total);
 }
 
 std::vector<double> MetricsCollector::node_overhead_fractions() const {

@@ -18,6 +18,19 @@
 
 namespace vitis::pubsub {
 
+/// The overhead convention shared by the per-node fractions and the global
+/// summary: relay share of received traffic, with 0/0 == 0 (a node or
+/// window without traffic carries no overhead). Both NodeTraffic and
+/// MetricsCollector::global_overhead must route through this so the two
+/// summaries can only differ by *weighting* (per-node mean vs message-
+/// weighted aggregate), never by convention.
+[[nodiscard]] constexpr double overhead_ratio(std::uint64_t uninterested,
+                                              std::uint64_t total) {
+  return total == 0 ? 0.0
+                    : static_cast<double>(uninterested) /
+                          static_cast<double>(total);
+}
+
 /// Message counters of one node over a measurement window.
 struct NodeTraffic {
   std::uint64_t interested = 0;    // received messages on subscribed topics
@@ -25,9 +38,7 @@ struct NodeTraffic {
 
   [[nodiscard]] std::uint64_t total() const { return interested + uninterested; }
   [[nodiscard]] double overhead_fraction() const {
-    const std::uint64_t t = total();
-    return t == 0 ? 0.0 : static_cast<double>(uninterested) /
-                              static_cast<double>(t);
+    return overhead_ratio(uninterested, total());
   }
 };
 

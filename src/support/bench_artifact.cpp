@@ -1,0 +1,161 @@
+#include "support/bench_artifact.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/json.hpp"
+
+namespace vitis::support {
+
+BenchArtifact::Point& BenchArtifact::Point::param(std::string key,
+                                                  std::int64_t value) {
+  Scalar scalar;
+  scalar.kind = Scalar::Kind::kInt;
+  scalar.int_value = value;
+  params_.emplace_back(std::move(key), std::move(scalar));
+  return *this;
+}
+
+BenchArtifact::Point& BenchArtifact::Point::param(std::string key,
+                                                  double value) {
+  Scalar scalar;
+  scalar.kind = Scalar::Kind::kDouble;
+  scalar.double_value = value;
+  params_.emplace_back(std::move(key), std::move(scalar));
+  return *this;
+}
+
+BenchArtifact::Point& BenchArtifact::Point::param(std::string key,
+                                                  std::string value) {
+  Scalar scalar;
+  scalar.kind = Scalar::Kind::kString;
+  scalar.string_value = std::move(value);
+  params_.emplace_back(std::move(key), std::move(scalar));
+  return *this;
+}
+
+BenchArtifact::Point& BenchArtifact::Point::metric(std::string key,
+                                                   double value) {
+  metrics_.emplace_back(std::move(key), value);
+  return *this;
+}
+
+BenchArtifact::Point& BenchArtifact::Point::set_telemetry(
+    const RunTelemetry& telemetry) {
+  telemetry_ = telemetry;
+  return *this;
+}
+
+BenchArtifact::BenchArtifact(std::string bench_name)
+    : name_(std::move(bench_name)) {}
+
+void BenchArtifact::set_scale(std::string name, std::size_t nodes,
+                              std::size_t topics, std::size_t cycles,
+                              std::size_t events) {
+  scale_name_ = std::move(name);
+  nodes_ = nodes;
+  topics_ = topics;
+  cycles_ = cycles;
+  events_ = events;
+}
+
+BenchArtifact::Point& BenchArtifact::add_point() {
+  points_.emplace_back();
+  return points_.back();
+}
+
+namespace {
+
+void write_scalar(JsonWriter& w, const BenchArtifact::Scalar& scalar) {
+  using Kind = BenchArtifact::Scalar::Kind;
+  switch (scalar.kind) {
+    case Kind::kInt:
+      w.value(scalar.int_value);
+      break;
+    case Kind::kDouble:
+      w.value(scalar.double_value);
+      break;
+    case Kind::kString:
+      w.value(scalar.string_value);
+      break;
+  }
+}
+
+void write_telemetry(JsonWriter& w, const RunTelemetry& t) {
+  w.begin_object();
+  w.key("wall_ms").value(t.wall_ms);
+  w.key("peak_rss_kb").value(t.peak_rss_kb);
+  w.key("cycles").value(t.cycles);
+  w.key("messages").value(t.messages);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string BenchArtifact::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema_version").value(std::int64_t{1});
+  w.key("bench").value(name_);
+  w.key("git_describe").value(git_describe_);
+  w.key("scale").begin_object();
+  w.key("name").value(scale_name_);
+  w.key("nodes").value(static_cast<std::uint64_t>(nodes_));
+  w.key("topics").value(static_cast<std::uint64_t>(topics_));
+  w.key("cycles").value(static_cast<std::uint64_t>(cycles_));
+  w.key("events").value(static_cast<std::uint64_t>(events_));
+  w.end_object();
+  w.key("seed").value(seed_);
+  w.key("jobs").value(static_cast<std::uint64_t>(jobs_));
+
+  w.key("points").begin_array();
+  for (const Point& point : points_) {
+    w.begin_object();
+    w.key("params").begin_object();
+    for (const auto& [key, scalar] : point.params_) {
+      w.key(key);
+      write_scalar(w, scalar);
+    }
+    w.end_object();
+    w.key("metrics").begin_object();
+    for (const auto& [key, value] : point.metrics_) {
+      w.key(key).value(value);
+    }
+    w.end_object();
+    w.key("telemetry");
+    write_telemetry(w, point.telemetry_);
+    w.end_object();
+  }
+  w.end_array();
+
+  RunTelemetry totals;
+  for (const Point& point : points_) {
+    totals.wall_ms += point.telemetry_.wall_ms;
+    totals.peak_rss_kb =
+        std::max(totals.peak_rss_kb, point.telemetry_.peak_rss_kb);
+    totals.cycles += point.telemetry_.cycles;
+    totals.messages += point.telemetry_.messages;
+  }
+  w.key("totals").begin_object();
+  w.key("points").value(static_cast<std::uint64_t>(points_.size()));
+  w.key("wall_ms").value(totals.wall_ms);
+  w.key("peak_rss_kb").value(totals.peak_rss_kb);
+  w.key("cycles").value(totals.cycles);
+  w.key("messages").value(totals.messages);
+  w.end_object();
+
+  w.end_object();
+  return w.str();
+}
+
+bool BenchArtifact::write(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string json = to_json();
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), file) == json.size() &&
+      std::fputc('\n', file) != EOF;
+  return std::fclose(file) == 0 && ok;
+}
+
+}  // namespace vitis::support

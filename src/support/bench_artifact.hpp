@@ -1,0 +1,112 @@
+// Machine-readable bench artifact: one BENCH_<name>.json per bench binary,
+// recording per-point parameters, the paper metrics, and runtime telemetry.
+// This is the file future PRs regress performance against and
+// tools/fill_experiments.py prefers over scraping bench_output.txt.
+//
+// Schema (version 1):
+//   {
+//     "schema_version": 1,
+//     "bench": "<short bench name, e.g. fig04_friends_vs_sw>",
+//     "git_describe": "<git describe --always --dirty at configure time>",
+//     "scale": {"name": "quick", "nodes": N, "topics": T,
+//               "cycles": C, "events": E},
+//     "seed": 42,
+//     "jobs": 1,
+//     "points": [
+//       {"params":    {"<key>": <number|string>, ...},
+//        "metrics":   {"<key>": <number>, ...},
+//        "telemetry": {"wall_ms": ..., "peak_rss_kb": ...,
+//                      "cycles": ..., "messages": ...}},
+//       ...
+//     ],
+//     "totals": {"points": P, "wall_ms": sum, "peak_rss_kb": max,
+//                "cycles": sum, "messages": sum}
+//   }
+//
+// Everything under "params"/"metrics" is deterministic per (seed, scale);
+// "telemetry" and "totals" carry the wall-clock/RSS measurements and vary
+// between runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/run_stats.hpp"
+
+namespace vitis::support {
+
+class BenchArtifact {
+ public:
+  /// A scalar usable as a point parameter or metric value.
+  struct Scalar {
+    enum class Kind { kInt, kDouble, kString };
+    Kind kind = Kind::kInt;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+  };
+
+  class Point {
+   public:
+    Point& param(std::string key, std::int64_t value);
+    Point& param(std::string key, std::size_t value) {
+      return param(std::move(key), static_cast<std::int64_t>(value));
+    }
+    Point& param(std::string key, int value) {
+      return param(std::move(key), static_cast<std::int64_t>(value));
+    }
+    Point& param(std::string key, double value);
+    Point& param(std::string key, std::string value);
+    Point& param(std::string key, const char* value) {
+      return param(std::move(key), std::string(value));
+    }
+
+    Point& metric(std::string key, double value);
+
+    Point& set_telemetry(const RunTelemetry& telemetry);
+
+   private:
+    friend class BenchArtifact;
+    std::vector<std::pair<std::string, Scalar>> params_;
+    std::vector<std::pair<std::string, double>> metrics_;
+    RunTelemetry telemetry_;
+  };
+
+  explicit BenchArtifact(std::string bench_name);
+
+  void set_scale(std::string name, std::size_t nodes, std::size_t topics,
+                 std::size_t cycles, std::size_t events);
+  void set_seed(std::uint64_t seed) { seed_ = seed; }
+  void set_jobs(std::size_t jobs) { jobs_ = jobs; }
+  void set_git_describe(std::string describe) {
+    git_describe_ = std::move(describe);
+  }
+
+  Point& add_point();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t point_count() const { return points_.size(); }
+
+  /// Serialize the whole artifact (schema above) as one JSON document.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write to_json() to `path`; false (with no partial file guarantees) on
+  /// I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::string git_describe_ = "unknown";
+  std::string scale_name_ = "quick";
+  std::size_t nodes_ = 0;
+  std::size_t topics_ = 0;
+  std::size_t cycles_ = 0;
+  std::size_t events_ = 0;
+  std::uint64_t seed_ = 0;
+  std::size_t jobs_ = 1;
+  std::vector<Point> points_;
+};
+
+}  // namespace vitis::support

@@ -1,0 +1,140 @@
+#include "support/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace vitis::support {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc{}) return "null";
+  return std::string(buf, end);
+}
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value directly follows "key":
+  }
+  if (nesting_.empty()) return;
+  if (nesting_.back() == 'n') out_ += ',';
+  nesting_.back() = 'n';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  out_ += '{';
+  nesting_ += 'e';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (!nesting_.empty()) nesting_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  out_ += '[';
+  nesting_ += 'e';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (!nesting_.empty()) nesting_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  separate();
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  separate();
+  out_ += '"';
+  out_ += json_escape(text);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  separate();
+  out_ += json_number(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  separate();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  separate();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  separate();
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  separate();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace vitis::support

@@ -1,0 +1,67 @@
+// Minimal streaming JSON writer for the machine-readable bench artifacts
+// (BENCH_<name>.json). Emits RFC 8259-conformant output: strings are
+// escaped, doubles use the shortest round-trip form, and non-finite doubles
+// degrade to null (JSON has no NaN/Inf). No reader — artifacts are consumed
+// by Python tooling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vitis::support {
+
+/// Escape the characters JSON strings cannot contain raw: quote, backslash
+/// and control characters (short forms \" \\ \n \r \t \b \f, otherwise
+/// \u00XX). Input is passed through otherwise, so valid UTF-8 stays valid.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Shortest round-trip decimal form of `value` (std::to_chars); "null" for
+/// NaN or infinity.
+[[nodiscard]] std::string json_number(double value);
+
+/// Streaming writer with automatic comma placement. Usage:
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name").value("fig04");
+///   w.key("points").begin_array();
+///   w.begin_object(); ... w.end_object();
+///   w.end_array();
+///   w.end_object();
+///   file << w.str();
+///
+/// The writer keeps a small nesting stack to decide where commas go; it
+/// does not validate that keys appear only inside objects — that is the
+/// caller's structural responsibility (exercised by tests/test_json).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  /// Insert a separating comma if the current container already has an
+  /// element, and mark it non-empty.
+  void separate();
+
+  std::string out_;
+  // One entry per open container: true once it has at least one element.
+  std::string nesting_;  // 'e' = empty, 'n' = non-empty
+  bool after_key_ = false;
+};
+
+}  // namespace vitis::support

@@ -1,0 +1,43 @@
+#include "support/run_stats.hpp"
+
+#include <chrono>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace vitis::support {
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+WallTimer::WallTimer() : start_ns_(now_ns()) {}
+
+double WallTimer::elapsed_ms() const {
+  return static_cast<double>(now_ns() - start_ns_) / 1e6;
+}
+
+void WallTimer::restart() { start_ns_ = now_ns(); }
+
+std::int64_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(usage.ru_maxrss / 1024);  // bytes on macOS
+#else
+  return static_cast<std::int64_t>(usage.ru_maxrss);  // kB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace vitis::support

@@ -1,0 +1,42 @@
+// Per-run runtime telemetry: wall-clock time, memory high-water mark and
+// the simulation volume (cycles, messages) behind every sweep point. The
+// simulated metrics stay deterministic per (seed, scale); telemetry is the
+// one deliberately non-deterministic channel, so it is confined to the
+// BENCH_*.json artifacts and never printed on stdout.
+#pragma once
+
+#include <cstdint>
+
+namespace vitis::support {
+
+/// Telemetry attached to one (seed, parameter-point) run. The sweep runner
+/// fills wall_ms and peak_rss_kb; the run body reports cycles/messages.
+struct RunTelemetry {
+  double wall_ms = 0.0;            // wall-clock duration of the run body
+  std::int64_t peak_rss_kb = 0;    // process RSS high-water mark (kB) after
+                                   // the run; monotone across a sweep
+  std::uint64_t cycles = 0;        // protocol cycles simulated by the run
+  std::uint64_t messages = 0;      // point-to-point messages processed
+};
+
+/// Monotonic wall-clock stopwatch, started at construction.
+class WallTimer {
+ public:
+  WallTimer();
+
+  /// Milliseconds elapsed since construction (or the last restart()).
+  [[nodiscard]] double elapsed_ms() const;
+
+  void restart();
+
+ private:
+  std::int64_t start_ns_ = 0;
+};
+
+/// Resident-set high-water mark of this process in kB (getrusage; 0 where
+/// unsupported). Process-wide, so concurrent runs observe a shared, monotone
+/// value — record it per point anyway: the maximum over points bounds the
+/// sweep's footprint.
+[[nodiscard]] std::int64_t peak_rss_kb();
+
+}  // namespace vitis::support

@@ -1,0 +1,59 @@
+// Deterministic sweep execution: run independent (seed, parameter-point)
+// simulations across a bounded worker pool and return results in parameter
+// order, so downstream tables and artifacts are byte-identical whatever the
+// scheduling. This is the shared layer behind every bench's `--jobs N`.
+//
+// Contract for the run body (enforced by convention, checked by
+// tests/test_sweep_runner):
+//   * it derives all randomness from the point itself (own sim::Rng seed),
+//   * it builds its own system instance and touches no shared mutable
+//     state — shared scenarios/tables must be captured by const reference,
+//   * it does not log (support/log.hpp is main-thread-only under workers).
+#pragma once
+
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "support/run_stats.hpp"
+#include "support/thread_pool.hpp"
+
+namespace vitis::support {
+
+/// One sweep point's output: the run body's result plus runtime telemetry.
+template <typename Result>
+struct SweepOutcome {
+  Result result{};
+  RunTelemetry telemetry{};
+};
+
+/// Execute `fn(point, telemetry)` for every point, across up to `jobs`
+/// worker threads, and return outcomes indexed exactly like `points`.
+/// `Result` must be default-constructible and movable. Telemetry wall time
+/// and peak RSS are filled by the runner; the body reports cycles/messages.
+template <typename Point, typename Fn>
+[[nodiscard]] auto run_sweep(std::span<const Point> points, std::size_t jobs,
+                             Fn&& fn) {
+  using Result =
+      std::remove_cvref_t<std::invoke_result_t<Fn&, const Point&,
+                                               RunTelemetry&>>;
+  std::vector<SweepOutcome<Result>> outcomes(points.size());
+  parallel_for(points.size(), jobs, [&](std::size_t i) {
+    WallTimer timer;
+    outcomes[i].result = fn(points[i], outcomes[i].telemetry);
+    outcomes[i].telemetry.wall_ms = timer.elapsed_ms();
+    outcomes[i].telemetry.peak_rss_kb = peak_rss_kb();
+  });
+  return outcomes;
+}
+
+/// Convenience overload for vectors.
+template <typename Point, typename Fn>
+[[nodiscard]] auto run_sweep(const std::vector<Point>& points,
+                             std::size_t jobs, Fn&& fn) {
+  return run_sweep(std::span<const Point>(points), jobs,
+                   std::forward<Fn>(fn));
+}
+
+}  // namespace vitis::support

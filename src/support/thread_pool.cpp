@@ -1,0 +1,51 @@
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vitis::support {
+
+std::size_t effective_jobs(std::size_t count, std::size_t jobs) {
+  if (jobs <= 1 || count <= 1) return 1;
+  return jobs < count ? jobs : count;
+}
+
+void parallel_for(std::size_t count, std::size_t jobs,
+                  const std::function<void(std::size_t)>& body) {
+  const std::size_t workers = effective_jobs(count, jobs);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) threads.emplace_back(worker);
+  for (auto& thread : threads) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace vitis::support

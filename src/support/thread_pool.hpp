@@ -1,0 +1,31 @@
+// Bounded worker pool for embarrassingly-parallel index ranges.
+//
+// The simulation core stays strictly single-threaded; the only sanctioned
+// concurrency in this codebase is *between* independent (seed, parameter)
+// runs, each of which owns its RNG and system instance. parallel_for is the
+// one primitive that expresses this: workers claim indices from a shared
+// counter, so each index runs exactly once, on exactly one thread, and the
+// caller stores results into per-index slots to keep merged output
+// independent of scheduling order.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace vitis::support {
+
+/// Invoke `body(i)` for every i in [0, count), using up to `jobs` worker
+/// threads (`jobs <= 1` runs inline on the calling thread). Blocks until all
+/// indices completed. The body must not touch shared mutable state other
+/// than its own index's output slot, and must confine logging to the main
+/// thread (see support/log.hpp). If any invocation throws, the remaining
+/// unclaimed indices are skipped and the first exception is rethrown on the
+/// calling thread.
+void parallel_for(std::size_t count, std::size_t jobs,
+                  const std::function<void(std::size_t)>& body);
+
+/// The pool size actually used for `count` items at `--jobs N`: at least
+/// one, at most one worker per item.
+[[nodiscard]] std::size_t effective_jobs(std::size_t count, std::size_t jobs);
+
+}  // namespace vitis::support

@@ -1,0 +1,13 @@
+#include "support/version.hpp"
+
+namespace vitis::support {
+
+const char* git_describe() {
+#ifdef VITIS_GIT_DESCRIBE
+  return VITIS_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace vitis::support

@@ -1,0 +1,13 @@
+// Build provenance for recorded artifacts. The git describe string is baked
+// in at CMake configure time (see src/CMakeLists.txt); it goes stale until
+// the next reconfigure, which is acceptable for its one use — labelling
+// BENCH_*.json artifacts with the tree they were built from.
+#pragma once
+
+namespace vitis::support {
+
+/// `git describe --always --dirty` of the source tree at configure time,
+/// "unknown" when the build was configured outside a git checkout.
+[[nodiscard]] const char* git_describe();
+
+}  // namespace vitis::support

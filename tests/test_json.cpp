@@ -1,0 +1,132 @@
+// The JSON emitter behind BENCH_<name>.json: escaping, number formatting,
+// comma placement, and the artifact schema's overall shape.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "support/bench_artifact.hpp"
+#include "support/json.hpp"
+
+namespace vitis {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(support::json_escape("fig04_friends_vs_sw"),
+            "fig04_friends_vs_sw");
+  EXPECT_EQ(support::json_escape(""), "");
+  // Valid UTF-8 multibyte sequences are not escaped.
+  EXPECT_EQ(support::json_escape("\xc3\xa9"), "\xc3\xa9");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(support::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(support::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(support::json_escape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(support::json_escape("\r\t\b\f"), "\\r\\t\\b\\f");
+  EXPECT_EQ(support::json_escape(std::string("\x01\x1f", 2)),
+            "\\u0001\\u001f");
+}
+
+TEST(JsonNumber, ShortestRoundTrip) {
+  EXPECT_EQ(support::json_number(0.0), "0");
+  EXPECT_EQ(support::json_number(0.25), "0.25");
+  EXPECT_EQ(support::json_number(-3.5), "-3.5");
+  // Round-trips exactly even for non-terminating binary fractions.
+  const double third = 1.0 / 3.0;
+  EXPECT_EQ(std::stod(support::json_number(third)), third);
+}
+
+TEST(JsonNumber, NonFiniteDegradesToNull) {
+  EXPECT_EQ(support::json_number(std::numeric_limits<double>::quiet_NaN()),
+            "null");
+  EXPECT_EQ(support::json_number(std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(support::json_number(-std::numeric_limits<double>::infinity()),
+            "null");
+}
+
+TEST(JsonWriter, CommasLandBetweenElementsOnly) {
+  support::JsonWriter w;
+  w.begin_object();
+  w.key("name").value("fig");
+  w.key("count").value(std::int64_t{3});
+  w.key("list").begin_array();
+  w.value(1.5);
+  w.value(true);
+  w.null();
+  w.end_array();
+  w.key("nested").begin_object();
+  w.key("empty").begin_array().end_array();
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"fig\",\"count\":3,"
+            "\"list\":[1.5,true,null],"
+            "\"nested\":{\"empty\":[]}}");
+}
+
+TEST(JsonWriter, EscapesKeysAndValues) {
+  support::JsonWriter w;
+  w.begin_object();
+  w.key("a\"b").value("c\nd");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"a\\\"b\":\"c\\nd\"}");
+}
+
+TEST(BenchArtifact, SchemaShape) {
+  support::BenchArtifact artifact("unit_test");
+  artifact.set_scale("quick", 100, 50, 10, 20);
+  artifact.set_seed(42);
+  artifact.set_jobs(4);
+  artifact.set_git_describe("deadbeef");
+  auto& point = artifact.add_point();
+  point.param("system", "vitis");
+  point.param("friends", std::int64_t{6});
+  point.param("alpha", 0.5);
+  point.metric("hit_ratio", 0.999);
+  support::RunTelemetry telemetry;
+  telemetry.wall_ms = 12.5;
+  telemetry.peak_rss_kb = 2048;
+  telemetry.cycles = 10;
+  telemetry.messages = 1234;
+  point.set_telemetry(telemetry);
+
+  const std::string json = artifact.to_json();
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"bench\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_describe\":\"deadbeef\""), std::string::npos);
+  EXPECT_NE(json.find("\"scale\":{\"name\":\"quick\",\"nodes\":100,"
+                      "\"topics\":50,\"cycles\":10,\"events\":20}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"seed\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"system\":\"vitis\""), std::string::npos);
+  EXPECT_NE(json.find("\"friends\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"alpha\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"hit_ratio\":0.999"), std::string::npos);
+  EXPECT_NE(json.find("\"telemetry\":{\"wall_ms\":12.5,\"peak_rss_kb\":2048,"
+                      "\"cycles\":10,\"messages\":1234}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"totals\":{\"points\":1"), std::string::npos);
+}
+
+TEST(BenchArtifact, WriteProducesFileWithTrailingNewline) {
+  support::BenchArtifact artifact("write_test");
+  artifact.add_point().metric("m", 1.0);
+  const std::string path = "BENCH_write_test.tmp.json";
+  ASSERT_TRUE(artifact.write(path));
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  std::remove(path.c_str());
+  EXPECT_EQ(buffer.str(), artifact.to_json() + "\n");
+}
+
+}  // namespace
+}  // namespace vitis

@@ -45,6 +45,37 @@ TEST(MetricsCollector, MeanNodeOverheadSkipsIdleNodes) {
   EXPECT_EQ(collector.node_overhead_fractions().size(), 2u);
 }
 
+TEST(OverheadRatio, SharedConvention) {
+  EXPECT_DOUBLE_EQ(overhead_ratio(0, 0), 0.0);  // no traffic, no overhead
+  EXPECT_DOUBLE_EQ(overhead_ratio(0, 8), 0.0);
+  EXPECT_DOUBLE_EQ(overhead_ratio(3, 4), 0.75);
+  EXPECT_DOUBLE_EQ(overhead_ratio(4, 4), 1.0);
+}
+
+// Regression counterexample pinning the difference between the two summary
+// forms: mean_node_overhead weighs every active node equally, while
+// global_overhead weighs by message volume. A hand-built network where one
+// chatty node is all-relay and one quiet node is all-interested must keep
+// the two apart — a regression that routes one summary through the other's
+// weighting collapses them.
+TEST(MetricsCollector, MeanNodeVsGlobalOverheadCounterexample) {
+  MetricsCollector collector(3);
+  // Node 0: 99 relay messages (overhead fraction 1.0, dominates volume).
+  for (int i = 0; i < 99; ++i) collector.on_message(0, false);
+  // Node 1: 1 interested message (overhead fraction 0.0, negligible volume).
+  collector.on_message(1, true);
+  // Node 2: idle — excluded from the per-node mean, no volume either.
+  EXPECT_DOUBLE_EQ(collector.mean_node_overhead(), 0.5);   // (1.0 + 0.0) / 2
+  EXPECT_DOUBLE_EQ(collector.global_overhead(), 0.99);     // 99 / 100
+  // Both must agree with the shared ratio helper applied to their inputs.
+  EXPECT_DOUBLE_EQ(collector.traffic()[0].overhead_fraction(),
+                   overhead_ratio(99, 99));
+  EXPECT_DOUBLE_EQ(collector.global_overhead(), overhead_ratio(99, 100));
+  // The bench-facing summary uses the message-weighted (global) form.
+  EXPECT_DOUBLE_EQ(MetricsSummary::from(collector).traffic_overhead_pct,
+                   99.0);
+}
+
 TEST(MetricsCollector, GlobalOverheadWeighsByVolume) {
   MetricsCollector collector(2);
   for (int i = 0; i < 9; ++i) collector.on_message(0, true);

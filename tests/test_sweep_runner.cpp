@@ -1,0 +1,117 @@
+// The sweep runner's contract: every index runs exactly once, outcomes come
+// back in declaration order, exceptions propagate, and — the property the
+// whole bench layer rests on — a real simulation sweep produces bit-for-bit
+// identical results whatever --jobs is.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "core/vitis_system.hpp"
+#include "support/sweep.hpp"
+#include "support/thread_pool.hpp"
+#include "workload/scenario.hpp"
+
+namespace vitis {
+namespace {
+
+TEST(EffectiveJobs, ClampsToCountAndFloorsAtOne) {
+  EXPECT_EQ(support::effective_jobs(0, 8), 1u);
+  EXPECT_EQ(support::effective_jobs(1, 8), 1u);
+  EXPECT_EQ(support::effective_jobs(10, 0), 1u);
+  EXPECT_EQ(support::effective_jobs(10, 1), 1u);
+  EXPECT_EQ(support::effective_jobs(10, 4), 4u);
+  EXPECT_EQ(support::effective_jobs(3, 8), 3u);
+}
+
+TEST(ParallelFor, EveryIndexRunsExactlyOnce) {
+  constexpr std::size_t kCount = 257;
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    std::vector<int> hits(kCount, 0);
+    support::parallel_for(kCount, jobs,
+                          [&](std::size_t i) { hits[i] += 1; });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[i], 1) << "index " << i << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(ParallelFor, ZeroCountIsANoop) {
+  bool ran = false;
+  support::parallel_for(0, 4, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, FirstExceptionPropagates) {
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    std::atomic<int> completed{0};
+    EXPECT_THROW(
+        support::parallel_for(64, jobs,
+                              [&](std::size_t i) {
+                                if (i == 5) throw std::runtime_error("boom");
+                                completed.fetch_add(1);
+                              }),
+        std::runtime_error)
+        << "jobs " << jobs;
+    EXPECT_LT(completed.load(), 64);
+  }
+}
+
+TEST(RunSweep, OutcomesKeepDeclarationOrderAndTelemetry) {
+  const std::vector<int> points{3, 1, 4, 1, 5, 9, 2, 6};
+  const auto outcomes = support::run_sweep(
+      points, 4, [](const int& point, support::RunTelemetry& telemetry) {
+        telemetry.cycles = static_cast<std::uint64_t>(point);
+        return point * 10;
+      });
+  ASSERT_EQ(outcomes.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(outcomes[i].result, points[i] * 10);
+    EXPECT_EQ(outcomes[i].telemetry.cycles,
+              static_cast<std::uint64_t>(points[i]));
+    EXPECT_GE(outcomes[i].telemetry.wall_ms, 0.0);
+    EXPECT_GT(outcomes[i].telemetry.peak_rss_kb, 0);
+  }
+}
+
+// The acceptance property behind `--jobs N`: a sweep of real Vitis
+// simulations — each point its own system and Rng — must produce identical
+// MetricsSummary values for any worker-pool size.
+TEST(RunSweep, VitisSweepIsJobsInvariant) {
+  workload::SyntheticScenarioParams params;
+  params.subscriptions.nodes = 150;
+  params.subscriptions.topics = 75;
+  params.subscriptions.subs_per_node = 20;
+  params.subscriptions.pattern = workload::CorrelationPattern::kLowCorrelation;
+  params.events = 40;
+  params.seed = 7;
+  const auto scenario = workload::make_synthetic_scenario(params);
+
+  const std::vector<std::size_t> friend_counts{0, 4, 8, 12};
+  const auto run = [&](std::size_t jobs) {
+    return support::run_sweep(
+        friend_counts, jobs,
+        [&](const std::size_t& friends,
+            support::RunTelemetry&) -> pubsub::MetricsSummary {
+          core::VitisConfig config;
+          config.routing_table_size = 15;
+          config.structural_links = 15 - friends;
+          auto system = workload::make_vitis(scenario, config, 7);
+          return workload::run_measurement(*system, 10, scenario.schedule);
+        });
+  };
+
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].result.hit_ratio, parallel[i].result.hit_ratio);
+    EXPECT_EQ(serial[i].result.traffic_overhead_pct,
+              parallel[i].result.traffic_overhead_pct);
+    EXPECT_EQ(serial[i].result.delay_hops, parallel[i].result.delay_hops);
+  }
+}
+
+}  // namespace
+}  // namespace vitis
