@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
             *system, ctx.scale.cycles, scenario.schedule);
         telemetry.cycles = ctx.scale.cycles;
         telemetry.messages = system->metrics().total_messages();
+        bench::record_phases(telemetry, *system);
         // Mean gateways per topic (the redundancy d controls).
         double gateway_sum = 0.0;
         std::size_t measured_topics = 0;

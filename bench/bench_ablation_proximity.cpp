@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
             *system, ctx.scale.cycles, scenario.schedule);
         telemetry.cycles = ctx.scale.cycles;
         telemetry.messages = system->metrics().total_messages();
+        bench::record_phases(telemetry, *system);
         sim::Rng probe_rng(ctx.seed);
         const auto overlay = system->overlay_snapshot();
         const auto sw = analysis::small_world_stats(overlay, 20, probe_rng);

@@ -139,6 +139,16 @@ inline void add_summary_metrics(support::BenchArtifact::Point& point,
   point.metric("delay_hops", summary.delay_hops);
 }
 
+/// Copy `system`'s per-phase profiler stats into the point's telemetry.
+/// Call it inside the sweep body, right before the system is destroyed;
+/// no-op for systems without a wired profiler.
+inline void record_phases(support::RunTelemetry& telemetry,
+                          const pubsub::PubSubSystem& system) {
+  if (const support::Profiler* profiler = system.profiler()) {
+    telemetry.phases = profiler->all();
+  }
+}
+
 /// Write the artifact (default path BENCH_<name>.json, `--json` overrides)
 /// and note the location on stderr.
 inline void write_artifact(const BenchContext& ctx,

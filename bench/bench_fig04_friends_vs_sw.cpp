@@ -71,6 +71,7 @@ int main(int argc, char** argv) {
           const auto summary = workload::run_measurement(
               *rvr, ctx.scale.cycles, scenarios[2].schedule);
           telemetry.messages = rvr->metrics().total_messages();
+          bench::record_phases(telemetry, *rvr);
           return summary;
         }
         const auto& scenario = scenarios[point.pattern];
@@ -81,6 +82,7 @@ int main(int argc, char** argv) {
         const auto summary = workload::run_measurement(
             *system, ctx.scale.cycles, scenario.schedule);
         telemetry.messages = system->metrics().total_messages();
+        bench::record_phases(telemetry, *system);
         return summary;
       });
 

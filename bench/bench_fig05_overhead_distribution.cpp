@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
         result.fractions = system->metrics().node_overhead_fractions();
         telemetry.cycles = ctx.scale.cycles;
         telemetry.messages = system->metrics().total_messages();
+        bench::record_phases(telemetry, *system);
         return result;
       });
 

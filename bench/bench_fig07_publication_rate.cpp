@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
           const auto summary = workload::run_measurement(
               *rvr, ctx.scale.cycles, scenario.schedule);
           telemetry.messages = rvr->metrics().total_messages();
+          bench::record_phases(telemetry, *rvr);
           return summary;
         }
         core::VitisConfig config;  // RT 15, k 3
@@ -65,6 +66,7 @@ int main(int argc, char** argv) {
         const auto summary = workload::run_measurement(
             *system, ctx.scale.cycles, scenario.schedule);
         telemetry.messages = system->metrics().total_messages();
+        bench::record_phases(telemetry, *system);
         return summary;
       });
 

@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
           const auto summary =
               workload::run_measurement(system, ctx.scale.cycles, schedule);
           telemetry.messages = system.metrics().total_messages();
+          bench::record_phases(telemetry, system);
           return summary;
         }
         if (point.system == 1) {
@@ -74,6 +75,7 @@ int main(int argc, char** argv) {
           const auto summary =
               workload::run_measurement(system, ctx.scale.cycles, schedule);
           telemetry.messages = system.metrics().total_messages();
+          bench::record_phases(telemetry, system);
           return summary;
         }
         baselines::opt::OptConfig opt_config;
@@ -82,6 +84,7 @@ int main(int argc, char** argv) {
         const auto summary =
             workload::run_measurement(system, ctx.scale.cycles, schedule);
         telemetry.messages = system.metrics().total_messages();
+        bench::record_phases(telemetry, system);
         return summary;
       });
 

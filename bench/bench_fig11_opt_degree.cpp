@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
         system.run_cycles(ctx.scale.cycles);
         telemetry.cycles = ctx.scale.cycles;
         telemetry.messages = system.metrics().total_messages();
+        bench::record_phases(telemetry, system);
 
         // A node's degree is the number of links it must maintain —
         // outgoing coverage links plus links other nodes keep toward it

@@ -140,6 +140,7 @@ int main(int argc, char** argv) {
       }
     }
     telemetry.messages += system.metrics().total_messages();
+    bench::record_phases(telemetry, system);
     return summaries;
   };
 

@@ -57,6 +57,58 @@ void BM_UtilityFunction(benchmark::State& state) {
 }
 BENCHMARK(BM_UtilityFunction);
 
+void BM_WeightedIntersection(benchmark::State& state) {
+  sim::Rng rng(4);
+  const auto subs_count = static_cast<std::size_t>(state.range(0));
+  // Zipf-ish rates, like fig07's skewed workloads (any non-uniform vector
+  // forces the exact weighted merge paths).
+  std::vector<double> rates(5000);
+  for (std::size_t t = 0; t < rates.size(); ++t) {
+    rates[t] = 1.0 / static_cast<double>(t + 1);
+  }
+  const auto a = random_subs(rng, subs_count, 5000);
+  const auto b = random_subs(rng, subs_count, 5000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pubsub::weighted_intersection(a, b, rates));
+  }
+}
+BENCHMARK(BM_WeightedIntersection)->Arg(50)->Arg(200)->Arg(1000);
+
+// Batch ranking workload: one prepared profile scored against a candidate
+// pool, with the fingerprint prefilter off (arg0 = 0) and on (arg0 = 1) at
+// a given profile size (arg1). Dense 50-topic profiles saturate the 64-bit
+// signature (reject rate ~0); sparse Twitter-like 8-topic profiles reject a
+// large fraction before the merge. The reject-rate counter is deterministic
+// (fixed seed, fixed pool) and doubles as the prefilter hit-rate figure in
+// BENCH_micro_core.json.
+void BM_UtilityBatchScore(benchmark::State& state) {
+  sim::Rng rng(11);
+  auto u = core::UtilityFunction::uniform(5000);
+  u.set_prefilter_enabled(state.range(0) != 0);
+  const auto subs_count = static_cast<std::size_t>(state.range(1));
+  const auto self = random_subs(rng, subs_count, 5000);
+  std::vector<pubsub::SubscriptionSet> pool;
+  for (int i = 0; i < 64; ++i) {
+    pool.push_back(random_subs(rng, subs_count, 5000));
+  }
+  for (auto _ : state) {
+    u.prepare(self);
+    double sum = 0.0;
+    for (const auto& candidate : pool) sum += u.score(candidate);
+    benchmark::DoNotOptimize(sum);
+  }
+  const auto& stats = u.prefilter_stats();
+  state.counters["prefilter_reject_rate"] = benchmark::Counter(
+      stats.calls == 0 ? 0.0
+                       : static_cast<double>(stats.rejects) /
+                             static_cast<double>(stats.calls));
+}
+BENCHMARK(BM_UtilityBatchScore)
+    ->Args({0, 50})
+    ->Args({1, 50})
+    ->Args({0, 8})
+    ->Args({1, 8});
+
 void BM_GatewayElection(benchmark::State& state) {
   const auto neighbor_count = static_cast<std::size_t>(state.range(0));
   std::vector<core::NeighborProposal> neighbors;
@@ -207,15 +259,21 @@ class CollectingReporter : public benchmark::ConsoleReporter {
     double cpu_time = 0.0;
     std::int64_t iterations = 0;
     const char* time_unit = "ns";
+    // User counters (e.g. prefilter_reject_rate) — deterministic metrics,
+    // unlike the timings.
+    std::vector<std::pair<std::string, double>> counters;
   };
 
   void ReportRuns(const std::vector<Run>& reports) override {
     for (const auto& run : reports) {
       if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
-      rows_.push_back(Row{run.benchmark_name(), run.GetAdjustedRealTime(),
-                          run.GetAdjustedCPUTime(),
-                          static_cast<std::int64_t>(run.iterations),
-                          benchmark::GetTimeUnitString(run.time_unit)});
+      Row row{run.benchmark_name(), run.GetAdjustedRealTime(),
+              run.GetAdjustedCPUTime(), static_cast<std::int64_t>(run.iterations),
+              benchmark::GetTimeUnitString(run.time_unit), {}};
+      for (const auto& [name, counter] : run.counters) {
+        row.counters.emplace_back(name, counter.value);
+      }
+      rows_.push_back(std::move(row));
     }
     ConsoleReporter::ReportRuns(reports);
   }
@@ -276,6 +334,9 @@ int main(int argc, char** argv) {
     record.metric("real_time", row.real_time);
     record.metric("cpu_time", row.cpu_time);
     record.metric("iterations", static_cast<double>(row.iterations));
+    for (const auto& [name, value] : row.counters) {
+      record.metric(name, value);
+    }
   }
   vitis::bench::write_artifact(ctx, artifact);
   benchmark::Shutdown();

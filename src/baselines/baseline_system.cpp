@@ -65,12 +65,14 @@ BaselineSystem::BaselineSystem(BaselineConfig config,
       gossip::TManProtocol::Config{config_.sample_size},
       rng_.split(0x746d616e));
 
-  engine_.add_protocol("peer-sampling", [this](ids::NodeIndex node,
-                                               std::size_t) {
-    sampling_->step(node);
-  });
+  engine_.set_profiler(&profiler_);
   engine_.add_protocol(
-      "t-man", [this](ids::NodeIndex node, std::size_t) { tman_->step(node); });
+      "peer-sampling",
+      [this](ids::NodeIndex node, std::size_t) { sampling_->step(node); },
+      support::Phase::kSampling);
+  engine_.add_protocol(
+      "t-man", [this](ids::NodeIndex node, std::size_t) { tman_->step(node); },
+      support::Phase::kTman);
   engine_.add_cycle_hook("baseline-maintenance",
                          [this](std::size_t) { cycle_maintenance(); });
 
@@ -144,6 +146,7 @@ void BaselineSystem::rebuild_undirected() {
 
 overlay::LookupResult BaselineSystem::lookup(ids::NodeIndex origin,
                                              ids::RingId target) const {
+  const support::ScopedPhase phase(&profiler_, support::Phase::kRouting);
   const overlay::NeighborFn neighbors =
       [this](ids::NodeIndex node) -> std::span<const overlay::RoutingEntry> {
     lookup_scratch_.clear();

@@ -55,6 +55,9 @@ class BaselineSystem : public pubsub::PubSubSystem {
   [[nodiscard]] std::size_t alive_count() const override {
     return engine_.alive_count();
   }
+  [[nodiscard]] const support::Profiler* profiler() const override {
+    return &profiler_;
+  }
 
   // --- churn ---------------------------------------------------------------
   void node_join(ids::NodeIndex node);
@@ -127,6 +130,7 @@ class BaselineSystem : public pubsub::PubSubSystem {
 
   [[nodiscard]] sim::CycleEngine& engine() { return engine_; }
   [[nodiscard]] const sim::CycleEngine& engine() const { return engine_; }
+  [[nodiscard]] support::Profiler& profiler_mut() const { return profiler_; }
   [[nodiscard]] sim::Rng& rng() { return rng_; }
   [[nodiscard]] overlay::RoutingTable& table(ids::NodeIndex node) {
     return tables_[node];
@@ -150,6 +154,11 @@ class BaselineSystem : public pubsub::PubSubSystem {
   std::unique_ptr<gossip::TManProtocol> tman_;
   pubsub::MetricsCollector metrics_;
   sim::Rng rng_;
+
+  // Per-phase telemetry (wall times are non-deterministic; call counts are
+  // deterministic per (seed, scale)). Mutable: profiling const lookups is
+  // telemetry, not protocol state.
+  mutable support::Profiler profiler_;
 
   std::vector<std::vector<ids::NodeIndex>> undirected_;
   mutable std::vector<overlay::RoutingEntry> lookup_scratch_;

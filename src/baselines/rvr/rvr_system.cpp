@@ -61,6 +61,7 @@ void RvrSystem::select_neighbors(ids::NodeIndex self,
 }
 
 void RvrSystem::maintenance_extra() {
+  const support::ScopedPhase phase(&profiler_mut(), support::Phase::kRelay);
   const auto alive = engine().alive_nodes();
   for (const ids::NodeIndex node : alive) {
     trees_[node].age_and_expire(config_.tree_ttl());
@@ -113,7 +114,8 @@ pubsub::DisseminationReport RvrSystem::publish(ids::TopicIndex topic,
   // ...then flood the multicast tree from the root outward.
   for (std::size_t head = 0; head < queue.size(); ++head) {
     const TreeItem item = queue[head];
-    for (const ids::NodeIndex y : trees_[item.node].links(topic)) {
+    for (const auto& link : trees_[item.node].links(topic)) {
+      const ids::NodeIndex y = link.peer;
       if (y == item.from || !is_alive(y)) continue;
       if (transmit(ctx, y, item.hop + 1)) {
         queue.push_back(TreeItem{y, item.node, item.hop + 1});

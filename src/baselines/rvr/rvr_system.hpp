@@ -45,7 +45,11 @@ class RvrSystem final : public BaselineSystem {
   }
   [[nodiscard]] std::vector<ids::NodeIndex> tree_links(
       ids::NodeIndex node, ids::TopicIndex topic) const {
-    return trees_[node].links(topic);
+    std::vector<ids::NodeIndex> peers;
+    for (const core::RelayTable::Link& link : trees_[node].links(topic)) {
+      peers.push_back(link.peer);
+    }
+    return peers;
   }
   [[nodiscard]] std::size_t tree_size_of(ids::TopicIndex topic) const {
     return tree_size(trees_, topic);

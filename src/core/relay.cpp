@@ -4,8 +4,20 @@
 
 namespace vitis::core {
 
+std::size_t RelayTable::lower_bound(ids::TopicIndex topic) const {
+  const auto it = std::lower_bound(
+      table_.begin(), table_.end(), topic,
+      [](const TopicRelays& tr, ids::TopicIndex t) { return tr.topic < t; });
+  return static_cast<std::size_t>(it - table_.begin());
+}
+
 void RelayTable::add_link(ids::TopicIndex topic, ids::NodeIndex peer) {
-  auto& links = table_[topic];
+  const std::size_t pos = lower_bound(topic);
+  if (pos == table_.size() || table_[pos].topic != topic) {
+    table_.insert(table_.begin() + static_cast<std::ptrdiff_t>(pos),
+                  TopicRelays{topic, {}});
+  }
+  auto& links = table_[pos].links;
   for (auto& link : links) {
     if (link.peer == peer) {
       link.age = 0;
@@ -15,40 +27,37 @@ void RelayTable::add_link(ids::TopicIndex topic, ids::NodeIndex peer) {
   links.push_back(Link{peer, 0});
 }
 
-std::vector<ids::NodeIndex> RelayTable::links(ids::TopicIndex topic) const {
-  const auto it = table_.find(topic);
-  if (it == table_.end()) return {};
-  std::vector<ids::NodeIndex> peers;
-  peers.reserve(it->second.size());
-  for (const auto& link : it->second) peers.push_back(link.peer);
-  return peers;
+std::span<const RelayTable::Link> RelayTable::links(
+    ids::TopicIndex topic) const {
+  const std::size_t pos = lower_bound(topic);
+  if (pos == table_.size() || table_[pos].topic != topic) return {};
+  return table_[pos].links;
 }
 
 bool RelayTable::is_relay_for(ids::TopicIndex topic) const {
-  return table_.contains(topic);
+  const std::size_t pos = lower_bound(topic);
+  return pos < table_.size() && table_[pos].topic == topic;
 }
 
 std::size_t RelayTable::link_count() const {
   std::size_t count = 0;
-  for (const auto& [topic, links] : table_) count += links.size();
+  for (const auto& tr : table_) count += tr.links.size();
   return count;
 }
 
 void RelayTable::remove_peer(ids::NodeIndex peer) {
-  for (auto it = table_.begin(); it != table_.end();) {
-    auto& links = it->second;
-    std::erase_if(links, [peer](const Link& l) { return l.peer == peer; });
-    it = links.empty() ? table_.erase(it) : std::next(it);
+  for (auto& tr : table_) {
+    std::erase_if(tr.links, [peer](const Link& l) { return l.peer == peer; });
   }
+  std::erase_if(table_, [](const TopicRelays& tr) { return tr.links.empty(); });
 }
 
 void RelayTable::age_and_expire(std::uint32_t ttl) {
-  for (auto it = table_.begin(); it != table_.end();) {
-    auto& links = it->second;
-    for (auto& link : links) ++link.age;
-    std::erase_if(links, [ttl](const Link& l) { return l.age > ttl; });
-    it = links.empty() ? table_.erase(it) : std::next(it);
+  for (auto& tr : table_) {
+    for (auto& link : tr.links) ++link.age;
+    std::erase_if(tr.links, [ttl](const Link& l) { return l.age > ttl; });
   }
+  std::erase_if(table_, [](const TopicRelays& tr) { return tr.links.empty(); });
 }
 
 }  // namespace vitis::core

@@ -4,11 +4,16 @@
 // rendezvous alike — the union of paths is an undirected tree rooted at the
 // rendezvous node). Links age out unless a gateway's periodic lookup
 // refreshes them, which is how departed relays are pruned.
+//
+// Layout: a flat vector of per-topic link lists kept sorted by topic.
+// Relay tables are small (a handful of topics per node), so binary search
+// over a contiguous array beats a hash map on both lookup cost and memory,
+// and links() can hand out a span without copying — the dissemination loop
+// reads it on every forwarded event.
 #pragma once
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "ids/id.hpp"
@@ -17,11 +22,17 @@ namespace vitis::core {
 
 class RelayTable {
  public:
+  struct Link {
+    ids::NodeIndex peer;
+    std::uint32_t age;
+  };
+
   /// Add (or refresh) a relay link to `peer` for `topic`.
   void add_link(ids::TopicIndex topic, ids::NodeIndex peer);
 
-  /// Relay peers for a topic (empty when not a relay for it).
-  [[nodiscard]] std::vector<ids::NodeIndex> links(ids::TopicIndex topic) const;
+  /// Relay links for a topic, in insertion order (empty when not a relay
+  /// for it). Invalidated by any mutating call.
+  [[nodiscard]] std::span<const Link> links(ids::TopicIndex topic) const;
 
   [[nodiscard]] bool is_relay_for(ids::TopicIndex topic) const;
 
@@ -40,11 +51,14 @@ class RelayTable {
   void clear() { table_.clear(); }
 
  private:
-  struct Link {
-    ids::NodeIndex peer;
-    std::uint32_t age;
+  struct TopicRelays {
+    ids::TopicIndex topic;
+    std::vector<Link> links;
   };
-  std::unordered_map<ids::TopicIndex, std::vector<Link>> table_;
+
+  [[nodiscard]] std::size_t lower_bound(ids::TopicIndex topic) const;
+
+  std::vector<TopicRelays> table_;  // sorted by topic, no empty entries
 };
 
 }  // namespace vitis::core

@@ -1,12 +1,17 @@
 #include "core/utility.hpp"
 
+#include <algorithm>
+
 #include "support/check.hpp"
 
 namespace vitis::core {
 
 UtilityFunction::UtilityFunction(std::span<const double> rates)
-    : rates_(rates.begin(), rates.end()) {
-  for (const double r : rates_) VITIS_CHECK(r >= 0.0);
+    : rates_(rates.begin(), rates.end()), stamp_(rates_.size(), 0) {
+  for (const double r : rates_) {
+    VITIS_CHECK(r >= 0.0);
+    if (r != 1.0) all_ones_ = false;
+  }
 }
 
 UtilityFunction UtilityFunction::uniform(std::size_t topic_count) {
@@ -15,9 +20,63 @@ UtilityFunction UtilityFunction::uniform(std::size_t topic_count) {
 
 double UtilityFunction::operator()(const pubsub::SubscriptionSet& a,
                                    const pubsub::SubscriptionSet& b) const {
+  ++prefilter_stats_.calls;
+  if (prefilter_enabled_ &&
+      pubsub::fingerprints_disjoint(a.fingerprint(), b.fingerprint())) {
+    ++prefilter_stats_.rejects;  // proven disjoint: exact merge would be 0
+    return 0.0;
+  }
   const double shared = pubsub::weighted_intersection(a, b, rates_);
   if (shared == 0.0) return 0.0;  // avoids the union scan for strangers
   const double combined = pubsub::weighted_union(a, b, rates_);
+  return combined == 0.0 ? 0.0 : shared / combined;
+}
+
+void UtilityFunction::prepare(const pubsub::SubscriptionSet& a) const {
+  ++epoch_;
+  if (epoch_ == 0) {  // wrapped: invalidate every stale stamp
+    std::fill(stamp_.begin(), stamp_.end(), 0U);
+    epoch_ = 1;
+  }
+  for (const ids::TopicIndex topic : a) {
+    VITIS_DCHECK(topic < stamp_.size());
+    stamp_[topic] = epoch_;
+  }
+  prepared_ = &a;
+  prepared_fp_ = a.fingerprint();
+  prepared_size_ = a.size();
+}
+
+double UtilityFunction::score(const pubsub::SubscriptionSet& b) const {
+  VITIS_DCHECK(prepared_ != nullptr);
+  ++prefilter_stats_.calls;
+  if (prefilter_enabled_ &&
+      pubsub::fingerprints_disjoint(prepared_fp_, b.fingerprint())) {
+    ++prefilter_stats_.rejects;
+    return 0.0;
+  }
+  if (all_ones_) {
+    // All-ones rates: the merged sums are exact integer counts, so the
+    // stamped count divides out bit-identically to the merge path.
+    std::size_t shared = 0;
+    for (const ids::TopicIndex topic : b) {
+      VITIS_DCHECK(topic < stamp_.size());
+      if (stamp_[topic] == epoch_) ++shared;
+    }
+    if (shared == 0) return 0.0;
+    const auto combined = prepared_size_ + b.size() - shared;
+    return static_cast<double>(shared) / static_cast<double>(combined);
+  }
+  // Skewed rates: the shared topics are visited ascending (b is sorted),
+  // matching the merge's addition order exactly. The union sum has no such
+  // one-sided ordering, so keep the exact two-sided merge for it.
+  double shared = 0.0;
+  for (const ids::TopicIndex topic : b) {
+    VITIS_DCHECK(topic < stamp_.size());
+    if (stamp_[topic] == epoch_) shared += rates_[topic];
+  }
+  if (shared == 0.0) return 0.0;
+  const double combined = pubsub::weighted_union(*prepared_, b, rates_);
   return combined == 0.0 ? 0.0 : shared / combined;
 }
 

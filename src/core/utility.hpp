@@ -7,14 +7,36 @@
 // With uniform rates this is plain Jaccard similarity of subscription sets;
 // skewed rates weight shared hot topics up, so clusters consolidate around
 // high-traffic topics first (evaluated in Fig. 7).
+//
+// Two hot-path accelerations, both bit-identical to the plain linear-merge
+// evaluation (DESIGN.md "Hot path & determinism"):
+//
+//  * Fingerprint prefilter — disjoint subscription fingerprints prove an
+//    empty intersection, so the pair scores 0 without touching either set.
+//    Conservative by construction; deterministic hit counters are exposed
+//    for telemetry and can be disabled for A/B property tests.
+//  * Batch scoring — ranking evaluates one fixed set `a` against many
+//    candidates. prepare(a) stamps a's topics into a topic-indexed epoch
+//    array; score(b) then finds the shared topics in O(|b|) while visiting
+//    them in the same ascending order as the merge, so the floating-point
+//    sums (and with all-ones rates, the integer counts) are unchanged.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "pubsub/subscription.hpp"
 
 namespace vitis::core {
+
+/// Deterministic prefilter counters: pairs scored and pairs rejected by the
+/// fingerprint test alone. Deterministic per (seed, scale) — safe to use as
+/// a figure metric.
+struct PrefilterStats {
+  std::uint64_t calls = 0;
+  std::uint64_t rejects = 0;
+};
 
 class UtilityFunction {
  public:
@@ -28,10 +50,37 @@ class UtilityFunction {
   [[nodiscard]] double operator()(const pubsub::SubscriptionSet& a,
                                   const pubsub::SubscriptionSet& b) const;
 
+  /// Batch API: prepare(a) then score(b) equals operator()(a, b) bit for
+  /// bit, amortizing a's side of the merge across many candidates. The
+  /// stamped state stays valid until the next prepare() on this instance;
+  /// `a` must outlive the score() calls.
+  void prepare(const pubsub::SubscriptionSet& a) const;
+  [[nodiscard]] double score(const pubsub::SubscriptionSet& b) const;
+
+  /// Test hook: with the prefilter off, every pair pays the exact merge.
+  void set_prefilter_enabled(bool enabled) { prefilter_enabled_ = enabled; }
+  [[nodiscard]] bool prefilter_enabled() const { return prefilter_enabled_; }
+
+  [[nodiscard]] const PrefilterStats& prefilter_stats() const {
+    return prefilter_stats_;
+  }
+  void reset_prefilter_stats() const { prefilter_stats_ = {}; }
+
   [[nodiscard]] std::span<const double> rates() const { return rates_; }
 
  private:
   std::vector<double> rates_;
+  bool all_ones_ = true;  // every rate == 1.0: Jaccard counts are exact
+  bool prefilter_enabled_ = true;
+
+  // prepare()/score() scratch; mutable because scoring is logically const.
+  // Single-threaded per sweep point, like every simulation structure.
+  mutable std::vector<std::uint32_t> stamp_;  // indexed by TopicIndex
+  mutable std::uint32_t epoch_ = 0;
+  mutable const pubsub::SubscriptionSet* prepared_ = nullptr;
+  mutable std::uint64_t prepared_fp_ = 0;
+  mutable std::size_t prepared_size_ = 0;
+  mutable PrefilterStats prefilter_stats_;
 };
 
 }  // namespace vitis::core

@@ -8,16 +8,6 @@
 #include "support/check.hpp"
 
 namespace vitis::core {
-namespace {
-
-/// Transmission queue item of the dissemination BFS.
-struct FloodItem {
-  ids::NodeIndex node;
-  ids::NodeIndex from;
-  std::uint32_t hop;
-};
-
-}  // namespace
 
 VitisSystem::VitisSystem(VitisConfig config,
                          pubsub::SubscriptionTable subscriptions,
@@ -46,9 +36,11 @@ VitisSystem::VitisSystem(VitisConfig config,
   const auto is_alive = [this](ids::NodeIndex node) {
     return engine_.is_alive(node);
   };
-  sampling_ = gossip::make_sampling_service(config_.sampling, ring_ids,
-                                            config_.view_size, is_alive,
-                                            rng_.split(0x73616d70));
+  sampling_ = gossip::make_sampling_service(
+      config_.sampling, ring_ids, config_.view_size, is_alive,
+      rng_.split(0x73616d70), [this](ids::NodeIndex node) {
+        return nodes_[node].profile.subscriptions().fingerprint();
+      });
   tman_ = std::make_unique<gossip::TManProtocol>(
       [this](ids::NodeIndex node) -> overlay::RoutingTable& {
         return nodes_[node].rt;
@@ -62,18 +54,26 @@ VitisSystem::VitisSystem(VitisConfig config,
       gossip::TManProtocol::Config{config_.sample_size},
       rng_.split(0x746d616e));
 
-  engine_.add_protocol("peer-sampling", [this](ids::NodeIndex node,
-                                               std::size_t) {
-    sampling_->step(node);
-  });
+  engine_.set_profiler(&profiler_);
   engine_.add_protocol(
-      "t-man", [this](ids::NodeIndex node, std::size_t) { tman_->step(node); });
+      "peer-sampling",
+      [this](ids::NodeIndex node, std::size_t) { sampling_->step(node); },
+      support::Phase::kSampling);
+  engine_.add_protocol(
+      "t-man", [this](ids::NodeIndex node, std::size_t) { tman_->step(node); },
+      support::Phase::kTman);
   engine_.add_cycle_hook("vitis-maintenance",
                          [this](std::size_t) { cycle_maintenance(); });
 
   undirected_.resize(n);
   visit_stamp_.assign(n, 0);
   expected_stamp_.assign(n, 0);
+  topic_stamp_.assign(subscriptions_.topic_count(), 0);
+  topic_pos_.assign(subscriptions_.topic_count(), 0);
+  select_buffer_.reserve(64);
+  selected_.reserve(config_.routing_table_size);
+  ranked_.reserve(64);
+  flood_queue_.reserve(64);
 
   if (start_online) {
     for (std::size_t i = 0; i < n; ++i) {
@@ -117,10 +117,12 @@ void VitisSystem::run_cycles(std::size_t cycles) { engine_.run(cycles); }
 void VitisSystem::select_neighbors(
     ids::NodeIndex self, std::span<const gossip::Descriptor> candidates,
     overlay::RoutingTable& table) {
+  const support::ScopedPhase phase(&profiler_, support::Phase::kRanking);
   const ids::RingId self_id = nodes_[self].id;
-  std::vector<gossip::Descriptor> buffer(candidates.begin(), candidates.end());
-  std::vector<overlay::RoutingEntry> selected;
-  selected.reserve(config_.routing_table_size);
+  std::vector<gossip::Descriptor>& buffer = select_buffer_;
+  buffer.assign(candidates.begin(), candidates.end());
+  std::vector<overlay::RoutingEntry>& selected = selected_;
+  selected.clear();
 
   const auto take = [&](std::size_t index, overlay::LinkKind kind) {
     const gossip::Descriptor& d = buffer[index];
@@ -147,16 +149,19 @@ void VitisSystem::select_neighbors(
   }
 
   // Lines 11-16: rank the rest by the preference function, keep the top.
+  // One prepare() amortizes this node's side of every Jaccard merge and
+  // arms the fingerprint prefilter (bit-identical scores either way).
   // With coordinates installed and proximity_weight > 0, physically distant
   // candidates are discounted (§III-A2's network-topology extension).
   const pubsub::SubscriptionSet& my_subs = nodes_[self].profile.subscriptions();
   const bool use_proximity =
       config_.proximity_weight > 0.0 && !coordinates_.empty();
-  std::vector<std::pair<double, std::size_t>> ranked;
-  ranked.reserve(buffer.size());
+  utility_.prepare(my_subs);
+  std::vector<std::pair<double, std::size_t>>& ranked = ranked_;
+  ranked.clear();
   for (std::size_t i = 0; i < buffer.size(); ++i) {
     const auto& their_subs = nodes_[buffer[i].node].profile.subscriptions();
-    double score = utility_(my_subs, their_subs);
+    double score = utility_.score(their_subs);
     if (use_proximity && score > 0.0) {
       const double normalized =
           sim::latency_ms(coordinates_[self], coordinates_[buffer[i].node]) /
@@ -168,30 +173,43 @@ void VitisSystem::select_neighbors(
   // Ties (common under uniform rates: many candidates share utility 0) are
   // broken by a per-node pseudo-random order. A global order — e.g. by node
   // index — would funnel every tie toward the same few nodes and grow
-  // pathological hubs.
+  // pathological hubs. The comparator is a strict total order (mix64 is a
+  // bijection over unique node indices), so selecting the top-k with
+  // nth_element and sorting just the prefix yields exactly the prefix a
+  // full sort would — at O(n + k log k) instead of O(n log n).
   const std::uint64_t tie_salt = ids::mix64(self ^ 0x7469656272656b00ULL);
-  std::sort(ranked.begin(), ranked.end(),
-            [&](const auto& a, const auto& b) {
-              if (a.first != b.first) return a.first > b.first;
-              return ids::mix64(tie_salt ^ buffer[a.second].node) <
-                     ids::mix64(tie_salt ^ buffer[b.second].node);
-            });
+  const auto ranks_before = [&](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return ids::mix64(tie_salt ^ buffer[a.second].node) <
+           ids::mix64(tie_salt ^ buffer[b.second].node);
+  };
   const std::size_t friend_slots =
       std::min(config_.friend_links(), ranked.size());
+  if (friend_slots < ranked.size()) {
+    std::nth_element(ranked.begin(),
+                     ranked.begin() + static_cast<std::ptrdiff_t>(friend_slots),
+                     ranked.end(), ranks_before);
+    std::sort(ranked.begin(),
+              ranked.begin() + static_cast<std::ptrdiff_t>(friend_slots),
+              ranks_before);
+  } else {
+    std::sort(ranked.begin(), ranked.end(), ranks_before);
+  }
   for (std::size_t i = 0; i < friend_slots; ++i) {
     const gossip::Descriptor& d = buffer[ranked[i].second];
     selected.push_back(
         overlay::RoutingEntry{d.node, d.id, overlay::LinkKind::kFriend, 0});
   }
 
-  table.assign(std::move(selected));
+  table.assign(std::span<const overlay::RoutingEntry>(selected));
 }
 
 // ---------------------------------------------------------------------------
 // Per-cycle maintenance: heartbeats, gateway election, relay refresh.
 // ---------------------------------------------------------------------------
 void VitisSystem::cycle_maintenance() {
-  auto order = engine_.alive_nodes();
+  std::vector<ids::NodeIndex>& order = maintenance_order_;
+  engine_.alive_nodes_into(order);
   for (const ids::NodeIndex node : order) refresh_heartbeats(node);
   rebuild_undirected();
   rng_.shuffle(order);
@@ -205,7 +223,10 @@ void VitisSystem::refresh_heartbeats(ids::NodeIndex node) {
     if (engine_.is_alive(entry.node)) nd.rt.mark_fresh(entry.node);
   }
   (void)nd.rt.drop_older_than(config_.staleness_threshold);
-  nd.relay.age_and_expire(config_.relay_ttl);
+  {
+    const support::ScopedPhase phase(&profiler_, support::Phase::kRelay);
+    nd.relay.age_and_expire(config_.relay_ttl);
+  }
 }
 
 void VitisSystem::rebuild_undirected() {
@@ -238,30 +259,40 @@ void VitisSystem::run_election(ids::NodeIndex node) {
     election_scratch_[i].clear();
   }
 
+  // Stamp the positions of this node's topics once, then scan each
+  // neighbor's (sorted) topic list with O(1) membership tests. Common
+  // topics surface in the same ascending order as the former two-pointer
+  // merge, so the per-topic proposal lists are byte-identical.
+  if (++topic_epoch_ == 0) {
+    std::fill(topic_stamp_.begin(), topic_stamp_.end(), 0U);
+    topic_epoch_ = 1;
+  }
+  for (std::size_t i = 0; i < my_topics.size(); ++i) {
+    topic_stamp_[my_topics[i]] = topic_epoch_;
+    topic_pos_[my_topics[i]] = i;
+  }
+
   const auto& my_neighbors = undirected_[node];
   for (const ids::NodeIndex neighbor : my_neighbors) {
     const Profile& their_profile = nodes_[neighbor].profile;
     const auto their_topics = their_profile.subscriptions().topics();
-    // Linear merge over both sorted subscription lists; `pos` tracks the
-    // topic's position in each so proposals are fetched without searching.
-    std::size_t a = 0;
-    std::size_t b = 0;
-    while (a < my_topics.size() && b < their_topics.size()) {
-      if (my_topics[a] < their_topics[b]) {
-        ++a;
-      } else if (their_topics[b] < my_topics[a]) {
-        ++b;
-      } else {
-        const GatewayProposal& prop = their_profile.proposal_at(b);
-        const bool parent_in_rt =
-            prop.parent == node ||
-            std::binary_search(my_neighbors.begin(), my_neighbors.end(),
-                               prop.parent);
-        election_scratch_[a].push_back(
-            NeighborProposal{neighbor, prop, parent_in_rt});
-        ++a;
-        ++b;
-      }
+    // Cheap whole-profile screen first: disjoint fingerprints prove this
+    // neighbor shares no topic with us.
+    if (pubsub::fingerprints_disjoint(
+            nd.profile.subscriptions().fingerprint(),
+            their_profile.subscriptions().fingerprint())) {
+      continue;
+    }
+    for (std::size_t b = 0; b < their_topics.size(); ++b) {
+      if (topic_stamp_[their_topics[b]] != topic_epoch_) continue;
+      const std::size_t a = topic_pos_[their_topics[b]];
+      const GatewayProposal& prop = their_profile.proposal_at(b);
+      const bool parent_in_rt =
+          prop.parent == node ||
+          std::binary_search(my_neighbors.begin(), my_neighbors.end(),
+                             prop.parent);
+      election_scratch_[a].push_back(
+          NeighborProposal{neighbor, prop, parent_in_rt});
     }
   }
 
@@ -280,6 +311,7 @@ void VitisSystem::run_election(ids::NodeIndex node) {
 
 void VitisSystem::request_relay(ids::NodeIndex gateway,
                                 ids::TopicIndex topic) {
+  const support::ScopedPhase phase(&profiler_, support::Phase::kRelay);
   const auto result = lookup(gateway, ids::topic_ring_id(topic));
   if (!result.converged || result.path.size() < 2) return;
   for (std::size_t i = 0; i + 1 < result.path.size(); ++i) {
@@ -290,6 +322,7 @@ void VitisSystem::request_relay(ids::NodeIndex gateway,
 
 overlay::LookupResult VitisSystem::lookup(ids::NodeIndex origin,
                                           ids::RingId target) const {
+  const support::ScopedPhase phase(&profiler_, support::Phase::kRouting);
   const overlay::NeighborFn neighbors =
       [this](ids::NodeIndex node) -> std::span<const overlay::RoutingEntry> {
     lookup_scratch_.clear();
@@ -301,6 +334,12 @@ overlay::LookupResult VitisSystem::lookup(ids::NodeIndex origin,
   return overlay::greedy_lookup(
       neighbors, [this](ids::NodeIndex n) { return nodes_[n].id; }, origin,
       target, config_.lookup_hop_budget);
+}
+
+void VitisSystem::gossip_step(ids::NodeIndex node) {
+  VITIS_CHECK(engine_.is_alive(node));
+  sampling_->step(node);
+  tman_->step(node);
 }
 
 // ---------------------------------------------------------------------------
@@ -332,8 +371,8 @@ pubsub::DisseminationReport VitisSystem::publish(ids::TopicIndex topic,
     ++report.expected;
   }
 
-  std::vector<FloodItem> queue;
-  queue.reserve(64);
+  std::vector<FloodItem>& queue = flood_queue_;
+  queue.clear();
   visit_stamp_[publisher] = stamp;
   queue.push_back(FloodItem{publisher, ids::kInvalidNode, 0});
 
@@ -360,7 +399,7 @@ pubsub::DisseminationReport VitisSystem::publish(ids::TopicIndex topic,
     }
   }
 
-  std::vector<ids::NodeIndex> targets;
+  std::vector<ids::NodeIndex>& targets = targets_;
   for (std::size_t head = 0; head < queue.size(); ++head) {
     const FloodItem item = queue[head];
 
@@ -368,8 +407,8 @@ pubsub::DisseminationReport VitisSystem::publish(ids::TopicIndex topic,
     for (const ids::NodeIndex y : undirected_[item.node]) {
       if (subscriptions_.subscribes(y, topic)) targets.push_back(y);
     }
-    for (const ids::NodeIndex y : nodes_[item.node].relay.links(topic)) {
-      if (engine_.is_alive(y)) targets.push_back(y);
+    for (const auto& link : nodes_[item.node].relay.links(topic)) {
+      if (engine_.is_alive(link.peer)) targets.push_back(link.peer);
     }
     std::sort(targets.begin(), targets.end());
     targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
@@ -464,15 +503,15 @@ TimedDisseminationReport VitisSystem::publish_timed(ids::TopicIndex topic,
   visit_stamp_[publisher] = stamp;
 
   // Forward from a node that just (first-)received the event at `now`.
-  std::vector<ids::NodeIndex> targets;
+  std::vector<ids::NodeIndex>& targets = targets_;
   const auto forward_from = [&](ids::NodeIndex x, ids::NodeIndex from,
                                 std::uint32_t hop, double now) {
     targets.clear();
     for (const ids::NodeIndex y : undirected_[x]) {
       if (subscriptions_.subscribes(y, topic)) targets.push_back(y);
     }
-    for (const ids::NodeIndex y : nodes_[x].relay.links(topic)) {
-      if (engine_.is_alive(y)) targets.push_back(y);
+    for (const auto& link : nodes_[x].relay.links(topic)) {
+      if (engine_.is_alive(link.peer)) targets.push_back(link.peer);
     }
     std::sort(targets.begin(), targets.end());
     targets.erase(std::unique(targets.begin(), targets.end()), targets.end());

@@ -125,6 +125,16 @@ class VitisSystem final : public pubsub::PubSubSystem {
   [[nodiscard]] overlay::LookupResult lookup(ids::NodeIndex origin,
                                              ids::RingId target) const;
 
+  /// One gossip activation for `node` — peer-sampling exchange followed by
+  /// a T-Man exchange, exactly what the cycle engine runs per node per
+  /// cycle. Test hook for the allocation audit of the steady-state step.
+  void gossip_step(ids::NodeIndex node);
+
+  [[nodiscard]] const support::Profiler* profiler() const override {
+    return &profiler_;
+  }
+  [[nodiscard]] support::Profiler& profiler_mut() { return profiler_; }
+
   /// Undirected snapshot of the current overlay (alive nodes only).
   [[nodiscard]] analysis::Graph overlay_snapshot() const;
 
@@ -177,12 +187,37 @@ class VitisSystem final : public pubsub::PubSubSystem {
   // Physical coordinates (empty unless set_coordinates() was called).
   std::vector<sim::Coordinate> coordinates_;
 
+  // Per-phase counters/timers (wired into engine_ and the lookup/relay
+  // paths); mutable because profiling const lookups is telemetry, not
+  // state. Single-threaded like the rest of the system.
+  mutable support::Profiler profiler_;
+
+  /// Transmission queue item of the dissemination BFS.
+  struct FloodItem {
+    ids::NodeIndex node;
+    ids::NodeIndex from;
+    std::uint32_t hop;
+  };
+
   // Scratch buffers, reused to keep the hot paths allocation-free.
   mutable std::vector<overlay::RoutingEntry> lookup_scratch_;
   std::vector<std::vector<NeighborProposal>> election_scratch_;
   mutable std::vector<std::uint32_t> visit_stamp_;
   mutable std::vector<std::uint32_t> expected_stamp_;
   mutable std::uint32_t current_stamp_ = 0;
+  // selectNeighbors (Algorithm 4) working set.
+  std::vector<gossip::Descriptor> select_buffer_;
+  std::vector<overlay::RoutingEntry> selected_;
+  std::vector<std::pair<double, std::size_t>> ranked_;
+  // Gateway election: positions of this node's topics, epoch-stamped so the
+  // per-neighbor merge is O(|their topics|) with O(1) membership tests.
+  std::vector<std::uint32_t> topic_stamp_;
+  std::vector<std::size_t> topic_pos_;
+  std::uint32_t topic_epoch_ = 0;
+  // Maintenance + dissemination working sets.
+  std::vector<ids::NodeIndex> maintenance_order_;
+  std::vector<FloodItem> flood_queue_;
+  std::vector<ids::NodeIndex> targets_;
 };
 
 }  // namespace vitis::core

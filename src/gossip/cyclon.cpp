@@ -10,11 +10,12 @@ CyclonSampling::CyclonSampling(std::span<const ids::RingId> ring_ids,
                                std::size_t view_size,
                                std::size_t shuffle_size,
                                std::function<bool(ids::NodeIndex)> is_alive,
-                               sim::Rng rng)
+                               sim::Rng rng, FingerprintFn fingerprint)
     : ring_ids_(ring_ids.begin(), ring_ids.end()),
       view_size_(view_size),
       shuffle_size_(shuffle_size),
       is_alive_(std::move(is_alive)),
+      fingerprint_(std::move(fingerprint)),
       rng_(rng) {
   VITIS_CHECK(view_size_ > 0);
   VITIS_CHECK(shuffle_size_ > 0 && shuffle_size_ <= view_size_);
@@ -23,6 +24,8 @@ CyclonSampling::CyclonSampling(std::span<const ids::RingId> ring_ids,
   for (std::size_t i = 0; i < ring_ids_.size(); ++i) {
     views_.emplace_back(view_size_);
   }
+  outgoing_scratch_.reserve(view_size_ + 1);
+  incoming_scratch_.reserve(view_size_ + 1);
 }
 
 void CyclonSampling::init_node(ids::NodeIndex node,
@@ -31,7 +34,7 @@ void CyclonSampling::init_node(ids::NodeIndex node,
   views_[node].clear();
   for (const ids::NodeIndex contact : bootstrap) {
     if (contact == node) continue;
-    views_[node].insert(Descriptor{contact, ring_ids_[contact], 0});
+    views_[node].insert(self_descriptor(contact));
   }
 }
 
@@ -56,8 +59,8 @@ void CyclonSampling::step(ids::NodeIndex node) {
   if (!is_alive_(partner.node)) return;  // timeout; the slot is now free
 
   // Initiator subset: up to shuffle_size-1 random entries plus self.
-  std::vector<Descriptor> outgoing(view.entries().begin(),
-                                   view.entries().end());
+  std::vector<Descriptor>& outgoing = outgoing_scratch_;
+  outgoing.assign(view.entries().begin(), view.entries().end());
   rng_.shuffle(outgoing);
   if (outgoing.size() > shuffle_size_ - 1) {
     outgoing.resize(shuffle_size_ - 1);
@@ -66,8 +69,8 @@ void CyclonSampling::step(ids::NodeIndex node) {
 
   // Partner subset.
   PartialView& partner_view = views_[partner.node];
-  std::vector<Descriptor> incoming(partner_view.entries().begin(),
-                                   partner_view.entries().end());
+  std::vector<Descriptor>& incoming = incoming_scratch_;
+  incoming.assign(partner_view.entries().begin(), partner_view.entries().end());
   rng_.shuffle(incoming);
   if (incoming.size() > shuffle_size_) incoming.resize(shuffle_size_);
 
@@ -88,19 +91,17 @@ void CyclonSampling::step(ids::NodeIndex node) {
   partner_view.remove(partner.node);
 }
 
-std::vector<Descriptor> CyclonSampling::sample(ids::NodeIndex node,
-                                               std::size_t k) {
+void CyclonSampling::sample_into(ids::NodeIndex node, std::size_t k,
+                                 std::vector<Descriptor>& out) {
   const PartialView& view = views_[node];
-  std::vector<Descriptor> alive;
-  alive.reserve(view.size());
+  const std::size_t start = out.size();
   for (const auto& d : view.entries()) {
-    if (is_alive_(d.node)) alive.push_back(d);
+    if (is_alive_(d.node)) out.push_back(d);
   }
-  if (alive.size() > k) {
-    rng_.shuffle(alive);
-    alive.resize(k);
+  if (out.size() - start > k) {
+    rng_.shuffle(std::span<Descriptor>(out).subspan(start));
+    out.resize(start + k);
   }
-  return alive;
 }
 
 }  // namespace vitis::gossip

@@ -24,7 +24,8 @@ class CyclonSampling final : public SamplingService {
  public:
   CyclonSampling(std::span<const ids::RingId> ring_ids, std::size_t view_size,
                  std::size_t shuffle_size,
-                 std::function<bool(ids::NodeIndex)> is_alive, sim::Rng rng);
+                 std::function<bool(ids::NodeIndex)> is_alive, sim::Rng rng,
+                 FingerprintFn fingerprint = nullptr);
 
   void init_node(ids::NodeIndex node,
                  std::span<const ids::NodeIndex> bootstrap) override;
@@ -33,16 +34,17 @@ class CyclonSampling final : public SamplingService {
   /// One active Cyclon shuffle for `node`.
   void step(ids::NodeIndex node) override;
 
-  /// Up to `k` random alive descriptors from the node's view.
-  [[nodiscard]] std::vector<Descriptor> sample(ids::NodeIndex node,
-                                               std::size_t k) override;
+  /// Appends up to `k` random alive descriptors from the node's view.
+  void sample_into(ids::NodeIndex node, std::size_t k,
+                   std::vector<Descriptor>& out) override;
 
   [[nodiscard]] const PartialView& view(ids::NodeIndex node) const override {
     return views_[node];
   }
   [[nodiscard]] Descriptor self_descriptor(
       ids::NodeIndex node) const override {
-    return Descriptor{node, ring_ids_[node], 0};
+    return Descriptor{node, ring_ids_[node], 0,
+                      fingerprint_ ? fingerprint_(node) : 0};
   }
   [[nodiscard]] std::size_t shuffle_size() const { return shuffle_size_; }
 
@@ -51,8 +53,12 @@ class CyclonSampling final : public SamplingService {
   std::size_t view_size_;
   std::size_t shuffle_size_;
   std::function<bool(ids::NodeIndex)> is_alive_;
+  FingerprintFn fingerprint_;
   std::vector<PartialView> views_;
   sim::Rng rng_;
+  // Shuffle subsets, hoisted out of step() (allocation-free steady state).
+  std::vector<Descriptor> outgoing_scratch_;
+  std::vector<Descriptor> incoming_scratch_;
 };
 
 }  // namespace vitis::gossip

@@ -1,8 +1,12 @@
 // Node descriptors exchanged by the gossip layers.
 //
 // A descriptor is what one node knows about another: its simulator index,
-// its ring id, and an age (gossip rounds since the information was fresh).
-// Ages implement Newscast-style freshness ordering and failure detection.
+// its ring id, an age (gossip rounds since the information was fresh), and a
+// snapshot of the node's subscription fingerprint. Ages implement
+// Newscast-style freshness ordering and failure detection; the fingerprint
+// lets receivers pre-screen similarity candidates without fetching the full
+// profile (core::UtilityFunction ranks against the live profile, so a stale
+// snapshot can never mis-rank — see DESIGN.md "Hot path & determinism").
 #pragma once
 
 #include <cstdint>
@@ -15,6 +19,7 @@ struct Descriptor {
   ids::NodeIndex node = ids::kInvalidNode;
   ids::RingId id = 0;
   std::uint32_t age = 0;
+  std::uint64_t fp = 0;  // subscription fingerprint at descriptor creation
 
   friend bool operator==(const Descriptor& a, const Descriptor& b) {
     return a.node == b.node;  // identity, not freshness

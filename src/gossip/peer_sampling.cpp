@@ -8,10 +8,12 @@ namespace vitis::gossip {
 
 PeerSamplingService::PeerSamplingService(
     std::span<const ids::RingId> ring_ids, std::size_t view_size,
-    std::function<bool(ids::NodeIndex)> is_alive, sim::Rng rng)
+    std::function<bool(ids::NodeIndex)> is_alive, sim::Rng rng,
+    FingerprintFn fingerprint)
     : ring_ids_(ring_ids.begin(), ring_ids.end()),
       view_size_(view_size),
       is_alive_(std::move(is_alive)),
+      fingerprint_(std::move(fingerprint)),
       rng_(rng) {
   VITIS_CHECK(view_size_ > 0);
   VITIS_CHECK(is_alive_ != nullptr);
@@ -19,6 +21,8 @@ PeerSamplingService::PeerSamplingService(
   for (std::size_t i = 0; i < ring_ids_.size(); ++i) {
     views_.emplace_back(view_size_);
   }
+  mine_scratch_.reserve(view_size_ + 1);
+  theirs_scratch_.reserve(view_size_ + 1);
 }
 
 void PeerSamplingService::init_node(ids::NodeIndex node,
@@ -27,7 +31,7 @@ void PeerSamplingService::init_node(ids::NodeIndex node,
   views_[node].clear();
   for (const ids::NodeIndex contact : bootstrap) {
     if (contact == node) continue;
-    views_[node].insert(Descriptor{contact, ring_ids_[contact], 0});
+    views_[node].insert(self_descriptor(contact));
   }
 }
 
@@ -53,31 +57,29 @@ void PeerSamplingService::step(ids::NodeIndex node) {
   PartialView& partner_view = views_[partner.node];
 
   // Snapshot both sides before mutation (a real exchange is symmetric).
-  std::vector<Descriptor> mine(view.entries().begin(), view.entries().end());
-  mine.push_back(self_descriptor(node));
-  std::vector<Descriptor> theirs(partner_view.entries().begin(),
-                                 partner_view.entries().end());
-  theirs.push_back(self_descriptor(partner.node));
+  mine_scratch_.assign(view.entries().begin(), view.entries().end());
+  mine_scratch_.push_back(self_descriptor(node));
+  theirs_scratch_.assign(partner_view.entries().begin(),
+                         partner_view.entries().end());
+  theirs_scratch_.push_back(self_descriptor(partner.node));
 
-  view.merge(theirs);
+  view.merge(theirs_scratch_);
   view.remove(node);  // never keep self
-  partner_view.merge(mine);
+  partner_view.merge(mine_scratch_);
   partner_view.remove(partner.node);
 }
 
-std::vector<Descriptor> PeerSamplingService::sample(ids::NodeIndex node,
-                                                    std::size_t k) {
+void PeerSamplingService::sample_into(ids::NodeIndex node, std::size_t k,
+                                      std::vector<Descriptor>& out) {
   const PartialView& view = views_[node];
-  std::vector<Descriptor> alive;
-  alive.reserve(view.size());
+  const std::size_t start = out.size();
   for (const auto& d : view.entries()) {
-    if (is_alive_(d.node)) alive.push_back(d);
+    if (is_alive_(d.node)) out.push_back(d);
   }
-  if (alive.size() > k) {
-    rng_.shuffle(alive);
-    alive.resize(k);
+  if (out.size() - start > k) {
+    rng_.shuffle(std::span<Descriptor>(out).subspan(start));
+    out.resize(start + k);
   }
-  return alive;
 }
 
 }  // namespace vitis::gossip

@@ -22,10 +22,11 @@ class PeerSamplingService final : public SamplingService {
  public:
   /// `ring_ids[i]` is node i's position in the identifier space.
   /// `is_alive(i)` reports whether node i is currently online.
+  /// `fingerprint(i)` (optional) is stamped into fresh descriptors.
   PeerSamplingService(std::span<const ids::RingId> ring_ids,
                       std::size_t view_size,
                       std::function<bool(ids::NodeIndex)> is_alive,
-                      sim::Rng rng);
+                      sim::Rng rng, FingerprintFn fingerprint = nullptr);
 
   /// Bootstrap a joining node with some introduction contacts.
   void init_node(ids::NodeIndex node,
@@ -37,11 +38,11 @@ class PeerSamplingService final : public SamplingService {
   /// One active gossip exchange for `node` (Newscast shuffle).
   void step(ids::NodeIndex node) override;
 
-  /// Up to `k` uniformly random descriptors of alive peers from the view;
-  /// the "fresh list of nodes provided by the underlying peer sampling
-  /// service" of Algorithm 2.
-  [[nodiscard]] std::vector<Descriptor> sample(ids::NodeIndex node,
-                                               std::size_t k) override;
+  /// Appends up to `k` uniformly random descriptors of alive peers from the
+  /// view; the "fresh list of nodes provided by the underlying peer
+  /// sampling service" of Algorithm 2.
+  void sample_into(ids::NodeIndex node, std::size_t k,
+                   std::vector<Descriptor>& out) override;
 
   [[nodiscard]] const PartialView& view(ids::NodeIndex node) const override {
     return views_[node];
@@ -52,15 +53,21 @@ class PeerSamplingService final : public SamplingService {
   /// Fresh self-descriptor for a node.
   [[nodiscard]] Descriptor self_descriptor(
       ids::NodeIndex node) const override {
-    return Descriptor{node, ring_ids_[node], 0};
+    return Descriptor{node, ring_ids_[node], 0,
+                      fingerprint_ ? fingerprint_(node) : 0};
   }
 
  private:
   std::vector<ids::RingId> ring_ids_;
   std::size_t view_size_;
   std::function<bool(ids::NodeIndex)> is_alive_;
+  FingerprintFn fingerprint_;
   std::vector<PartialView> views_;
   sim::Rng rng_;
+  // Exchange snapshots, hoisted out of step() (one-core scratch-buffer
+  // convention: the per-cycle path must not allocate in steady state).
+  std::vector<Descriptor> mine_scratch_;
+  std::vector<Descriptor> theirs_scratch_;
 };
 
 }  // namespace vitis::gossip

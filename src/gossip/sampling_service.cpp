@@ -18,17 +18,17 @@ const char* to_string(SamplingPolicy policy) {
 std::unique_ptr<SamplingService> make_sampling_service(
     SamplingPolicy policy, std::span<const ids::RingId> ring_ids,
     std::size_t view_size, std::function<bool(ids::NodeIndex)> is_alive,
-    sim::Rng rng) {
+    sim::Rng rng, FingerprintFn fingerprint) {
   switch (policy) {
     case SamplingPolicy::kCyclon:
       return std::make_unique<CyclonSampling>(
           ring_ids, view_size, std::max<std::size_t>(3, view_size / 2),
-          std::move(is_alive), rng);
+          std::move(is_alive), rng, std::move(fingerprint));
     case SamplingPolicy::kNewscast:
       break;
   }
-  return std::make_unique<PeerSamplingService>(ring_ids, view_size,
-                                               std::move(is_alive), rng);
+  return std::make_unique<PeerSamplingService>(
+      ring_ids, view_size, std::move(is_alive), rng, std::move(fingerprint));
 }
 
 }  // namespace vitis::gossip

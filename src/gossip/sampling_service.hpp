@@ -16,6 +16,10 @@
 
 namespace vitis::gossip {
 
+/// Optional live subscription-fingerprint lookup; when provided, fresh
+/// descriptors carry the node's current fingerprint snapshot.
+using FingerprintFn = std::function<std::uint64_t(ids::NodeIndex)>;
+
 class SamplingService {
  public:
   virtual ~SamplingService() = default;
@@ -30,9 +34,18 @@ class SamplingService {
   /// One active gossip exchange for `node`.
   virtual void step(ids::NodeIndex node) = 0;
 
+  /// Append up to `k` uniformly random descriptors of alive peers to `out`
+  /// (not cleared). The allocation-free primitive under sample().
+  virtual void sample_into(ids::NodeIndex node, std::size_t k,
+                           std::vector<Descriptor>& out) = 0;
+
   /// Up to `k` uniformly random descriptors of alive peers.
-  [[nodiscard]] virtual std::vector<Descriptor> sample(ids::NodeIndex node,
-                                                       std::size_t k) = 0;
+  [[nodiscard]] std::vector<Descriptor> sample(ids::NodeIndex node,
+                                               std::size_t k) {
+    std::vector<Descriptor> out;
+    sample_into(node, k, out);
+    return out;
+  }
 
   [[nodiscard]] virtual const PartialView& view(
       ids::NodeIndex node) const = 0;
@@ -48,10 +61,11 @@ enum class SamplingPolicy {
 
 [[nodiscard]] const char* to_string(SamplingPolicy policy);
 
-/// Build the configured sampling service.
+/// Build the configured sampling service. `fingerprint` (optional) is the
+/// live subscription-fingerprint lookup stamped into fresh descriptors.
 [[nodiscard]] std::unique_ptr<SamplingService> make_sampling_service(
     SamplingPolicy policy, std::span<const ids::RingId> ring_ids,
     std::size_t view_size, std::function<bool(ids::NodeIndex)> is_alive,
-    sim::Rng rng);
+    sim::Rng rng, FingerprintFn fingerprint = nullptr);
 
 }  // namespace vitis::gossip

@@ -1,5 +1,7 @@
 #include "gossip/tman.hpp"
 
+#include <algorithm>
+
 #include "support/check.hpp"
 
 namespace vitis::gossip {
@@ -18,29 +20,52 @@ TManProtocol::TManProtocol(TableFn table_of, SamplingService& sampling,
   VITIS_CHECK(select_ != nullptr);
 }
 
+void TManProtocol::begin_buffer(std::vector<Descriptor>& buffer) const {
+  buffer.clear();
+  if (++seen_epoch_ == 0) {  // wrapped: invalidate every stale stamp
+    std::fill(seen_stamp_.begin(), seen_stamp_.end(), 0U);
+    seen_epoch_ = 1;
+  }
+}
+
 void TManProtocol::merge_unique(std::vector<Descriptor>& buffer,
                                 const Descriptor& d,
                                 ids::NodeIndex exclude) const {
   if (d.node == exclude || !is_alive_(d.node)) return;
-  for (auto& existing : buffer) {
-    if (existing.node == d.node) {
-      if (d.age < existing.age) existing = d;
-      return;
-    }
+  if (d.node >= seen_stamp_.size()) {
+    // Grows once per newly seen node index, not per cycle.
+    seen_stamp_.resize(d.node + 1, 0U);
+    seen_slot_.resize(d.node + 1, 0);
   }
+  if (seen_stamp_[d.node] == seen_epoch_) {
+    Descriptor& existing = buffer[seen_slot_[d.node]];
+    if (d.age < existing.age) existing = d;
+    return;
+  }
+  seen_stamp_[d.node] = seen_epoch_;
+  seen_slot_[d.node] = buffer.size();
   buffer.push_back(d);
 }
 
-std::vector<Descriptor> TManProtocol::build_buffer(
-    ids::NodeIndex node, ids::NodeIndex exclude) const {
-  std::vector<Descriptor> buffer;
+void TManProtocol::build_buffer_into(ids::NodeIndex node,
+                                     ids::NodeIndex exclude,
+                                     std::vector<Descriptor>& buffer) const {
+  begin_buffer(buffer);
   buffer.reserve(config_.sample_size + table_of_(node).size() + 1);
-  for (const auto& d : sampling_->sample(node, config_.sample_size)) {
+  seed_scratch_.clear();
+  sampling_->sample_into(node, config_.sample_size, seed_scratch_);
+  for (const auto& d : seed_scratch_) {
     merge_unique(buffer, d, exclude);
   }
   for (const auto& e : table_of_(node).entries()) {
     merge_unique(buffer, Descriptor{e.node, e.id, e.age}, exclude);
   }
+}
+
+std::vector<Descriptor> TManProtocol::build_buffer(
+    ids::NodeIndex node, ids::NodeIndex exclude) const {
+  std::vector<Descriptor> buffer;
+  build_buffer_into(node, exclude, buffer);
   return buffer;
 }
 
@@ -53,8 +78,9 @@ void TManProtocol::step(ids::NodeIndex node) {
   if (!table.empty()) {
     partner = table.entries()[rng_.index(table.size())].node;
   } else {
-    const auto seeds = sampling_->sample(node, 1);
-    if (!seeds.empty()) partner = seeds.front().node;
+    seed_scratch_.clear();
+    sampling_->sample_into(node, 1, seed_scratch_);
+    if (!seed_scratch_.empty()) partner = seed_scratch_.front().node;
   }
   if (partner == ids::kInvalidNode) return;
   if (!is_alive_(partner)) {
@@ -65,19 +91,21 @@ void TManProtocol::step(ids::NodeIndex node) {
   // Algorithm 2 lines 3-4 / Algorithm 3 lines 3-4: both sides assemble
   // sample ∪ own RT; then each merges the other's buffer plus the other's
   // own descriptor (lines 6-8).
-  std::vector<Descriptor> mine = build_buffer(node, /*exclude=*/partner);
-  std::vector<Descriptor> theirs = build_buffer(partner, /*exclude=*/node);
+  build_buffer_into(node, /*exclude=*/partner, mine_);
+  build_buffer_into(partner, /*exclude=*/node, theirs_);
 
-  std::vector<Descriptor> for_me = mine;
-  for (const auto& d : theirs) merge_unique(for_me, d, node);
-  merge_unique(for_me, sampling_->self_descriptor(partner), node);
+  begin_buffer(for_me_);
+  for (const auto& d : mine_) merge_unique(for_me_, d, node);
+  for (const auto& d : theirs_) merge_unique(for_me_, d, node);
+  merge_unique(for_me_, sampling_->self_descriptor(partner), node);
 
-  std::vector<Descriptor> for_partner = theirs;
-  for (const auto& d : mine) merge_unique(for_partner, d, partner);
-  merge_unique(for_partner, sampling_->self_descriptor(node), partner);
+  begin_buffer(for_partner_);
+  for (const auto& d : theirs_) merge_unique(for_partner_, d, partner);
+  for (const auto& d : mine_) merge_unique(for_partner_, d, partner);
+  merge_unique(for_partner_, sampling_->self_descriptor(node), partner);
 
-  select_(node, for_me, table);
-  select_(partner, for_partner, table_of_(partner));
+  select_(node, for_me_, table);
+  select_(partner, for_partner_, table_of_(partner));
 }
 
 }  // namespace vitis::gossip

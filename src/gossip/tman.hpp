@@ -6,6 +6,7 @@
 // `selectNeighbors` policy (Algorithm 4 for Vitis) rebuilds the table.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -47,8 +48,17 @@ class TManProtocol {
       ids::NodeIndex node, ids::NodeIndex exclude) const;
 
  private:
+  /// Opens a fresh dedup scope on `buffer`: clears it and advances the
+  /// epoch so the seen-array forgets every previous membership in O(1).
+  void begin_buffer(std::vector<Descriptor>& buffer) const;
+
+  /// O(1) amortized merge: skips `exclude` and dead nodes; a duplicate
+  /// keeps the youngest age (epoch-stamped seen-array, not a linear scan).
   void merge_unique(std::vector<Descriptor>& buffer, const Descriptor& d,
                     ids::NodeIndex exclude) const;
+
+  void build_buffer_into(ids::NodeIndex node, ids::NodeIndex exclude,
+                         std::vector<Descriptor>& buffer) const;
 
   TableFn table_of_;
   SamplingService* sampling_;
@@ -56,6 +66,21 @@ class TManProtocol {
   SelectFn select_;
   Config config_;
   sim::Rng rng_;
+
+  // Dedup seen-array, indexed by node: `seen_stamp_[n] == seen_epoch_`
+  // means n is already in the buffer opened by the last begin_buffer(),
+  // at position `seen_slot_[n]`. Grown on demand; mutable because
+  // build_buffer is logically const. Single-threaded like all protocols.
+  mutable std::vector<std::uint32_t> seen_stamp_;
+  mutable std::vector<std::size_t> seen_slot_;
+  mutable std::uint32_t seen_epoch_ = 0;
+
+  // Exchange buffers, hoisted out of step() (allocation-free steady state).
+  mutable std::vector<Descriptor> mine_;
+  mutable std::vector<Descriptor> theirs_;
+  mutable std::vector<Descriptor> for_me_;
+  mutable std::vector<Descriptor> for_partner_;
+  mutable std::vector<Descriptor> seed_scratch_;
 };
 
 }  // namespace vitis::gossip

@@ -39,14 +39,14 @@ std::optional<RoutingEntry> RoutingTable::find(ids::NodeIndex node) const {
   return std::nullopt;
 }
 
-void RoutingTable::assign(std::vector<RoutingEntry> entries) {
+void RoutingTable::assign(std::span<const RoutingEntry> entries) {
   VITIS_CHECK(entries.size() <= capacity_);
   for (std::size_t i = 0; i < entries.size(); ++i) {
     for (std::size_t j = i + 1; j < entries.size(); ++j) {
       VITIS_CHECK(entries[i].node != entries[j].node);
     }
   }
-  entries_ = std::move(entries);
+  entries_.assign(entries.begin(), entries.end());
 }
 
 bool RoutingTable::add(const RoutingEntry& entry) {

@@ -58,8 +58,13 @@ class RoutingTable {
 
   /// Replace the whole table with a fresh selection (the T-Man way: the
   /// selection function rebuilds the table each round). Capacity enforced;
-  /// duplicates by node are rejected.
-  void assign(std::vector<RoutingEntry> entries);
+  /// duplicates by node are rejected. The span overload copies into the
+  /// table's retained storage (reserved to capacity at construction), so
+  /// callers can reuse one scratch selection buffer allocation-free.
+  void assign(std::span<const RoutingEntry> entries);
+  void assign(std::vector<RoutingEntry> entries) {
+    assign(std::span<const RoutingEntry>(entries));
+  }
 
   /// Add one entry if there is room and the node is absent. Returns success.
   bool add(const RoutingEntry& entry);

@@ -10,12 +10,16 @@ SubscriptionSet::SubscriptionSet(std::vector<ids::TopicIndex> topics)
     : topics_(std::move(topics)) {
   std::sort(topics_.begin(), topics_.end());
   topics_.erase(std::unique(topics_.begin(), topics_.end()), topics_.end());
+  for (const ids::TopicIndex topic : topics_) {
+    fingerprint_ |= topic_fingerprint_bit(topic);
+  }
 }
 
 bool SubscriptionSet::add(ids::TopicIndex topic) {
   const auto it = std::lower_bound(topics_.begin(), topics_.end(), topic);
   if (it != topics_.end() && *it == topic) return false;
   topics_.insert(it, topic);
+  fingerprint_ |= topic_fingerprint_bit(topic);
   return true;
 }
 
@@ -23,6 +27,11 @@ bool SubscriptionSet::remove(ids::TopicIndex topic) {
   const auto it = std::lower_bound(topics_.begin(), topics_.end(), topic);
   if (it == topics_.end() || *it != topic) return false;
   topics_.erase(it);
+  // A removed topic may share its hashed bit with a survivor: recompute.
+  fingerprint_ = 0;
+  for (const ids::TopicIndex t : topics_) {
+    fingerprint_ |= topic_fingerprint_bit(t);
+  }
   return true;
 }
 

@@ -4,15 +4,33 @@
 // paper). Sets are sorted unique vectors: subscription counts are small
 // (tens to low hundreds), where sorted-vector intersection beats bitsets
 // and hash sets by a wide margin and keeps memory per node tiny.
+//
+// Every set additionally maintains a 64-bit *fingerprint*: the OR of one
+// hashed bit per subscribed topic (a one-hash Bloom filter). Fingerprints
+// are conservative by construction — disjoint fingerprints imply truly
+// disjoint sets — so the gossip layer's utility ranking can reject
+// zero-overlap candidate pairs with a single popcount-free AND before
+// paying for the exact linear merge (see core::UtilityFunction).
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "ids/hash.hpp"
 #include "ids/id.hpp"
 
 namespace vitis::pubsub {
+
+/// The fingerprint bit of one topic: a single hashed bit in a 64-bit
+/// signature. Domain-separated from ring-id hashing.
+[[nodiscard]] constexpr std::uint64_t topic_fingerprint_bit(
+    ids::TopicIndex topic) noexcept {
+  return std::uint64_t{1}
+         << (ids::mix64(0x73756273665f7631ULL ^
+                        static_cast<std::uint64_t>(topic)) &
+             63U);
+}
 
 class SubscriptionSet {
  public:
@@ -28,7 +46,14 @@ class SubscriptionSet {
   [[nodiscard]] bool contains(ids::TopicIndex topic) const;
   [[nodiscard]] std::size_t size() const { return topics_.size(); }
   [[nodiscard]] bool empty() const { return topics_.empty(); }
-  void clear() { topics_.clear(); }
+  void clear() {
+    topics_.clear();
+    fingerprint_ = 0;
+  }
+
+  /// OR of topic_fingerprint_bit over the subscribed topics. Zero AND of
+  /// two fingerprints proves the sets share no topic.
+  [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
 
   /// Sorted ascending view of the subscribed topics.
   [[nodiscard]] std::span<const ids::TopicIndex> topics() const {
@@ -38,12 +63,21 @@ class SubscriptionSet {
   [[nodiscard]] auto begin() const { return topics_.begin(); }
   [[nodiscard]] auto end() const { return topics_.end(); }
 
-  friend bool operator==(const SubscriptionSet&,
-                         const SubscriptionSet&) = default;
+  friend bool operator==(const SubscriptionSet& a, const SubscriptionSet& b) {
+    return a.topics_ == b.topics_;
+  }
 
  private:
   std::vector<ids::TopicIndex> topics_;  // sorted, unique
+  std::uint64_t fingerprint_ = 0;
 };
+
+/// True when the fingerprints prove a and b are disjoint. The converse does
+/// not hold: overlapping fingerprints say nothing (hash collisions).
+[[nodiscard]] constexpr bool fingerprints_disjoint(std::uint64_t a,
+                                                   std::uint64_t b) noexcept {
+  return (a & b) == 0;
+}
 
 /// |a ∩ b| via linear merge.
 [[nodiscard]] std::size_t intersection_size(const SubscriptionSet& a,

@@ -9,6 +9,7 @@
 #include "ids/id.hpp"
 #include "pubsub/metrics.hpp"
 #include "pubsub/subscription.hpp"
+#include "support/profiler.hpp"
 
 namespace vitis::pubsub {
 
@@ -39,6 +40,13 @@ class PubSubSystem {
 
   /// Nodes currently online.
   [[nodiscard]] virtual std::size_t alive_count() const = 0;
+
+  /// Per-phase profiler of this system's cycle engine, when wired (null for
+  /// systems without one). Wall times are telemetry-only; calls are
+  /// deterministic per (seed, scale).
+  [[nodiscard]] virtual const support::Profiler* profiler() const {
+    return nullptr;
+  }
 
  protected:
   PubSubSystem() = default;

@@ -7,9 +7,11 @@ namespace vitis::sim {
 CycleEngine::CycleEngine(std::size_t node_count, Rng rng)
     : alive_(node_count, false), rng_(rng) {}
 
-void CycleEngine::add_protocol(std::string name, NodeProtocol protocol) {
+void CycleEngine::add_protocol(std::string name, NodeProtocol protocol,
+                               std::optional<support::Phase> phase) {
   VITIS_CHECK(protocol != nullptr);
-  protocols_.emplace_back(std::move(name), std::move(protocol));
+  protocols_.push_back(
+      ProtocolEntry{std::move(name), std::move(protocol), phase});
 }
 
 void CycleEngine::add_cycle_hook(std::string name, CycleHook hook) {
@@ -26,22 +28,29 @@ void CycleEngine::set_alive(ids::NodeIndex node, bool alive) {
 
 std::vector<ids::NodeIndex> CycleEngine::alive_nodes() const {
   std::vector<ids::NodeIndex> nodes;
-  nodes.reserve(alive_count_);
-  for (std::size_t i = 0; i < alive_.size(); ++i) {
-    if (alive_[i]) nodes.push_back(static_cast<ids::NodeIndex>(i));
-  }
+  alive_nodes_into(nodes);
   return nodes;
+}
+
+void CycleEngine::alive_nodes_into(std::vector<ids::NodeIndex>& out) const {
+  out.clear();
+  out.reserve(alive_count_);
+  for (std::size_t i = 0; i < alive_.size(); ++i) {
+    if (alive_[i]) out.push_back(static_cast<ids::NodeIndex>(i));
+  }
 }
 
 void CycleEngine::run(std::size_t cycles) {
   for (std::size_t c = 0; c < cycles; ++c) {
-    auto order = alive_nodes();
-    rng_.shuffle(order);
-    for (const auto& [name, protocol] : protocols_) {
-      (void)name;
-      for (const ids::NodeIndex node : order) {
+    alive_nodes_into(order_scratch_);
+    rng_.shuffle(order_scratch_);
+    for (const auto& entry : protocols_) {
+      const support::ScopedPhase timer(
+          entry.phase ? profiler_ : nullptr,
+          entry.phase.value_or(support::Phase::kSampling));
+      for (const ids::NodeIndex node : order_scratch_) {
         // A protocol earlier in this cycle may have killed the node.
-        if (alive_[node]) protocol(node, cycle_);
+        if (alive_[node]) entry.protocol(node, cycle_);
       }
     }
     for (const auto& [name, hook] : hooks_) {

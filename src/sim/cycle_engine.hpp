@@ -9,11 +9,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "ids/id.hpp"
 #include "sim/rng.hpp"
+#include "support/profiler.hpp"
 
 namespace vitis::sim {
 
@@ -30,8 +32,15 @@ class CycleEngine {
   /// A per-cycle hook: invoked once per cycle after all node protocols.
   using CycleHook = std::function<void(std::size_t cycle)>;
 
-  void add_protocol(std::string name, NodeProtocol protocol);
+  /// `phase` (optional) attributes the protocol's whole per-cycle pass to a
+  /// profiler phase when a profiler is attached via set_profiler.
+  void add_protocol(std::string name, NodeProtocol protocol,
+                    std::optional<support::Phase> phase = std::nullopt);
   void add_cycle_hook(std::string name, CycleHook hook);
+
+  /// Attach (or detach, with nullptr) the per-phase profiler. Not owned;
+  /// must outlive the engine's run() calls.
+  void set_profiler(support::Profiler* profiler) { profiler_ = profiler; }
 
   void set_alive(ids::NodeIndex node, bool alive);
   [[nodiscard]] bool is_alive(ids::NodeIndex node) const {
@@ -43,6 +52,10 @@ class CycleEngine {
   /// Indices of currently alive nodes, ascending.
   [[nodiscard]] std::vector<ids::NodeIndex> alive_nodes() const;
 
+  /// Same, into a caller-retained buffer (cleared first) — the
+  /// allocation-free variant for per-cycle callers.
+  void alive_nodes_into(std::vector<ids::NodeIndex>& out) const;
+
   /// Run `cycles` more cycles.
   void run(std::size_t cycles);
 
@@ -53,12 +66,20 @@ class CycleEngine {
   [[nodiscard]] Rng& rng() { return rng_; }
 
  private:
+  struct ProtocolEntry {
+    std::string name;
+    NodeProtocol protocol;
+    std::optional<support::Phase> phase;
+  };
+
   std::vector<bool> alive_;
   std::size_t alive_count_ = 0;
-  std::vector<std::pair<std::string, NodeProtocol>> protocols_;
+  std::vector<ProtocolEntry> protocols_;
   std::vector<std::pair<std::string, CycleHook>> hooks_;
   std::size_t cycle_ = 0;
   Rng rng_;
+  support::Profiler* profiler_ = nullptr;
+  std::vector<ids::NodeIndex> order_scratch_;  // per-cycle activation order
 };
 
 }  // namespace vitis::sim

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "support/check.hpp"
@@ -67,6 +68,13 @@ class Rng {
   /// Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& items) noexcept {
+    shuffle(std::span<T>(items));
+  }
+
+  /// Fisher-Yates shuffle over a span (e.g. the tail of a scratch buffer);
+  /// draws the same RNG sequence as the vector overload for equal sizes.
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
     for (std::size_t i = items.size(); i > 1; --i) {
       using std::swap;
       swap(items[i - 1], items[index(i)]);

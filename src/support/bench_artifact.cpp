@@ -81,12 +81,25 @@ void write_scalar(JsonWriter& w, const BenchArtifact::Scalar& scalar) {
   }
 }
 
+void write_phases(JsonWriter& w, const std::array<PhaseStats, kPhaseCount>& phases) {
+  w.begin_object();
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    w.key(to_string(static_cast<Phase>(p))).begin_object();
+    w.key("calls").value(phases[p].calls);
+    w.key("wall_ms").value(static_cast<double>(phases[p].wall_ns) / 1e6);
+    w.end_object();
+  }
+  w.end_object();
+}
+
 void write_telemetry(JsonWriter& w, const RunTelemetry& t) {
   w.begin_object();
   w.key("wall_ms").value(t.wall_ms);
   w.key("peak_rss_kb").value(t.peak_rss_kb);
   w.key("cycles").value(t.cycles);
   w.key("messages").value(t.messages);
+  w.key("phases");
+  write_phases(w, t.phases);
   w.end_object();
 }
 
@@ -95,7 +108,7 @@ void write_telemetry(JsonWriter& w, const RunTelemetry& t) {
 std::string BenchArtifact::to_json() const {
   JsonWriter w;
   w.begin_object();
-  w.key("schema_version").value(std::int64_t{1});
+  w.key("schema_version").value(std::int64_t{2});
   w.key("bench").value(name_);
   w.key("git_describe").value(git_describe_);
   w.key("scale").begin_object();
@@ -135,6 +148,10 @@ std::string BenchArtifact::to_json() const {
         std::max(totals.peak_rss_kb, point.telemetry_.peak_rss_kb);
     totals.cycles += point.telemetry_.cycles;
     totals.messages += point.telemetry_.messages;
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      totals.phases[p].calls += point.telemetry_.phases[p].calls;
+      totals.phases[p].wall_ns += point.telemetry_.phases[p].wall_ns;
+    }
   }
   w.key("totals").begin_object();
   w.key("points").value(static_cast<std::uint64_t>(points_.size()));
@@ -142,6 +159,8 @@ std::string BenchArtifact::to_json() const {
   w.key("peak_rss_kb").value(totals.peak_rss_kb);
   w.key("cycles").value(totals.cycles);
   w.key("messages").value(totals.messages);
+  w.key("phases");
+  write_phases(w, totals.phases);
   w.end_object();
 
   w.end_object();

@@ -3,9 +3,9 @@
 // This is the file future PRs regress performance against and
 // tools/fill_experiments.py prefers over scraping bench_output.txt.
 //
-// Schema (version 1):
+// Schema (version 2):
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "bench": "<short bench name, e.g. fig04_friends_vs_sw>",
 //     "git_describe": "<git describe --always --dirty at configure time>",
 //     "scale": {"name": "quick", "nodes": N, "topics": T,
@@ -16,16 +16,23 @@
 //       {"params":    {"<key>": <number|string>, ...},
 //        "metrics":   {"<key>": <number>, ...},
 //        "telemetry": {"wall_ms": ..., "peak_rss_kb": ...,
-//                      "cycles": ..., "messages": ...}},
+//                      "cycles": ..., "messages": ...,
+//                      "phases": {"sampling": {"calls": ..., "wall_ms": ...},
+//                                 "tman": ..., "ranking": ..., "relay": ...,
+//                                 "routing": ...}}},
 //       ...
 //     ],
 //     "totals": {"points": P, "wall_ms": sum, "peak_rss_kb": max,
-//                "cycles": sum, "messages": sum}
+//                "cycles": sum, "messages": sum, "phases": {...summed...}}
 //   }
 //
 // Everything under "params"/"metrics" is deterministic per (seed, scale);
 // "telemetry" and "totals" carry the wall-clock/RSS measurements and vary
-// between runs.
+// between runs. Within "phases", "calls" counts protocol activations and is
+// deterministic per (seed, scale); "wall_ms" is exclusive (self) time per
+// support/profiler.hpp and varies between runs. Version history:
+//   v1 — params/metrics/telemetry without phases.
+//   v2 — adds the per-phase breakdown to telemetry and totals.
 #pragma once
 
 #include <cstdint>

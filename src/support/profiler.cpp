@@ -1,0 +1,29 @@
+#include "support/profiler.hpp"
+
+#include <chrono>
+
+namespace vitis::support {
+
+const char* to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kSampling:
+      return "sampling";
+    case Phase::kTman:
+      return "tman";
+    case Phase::kRanking:
+      return "ranking";
+    case Phase::kRelay:
+      return "relay";
+    case Phase::kRouting:
+      return "routing";
+  }
+  return "?";
+}
+
+std::int64_t monotonic_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace vitis::support

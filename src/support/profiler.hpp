@@ -1,0 +1,119 @@
+// Lightweight per-phase profiler for the cycle engine's hot paths.
+//
+// The cycle engine (and the systems built on it) attribute work to a fixed
+// set of phases: peer sampling, T-Man exchanges, candidate ranking, relay
+// maintenance and greedy routing. Each phase accumulates two numbers:
+//
+//   * calls    — how many times the phase body ran. Deterministic per
+//                (seed, scale): it counts protocol activations, not time.
+//   * wall_ns  — monotonic wall-clock nanoseconds spent inside the phase.
+//                Telemetry-only (varies between machines and runs), so it is
+//                confined to the BENCH_*.json artifacts and stderr, never
+//                printed on stdout.
+//
+// The profiler is strictly single-threaded, matching the one-core
+// convention for simulation runs: each sweep point owns its own system and
+// therefore its own profiler instance.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace vitis::support {
+
+enum class Phase : std::uint8_t {
+  kSampling = 0,  // peer-sampling exchanges (Newscast / Cyclon steps)
+  kTman,          // T-Man buffer construction + exchange (minus selection)
+  kRanking,       // selectNeighbors: ring/sw picks + utility ranking
+  kRelay,         // relay-link installation and aging
+  kRouting,       // greedy ring lookups (rendezvous routing)
+};
+
+inline constexpr std::size_t kPhaseCount = 5;
+
+[[nodiscard]] const char* to_string(Phase phase);
+
+struct PhaseStats {
+  std::uint64_t calls = 0;
+  std::uint64_t wall_ns = 0;
+};
+
+/// Monotonic clock read in nanoseconds (steady_clock).
+[[nodiscard]] std::int64_t monotonic_ns();
+
+/// Phases may nest (candidate ranking runs inside the T-Man exchange); the
+/// profiler attributes *exclusive* (self) time via a phase stack, so the
+/// per-phase wall_ns are disjoint and sum to the total profiled time.
+class Profiler {
+ public:
+  /// Direct accumulation (no nesting bookkeeping).
+  void add(Phase phase, std::uint64_t wall_ns, std::uint64_t calls = 1) {
+    auto& s = stats_[static_cast<std::size_t>(phase)];
+    s.calls += calls;
+    s.wall_ns += wall_ns;
+  }
+
+  /// Enter a phase: pauses the enclosing phase (if any) and starts
+  /// attributing wall time to `phase`. Counts one call.
+  void enter(Phase phase) {
+    const std::int64_t now = monotonic_ns();
+    if (depth_ > 0) accumulate(now);
+    VITIS_DCHECK(depth_ < stack_.size());
+    stack_[depth_++] = phase;
+    mark_ = now;
+    ++stats_[static_cast<std::size_t>(phase)].calls;
+  }
+
+  /// Leave the innermost phase and resume its parent.
+  void exit() {
+    VITIS_DCHECK(depth_ > 0);
+    const std::int64_t now = monotonic_ns();
+    accumulate(now);
+    --depth_;
+    mark_ = now;
+  }
+
+  [[nodiscard]] const PhaseStats& stats(Phase phase) const {
+    return stats_[static_cast<std::size_t>(phase)];
+  }
+
+  [[nodiscard]] const std::array<PhaseStats, kPhaseCount>& all() const {
+    return stats_;
+  }
+
+  void reset() { stats_ = {}; }
+
+ private:
+  void accumulate(std::int64_t now) {
+    stats_[static_cast<std::size_t>(stack_[depth_ - 1])].wall_ns +=
+        static_cast<std::uint64_t>(now - mark_);
+  }
+
+  std::array<PhaseStats, kPhaseCount> stats_{};
+  std::array<Phase, 8> stack_{};  // nesting depth in practice: <= 2
+  std::size_t depth_ = 0;
+  std::int64_t mark_ = 0;
+};
+
+/// RAII phase scope over Profiler::enter/exit. A null profiler makes the
+/// scope a no-op (for unwired systems).
+class ScopedPhase {
+ public:
+  ScopedPhase(Profiler* profiler, Phase phase) : profiler_(profiler) {
+    if (profiler_ != nullptr) profiler_->enter(phase);
+  }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+  ~ScopedPhase() {
+    if (profiler_ != nullptr) profiler_->exit();
+  }
+
+ private:
+  Profiler* profiler_;
+};
+
+}  // namespace vitis::support

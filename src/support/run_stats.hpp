@@ -5,18 +5,25 @@
 // BENCH_*.json artifacts and never printed on stdout.
 #pragma once
 
+#include <array>
 #include <cstdint>
+
+#include "support/profiler.hpp"
 
 namespace vitis::support {
 
 /// Telemetry attached to one (seed, parameter-point) run. The sweep runner
-/// fills wall_ms and peak_rss_kb; the run body reports cycles/messages.
+/// fills wall_ms and peak_rss_kb; the run body reports cycles/messages and
+/// copies the system profiler's per-phase stats into `phases`.
 struct RunTelemetry {
   double wall_ms = 0.0;            // wall-clock duration of the run body
   std::int64_t peak_rss_kb = 0;    // process RSS high-water mark (kB) after
                                    // the run; monotone across a sweep
   std::uint64_t cycles = 0;        // protocol cycles simulated by the run
   std::uint64_t messages = 0;      // point-to-point messages processed
+  // Per-phase cycle-engine breakdown (indexed by support::Phase). `calls`
+  // are deterministic per (seed, scale); `wall_ns` is telemetry-only.
+  std::array<PhaseStats, kPhaseCount> phases{};
 };
 
 /// Monotonic wall-clock stopwatch, started at construction.

@@ -1,0 +1,96 @@
+// Allocation audit of the steady-state gossip hot path: after warmup, one
+// full gossip activation per node (peer-sampling exchange + T-Man exchange
+// + Algorithm 4 selection) must perform ZERO heap allocations — all working
+// sets live in member scratch buffers sized during warmup.
+//
+// The audit replaces the global operator new/delete with counting versions
+// (this TU only links into this test binary), runs the system past its
+// buffer-growth phase, and then asserts the allocation counter stays flat
+// across gossip_step() calls.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "core/vitis_system.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+std::uint64_t g_allocations = 0;  // single-threaded test: plain counter
+
+void* counted_alloc(std::size_t size) {
+  ++g_allocations;
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_allocations;
+  void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                               (size + static_cast<std::size_t>(align) - 1) &
+                                   ~(static_cast<std::size_t>(align) - 1));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace vitis::core {
+namespace {
+
+TEST(AllocationAudit, SteadyStateGossipStepIsAllocationFree) {
+  workload::SyntheticScenarioParams params;
+  params.subscriptions.nodes = 400;
+  params.subscriptions.topics = 200;
+  params.subscriptions.subs_per_node = 20;
+  params.subscriptions.pattern = workload::CorrelationPattern::kLowCorrelation;
+  params.events = 8;
+  params.seed = 1234;
+  const auto scenario = workload::make_synthetic_scenario(params);
+  auto system = workload::make_vitis(scenario, VitisConfig{}, 1234);
+
+  // Warmup: grows every scratch buffer (T-Man seen-arrays, exchange
+  // buffers, selection working sets, partial views) to steady-state size.
+  system->run_cycles(12);
+
+  // Audit window: one full activation for every node. Any push_back past
+  // reserved capacity, any temporary vector, any node-local map would trip
+  // the counter.
+  const std::uint64_t before = g_allocations;
+  for (ids::NodeIndex node = 0; node < system->node_count(); ++node) {
+    system->gossip_step(node);
+  }
+  const std::uint64_t during = g_allocations - before;
+  EXPECT_EQ(during, 0u)
+      << during << " heap allocations in " << system->node_count()
+      << " steady-state gossip activations";
+
+  // The audit must be real: the same window at construction time allocates.
+  const std::uint64_t fresh_before = g_allocations;
+  auto second = workload::make_vitis(scenario, VitisConfig{}, 1234);
+  EXPECT_GT(g_allocations, fresh_before)
+      << "counting operator new is not wired in";
+}
+
+}  // namespace
+}  // namespace vitis::core

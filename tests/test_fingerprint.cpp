@@ -1,0 +1,186 @@
+// Property coverage for the subscription fingerprint and its use as a
+// ranking prefilter (DESIGN.md "Hot path & determinism"):
+//
+//   * conservativeness — fingerprints_disjoint(a, b) may only be true when
+//     intersection_size(a, b) == 0 (one-sided error; false negatives are
+//     merely missed savings, false positives would corrupt ranking);
+//   * bit-exactness — prepare()/score() with the prefilter on, with it off,
+//     and the plain operator() all agree bit for bit, for uniform and for
+//     skewed rates;
+//   * ranking invariance — the full top-k friend ranking (score + tie-break,
+//     exactly Algorithm 4's comparator) is identical with the prefilter on
+//     and off, across many random pools and seeds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/utility.hpp"
+#include "ids/hash.hpp"
+#include "pubsub/subscription.hpp"
+#include "sim/rng.hpp"
+
+namespace vitis::core {
+namespace {
+
+constexpr std::size_t kTopics = 400;
+
+pubsub::SubscriptionSet random_subs(sim::Rng& rng, std::size_t count) {
+  std::vector<ids::TopicIndex> picks;
+  for (std::size_t i = 0; i < count; ++i) {
+    picks.push_back(static_cast<ids::TopicIndex>(rng.index(kTopics)));
+  }
+  return pubsub::SubscriptionSet(std::move(picks));
+}
+
+TEST(Fingerprint, BitIsDeterministicPerTopic) {
+  for (ids::TopicIndex t = 0; t < kTopics; ++t) {
+    const std::uint64_t bit = pubsub::topic_fingerprint_bit(t);
+    EXPECT_NE(bit, 0u);
+    EXPECT_EQ(bit & (bit - 1), 0u) << "exactly one bit per topic";
+    EXPECT_EQ(bit, pubsub::topic_fingerprint_bit(t));
+  }
+}
+
+TEST(Fingerprint, SetFingerprintIsUnionOfTopicBits) {
+  sim::Rng rng(0x5e7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto subs = random_subs(rng, 1 + rng.index(30));
+    std::uint64_t expected = 0;
+    for (const ids::TopicIndex t : subs.topics()) {
+      expected |= pubsub::topic_fingerprint_bit(t);
+    }
+    EXPECT_EQ(subs.fingerprint(), expected);
+  }
+}
+
+TEST(Fingerprint, AddRemoveKeepFingerprintConsistent) {
+  sim::Rng rng(0xadd);
+  pubsub::SubscriptionSet subs;
+  std::vector<ids::TopicIndex> present;
+  for (int step = 0; step < 500; ++step) {
+    const auto t = static_cast<ids::TopicIndex>(rng.index(kTopics));
+    if (rng.index(3) == 0 && !present.empty()) {
+      const auto victim = present[rng.index(present.size())];
+      subs.remove(victim);
+      present.erase(std::remove(present.begin(), present.end(), victim),
+                    present.end());
+    } else if (!subs.contains(t)) {
+      subs.add(t);
+      present.push_back(t);
+    }
+    std::uint64_t expected = 0;
+    for (const ids::TopicIndex p : subs.topics()) {
+      expected |= pubsub::topic_fingerprint_bit(p);
+    }
+    ASSERT_EQ(subs.fingerprint(), expected) << "after step " << step;
+  }
+}
+
+TEST(FingerprintPrefilter, DisjointVerdictImpliesEmptyIntersection) {
+  sim::Rng rng(0xd15);
+  std::size_t rejected = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    const auto a = random_subs(rng, 1 + rng.index(12));
+    const auto b = random_subs(rng, 1 + rng.index(12));
+    if (pubsub::fingerprints_disjoint(a.fingerprint(), b.fingerprint())) {
+      ++rejected;
+      EXPECT_EQ(pubsub::intersection_size(a, b), 0u)
+          << "prefilter rejected an overlapping pair";
+    }
+    // The converse need not hold (hash collisions), but a shared topic must
+    // always surface in the fingerprint overlap:
+    if (pubsub::intersection_size(a, b) > 0) {
+      EXPECT_FALSE(
+          pubsub::fingerprints_disjoint(a.fingerprint(), b.fingerprint()));
+    }
+  }
+  EXPECT_GT(rejected, 0u) << "trial mix never exercised the reject path";
+}
+
+// Scores must be bit-identical across: operator(), batch with prefilter on,
+// batch with prefilter off — for uniform (exact-count Jaccard) and skewed
+// (floating-point merge) rates.
+TEST(FingerprintPrefilter, BatchScoringIsBitIdenticalToExact) {
+  std::vector<double> skewed(kTopics);
+  for (std::size_t t = 0; t < kTopics; ++t) {
+    skewed[t] = 1.0 / static_cast<double>(t + 1);
+  }
+  UtilityFunction uniform = UtilityFunction::uniform(kTopics);
+  UtilityFunction weighted{std::span<const double>(skewed)};
+
+  sim::Rng rng(0xb17);
+  for (UtilityFunction* u : {&uniform, &weighted}) {
+    for (int trial = 0; trial < 400; ++trial) {
+      const auto a = random_subs(rng, 1 + rng.index(20));
+      const auto b = random_subs(rng, 1 + rng.index(20));
+      const double exact = (*u)(a, b);
+
+      u->set_prefilter_enabled(true);
+      u->prepare(a);
+      const double with_prefilter = u->score(b);
+
+      u->set_prefilter_enabled(false);
+      u->prepare(a);
+      const double without_prefilter = u->score(b);
+
+      // Bitwise equality, not tolerance: the accelerations must not change
+      // a single ulp, or rankings could diverge between runs.
+      EXPECT_EQ(exact, with_prefilter);
+      EXPECT_EQ(exact, without_prefilter);
+    }
+  }
+}
+
+// Algorithm 4's friend ranking (same comparator as
+// VitisSystem::select_neighbors) over a candidate pool must come out
+// identical with the prefilter on and off.
+TEST(FingerprintPrefilter, FriendRankingInvariantUnderPrefilter) {
+  for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL, 1337ULL}) {
+    sim::Rng rng(seed);
+    const auto self_subs = random_subs(rng, 6);
+    std::vector<pubsub::SubscriptionSet> pool;
+    std::vector<ids::NodeIndex> pool_nodes;
+    for (int i = 0; i < 60; ++i) {
+      pool.push_back(random_subs(rng, 1 + rng.index(10)));
+      pool_nodes.push_back(static_cast<ids::NodeIndex>(i + 1));
+    }
+
+    UtilityFunction u = UtilityFunction::uniform(kTopics);
+    const std::uint64_t tie_salt = ids::mix64(0 ^ 0x7469656272656b00ULL);
+    const auto rank = [&](bool prefilter) {
+      u.set_prefilter_enabled(prefilter);
+      u.prepare(self_subs);
+      std::vector<std::pair<double, std::size_t>> ranked;
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        ranked.emplace_back(u.score(pool[i]), i);
+      }
+      std::sort(ranked.begin(), ranked.end(),
+                [&](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  return ids::mix64(tie_salt ^ pool_nodes[a.second]) <
+                         ids::mix64(tie_salt ^ pool_nodes[b.second]);
+                });
+      return ranked;
+    };
+
+    const auto with = rank(true);
+    const auto without = rank(false);
+    ASSERT_EQ(with.size(), without.size());
+    for (std::size_t i = 0; i < with.size(); ++i) {
+      EXPECT_EQ(with[i].second, without[i].second) << "rank " << i;
+      EXPECT_EQ(with[i].first, without[i].first) << "rank " << i;
+    }
+
+    // Sanity: the prefilter actually fired on this pool.
+    u.reset_prefilter_stats();
+    u.set_prefilter_enabled(true);
+    u.prepare(self_subs);
+    for (const auto& candidate : pool) (void)u.score(candidate);
+    EXPECT_GT(u.prefilter_stats().rejects, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace vitis::core

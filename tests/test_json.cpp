@@ -94,10 +94,12 @@ TEST(BenchArtifact, SchemaShape) {
   telemetry.peak_rss_kb = 2048;
   telemetry.cycles = 10;
   telemetry.messages = 1234;
+  telemetry.phases[static_cast<std::size_t>(support::Phase::kSampling)] =
+      support::PhaseStats{7, 1500000};  // 7 calls, 1.5 ms
   point.set_telemetry(telemetry);
 
   const std::string json = artifact.to_json();
-  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
   EXPECT_NE(json.find("\"bench\":\"unit_test\""), std::string::npos);
   EXPECT_NE(json.find("\"git_describe\":\"deadbeef\""), std::string::npos);
   EXPECT_NE(json.find("\"scale\":{\"name\":\"quick\",\"nodes\":100,"
@@ -110,9 +112,20 @@ TEST(BenchArtifact, SchemaShape) {
   EXPECT_NE(json.find("\"alpha\":0.5"), std::string::npos);
   EXPECT_NE(json.find("\"hit_ratio\":0.999"), std::string::npos);
   EXPECT_NE(json.find("\"telemetry\":{\"wall_ms\":12.5,\"peak_rss_kb\":2048,"
-                      "\"cycles\":10,\"messages\":1234}"),
+                      "\"cycles\":10,\"messages\":1234,\"phases\":{"),
             std::string::npos);
+  // Per-phase breakdown: every phase present, set values round-tripped.
+  EXPECT_NE(json.find("\"sampling\":{\"calls\":7,\"wall_ms\":1.5}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tman\":{\"calls\":0,\"wall_ms\":0}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ranking\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"relay\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"routing\":{"), std::string::npos);
   EXPECT_NE(json.find("\"totals\":{\"points\":1"), std::string::npos);
+  // Totals carry the summed phases block too (two occurrences in all).
+  EXPECT_NE(json.rfind("\"sampling\":{\"calls\":7,\"wall_ms\":1.5}"),
+            json.find("\"sampling\":{\"calls\":7,\"wall_ms\":1.5}"));
 }
 
 TEST(BenchArtifact, WriteProducesFileWithTrailingNewline) {

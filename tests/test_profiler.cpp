@@ -1,0 +1,95 @@
+// support::Profiler: call counting, exclusive (self) time attribution under
+// nesting, and the null-profiler no-op scope.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "support/profiler.hpp"
+
+namespace vitis::support {
+namespace {
+
+TEST(Profiler, PhaseNamesAreStable) {
+  // These strings are schema: they key the "phases" block in BENCH_*.json.
+  EXPECT_STREQ(to_string(Phase::kSampling), "sampling");
+  EXPECT_STREQ(to_string(Phase::kTman), "tman");
+  EXPECT_STREQ(to_string(Phase::kRanking), "ranking");
+  EXPECT_STREQ(to_string(Phase::kRelay), "relay");
+  EXPECT_STREQ(to_string(Phase::kRouting), "routing");
+}
+
+TEST(Profiler, AddAccumulatesCallsAndTime) {
+  Profiler profiler;
+  profiler.add(Phase::kRouting, 100, 2);
+  profiler.add(Phase::kRouting, 50);
+  EXPECT_EQ(profiler.stats(Phase::kRouting).calls, 3u);
+  EXPECT_EQ(profiler.stats(Phase::kRouting).wall_ns, 150u);
+  EXPECT_EQ(profiler.stats(Phase::kSampling).calls, 0u);
+}
+
+TEST(Profiler, EnterExitCountsOneCallPerScope) {
+  Profiler profiler;
+  for (int i = 0; i < 5; ++i) {
+    ScopedPhase scope(&profiler, Phase::kTman);
+  }
+  EXPECT_EQ(profiler.stats(Phase::kTman).calls, 5u);
+}
+
+TEST(Profiler, NestedPhasesGetExclusiveTime) {
+  // ranking nests inside tman (and routing inside relay) in the real wiring;
+  // the parent's clock must pause while the child runs, so the per-phase
+  // times are disjoint and sum to the total.
+  Profiler profiler;
+  const std::int64_t t0 = monotonic_ns();
+  {
+    ScopedPhase outer(&profiler, Phase::kTman);
+    {
+      ScopedPhase inner(&profiler, Phase::kRanking);
+      // Busy-wait so the inner phase provably consumes time.
+      while (monotonic_ns() - t0 < 2'000'000) {
+      }
+    }
+  }
+  const auto total = static_cast<std::uint64_t>(monotonic_ns() - t0);
+  const std::uint64_t tman = profiler.stats(Phase::kTman).wall_ns;
+  const std::uint64_t ranking = profiler.stats(Phase::kRanking).wall_ns;
+  EXPECT_GE(ranking, 1'500'000u);  // the busy-wait landed on the child
+  EXPECT_LE(tman + ranking, total + 1'000'000u);
+  EXPECT_EQ(profiler.stats(Phase::kTman).calls, 1u);
+  EXPECT_EQ(profiler.stats(Phase::kRanking).calls, 1u);
+}
+
+TEST(Profiler, ReentrantSamePhaseNests) {
+  Profiler profiler;
+  {
+    ScopedPhase a(&profiler, Phase::kRelay);
+    {
+      ScopedPhase b(&profiler, Phase::kRouting);
+      {
+        // publish() paths can re-enter relay under routing transiently.
+        ScopedPhase c(&profiler, Phase::kRelay);
+      }
+    }
+  }
+  EXPECT_EQ(profiler.stats(Phase::kRelay).calls, 2u);
+  EXPECT_EQ(profiler.stats(Phase::kRouting).calls, 1u);
+}
+
+TEST(Profiler, NullProfilerScopeIsNoop) {
+  ScopedPhase scope(nullptr, Phase::kSampling);  // must not crash
+  SUCCEED();
+}
+
+TEST(Profiler, ResetClearsAllPhases) {
+  Profiler profiler;
+  profiler.add(Phase::kSampling, 10);
+  profiler.add(Phase::kRelay, 20);
+  profiler.reset();
+  for (const PhaseStats& stats : profiler.all()) {
+    EXPECT_EQ(stats.calls, 0u);
+    EXPECT_EQ(stats.wall_ns, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace vitis::support

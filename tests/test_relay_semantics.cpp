@@ -41,10 +41,12 @@ TEST_F(RelaySemantics, RelayLinksAreLargelySymmetric) {
     const auto& relay = system_->relay_table(n);
     for (std::size_t t = 0; t < scenario_->subscriptions.topic_count(); ++t) {
       const auto topic = static_cast<ids::TopicIndex>(t);
-      for (const ids::NodeIndex peer : relay.links(topic)) {
+      for (const RelayTable::Link& link : relay.links(topic)) {
         ++total;
-        const auto back = system_->relay_table(peer).links(topic);
-        if (std::find(back.begin(), back.end(), n) != back.end()) {
+        const auto back = system_->relay_table(link.peer).links(topic);
+        if (std::find_if(back.begin(), back.end(), [&](const auto& b) {
+              return b.peer == n;
+            }) != back.end()) {
           ++symmetric;
         }
       }
