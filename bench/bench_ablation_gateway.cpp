@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
         core::VitisConfig config;
         config.gateway_depth = point.depth;
         auto system = workload::make_vitis(scenario, config, ctx.seed);
+        bench::enable_recorder(ctx, *system, ctx.scale.cycles);
         Result result;
         result.summary = workload::run_measurement(
             *system, ctx.scale.cycles, scenario.schedule);

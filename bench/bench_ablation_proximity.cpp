@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
         config.proximity_weight = point.weight;
         auto system = workload::make_vitis(scenario, config, ctx.seed);
         system->set_coordinates(coords);
+        bench::enable_recorder(ctx, *system, ctx.scale.cycles);
         Result result;
         result.summary = workload::run_measurement(
             *system, ctx.scale.cycles, scenario.schedule);

@@ -7,6 +7,12 @@
 //   --jobs N              (worker threads for the sweep; or env REPRO_JOBS)
 //   --csv path            (also dump the table as CSV)
 //   --json path           (override the BENCH_<name>.json artifact path)
+//   --observe             (flight recorder: health time series + invariant
+//                          monitors; timeseries lands in the JSON artifact)
+//   --observe-stride N    (sample every N cycles; 0 = auto, ~16 samples)
+//   --trace-sample P      (route-trace probability per publication while
+//                          observing; traces land in TRACE_<name>.jsonl)
+//   --log-level L         (trace|debug|info|warn|error; stderr only)
 //
 // "quick" preserves all qualitative shapes at ~1/5 the paper's size;
 // "paper" matches §IV-A (10,000 nodes, 5,000 topics, 50 subs/node).
@@ -19,6 +25,7 @@
 // RSS, cycles, messages) is confined to the JSON artifact and stderr.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -29,6 +36,7 @@
 #include "support/cli.hpp"
 #include "support/format.hpp"
 #include "support/log.hpp"
+#include "support/recorder.hpp"
 #include "support/sweep.hpp"
 #include "support/version.hpp"
 #include "workload/scenario.hpp"
@@ -41,6 +49,10 @@ struct BenchContext {
   std::size_t jobs = 1;
   std::string csv_path;   // empty = no CSV dump
   std::string json_path;  // empty = BENCH_<name>.json in the working dir
+
+  /// Flight-recorder request (--observe family); expected_cycles and an
+  /// auto stride are filled per system by enable_recorder().
+  support::RecorderConfig observe;
 
   static BenchContext from_args(int argc, char** argv) {
     const support::CliArgs args(argc, argv);
@@ -56,6 +68,19 @@ struct BenchContext {
     ctx.jobs = jobs > 1 ? static_cast<std::size_t>(jobs) : 1;
     ctx.csv_path = args.get_string("csv", "");
     ctx.json_path = args.get_string("json", "");
+    ctx.observe.enabled = args.get_bool("observe", false);
+    ctx.observe.invariants = ctx.observe.enabled;
+    ctx.observe.stride =
+        static_cast<std::size_t>(args.get_int("observe-stride", 0));
+    ctx.observe.trace_rate = args.get_double("trace-sample", 0.05);
+    const std::string level = args.get_string("log-level", "");
+    if (!level.empty()) {
+      if (const auto parsed = support::parse_log_level(level)) {
+        support::set_log_level(*parsed);
+      } else {
+        support::log_warn("unknown --log-level '" + level + "' ignored");
+      }
+    }
     return ctx;
   }
 };
@@ -139,13 +164,35 @@ inline void add_summary_metrics(support::BenchArtifact::Point& point,
   point.metric("delay_hops", summary.delay_hops);
 }
 
+/// Turn on `system`'s flight recorder per the context's --observe request.
+/// `expected_cycles` pre-sizes the sample buffer; stride 0 resolves to
+/// ~16 samples across the run. No-op (and zero-cost) without --observe.
+inline void enable_recorder(const BenchContext& ctx,
+                            pubsub::PubSubSystem& system,
+                            std::size_t expected_cycles) {
+  if (!ctx.observe.enabled) return;
+  support::RecorderConfig config = ctx.observe;
+  config.expected_cycles = expected_cycles;
+  if (config.stride == 0) {
+    config.stride = std::max<std::size_t>(std::size_t{1}, expected_cycles / 16);
+  }
+  system.configure_recorder(config);
+}
+
 /// Copy `system`'s per-phase profiler stats into the point's telemetry.
 /// Call it inside the sweep body, right before the system is destroyed;
-/// no-op for systems without a wired profiler.
+/// no-op for systems without a wired profiler. With the flight recorder
+/// enabled this also captures the health time series and route traces
+/// (both deterministic per (seed, scale)).
 inline void record_phases(support::RunTelemetry& telemetry,
                           const pubsub::PubSubSystem& system) {
   if (const support::Profiler* profiler = system.profiler()) {
     telemetry.phases = profiler->all();
+  }
+  if (const support::Recorder* rec = system.recorder();
+      rec != nullptr && rec->enabled()) {
+    telemetry.series = rec->series();
+    telemetry.traces = rec->traces();
   }
 }
 
@@ -160,6 +207,15 @@ inline void write_artifact(const BenchContext& ctx,
     support::log_info("artifact written to " + path);
   } else {
     support::log_warn("failed to write artifact " + path);
+  }
+  if (artifact.trace_count() > 0) {
+    const std::string trace_path = "TRACE_" + artifact.name() + ".jsonl";
+    if (artifact.write_traces(trace_path)) {
+      support::log_info(std::to_string(artifact.trace_count()) +
+                       " route traces written to " + trace_path);
+    } else {
+      support::log_warn("failed to write traces " + trace_path);
+    }
   }
 }
 

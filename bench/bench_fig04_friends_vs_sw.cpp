@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
           baselines::rvr::RvrConfig rvr_config;
           rvr_config.base.routing_table_size = kRtSize;
           auto rvr = workload::make_rvr(scenarios[2], rvr_config, ctx.seed);
+          bench::enable_recorder(ctx, *rvr, ctx.scale.cycles);
           const auto summary = workload::run_measurement(
               *rvr, ctx.scale.cycles, scenarios[2].schedule);
           telemetry.messages = rvr->metrics().total_messages();
@@ -79,6 +80,7 @@ int main(int argc, char** argv) {
         config.routing_table_size = kRtSize;
         config.structural_links = kRtSize - point.friends;
         auto system = workload::make_vitis(scenario, config, ctx.seed);
+        bench::enable_recorder(ctx, *system, ctx.scale.cycles);
         const auto summary = workload::run_measurement(
             *system, ctx.scale.cycles, scenario.schedule);
         telemetry.messages = system->metrics().total_messages();

@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
           baselines::rvr::RvrConfig rvr_config;
           system = workload::make_rvr(scenario, rvr_config, ctx.seed);
         }
+        bench::enable_recorder(ctx, *system, ctx.scale.cycles);
         Result result;
         result.summary = workload::run_measurement(*system, ctx.scale.cycles,
                                                    scenario.schedule);

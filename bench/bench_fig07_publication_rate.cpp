@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
         if (point.pattern < 0) {
           baselines::rvr::RvrConfig rvr_config;
           auto rvr = workload::make_rvr(scenario, rvr_config, ctx.seed);
+          bench::enable_recorder(ctx, *rvr, ctx.scale.cycles);
           const auto summary = workload::run_measurement(
               *rvr, ctx.scale.cycles, scenario.schedule);
           telemetry.messages = rvr->metrics().total_messages();
@@ -63,6 +64,7 @@ int main(int argc, char** argv) {
         }
         core::VitisConfig config;  // RT 15, k 3
         auto system = workload::make_vitis(scenario, config, ctx.seed);
+        bench::enable_recorder(ctx, *system, ctx.scale.cycles);
         const auto summary = workload::run_measurement(
             *system, ctx.scale.cycles, scenario.schedule);
         telemetry.messages = system->metrics().total_messages();

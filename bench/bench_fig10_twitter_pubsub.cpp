@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
           core::VitisConfig vitis_config;
           vitis_config.routing_table_size = point.rt_size;
           core::VitisSystem system(vitis_config, table, weight_vec, ctx.seed);
+          bench::enable_recorder(ctx, system, ctx.scale.cycles);
           const auto summary =
               workload::run_measurement(system, ctx.scale.cycles, schedule);
           telemetry.messages = system.metrics().total_messages();
@@ -72,6 +73,7 @@ int main(int argc, char** argv) {
           baselines::rvr::RvrConfig rvr_config;
           rvr_config.base.routing_table_size = point.rt_size;
           baselines::rvr::RvrSystem system(rvr_config, table, ctx.seed);
+          bench::enable_recorder(ctx, system, ctx.scale.cycles);
           const auto summary =
               workload::run_measurement(system, ctx.scale.cycles, schedule);
           telemetry.messages = system.metrics().total_messages();
@@ -81,6 +83,7 @@ int main(int argc, char** argv) {
         baselines::opt::OptConfig opt_config;
         opt_config.base.routing_table_size = point.rt_size;
         baselines::opt::OptSystem system(opt_config, table, ctx.seed);
+        bench::enable_recorder(ctx, system, ctx.scale.cycles);
         const auto summary =
             workload::run_measurement(system, ctx.scale.cycles, schedule);
         telemetry.messages = system.metrics().total_messages();

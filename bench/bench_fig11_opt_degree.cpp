@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
         baselines::opt::OptConfig config;
         config.unbounded = true;
         baselines::opt::OptSystem system(config, table, ctx.seed);
+        bench::enable_recorder(ctx, system, ctx.scale.cycles);
         system.run_cycles(ctx.scale.cycles);
         telemetry.cycles = ctx.scale.cycles;
         telemetry.messages = system.metrics().total_messages();

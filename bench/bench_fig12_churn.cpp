@@ -122,6 +122,8 @@ int main(int argc, char** argv) {
   const auto replay = [&](auto& system, support::RunTelemetry& telemetry) {
     workload::ChurnDriver driver(trace);
     driver.attach(system);
+    // Upper bound on cycles actually run (flash-crowd bursts run fewer).
+    bench::enable_recorder(ctx, system, total_cycles * cycles_per_hour);
     std::vector<pubsub::MetricsSummary> summaries;
     summaries.reserve(windows.size());
     std::size_t next_window = 0;

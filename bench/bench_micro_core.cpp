@@ -287,9 +287,11 @@ class CollectingReporter : public benchmark::ConsoleReporter {
 // The common bench flags (and their detached values) must not reach
 // benchmark::Initialize, which rejects unknown options.
 bool is_common_flag(const char* arg) {
-  static const char* kFlags[] = {"--scale",  "--nodes", "--topics",
-                                 "--cycles", "--events", "--seed",
-                                 "--jobs",   "--csv",    "--json"};
+  static const char* kFlags[] = {"--scale",   "--nodes",   "--topics",
+                                 "--cycles",  "--events",  "--seed",
+                                 "--jobs",    "--csv",     "--json",
+                                 "--observe", "--observe-stride",
+                                 "--trace-sample", "--log-level"};
   for (const char* flag : kFlags) {
     const std::size_t len = std::strlen(flag);
     if (std::strncmp(arg, flag, len) == 0 &&

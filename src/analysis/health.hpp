@@ -1,0 +1,172 @@
+// Overlay-health gauges and invariant monitors behind the flight recorder
+// (support/recorder.hpp).
+//
+// The HealthAnalyzer computes the structural gauges of one time-series
+// sample — per-topic cluster count, ring-successor consistency, view ages —
+// from live system state, using epoch-stamped scratch buffers sized once at
+// attach() so the steady-state sampling path performs zero heap
+// allocations (audited by tests/test_alloc_free). The invariant checks are
+// pure predicates over routing state, unit-testable with hand-built
+// fixtures; systems wire them to VITIS_CHECK under `--observe`.
+//
+// Layering: analysis sits above overlay/pubsub but below core, so the
+// gateway-depth invariant takes the raw (hops, limit) pair rather than
+// core::GatewayProposal.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ids/id.hpp"
+#include "overlay/routing_table.hpp"
+#include "pubsub/subscription.hpp"
+
+namespace vitis::analysis {
+
+// --- invariant monitors ------------------------------------------------------
+
+/// Ring-successor consistency: every entry marked kSuccessor must be the
+/// clockwise-closest node among the table's entries (Algorithm 4 picks the
+/// globally best successor first, so a violation means selection or
+/// heartbeat maintenance corrupted the ring orientation).
+[[nodiscard]] bool successor_is_clockwise_closest(
+    ids::RingId self, std::span<const overlay::RoutingEntry> entries);
+
+/// Gateway election depth bound (Algorithm 5): accepted proposals must stay
+/// within `limit` hops of the proposing gateway.
+[[nodiscard]] constexpr bool gateway_depth_bounded(
+    std::uint32_t hops, std::uint32_t limit) noexcept {
+  return hops <= limit;
+}
+
+/// Routing-table bounds: size within capacity, entries unique by node, and
+/// no self-loop.
+[[nodiscard]] bool table_within_bounds(ids::NodeIndex self,
+                                       const overlay::RoutingTable& table);
+
+// --- gauge helpers -----------------------------------------------------------
+
+/// Mean and max heartbeat age over the routing entries of alive nodes
+/// (both 0 when no alive node holds an entry).
+template <typename AliveFn, typename TableFn>
+void view_ages(std::size_t node_count, AliveFn&& is_alive, TableFn&& table_of,
+               double& mean_age, double& max_age) {
+  std::uint64_t sum = 0;
+  std::uint64_t entries = 0;
+  std::uint32_t worst = 0;
+  for (std::size_t i = 0; i < node_count; ++i) {
+    const auto node = static_cast<ids::NodeIndex>(i);
+    if (!is_alive(node)) continue;
+    for (const overlay::RoutingEntry& entry : table_of(node).entries()) {
+      sum += entry.age;
+      worst = std::max(worst, entry.age);
+      ++entries;
+    }
+  }
+  mean_age = entries == 0
+                 ? 0.0
+                 : static_cast<double>(sum) / static_cast<double>(entries);
+  max_age = static_cast<double>(worst);
+}
+
+/// Allocation-free gauge computation over live overlay state. attach() once
+/// (sizes scratch to the node universe), then call the gauges every sampled
+/// cycle.
+class HealthAnalyzer {
+ public:
+  /// Pre-size scratch for a universe of ring ids (indexed by NodeIndex).
+  void attach(std::span<const ids::RingId> ring_ids);
+
+  [[nodiscard]] bool attached() const { return !ring_ids_.empty(); }
+
+  /// Mean cluster count per topic with >= 1 alive subscriber ("a cluster
+  /// for topic t is a maximally connected subgraph of the nodes interested
+  /// in t", §III-B). `adjacency` is the per-cycle undirected alive-only
+  /// neighbor list the systems maintain; lower is better, 1.0 = every topic
+  /// fully merged.
+  template <typename AliveFn>
+  [[nodiscard]] double mean_clusters_per_topic(
+      const std::vector<std::vector<ids::NodeIndex>>& adjacency,
+      const pubsub::SubscriptionTable& subscriptions, AliveFn&& is_alive) {
+    std::size_t topics_counted = 0;
+    std::uint64_t cluster_total = 0;
+    const std::size_t topic_count = subscriptions.topic_count();
+    for (std::size_t t = 0; t < topic_count; ++t) {
+      const auto topic = static_cast<ids::TopicIndex>(t);
+      if (++epoch_ == 0) {
+        std::fill(stamp_.begin(), stamp_.end(), 0U);
+        epoch_ = 1;
+      }
+      std::size_t clusters = 0;
+      bool any_alive = false;
+      for (const ids::NodeIndex s : subscriptions.subscribers(topic)) {
+        if (!is_alive(s)) continue;
+        any_alive = true;
+        if (stamp_[s] == epoch_) continue;
+        ++clusters;
+        stamp_[s] = epoch_;
+        queue_.clear();
+        queue_.push_back(s);
+        for (std::size_t head = 0; head < queue_.size(); ++head) {
+          for (const ids::NodeIndex nb : adjacency[queue_[head]]) {
+            if (stamp_[nb] == epoch_) continue;
+            if (!subscriptions.subscribes(nb, topic)) continue;
+            if (!is_alive(nb)) continue;
+            stamp_[nb] = epoch_;
+            queue_.push_back(nb);
+          }
+        }
+      }
+      if (any_alive) {
+        ++topics_counted;
+        cluster_total += clusters;
+      }
+    }
+    return topics_counted == 0 ? 0.0
+                               : static_cast<double>(cluster_total) /
+                                     static_cast<double>(topics_counted);
+  }
+
+  /// Fraction of alive nodes whose kSuccessor routing entry points at the
+  /// true next alive node clockwise on the ring (1.0 when fewer than two
+  /// nodes are alive — an empty ring is trivially consistent).
+  template <typename AliveFn, typename TableFn>
+  [[nodiscard]] double ring_consistency(AliveFn&& is_alive,
+                                        TableFn&& table_of) {
+    ring_order_.clear();
+    for (std::size_t i = 0; i < ring_ids_.size(); ++i) {
+      const auto node = static_cast<ids::NodeIndex>(i);
+      if (is_alive(node)) ring_order_.push_back(node);
+    }
+    if (ring_order_.size() < 2) return 1.0;
+    std::sort(ring_order_.begin(), ring_order_.end(),
+              [this](ids::NodeIndex a, ids::NodeIndex b) {
+                if (ring_ids_[a] != ring_ids_[b]) {
+                  return ring_ids_[a] < ring_ids_[b];
+                }
+                return a < b;
+              });
+    std::size_t consistent = 0;
+    for (std::size_t pos = 0; pos < ring_order_.size(); ++pos) {
+      const ids::NodeIndex node = ring_order_[pos];
+      const ids::NodeIndex truth =
+          ring_order_[(pos + 1) % ring_order_.size()];
+      const auto entry =
+          table_of(node).first_of(overlay::LinkKind::kSuccessor);
+      if (entry.has_value() && entry->node == truth) ++consistent;
+    }
+    return static_cast<double>(consistent) /
+           static_cast<double>(ring_order_.size());
+  }
+
+ private:
+  std::vector<ids::RingId> ring_ids_;
+  std::vector<std::uint32_t> stamp_;       // per-node BFS epoch stamps
+  std::vector<ids::NodeIndex> queue_;      // BFS frontier
+  std::vector<ids::NodeIndex> ring_order_; // alive nodes in ring order
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace vitis::analysis

@@ -29,7 +29,8 @@ BaselineSystem::BaselineSystem(BaselineConfig config,
       engine_(subscriptions_.node_count(),
               sim::Rng(seed ^ 0x656e67696e65ULL)),
       metrics_(subscriptions_.node_count()),
-      rng_(seed) {
+      rng_(seed),
+      trace_rng_(seed ^ 0x7472616365ULL) {
   config_.validate();
   const std::size_t n = subscriptions_.node_count();
   ring_ids_.resize(n);
@@ -189,6 +190,12 @@ BaselineSystem::PublishContext BaselineSystem::start_publish(
   ctx.stamp = current_stamp_;
   ctx.report.topic = topic;
   ctx.report.publisher = publisher;
+  // Trace sampling from the dedicated stream only; an untraced run and a
+  // traced run disseminate identically.
+  ctx.traced = recorder_.want_trace() &&
+               trace_rng_.bernoulli(recorder_.config().trace_rate);
+  if (ctx.traced) recorder_.begin_trace(publish_count_, topic, publisher);
+  ++publish_count_;
   for (const ids::NodeIndex s : subscriptions_.subscribers(topic)) {
     if (s == publisher || !engine_.is_alive(s)) continue;
     if (join_cycle_[s] + config_.join_grace_cycles > engine_.cycle()) continue;
@@ -199,10 +206,13 @@ BaselineSystem::PublishContext BaselineSystem::start_publish(
   return ctx;
 }
 
-bool BaselineSystem::transmit(PublishContext& ctx, ids::NodeIndex to,
-                              std::uint32_t hop) {
-  metrics_.on_message(to, subscriptions_.subscribes(to, ctx.report.topic));
+bool BaselineSystem::transmit(PublishContext& ctx, ids::NodeIndex from,
+                              ids::NodeIndex to, std::uint32_t hop,
+                              bool route) {
+  const bool interested = subscriptions_.subscribes(to, ctx.report.topic);
+  metrics_.on_message(to, interested);
   ++ctx.report.messages;
+  if (ctx.traced) recorder_.add_hop(from, to, hop, interested, route);
   if (visit_stamp_[to] == ctx.stamp) return false;
   visit_stamp_[to] = ctx.stamp;
   if (expected_stamp_[to] == ctx.stamp) {
@@ -212,6 +222,80 @@ bool BaselineSystem::transmit(PublishContext& ctx, ids::NodeIndex to,
     metrics_.on_delivery(hop);
   }
   return true;
+}
+
+void BaselineSystem::finish_publish(PublishContext& ctx) {
+  if (ctx.traced) {
+    recorder_.end_trace(ctx.report.expected, ctx.report.delivered);
+  }
+  metrics_.on_report(ctx.report);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder (observability).
+// ---------------------------------------------------------------------------
+void BaselineSystem::configure_recorder(
+    const support::RecorderConfig& config) {
+  recorder_.configure(config);
+  if (!recorder_.enabled()) {
+    engine_.set_observer(nullptr, nullptr);
+    return;
+  }
+  if (!health_.attached()) health_.attach(ring_ids_);
+  engine_.set_observer(&recorder_, [this](std::size_t) { observe_sample(); });
+}
+
+void BaselineSystem::observe_sample() {
+  if (!recorder_.enabled()) return;
+  support::TimeSeriesSample* sample = recorder_.begin_sample(engine_.cycle());
+  if (sample != nullptr) {
+    const auto is_alive = [this](ids::NodeIndex node) {
+      return engine_.is_alive(node);
+    };
+    const auto table_of =
+        [this](ids::NodeIndex node) -> const overlay::RoutingTable& {
+      return tables_[node];
+    };
+    const auto slot = [&](support::Gauge gauge) -> double& {
+      return sample->gauges[static_cast<std::size_t>(gauge)];
+    };
+    slot(support::Gauge::kAliveNodes) =
+        static_cast<double>(engine_.alive_count());
+    slot(support::Gauge::kMeanClustersPerTopic) =
+        health_.mean_clusters_per_topic(undirected_, subscriptions_, is_alive);
+    slot(support::Gauge::kRelayLinks) =
+        static_cast<double>(relay_link_count());
+    slot(support::Gauge::kRingConsistency) =
+        health_.ring_consistency(is_alive, table_of);
+    analysis::view_ages(tables_.size(), is_alive, table_of,
+                        slot(support::Gauge::kMeanViewAge),
+                        slot(support::Gauge::kMaxViewAge));
+    recorder_.window_gauges(
+        support::WindowCounters{metrics_.expected_total(),
+                                metrics_.delivered_total(),
+                                metrics_.uninterested_messages(),
+                                metrics_.total_messages()},
+        slot(support::Gauge::kWindowHitRatio),
+        slot(support::Gauge::kWindowOverheadPct));
+    for (std::size_t p = 0; p < support::kPhaseCount; ++p) {
+      sample->phase_calls[p] =
+          profiler_.stats(static_cast<support::Phase>(p)).calls;
+    }
+  }
+  if (recorder_.invariants_enabled()) check_invariants();
+}
+
+void BaselineSystem::check_invariants() const {
+  // The gateway-depth invariant is Vitis-specific; the structural ring and
+  // table-bound invariants hold for both baselines (OPT's coverage tables
+  // carry no kSuccessor entries, making the ring check vacuous there).
+  for (std::size_t i = 0; i < tables_.size(); ++i) {
+    const auto node = static_cast<ids::NodeIndex>(i);
+    if (!engine_.is_alive(node)) continue;
+    VITIS_CHECK(analysis::table_within_bounds(node, tables_[i]));
+    VITIS_CHECK(analysis::successor_is_clockwise_closest(
+        ring_ids_[i], tables_[i].entries()));
+  }
 }
 
 void BaselineSystem::node_join(ids::NodeIndex node) {

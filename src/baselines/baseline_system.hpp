@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "analysis/graph.hpp"
+#include "analysis/health.hpp"
 #include "gossip/sampling_service.hpp"
 #include "gossip/tman.hpp"
 #include "overlay/greedy_routing.hpp"
@@ -59,6 +60,18 @@ class BaselineSystem : public pubsub::PubSubSystem {
     return &profiler_;
   }
 
+  // --- flight recorder (observability) --------------------------------------
+  /// Same contract as VitisSystem: trace sampling draws from a dedicated
+  /// RNG stream, so observation never perturbs the protocol rng().
+  void configure_recorder(const support::RecorderConfig& config) override;
+  [[nodiscard]] const support::Recorder* recorder() const override {
+    return &recorder_;
+  }
+
+  /// One time-series sample at the current cycle (plus invariant monitors
+  /// when configured); engine-driven on sampled cycles, callable by tests.
+  void observe_sample();
+
   // --- churn ---------------------------------------------------------------
   void node_join(ids::NodeIndex node);
   void node_leave(ids::NodeIndex node);
@@ -100,19 +113,30 @@ class BaselineSystem : public pubsub::PubSubSystem {
   virtual void on_join(ids::NodeIndex node) { (void)node; }
   virtual void on_leave(ids::NodeIndex node) { (void)node; }
 
+  /// Relay-state size for the kRelayLinks gauge (multicast-tree links for
+  /// RVR; OPT keeps no relay state).
+  [[nodiscard]] virtual std::size_t relay_link_count() const { return 0; }
+
   // --- dissemination helpers ----------------------------------------------
   struct PublishContext {
     pubsub::DisseminationReport report;
     std::uint32_t stamp = 0;
+    bool traced = false;  // this publication records a route trace
   };
 
-  /// Stamp the expected-subscriber set and visit the publisher.
+  /// Stamp the expected-subscriber set and visit the publisher; decides
+  /// (from the trace RNG stream) whether this publication is traced.
   [[nodiscard]] PublishContext start_publish(ids::TopicIndex topic,
                                              ids::NodeIndex publisher);
 
-  /// Count one transmission to `to`; if `to` is newly visited, record
-  /// delivery accounting at `hop` and return true (caller enqueues it).
-  bool transmit(PublishContext& ctx, ids::NodeIndex to, std::uint32_t hop);
+  /// Count one transmission `from` -> `to`; if `to` is newly visited,
+  /// record delivery accounting at `hop` and return true (caller enqueues
+  /// it). `route` marks greedy-route segments in the trace (vs flooding).
+  bool transmit(PublishContext& ctx, ids::NodeIndex from, ids::NodeIndex to,
+                std::uint32_t hop, bool route = false);
+
+  /// Close the publication: finalize an open trace, record the report.
+  void finish_publish(PublishContext& ctx);
 
   [[nodiscard]] bool visited(const PublishContext& ctx,
                              ids::NodeIndex node) const {
@@ -141,6 +165,7 @@ class BaselineSystem : public pubsub::PubSubSystem {
 
  private:
   void cycle_maintenance();
+  void check_invariants() const;
   void refresh_heartbeats(ids::NodeIndex node);
   void rebuild_undirected();
 
@@ -154,6 +179,13 @@ class BaselineSystem : public pubsub::PubSubSystem {
   std::unique_ptr<gossip::TManProtocol> tman_;
   pubsub::MetricsCollector metrics_;
   sim::Rng rng_;
+
+  // Flight recorder (off by default; see configure_recorder). trace_rng_ is
+  // a dedicated stream so trace sampling never advances the protocol rng_.
+  support::Recorder recorder_;
+  analysis::HealthAnalyzer health_;
+  sim::Rng trace_rng_;
+  std::uint64_t publish_count_ = 0;
 
   // Per-phase telemetry (wall times are non-deterministic; call counts are
   // deterministic per (seed, scale)). Mutable: profiling const lookups is

@@ -84,13 +84,13 @@ pubsub::DisseminationReport OptSystem::publish(ids::TopicIndex topic,
     for (const ids::NodeIndex y : undirected(item.node)) {
       if (y == item.from) continue;
       if (!subscriptions().subscribes(y, topic)) continue;
-      if (transmit(ctx, y, item.hop + 1)) {
+      if (transmit(ctx, item.node, y, item.hop + 1)) {
         queue.push_back(FloodItem{y, item.node, item.hop + 1});
       }
     }
   }
 
-  metrics().on_report(ctx.report);
+  finish_publish(ctx);
   return ctx.report;
 }
 

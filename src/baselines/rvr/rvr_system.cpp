@@ -98,7 +98,8 @@ pubsub::DisseminationReport RvrSystem::publish(ids::TopicIndex topic,
   std::vector<TreeItem> queue;
   queue.reserve(64);
   for (std::size_t i = 1; i < route.path.size(); ++i) {
-    if (transmit(ctx, route.path[i], static_cast<std::uint32_t>(i))) {
+    if (transmit(ctx, route.path[i - 1], route.path[i],
+                 static_cast<std::uint32_t>(i), /*route=*/true)) {
       // Route nodes that are also tree members may disseminate early (they
       // hold tree links); harmless and closer to real Scribe behavior.
       queue.push_back(TreeItem{route.path[i], route.path[i - 1],
@@ -117,13 +118,13 @@ pubsub::DisseminationReport RvrSystem::publish(ids::TopicIndex topic,
     for (const auto& link : trees_[item.node].links(topic)) {
       const ids::NodeIndex y = link.peer;
       if (y == item.from || !is_alive(y)) continue;
-      if (transmit(ctx, y, item.hop + 1)) {
+      if (transmit(ctx, item.node, y, item.hop + 1)) {
         queue.push_back(TreeItem{y, item.node, item.hop + 1});
       }
     }
   }
 
-  metrics().on_report(ctx.report);
+  finish_publish(ctx);
   return ctx.report;
 }
 

@@ -62,6 +62,17 @@ class RvrSystem final : public BaselineSystem {
   void maintenance_extra() override;
   void on_leave(ids::NodeIndex node) override { trees_[node].clear(); }
 
+  /// kRelayLinks gauge: multicast-tree links held by alive nodes.
+  [[nodiscard]] std::size_t relay_link_count() const override {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < trees_.size(); ++i) {
+      if (is_alive(static_cast<ids::NodeIndex>(i))) {
+        total += trees_[i].link_count();
+      }
+    }
+    return total;
+  }
+
  private:
   void refresh_subscription(ids::NodeIndex node, ids::TopicIndex topic);
 

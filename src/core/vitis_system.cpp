@@ -18,7 +18,8 @@ VitisSystem::VitisSystem(VitisConfig config,
       utility_(rates),
       engine_(subscriptions_.node_count(), sim::Rng(seed ^ 0x656e67696e65ULL)),
       metrics_(subscriptions_.node_count()),
-      rng_(seed) {
+      rng_(seed),
+      trace_rng_(seed ^ 0x7472616365ULL) {
   config_.validate();
   VITIS_CHECK(rates.size() == subscriptions_.topic_count());
 
@@ -343,6 +344,83 @@ void VitisSystem::gossip_step(ids::NodeIndex node) {
 }
 
 // ---------------------------------------------------------------------------
+// Flight recorder (observability).
+// ---------------------------------------------------------------------------
+void VitisSystem::configure_recorder(const support::RecorderConfig& config) {
+  recorder_.configure(config);
+  if (!recorder_.enabled()) {
+    engine_.set_observer(nullptr, nullptr);
+    return;
+  }
+  if (!health_.attached()) {
+    std::vector<ids::RingId> ring_ids(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) ring_ids[i] = nodes_[i].id;
+    health_.attach(ring_ids);
+  }
+  engine_.set_observer(&recorder_, [this](std::size_t) { observe_sample(); });
+}
+
+void VitisSystem::observe_sample() {
+  if (!recorder_.enabled()) return;
+  support::TimeSeriesSample* sample = recorder_.begin_sample(engine_.cycle());
+  if (sample != nullptr) {
+    const auto is_alive = [this](ids::NodeIndex node) {
+      return engine_.is_alive(node);
+    };
+    const auto table_of =
+        [this](ids::NodeIndex node) -> const overlay::RoutingTable& {
+      return nodes_[node].rt;
+    };
+    const auto slot = [&](support::Gauge gauge) -> double& {
+      return sample->gauges[static_cast<std::size_t>(gauge)];
+    };
+    slot(support::Gauge::kAliveNodes) =
+        static_cast<double>(engine_.alive_count());
+    slot(support::Gauge::kMeanClustersPerTopic) =
+        health_.mean_clusters_per_topic(undirected_, subscriptions_, is_alive);
+    std::uint64_t relay_links = 0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (!engine_.is_alive(static_cast<ids::NodeIndex>(i))) continue;
+      relay_links += nodes_[i].relay.link_count();
+    }
+    slot(support::Gauge::kRelayLinks) = static_cast<double>(relay_links);
+    slot(support::Gauge::kRingConsistency) =
+        health_.ring_consistency(is_alive, table_of);
+    analysis::view_ages(nodes_.size(), is_alive, table_of,
+                        slot(support::Gauge::kMeanViewAge),
+                        slot(support::Gauge::kMaxViewAge));
+    recorder_.window_gauges(
+        support::WindowCounters{metrics_.expected_total(),
+                                metrics_.delivered_total(),
+                                metrics_.uninterested_messages(),
+                                metrics_.total_messages()},
+        slot(support::Gauge::kWindowHitRatio),
+        slot(support::Gauge::kWindowOverheadPct));
+    for (std::size_t p = 0; p < support::kPhaseCount; ++p) {
+      sample->phase_calls[p] =
+          profiler_.stats(static_cast<support::Phase>(p)).calls;
+    }
+  }
+  if (recorder_.invariants_enabled()) check_invariants();
+}
+
+void VitisSystem::check_invariants() const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto node = static_cast<ids::NodeIndex>(i);
+    if (!engine_.is_alive(node)) continue;
+    const VitisNode& nd = nodes_[i];
+    VITIS_CHECK(analysis::table_within_bounds(node, nd.rt));
+    VITIS_CHECK(
+        analysis::successor_is_clockwise_closest(nd.id, nd.rt.entries()));
+    const auto topics = nd.profile.subscriptions().topics();
+    for (std::size_t t = 0; t < topics.size(); ++t) {
+      VITIS_CHECK(analysis::gateway_depth_bounded(nd.profile.proposal_at(t).hops,
+                                                  config_.gateway_depth));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Event dissemination (§III-C).
 // ---------------------------------------------------------------------------
 pubsub::DisseminationReport VitisSystem::publish(ids::TopicIndex topic,
@@ -353,6 +431,13 @@ pubsub::DisseminationReport VitisSystem::publish(ids::TopicIndex topic,
   pubsub::DisseminationReport report;
   report.topic = topic;
   report.publisher = publisher;
+
+  // Route tracing draws from the dedicated trace stream only while capacity
+  // remains, so an untraced run and a traced run disseminate identically.
+  const bool traced = recorder_.want_trace() &&
+                      trace_rng_.bernoulli(recorder_.config().trace_rate);
+  if (traced) recorder_.begin_trace(publish_count_, topic, publisher);
+  ++publish_count_;
 
   // Fresh visit/expected stamps; on wrap-around reset the arrays once.
   if (++current_stamp_ == 0) {
@@ -385,6 +470,12 @@ pubsub::DisseminationReport VitisSystem::publish(ids::TopicIndex topic,
       const ids::NodeIndex hopper = route.path[i];
       metrics_.on_message(hopper, subscriptions_.subscribes(hopper, topic));
       ++report.messages;
+      if (traced) {
+        recorder_.add_hop(route.path[i - 1], hopper,
+                          static_cast<std::uint32_t>(i),
+                          subscriptions_.subscribes(hopper, topic),
+                          /*route=*/true);
+      }
       if (visit_stamp_[hopper] != stamp) {
         visit_stamp_[hopper] = stamp;
         const auto hop = static_cast<std::uint32_t>(i);
@@ -422,6 +513,11 @@ pubsub::DisseminationReport VitisSystem::publish(ids::TopicIndex topic,
       }
       metrics_.on_message(y, subscriptions_.subscribes(y, topic));
       ++report.messages;
+      if (traced) {
+        recorder_.add_hop(item.node, y, item.hop + 1,
+                          subscriptions_.subscribes(y, topic),
+                          /*route=*/false);
+      }
       if (visit_stamp_[y] == stamp) continue;
       visit_stamp_[y] = stamp;
       const std::uint32_t hop = item.hop + 1;
@@ -435,6 +531,7 @@ pubsub::DisseminationReport VitisSystem::publish(ids::TopicIndex topic,
     }
   }
 
+  if (traced) recorder_.end_trace(report.expected, report.delivered);
   metrics_.on_report(report);
   return report;
 }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "analysis/graph.hpp"
+#include "analysis/health.hpp"
 #include "core/config.hpp"
 #include "core/gateway.hpp"
 #include "core/utility.hpp"
@@ -135,6 +136,21 @@ class VitisSystem final : public pubsub::PubSubSystem {
   }
   [[nodiscard]] support::Profiler& profiler_mut() { return profiler_; }
 
+  // --- flight recorder (observability) --------------------------------------
+  /// Enable/reconfigure the flight recorder. The engine then samples the
+  /// overlay-health time series on strided cycles; publish() traces a
+  /// Bernoulli-sampled subset of publications from a dedicated RNG stream
+  /// (never the protocol's rng_, so observation cannot perturb the run).
+  void configure_recorder(const support::RecorderConfig& config) override;
+  [[nodiscard]] const support::Recorder* recorder() const override {
+    return &recorder_;
+  }
+
+  /// Take one time-series sample at the current cycle (and run the
+  /// invariant monitors when configured). The engine calls this on sampled
+  /// cycles; tests call it directly for the allocation audit.
+  void observe_sample();
+
   /// Undirected snapshot of the current overlay (alive nodes only).
   [[nodiscard]] analysis::Graph overlay_snapshot() const;
 
@@ -164,6 +180,7 @@ class VitisSystem final : public pubsub::PubSubSystem {
   void cycle_maintenance();
 
   void rebuild_undirected();
+  void check_invariants() const;
   void refresh_heartbeats(ids::NodeIndex node);
   void run_election(ids::NodeIndex node);
   void request_relay(ids::NodeIndex gateway, ids::TopicIndex topic);
@@ -180,6 +197,13 @@ class VitisSystem final : public pubsub::PubSubSystem {
   std::unique_ptr<gossip::TManProtocol> tman_;
   pubsub::MetricsCollector metrics_;
   sim::Rng rng_;
+
+  // Flight recorder (off by default; see configure_recorder). trace_rng_ is
+  // a dedicated stream so trace sampling never advances the protocol rng_.
+  support::Recorder recorder_;
+  analysis::HealthAnalyzer health_;
+  sim::Rng trace_rng_;
+  std::uint64_t publish_count_ = 0;
 
   // Per-cycle undirected adjacency (sorted per node, for binary search).
   std::vector<std::vector<ids::NodeIndex>> undirected_;

@@ -104,6 +104,12 @@ std::uint64_t MetricsCollector::total_messages() const {
   return total;
 }
 
+std::uint64_t MetricsCollector::uninterested_messages() const {
+  std::uint64_t total = 0;
+  for (const auto& t : traffic_) total += t.uninterested;
+  return total;
+}
+
 MetricsSummary MetricsSummary::from(const MetricsCollector& collector) {
   MetricsSummary summary;
   summary.hit_ratio = collector.hit_ratio();

@@ -111,6 +111,16 @@ class MetricsCollector {
   [[nodiscard]] std::size_t delay_percentile(double quantile) const;
 
   [[nodiscard]] std::uint64_t total_messages() const;
+
+  /// Uninterested (relay) messages summed over all nodes.
+  [[nodiscard]] std::uint64_t uninterested_messages() const;
+
+  /// Cumulative (event, subscriber) delivery counters across all recorded
+  /// events — the flight recorder diffs these between samples to report
+  /// per-window hit ratios.
+  [[nodiscard]] std::uint64_t expected_total() const { return expected_; }
+  [[nodiscard]] std::uint64_t delivered_total() const { return delivered_; }
+
   [[nodiscard]] std::size_t events_recorded() const { return events_; }
   [[nodiscard]] const std::vector<NodeTraffic>& traffic() const {
     return traffic_;

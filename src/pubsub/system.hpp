@@ -10,6 +10,7 @@
 #include "pubsub/metrics.hpp"
 #include "pubsub/subscription.hpp"
 #include "support/profiler.hpp"
+#include "support/recorder.hpp"
 
 namespace vitis::pubsub {
 
@@ -45,6 +46,19 @@ class PubSubSystem {
   /// systems without one). Wall times are telemetry-only; calls are
   /// deterministic per (seed, scale).
   [[nodiscard]] virtual const support::Profiler* profiler() const {
+    return nullptr;
+  }
+
+  /// Enable (or reconfigure) the flight recorder for this run; the default
+  /// is a no-op for systems without one. Off by default and zero-cost when
+  /// disabled — enabling it never perturbs the simulated protocol (gauges
+  /// are read-only, trace sampling draws from a dedicated RNG stream).
+  virtual void configure_recorder(const support::RecorderConfig& config) {
+    (void)config;
+  }
+
+  /// The flight recorder, when wired (null for systems without one).
+  [[nodiscard]] virtual const support::Recorder* recorder() const {
     return nullptr;
   }
 

@@ -57,6 +57,12 @@ void CycleEngine::run(std::size_t cycles) {
       (void)name;
       hook(cycle_);
     }
+    // Observability sampling last, so gauges see the post-maintenance state
+    // of the cycle. The stride test keeps disabled recorders zero-cost.
+    if (recorder_ != nullptr && observer_ != nullptr &&
+        recorder_->should_sample_cycle(cycle_)) {
+      observer_(cycle_);
+    }
     ++cycle_;
   }
 }

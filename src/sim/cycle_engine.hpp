@@ -16,6 +16,7 @@
 #include "ids/id.hpp"
 #include "sim/rng.hpp"
 #include "support/profiler.hpp"
+#include "support/recorder.hpp"
 
 namespace vitis::sim {
 
@@ -41,6 +42,15 @@ class CycleEngine {
   /// Attach (or detach, with nullptr) the per-phase profiler. Not owned;
   /// must outlive the engine's run() calls.
   void set_profiler(support::Profiler* profiler) { profiler_ = profiler; }
+
+  /// Attach the flight recorder's sampling hook: after each cycle's
+  /// protocols and hooks, `hook(cycle)` fires when the recorder's stride
+  /// says the cycle is sampled. Detach with (nullptr, nullptr). Neither is
+  /// owned; both must outlive run().
+  void set_observer(support::Recorder* recorder, CycleHook hook) {
+    recorder_ = recorder;
+    observer_ = std::move(hook);
+  }
 
   void set_alive(ids::NodeIndex node, bool alive);
   [[nodiscard]] bool is_alive(ids::NodeIndex node) const {
@@ -79,6 +89,8 @@ class CycleEngine {
   std::size_t cycle_ = 0;
   Rng rng_;
   support::Profiler* profiler_ = nullptr;
+  support::Recorder* recorder_ = nullptr;
+  CycleHook observer_;  // fires on sampled cycles, after the cycle hooks
   std::vector<ids::NodeIndex> order_scratch_;  // per-cycle activation order
 };
 

@@ -103,12 +103,42 @@ void write_telemetry(JsonWriter& w, const RunTelemetry& t) {
   w.end_object();
 }
 
+void write_timeseries(JsonWriter& w, const TimeSeries& series) {
+  w.begin_object();
+  w.key("stride").value(static_cast<std::uint64_t>(series.stride));
+  w.key("samples").begin_array();
+  for (const TimeSeriesSample& sample : series.samples) {
+    w.begin_object();
+    w.key("cycle").value(sample.cycle);
+    w.key("gauges").begin_object();
+    for (std::size_t g = 0; g < kGaugeCount; ++g) {
+      // Non-finite gauges (event-free windows) serialize as null.
+      w.key(to_string(static_cast<Gauge>(g))).value(sample.gauges[g]);
+    }
+    w.end_object();
+    w.key("phase_calls").begin_object();
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      w.key(to_string(static_cast<Phase>(p))).value(sample.phase_calls[p]);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 }  // namespace
+
+std::size_t BenchArtifact::trace_count() const {
+  std::size_t count = 0;
+  for (const Point& point : points_) count += point.telemetry_.traces.size();
+  return count;
+}
 
 std::string BenchArtifact::to_json() const {
   JsonWriter w;
   w.begin_object();
-  w.key("schema_version").value(std::int64_t{2});
+  w.key("schema_version").value(std::int64_t{3});
   w.key("bench").value(name_);
   w.key("git_describe").value(git_describe_);
   w.key("scale").begin_object();
@@ -137,6 +167,8 @@ std::string BenchArtifact::to_json() const {
     w.end_object();
     w.key("telemetry");
     write_telemetry(w, point.telemetry_);
+    w.key("timeseries");
+    write_timeseries(w, point.telemetry_.series);
     w.end_object();
   }
   w.end_array();
@@ -161,6 +193,7 @@ std::string BenchArtifact::to_json() const {
   w.key("messages").value(totals.messages);
   w.key("phases");
   write_phases(w, totals.phases);
+  w.key("traces").value(static_cast<std::uint64_t>(trace_count()));
   w.end_object();
 
   w.end_object();
@@ -174,6 +207,42 @@ bool BenchArtifact::write(const std::string& path) const {
   const bool ok =
       std::fwrite(json.data(), 1, json.size(), file) == json.size() &&
       std::fputc('\n', file) != EOF;
+  return std::fclose(file) == 0 && ok;
+}
+
+bool BenchArtifact::write_traces(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  bool ok = true;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    for (const PublicationTrace& trace : points_[i].telemetry_.traces) {
+      JsonWriter w;
+      w.begin_object();
+      w.key("bench").value(name_);
+      w.key("point").value(static_cast<std::uint64_t>(i));
+      w.key("event").value(trace.event_index);
+      w.key("topic").value(static_cast<std::uint64_t>(trace.topic));
+      w.key("publisher").value(static_cast<std::uint64_t>(trace.publisher));
+      w.key("expected").value(trace.expected);
+      w.key("delivered").value(trace.delivered);
+      w.key("hops").begin_array();
+      for (const TraceHop& hop : trace.hops) {
+        w.begin_object();
+        w.key("from").value(static_cast<std::uint64_t>(hop.from));
+        w.key("to").value(static_cast<std::uint64_t>(hop.to));
+        w.key("hop").value(static_cast<std::uint64_t>(hop.hop));
+        w.key("interested").value(hop.interested);
+        w.key("kind").value(hop.route ? "route" : "flood");
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+      const std::string& line = w.str();
+      ok = ok &&
+           std::fwrite(line.data(), 1, line.size(), file) == line.size() &&
+           std::fputc('\n', file) != EOF;
+    }
+  }
   return std::fclose(file) == 0 && ok;
 }
 

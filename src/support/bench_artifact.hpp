@@ -3,9 +3,9 @@
 // This is the file future PRs regress performance against and
 // tools/fill_experiments.py prefers over scraping bench_output.txt.
 //
-// Schema (version 2):
+// Schema (version 3):
 //   {
-//     "schema_version": 2,
+//     "schema_version": 3,
 //     "bench": "<short bench name, e.g. fig04_friends_vs_sw>",
 //     "git_describe": "<git describe --always --dirty at configure time>",
 //     "scale": {"name": "quick", "nodes": N, "topics": T,
@@ -19,20 +19,33 @@
 //                      "cycles": ..., "messages": ...,
 //                      "phases": {"sampling": {"calls": ..., "wall_ms": ...},
 //                                 "tman": ..., "ranking": ..., "relay": ...,
-//                                 "routing": ...}}},
+//                                 "routing": ...}},
+//        "timeseries": {"stride": S,
+//                       "samples": [{"cycle": ...,
+//                                    "gauges": {"alive_nodes": ..., ...},
+//                                    "phase_calls": {"sampling": ..., ...}},
+//                                   ...]}},
 //       ...
 //     ],
 //     "totals": {"points": P, "wall_ms": sum, "peak_rss_kb": max,
-//                "cycles": sum, "messages": sum, "phases": {...summed...}}
+//                "cycles": sum, "messages": sum, "phases": {...summed...},
+//                "traces": <publication traces recorded across points>}
 //   }
 //
 // Everything under "params"/"metrics" is deterministic per (seed, scale);
 // "telemetry" and "totals" carry the wall-clock/RSS measurements and vary
 // between runs. Within "phases", "calls" counts protocol activations and is
 // deterministic per (seed, scale); "wall_ms" is exclusive (self) time per
-// support/profiler.hpp and varies between runs. Version history:
+// support/profiler.hpp and varies between runs. The "timeseries" block is
+// the flight recorder's per-cycle overlay-health series (deterministic per
+// (seed, scale); {"stride": 0, "samples": []} when the run did not pass
+// --observe). Gauges that are undefined for a window (e.g. hit ratio with
+// no events) serialize as null. Version history:
 //   v1 — params/metrics/telemetry without phases.
 //   v2 — adds the per-phase breakdown to telemetry and totals.
+//   v3 — adds the per-point "timeseries" block and the totals trace count;
+//        route traces live in the TRACE_<name>.jsonl sidecar
+//        (write_traces()).
 #pragma once
 
 #include <cstdint>
@@ -96,12 +109,19 @@ class BenchArtifact {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::size_t point_count() const { return points_.size(); }
 
+  /// Publication traces recorded across all points (telemetry.traces).
+  [[nodiscard]] std::size_t trace_count() const;
+
   /// Serialize the whole artifact (schema above) as one JSON document.
   [[nodiscard]] std::string to_json() const;
 
   /// Write to_json() to `path`; false (with no partial file guarantees) on
   /// I/O failure.
   bool write(const std::string& path) const;
+
+  /// Write every recorded publication trace as JSON Lines: one object per
+  /// trace, tagged with its point index. False on I/O failure.
+  bool write_traces(const std::string& path) const;
 
  private:
   std::string name_;

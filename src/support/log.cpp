@@ -9,6 +9,8 @@ LogLevel g_level = LogLevel::kInfo;
 
 const char* level_name(LogLevel level) {
   switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
     case LogLevel::kDebug:
       return "DEBUG";
     case LogLevel::kInfo:
@@ -26,6 +28,15 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level = level; }
 
 LogLevel log_level() { return g_level; }
+
+std::optional<LogLevel> parse_log_level(const std::string& name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return std::nullopt;
+}
 
 void log(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level)) return;

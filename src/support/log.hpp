@@ -1,22 +1,38 @@
 // Minimal leveled logging to stderr. The simulator is deterministic and
 // single-threaded per run, so no synchronization is required; benches that
 // run sweeps in worker threads must confine logging to the main thread.
+//
+// Determinism rule: logging goes to stderr ONLY — stdout carries the
+// recorded figure tables and must stay byte-identical at any log level
+// (asserted by tests/test_support).
 #pragma once
 
+#include <optional>
 #include <string>
 
 namespace vitis::support {
 
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+enum class LogLevel {
+  kTrace = 0,  // per-hop / per-sample detail (flight-recorder debugging)
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+};
 
 /// Set the global minimum level (default: kInfo).
 void set_log_level(LogLevel level);
 
 [[nodiscard]] LogLevel log_level();
 
+/// Parse "trace" | "debug" | "info" | "warn" | "error" (as accepted by the
+/// benches' --log-level flag); empty optional on anything else.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(const std::string& name);
+
 /// Emit a message if `level` >= the global minimum.
 void log(LogLevel level, const std::string& message);
 
+inline void log_trace(const std::string& m) { log(LogLevel::kTrace, m); }
 inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
 inline void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
 inline void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }

@@ -1,0 +1,101 @@
+#include "support/recorder.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace vitis::support {
+
+const char* to_string(Gauge gauge) {
+  switch (gauge) {
+    case Gauge::kAliveNodes:
+      return "alive_nodes";
+    case Gauge::kMeanClustersPerTopic:
+      return "mean_clusters_per_topic";
+    case Gauge::kRelayLinks:
+      return "relay_links";
+    case Gauge::kRingConsistency:
+      return "ring_consistency";
+    case Gauge::kMeanViewAge:
+      return "mean_view_age";
+    case Gauge::kMaxViewAge:
+      return "max_view_age";
+    case Gauge::kWindowHitRatio:
+      return "window_hit_ratio";
+    case Gauge::kWindowOverheadPct:
+      return "window_overhead_pct";
+  }
+  return "?";
+}
+
+void Recorder::configure(const RecorderConfig& config) {
+  config_ = config;
+  series_ = TimeSeries{};
+  traces_.clear();
+  last_window_ = WindowCounters{};
+  trace_open_ = false;
+  if (!config_.enabled) return;
+  VITIS_CHECK(config_.stride > 0);
+  series_.stride = config_.stride;
+  // +2: cycle 0 always samples, and runs may overshoot expected_cycles by a
+  // final measurement round.
+  series_.samples.reserve(config_.expected_cycles / config_.stride + 2);
+  traces_.reserve(config_.max_traces);
+}
+
+TimeSeriesSample* Recorder::begin_sample(std::uint64_t cycle) {
+  if (!config_.enabled) return nullptr;
+  if (series_.samples.size() == series_.samples.capacity()) return nullptr;
+  series_.samples.emplace_back();
+  series_.samples.back().cycle = cycle;
+  return &series_.samples.back();
+}
+
+void Recorder::window_gauges(const WindowCounters& cumulative,
+                             double& hit_ratio, double& overhead_pct) {
+  const std::uint64_t expected = cumulative.expected - last_window_.expected;
+  const std::uint64_t delivered =
+      cumulative.delivered - last_window_.delivered;
+  const std::uint64_t uninterested =
+      cumulative.uninterested - last_window_.uninterested;
+  const std::uint64_t messages = cumulative.messages - last_window_.messages;
+  last_window_ = cumulative;
+  hit_ratio = expected == 0
+                  ? std::numeric_limits<double>::quiet_NaN()
+                  : static_cast<double>(delivered) /
+                        static_cast<double>(expected);
+  overhead_pct = messages == 0
+                     ? std::numeric_limits<double>::quiet_NaN()
+                     : 100.0 * static_cast<double>(uninterested) /
+                           static_cast<double>(messages);
+}
+
+void Recorder::begin_trace(std::uint64_t event_index, std::uint32_t topic,
+                           std::uint32_t publisher) {
+  VITIS_CHECK(want_trace());
+  traces_.emplace_back();
+  PublicationTrace& trace = traces_.back();
+  trace.event_index = event_index;
+  trace.topic = topic;
+  trace.publisher = publisher;
+  trace.hops.reserve(64);
+  trace_open_ = true;
+}
+
+void Recorder::add_hop(std::uint32_t from, std::uint32_t to,
+                       std::uint32_t hop, bool interested, bool route) {
+  VITIS_CHECK(trace_open_);
+  PublicationTrace& trace = traces_.back();
+  if (trace.hops.size() >= config_.max_hops_per_trace) return;
+  trace.hops.push_back(TraceHop{from, to, hop, interested, route});
+}
+
+void Recorder::end_trace(std::uint64_t expected, std::uint64_t delivered) {
+  VITIS_CHECK(trace_open_);
+  traces_.back().expected = expected;
+  traces_.back().delivered = delivered;
+  trace_open_ = false;
+}
+
+}  // namespace vitis::support

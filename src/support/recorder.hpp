@@ -1,0 +1,188 @@
+// Deterministic flight recorder: per-run overlay-health time series plus
+// hop-level route traces for a sampled subset of publications.
+//
+// The recorder is pure storage — it computes nothing and draws no
+// randomness. Systems (core::VitisSystem, the baselines) fill samples from
+// their own state and decide which publications to trace from their own
+// sim::Rng stream, so the recorder can live in the support layer below
+// sim/ and analysis/. Determinism rules:
+//
+//   * everything stored here is deterministic per (seed, scale) — no wall
+//     clock, no RSS, no thread ids;
+//   * the recorder never touches stdout; its contents are exported through
+//     the BENCH_<name>.json artifact (schema v3 `timeseries` block) and the
+//     TRACE_<name>.jsonl sidecar;
+//   * off (the default) it is zero-cost: no buffers are sized, no samples
+//     are taken, and systems skip every recorder branch.
+//
+// Buffers are pre-sized by configure(), so taking a sample in the steady
+// state performs zero heap allocations (audited by tests/test_alloc_free).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "support/profiler.hpp"
+
+namespace vitis::support {
+
+struct RecorderConfig {
+  bool enabled = false;
+  /// Sample the time series every `stride` cycles (cycle % stride == 0).
+  std::size_t stride = 1;
+  /// Run the invariant monitors (ring orientation, gateway depth, table
+  /// bounds) on every sampled cycle, aborting via support/check on
+  /// violation.
+  bool invariants = false;
+  /// Per-publication probability of recording a full route trace. The
+  /// Bernoulli draw is the *system's* job (from its own deterministic
+  /// sim::Rng stream) — the recorder only stores the outcome.
+  double trace_rate = 0.0;
+  /// Upper bounds keeping artifacts small and buffers pre-sizable.
+  std::size_t max_traces = 64;
+  std::size_t max_hops_per_trace = 8192;
+  /// Expected total cycles of the run, used to pre-size the sample buffer;
+  /// sampling past the pre-sized capacity is dropped, never grown.
+  std::size_t expected_cycles = 0;
+};
+
+/// The fixed overlay-health gauge set of one time-series sample.
+enum class Gauge : std::uint8_t {
+  kAliveNodes = 0,         // nodes currently online
+  kMeanClustersPerTopic,   // §III-B convergence: 1.0 = fully merged
+  kRelayLinks,             // total relay-table links across alive nodes
+  kRingConsistency,        // fraction of alive nodes whose successor link
+                           // points at the true next alive node clockwise
+  kMeanViewAge,            // mean routing-entry heartbeat age
+  kMaxViewAge,             // worst routing-entry heartbeat age
+  kWindowHitRatio,         // delivered/expected since the last sample
+                           // (NaN -> JSON null when the window saw no event)
+  kWindowOverheadPct,      // uninterested share of window traffic, percent
+};
+
+inline constexpr std::size_t kGaugeCount = 8;
+
+[[nodiscard]] const char* to_string(Gauge gauge);
+
+struct TimeSeriesSample {
+  std::uint64_t cycle = 0;
+  std::array<double, kGaugeCount> gauges{};
+  /// Cumulative profiler phase calls at sample time (deterministic; wall
+  /// times deliberately excluded — they belong to telemetry, not here).
+  std::array<std::uint64_t, kPhaseCount> phase_calls{};
+
+  friend bool operator==(const TimeSeriesSample&,
+                         const TimeSeriesSample&) = default;
+};
+
+struct TimeSeries {
+  std::size_t stride = 0;  // 0 = recorder was disabled
+  std::vector<TimeSeriesSample> samples;
+
+  friend bool operator==(const TimeSeries&, const TimeSeries&) = default;
+};
+
+/// One transmission of a traced publication. Node/topic values are the
+/// simulator's dense indices, stored as raw integers (support/ sits below
+/// ids/ in the layering).
+struct TraceHop {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::uint32_t hop = 0;        // hop distance from the publisher
+  bool interested = false;      // receiver subscribes to the topic
+  bool route = false;           // greedy route segment (vs cluster flood)
+
+  friend bool operator==(const TraceHop&, const TraceHop&) = default;
+};
+
+/// The full relay path of one sampled publication: publisher → (greedy
+/// route toward the rendezvous) → relays/gateways → subscribers.
+struct PublicationTrace {
+  std::uint64_t event_index = 0;  // publish() ordinal within the run
+  std::uint32_t topic = 0;
+  std::uint32_t publisher = 0;
+  std::uint64_t expected = 0;
+  std::uint64_t delivered = 0;
+  std::vector<TraceHop> hops;
+
+  friend bool operator==(const PublicationTrace&,
+                         const PublicationTrace&) = default;
+};
+
+/// Cumulative dissemination counters a system snapshots at each sample so
+/// the recorder can report per-window (delta) hit ratio and overhead.
+struct WindowCounters {
+  std::uint64_t expected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t uninterested = 0;
+  std::uint64_t messages = 0;
+};
+
+class Recorder {
+ public:
+  /// Install a configuration and pre-size every buffer. Resets any
+  /// previously recorded data.
+  void configure(const RecorderConfig& config);
+
+  [[nodiscard]] bool enabled() const { return config_.enabled; }
+  [[nodiscard]] const RecorderConfig& config() const { return config_; }
+
+  // --- time series ---------------------------------------------------------
+
+  [[nodiscard]] bool should_sample_cycle(std::size_t cycle) const {
+    return config_.enabled && config_.stride != 0 &&
+           cycle % config_.stride == 0;
+  }
+
+  /// Append a sample slot for `cycle` and return it for the caller to fill;
+  /// nullptr once the pre-sized buffer is exhausted (the buffer never grows
+  /// in steady state).
+  [[nodiscard]] TimeSeriesSample* begin_sample(std::uint64_t cycle);
+
+  /// Compute the windowed hit ratio / overhead gauges from cumulative
+  /// counters: the delta against the previous sample's counters is the
+  /// window. An event-free window yields NaN (JSON null downstream).
+  void window_gauges(const WindowCounters& cumulative, double& hit_ratio,
+                     double& overhead_pct);
+
+  [[nodiscard]] const TimeSeries& series() const { return series_; }
+
+  // --- route tracing -------------------------------------------------------
+
+  /// True while tracing is configured and trace capacity remains — the
+  /// caller then decides with its own RNG whether this publication is
+  /// sampled.
+  [[nodiscard]] bool want_trace() const {
+    return config_.enabled && config_.trace_rate > 0.0 && !trace_open_ &&
+           traces_.size() < config_.max_traces;
+  }
+
+  void begin_trace(std::uint64_t event_index, std::uint32_t topic,
+                   std::uint32_t publisher);
+  void add_hop(std::uint32_t from, std::uint32_t to, std::uint32_t hop,
+               bool interested, bool route);
+  void end_trace(std::uint64_t expected, std::uint64_t delivered);
+
+  /// True while a begun trace is still collecting hops.
+  [[nodiscard]] bool trace_open() const { return trace_open_; }
+
+  [[nodiscard]] const std::vector<PublicationTrace>& traces() const {
+    return traces_;
+  }
+
+  // --- invariant monitors --------------------------------------------------
+
+  [[nodiscard]] bool invariants_enabled() const {
+    return config_.enabled && config_.invariants;
+  }
+
+ private:
+  RecorderConfig config_;
+  TimeSeries series_;
+  std::vector<PublicationTrace> traces_;
+  WindowCounters last_window_;
+  bool trace_open_ = false;
+};
+
+}  // namespace vitis::support

@@ -7,8 +7,10 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "support/profiler.hpp"
+#include "support/recorder.hpp"
 
 namespace vitis::support {
 
@@ -24,6 +26,12 @@ struct RunTelemetry {
   // Per-phase cycle-engine breakdown (indexed by support::Phase). `calls`
   // are deterministic per (seed, scale); `wall_ns` is telemetry-only.
   std::array<PhaseStats, kPhaseCount> phases{};
+  // Flight-recorder output (empty unless the run enabled the recorder).
+  // Unlike the fields above, everything here is deterministic per
+  // (seed, scale): the series feeds the artifact's `timeseries` block, the
+  // traces feed the TRACE_<name>.jsonl sidecar.
+  TimeSeries series;
+  std::vector<PublicationTrace> traces;
 };
 
 /// Monotonic wall-clock stopwatch, started at construction.

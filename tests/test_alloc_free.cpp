@@ -14,6 +14,7 @@
 #include <new>
 
 #include "core/vitis_system.hpp"
+#include "support/recorder.hpp"
 #include "workload/scenario.hpp"
 
 namespace {
@@ -90,6 +91,38 @@ TEST(AllocationAudit, SteadyStateGossipStepIsAllocationFree) {
   auto second = workload::make_vitis(scenario, VitisConfig{}, 1234);
   EXPECT_GT(g_allocations, fresh_before)
       << "counting operator new is not wired in";
+}
+
+TEST(AllocationAudit, ObserveSampleIsAllocationFree) {
+  workload::SyntheticScenarioParams params;
+  params.subscriptions.nodes = 400;
+  params.subscriptions.topics = 200;
+  params.subscriptions.subs_per_node = 20;
+  params.subscriptions.pattern = workload::CorrelationPattern::kLowCorrelation;
+  params.events = 8;
+  params.seed = 1234;
+  const auto scenario = workload::make_synthetic_scenario(params);
+  auto system = workload::make_vitis(scenario, VitisConfig{}, 1234);
+
+  // configure_recorder pre-sizes every recorder buffer and the health
+  // analyzer's scratch (BFS stamps, frontier, ring order); the warmup
+  // cycles sample through the cycle-engine observer and grow anything left.
+  support::RecorderConfig config;
+  config.enabled = true;
+  config.stride = 1;
+  config.invariants = true;
+  config.expected_cycles = 64;
+  system->configure_recorder(config);
+  system->run_cycles(12);
+
+  // Audit window: sampling the full gauge set (cluster BFS over every
+  // topic, ring-consistency sort, view ages, window counters) plus the
+  // invariant monitors must not touch the heap.
+  const std::uint64_t before = g_allocations;
+  for (int i = 0; i < 8; ++i) system->observe_sample();
+  const std::uint64_t during = g_allocations - before;
+  EXPECT_EQ(during, 0u)
+      << during << " heap allocations in 8 recorder samples";
 }
 
 }  // namespace

@@ -96,10 +96,27 @@ TEST(BenchArtifact, SchemaShape) {
   telemetry.messages = 1234;
   telemetry.phases[static_cast<std::size_t>(support::Phase::kSampling)] =
       support::PhaseStats{7, 1500000};  // 7 calls, 1.5 ms
+  // Schema v3: one recorder sample (gauges + phase calls) and one trace.
+  telemetry.series.stride = 5;
+  support::TimeSeriesSample sample;
+  sample.cycle = 5;
+  sample.gauges[static_cast<std::size_t>(support::Gauge::kAliveNodes)] = 100.0;
+  sample.gauges[static_cast<std::size_t>(support::Gauge::kWindowHitRatio)] =
+      std::numeric_limits<double>::quiet_NaN();  // event-free window
+  sample.phase_calls[static_cast<std::size_t>(support::Phase::kSampling)] = 7;
+  telemetry.series.samples.push_back(sample);
+  support::PublicationTrace trace;
+  trace.event_index = 3;
+  trace.topic = 9;
+  trace.publisher = 2;
+  trace.expected = 4;
+  trace.delivered = 4;
+  trace.hops.push_back(support::TraceHop{2, 11, 1, true, false});
+  telemetry.traces.push_back(trace);
   point.set_telemetry(telemetry);
 
   const std::string json = artifact.to_json();
-  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
   EXPECT_NE(json.find("\"bench\":\"unit_test\""), std::string::npos);
   EXPECT_NE(json.find("\"git_describe\":\"deadbeef\""), std::string::npos);
   EXPECT_NE(json.find("\"scale\":{\"name\":\"quick\",\"nodes\":100,"
@@ -126,6 +143,17 @@ TEST(BenchArtifact, SchemaShape) {
   // Totals carry the summed phases block too (two occurrences in all).
   EXPECT_NE(json.rfind("\"sampling\":{\"calls\":7,\"wall_ms\":1.5}"),
             json.find("\"sampling\":{\"calls\":7,\"wall_ms\":1.5}"));
+  // v3 timeseries block: stride, named gauges (NaN -> null), phase calls.
+  EXPECT_NE(json.find("\"timeseries\":{\"stride\":5,\"samples\":[{\"cycle\":5,"
+                      "\"gauges\":{\"alive_nodes\":100"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"window_hit_ratio\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"phase_calls\":{\"sampling\":7"), std::string::npos);
+  // v3 totals count the route traces; the traces themselves live in the
+  // TRACE_<name>.jsonl sidecar, not the artifact.
+  EXPECT_NE(json.find("\"traces\":1"), std::string::npos);
+  EXPECT_EQ(artifact.trace_count(), 1U);
+  EXPECT_EQ(json.find("\"hops\""), std::string::npos);
 }
 
 TEST(BenchArtifact, WriteProducesFileWithTrailingNewline) {

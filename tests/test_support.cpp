@@ -113,5 +113,36 @@ TEST(Log, LevelFiltering) {
   EXPECT_EQ(log_level(), LogLevel::kInfo);
 }
 
+TEST(Log, ParseLogLevel) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("INFO"), std::nullopt);  // flag values are exact
+}
+
+TEST(Log, AllOutputGoesToStderrOnly) {
+  // Determinism rule: stdout carries the recorded figure tables and must
+  // stay byte-identical at any log level — even kTrace, the chattiest.
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kTrace);
+  testing::internal::CaptureStdout();
+  testing::internal::CaptureStderr();
+  log_trace("per-hop detail");
+  log_debug("debug detail");
+  log_info("progress note");
+  log_warn("warning note");
+  log_error("error note");
+  const std::string out = testing::internal::GetCapturedStdout();
+  const std::string err = testing::internal::GetCapturedStderr();
+  set_log_level(saved);
+  EXPECT_EQ(out, "");  // byte-identical stdout at any level
+  EXPECT_NE(err.find("per-hop detail"), std::string::npos);
+  EXPECT_NE(err.find("error note"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace vitis::support

@@ -20,6 +20,25 @@ TEST(TraceIo, RoundTripInMemory) {
   }
 }
 
+TEST(TraceIo, RoundTripPreservesTieOrdering) {
+  // Simultaneous events (a node's leave immediately followed by another's
+  // join at the same timestamp) must survive the CSV round-trip in their
+  // original relative order: the sort is stable on ties, and the CSV rows
+  // are already in time order, so write -> read is the identity.
+  ChurnTrace trace({{5.0, 2, false},
+                    {5.0, 9, true},
+                    {5.0, 2, true},
+                    {1.0, 4, true}});
+  const ChurnTrace parsed = parse_churn_trace(churn_trace_to_csv(trace));
+  ASSERT_EQ(parsed.size(), 4u);
+  EXPECT_EQ(parsed.events(), trace.events());
+  // The tie block keeps its insertion order behind the earlier event.
+  EXPECT_EQ(parsed.events()[0], (ChurnEvent{1.0, 4, true}));
+  EXPECT_EQ(parsed.events()[1], (ChurnEvent{5.0, 2, false}));
+  EXPECT_EQ(parsed.events()[2], (ChurnEvent{5.0, 9, true}));
+  EXPECT_EQ(parsed.events()[3], (ChurnEvent{5.0, 2, true}));
+}
+
 TEST(TraceIo, HeaderIsFirstLine) {
   ChurnTrace trace({{1.0, 0, true}});
   const std::string csv = churn_trace_to_csv(trace);

@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Validate BENCH_<name>.json artifacts against the schema-v3 shape.
+
+Checks every artifact for:
+
+* schema_version == 3 and the top-level keys (bench, scale, seed, jobs,
+  points, totals);
+* the scale block (name/nodes/topics/cycles/events, all integers >= 0);
+* per point: params (scalars), metrics (numbers), telemetry (wall_ms,
+  peak_rss_kb, cycles, messages, five named phases with calls/wall_ms),
+  and the v3 `timeseries` block — stride plus samples, each sample a
+  cycle, the eight named gauges (number or null: NaN gauges from
+  event-free windows serialize as null) and the five phase call counters;
+* totals: points matches len(points), summed phases, and the v3 `traces`
+  count.
+
+Exit status 0 when every artifact passes; 1 with one line per problem
+otherwise. Used by CI after the bench determinism job and available
+locally:
+
+    python3 tools/validate_artifact.py [BENCH_*.json ...]
+
+With no arguments, validates every BENCH_*.json in the current directory.
+"""
+import glob
+import json
+import numbers
+import sys
+
+GAUGES = [
+    "alive_nodes",
+    "mean_clusters_per_topic",
+    "relay_links",
+    "ring_consistency",
+    "mean_view_age",
+    "max_view_age",
+    "window_hit_ratio",
+    "window_overhead_pct",
+]
+
+PHASES = ["sampling", "tman", "ranking", "relay", "routing"]
+
+
+class Checker:
+    def __init__(self, path):
+        self.path = path
+        self.problems = []
+
+    def fail(self, message):
+        self.problems.append(f"{self.path}: {message}")
+
+    def require(self, condition, message):
+        if not condition:
+            self.fail(message)
+        return condition
+
+    def is_count(self, value):
+        return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+    def is_number(self, value):
+        return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
+def check_phases(c, owner, phases, where):
+    if not c.require(isinstance(phases, dict), f"{where}: phases is not an object"):
+        return
+    for name in PHASES:
+        stats = phases.get(name)
+        if not c.require(isinstance(stats, dict), f"{where}: phase '{name}' missing"):
+            continue
+        c.require(c.is_count(stats.get("calls")), f"{where}: {name}.calls not a count")
+        c.require(c.is_number(stats.get("wall_ms")), f"{where}: {name}.wall_ms not a number")
+    for name in phases:
+        c.require(name in PHASES, f"{where}: unknown phase '{name}'")
+
+
+def check_timeseries(c, series, where):
+    if not c.require(isinstance(series, dict), f"{where}: timeseries is not an object"):
+        return
+    c.require(c.is_count(series.get("stride")), f"{where}: timeseries.stride not a count")
+    samples = series.get("samples")
+    if not c.require(isinstance(samples, list), f"{where}: timeseries.samples not an array"):
+        return
+    if series.get("stride") == 0:
+        c.require(samples == [], f"{where}: disabled recorder (stride 0) with samples")
+    last_cycle = -1
+    for i, sample in enumerate(samples):
+        at = f"{where}: sample[{i}]"
+        if not c.require(isinstance(sample, dict), f"{at} is not an object"):
+            continue
+        cycle = sample.get("cycle")
+        if c.require(c.is_count(cycle), f"{at}: cycle not a count"):
+            c.require(cycle > last_cycle, f"{at}: cycles not strictly increasing")
+            last_cycle = cycle
+        gauges = sample.get("gauges")
+        if c.require(isinstance(gauges, dict), f"{at}: gauges not an object"):
+            for name in GAUGES:
+                if not c.require(name in gauges, f"{at}: gauge '{name}' missing"):
+                    continue
+                value = gauges[name]
+                # null is legal: NaN gauges (event-free windows) serialize so.
+                c.require(value is None or c.is_number(value),
+                          f"{at}: gauge '{name}' is neither number nor null")
+            for name in gauges:
+                c.require(name in GAUGES, f"{at}: unknown gauge '{name}'")
+        calls = sample.get("phase_calls")
+        if c.require(isinstance(calls, dict), f"{at}: phase_calls not an object"):
+            for name in PHASES:
+                c.require(c.is_count(calls.get(name)),
+                          f"{at}: phase_calls.{name} not a count")
+
+
+def check_telemetry(c, telemetry, where):
+    if not c.require(isinstance(telemetry, dict), f"{where}: telemetry is not an object"):
+        return
+    for key in ("wall_ms",):
+        c.require(c.is_number(telemetry.get(key)), f"{where}: telemetry.{key} not a number")
+    for key in ("peak_rss_kb", "cycles", "messages"):
+        c.require(c.is_count(telemetry.get(key)), f"{where}: telemetry.{key} not a count")
+    check_phases(c, telemetry, telemetry.get("phases"), f"{where}: telemetry")
+
+
+def check_artifact(path):
+    c = Checker(path)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        c.fail(f"unreadable: {err}")
+        return c.problems
+
+    if not c.require(isinstance(doc, dict), "top level is not an object"):
+        return c.problems
+    c.require(doc.get("schema_version") == 3,
+              f"schema_version is {doc.get('schema_version')!r}, want 3")
+    c.require(isinstance(doc.get("bench"), str) and doc["bench"],
+              "bench name missing")
+    c.require(isinstance(doc.get("git_describe"), str), "git_describe missing")
+    c.require(c.is_count(doc.get("seed")), "seed not a count")
+    c.require(c.is_count(doc.get("jobs")) and doc.get("jobs", 0) >= 1,
+              "jobs not a positive count")
+
+    scale = doc.get("scale")
+    if c.require(isinstance(scale, dict), "scale is not an object"):
+        c.require(isinstance(scale.get("name"), str), "scale.name missing")
+        for key in ("nodes", "topics", "cycles", "events"):
+            c.require(c.is_count(scale.get(key)), f"scale.{key} not a count")
+
+    points = doc.get("points")
+    if not c.require(isinstance(points, list) and points, "points missing or empty"):
+        return c.problems
+    for i, point in enumerate(points):
+        where = f"points[{i}]"
+        if not c.require(isinstance(point, dict), f"{where} is not an object"):
+            continue
+        params = point.get("params")
+        if c.require(isinstance(params, dict), f"{where}: params not an object"):
+            for key, value in params.items():
+                c.require(isinstance(value, str) or c.is_number(value),
+                          f"{where}: param '{key}' is not a scalar")
+        metrics = point.get("metrics")
+        if c.require(isinstance(metrics, dict), f"{where}: metrics not an object"):
+            for key, value in metrics.items():
+                c.require(value is None or c.is_number(value),
+                          f"{where}: metric '{key}' is not a number")
+        check_telemetry(c, point.get("telemetry"), where)
+        check_timeseries(c, point.get("timeseries"), where)
+
+    totals = doc.get("totals")
+    if c.require(isinstance(totals, dict), "totals is not an object"):
+        c.require(totals.get("points") == len(points),
+                  f"totals.points {totals.get('points')!r} != {len(points)} points")
+        for key in ("peak_rss_kb", "cycles", "messages", "traces"):
+            c.require(c.is_count(totals.get(key)), f"totals.{key} not a count")
+        c.require(c.is_number(totals.get("wall_ms")), "totals.wall_ms not a number")
+        check_phases(c, totals, totals.get("phases"), "totals")
+    return c.problems
+
+
+def main():
+    paths = sys.argv[1:] or sorted(glob.glob("BENCH_*.json"))
+    if not paths:
+        print("validate_artifact: no BENCH_*.json found", file=sys.stderr)
+        return 1
+    problems = []
+    for path in paths:
+        problems.extend(check_artifact(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"validate_artifact: {len(problems)} problem(s) in "
+              f"{len(paths)} artifact(s)", file=sys.stderr)
+        return 1
+    print(f"validate_artifact: {len(paths)} artifact(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
