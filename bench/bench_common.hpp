@@ -179,7 +179,8 @@ inline void enable_recorder(const BenchContext& ctx,
   system.configure_recorder(config);
 }
 
-/// Copy `system`'s per-phase profiler stats into the point's telemetry.
+/// Copy `system`'s per-phase profiler stats and deterministic event
+/// counters (scoring cache, interning) into the point's telemetry.
 /// Call it inside the sweep body, right before the system is destroyed;
 /// no-op for systems without a wired profiler. With the flight recorder
 /// enabled this also captures the health time series and route traces
@@ -188,6 +189,7 @@ inline void record_phases(support::RunTelemetry& telemetry,
                           const pubsub::PubSubSystem& system) {
   if (const support::Profiler* profiler = system.profiler()) {
     telemetry.phases = profiler->all();
+    telemetry.counters = profiler->counters();
   }
   if (const support::Recorder* rec = system.recorder();
       rec != nullptr && rec->enabled()) {

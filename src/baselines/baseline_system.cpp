@@ -1,6 +1,7 @@
 #include "baselines/baseline_system.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "ids/hash.hpp"
@@ -47,12 +48,22 @@ BaselineSystem::BaselineSystem(BaselineConfig config,
   visit_stamp_.assign(n, 0);
   expected_stamp_.assign(n, 0);
 
+  // Baseline subscription sets are static, so one interning pass suffices;
+  // fresh descriptors snapshot the canonical id (no fingerprint function —
+  // nothing in the baselines reads descriptor fingerprints).
+  set_ids_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    set_ids_[i] =
+        registry_.intern(subscriptions_.of(static_cast<ids::NodeIndex>(i)));
+  }
+
   const auto is_alive = [this](ids::NodeIndex node) {
     return engine_.is_alive(node);
   };
-  sampling_ = gossip::make_sampling_service(config_.sampling, ring_ids_,
-                                            config_.view_size, is_alive,
-                                            rng_.split(0x73616d70));
+  sampling_ = gossip::make_sampling_service(
+      config_.sampling, ring_ids_, config_.view_size, is_alive,
+      rng_.split(0x73616d70), nullptr,
+      [this](ids::NodeIndex node) { return set_ids_[node]; });
   tman_ = std::make_unique<gossip::TManProtocol>(
       [this](ids::NodeIndex node) -> overlay::RoutingTable& {
         return tables_[node];
@@ -90,6 +101,18 @@ BaselineSystem::BaselineSystem(BaselineConfig config,
 }
 
 void BaselineSystem::run_cycles(std::size_t cycles) { engine_.run(cycles); }
+
+const support::Profiler* BaselineSystem::profiler() const {
+  profiler_.set_counter(support::Counter::kInternedSets, registry_.size());
+  profiler_.set_counter(support::Counter::kInternCalls,
+                        registry_.intern_calls());
+  sync_cache_counters(profiler_);
+  return &profiler_;
+}
+
+double BaselineSystem::cache_hit_rate() const {
+  return std::numeric_limits<double>::quiet_NaN();
+}
 
 std::vector<ids::NodeIndex> BaselineSystem::random_alive_contacts(
     std::size_t count, ids::NodeIndex exclude) {
@@ -277,6 +300,7 @@ void BaselineSystem::observe_sample() {
                                 metrics_.total_messages()},
         slot(support::Gauge::kWindowHitRatio),
         slot(support::Gauge::kWindowOverheadPct));
+    slot(support::Gauge::kUtilityCacheHitRate) = cache_hit_rate();
     for (std::size_t p = 0; p < support::kPhaseCount; ++p) {
       sample->phase_calls[p] =
           profiler_.stats(static_cast<support::Phase>(p)).calls;

@@ -21,6 +21,7 @@
 #include "gossip/tman.hpp"
 #include "overlay/greedy_routing.hpp"
 #include "overlay/routing_table.hpp"
+#include "pubsub/subscription_registry.hpp"
 #include "pubsub/system.hpp"
 #include "sim/cycle_engine.hpp"
 
@@ -56,9 +57,9 @@ class BaselineSystem : public pubsub::PubSubSystem {
   [[nodiscard]] std::size_t alive_count() const override {
     return engine_.alive_count();
   }
-  [[nodiscard]] const support::Profiler* profiler() const override {
-    return &profiler_;
-  }
+  /// Syncs the interning counters (and, via sync_cache_counters, any
+  /// subclass cache stats) into the profiler before returning it.
+  [[nodiscard]] const support::Profiler* profiler() const override;
 
   // --- flight recorder (observability) --------------------------------------
   /// Same contract as VitisSystem: trace sampling draws from a dedicated
@@ -117,6 +118,16 @@ class BaselineSystem : public pubsub::PubSubSystem {
   /// RVR; OPT keeps no relay state).
   [[nodiscard]] virtual std::size_t relay_link_count() const { return 0; }
 
+  /// Subclass hook: publish pairwise-cache counters into `profiler` (OPT's
+  /// coverage-similarity cache; the default has none).
+  virtual void sync_cache_counters(support::Profiler& profiler) const {
+    (void)profiler;
+  }
+
+  /// Cumulative pairwise-cache hit fraction for the recorder gauge; NaN
+  /// (JSON null) for systems without a cache.
+  [[nodiscard]] virtual double cache_hit_rate() const;
+
   // --- dissemination helpers ----------------------------------------------
   struct PublishContext {
     pubsub::DisseminationReport report;
@@ -163,6 +174,12 @@ class BaselineSystem : public pubsub::PubSubSystem {
     return join_cycle_[node];
   }
 
+  /// Canonical id of `node`'s (static) subscription set, interned once at
+  /// construction.
+  [[nodiscard]] pubsub::SetId set_id(ids::NodeIndex node) const {
+    return set_ids_[node];
+  }
+
  private:
   void cycle_maintenance();
   void check_invariants() const;
@@ -171,6 +188,8 @@ class BaselineSystem : public pubsub::PubSubSystem {
 
   BaselineConfig config_;
   pubsub::SubscriptionTable subscriptions_;
+  pubsub::SubscriptionRegistry registry_;  // hash-consed subscription sets
+  std::vector<pubsub::SetId> set_ids_;     // per node, interned in the ctor
   sim::CycleEngine engine_;
   std::vector<ids::RingId> ring_ids_;
   std::vector<overlay::RoutingTable> tables_;

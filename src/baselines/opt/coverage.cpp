@@ -14,9 +14,31 @@ CoverageSelector::CoverageSelector(
 }
 
 std::vector<std::uint32_t> CoverageSelector::shared_positions(
-    const pubsub::SubscriptionSet& my_subs,
-    const pubsub::SubscriptionSet& other) const {
+    const pubsub::SubscriptionSet& my_subs, pubsub::SetId my_id,
+    const pubsub::SubscriptionSet& other, pubsub::SetId other_id) const {
   std::vector<std::uint32_t> positions;
+  // Disjoint fingerprints prove an empty intersection for a couple of ns —
+  // cheaper than a table probe — so those pairs never touch the memo.
+  if (pubsub::fingerprints_disjoint(my_subs.fingerprint(),
+                                    other.fingerprint())) {
+    return positions;
+  }
+  // The memo stores the shared-topic count; a remembered zero proves the
+  // pair disjoint and skips the merge. Non-zero hits still merge — the
+  // caller needs the positions — so the memo only ever removes work whose
+  // result is known to be empty.
+  const bool cacheable = cache_ != nullptr && cache_->enabled() &&
+                         my_id != pubsub::kInvalidSetId &&
+                         other_id != pubsub::kInvalidSetId;
+  bool memoize = false;
+  if (cacheable) {
+    double cached = 0.0;
+    if (cache_->lookup(my_id, other_id, cached)) {
+      if (cached == 0.0) return positions;
+    } else {
+      memoize = true;
+    }
+  }
   const auto mine = my_subs.topics();
   const auto theirs = other.topics();
   std::size_t a = 0;
@@ -32,13 +54,16 @@ std::vector<std::uint32_t> CoverageSelector::shared_positions(
       ++b;
     }
   }
+  if (memoize) {
+    cache_->insert(my_id, other_id, static_cast<double>(positions.size()));
+  }
   return positions;
 }
 
 std::vector<overlay::RoutingEntry> CoverageSelector::select_bounded(
     const pubsub::SubscriptionSet& my_subs,
-    std::span<const gossip::Descriptor> candidates,
-    std::size_t capacity) const {
+    std::span<const gossip::Descriptor> candidates, std::size_t capacity,
+    pubsub::SetId my_set_id) const {
   struct Scored {
     const gossip::Descriptor* descriptor;
     std::vector<std::uint32_t> shared;
@@ -47,8 +72,9 @@ std::vector<overlay::RoutingEntry> CoverageSelector::select_bounded(
   std::vector<Scored> scored;
   scored.reserve(candidates.size());
   for (const auto& d : candidates) {
-    scored.push_back(
-        Scored{&d, shared_positions(my_subs, subscriptions_->of(d.node))});
+    scored.push_back(Scored{&d, shared_positions(my_subs, my_set_id,
+                                                 subscriptions_->of(d.node),
+                                                 d.set_id)});
   }
 
   std::vector<std::uint8_t> coverage(my_subs.size(), 0);
@@ -112,13 +138,13 @@ std::vector<overlay::RoutingEntry> CoverageSelector::select_additional(
     const pubsub::SubscriptionSet& my_subs,
     std::span<const gossip::Descriptor> candidates,
     const overlay::RoutingTable& current,
-    std::vector<std::uint8_t>& coverage) const {
+    std::vector<std::uint8_t>& coverage, pubsub::SetId my_set_id) const {
   VITIS_CHECK(coverage.size() == my_subs.size());
   std::vector<overlay::RoutingEntry> additions;
   for (const auto& d : candidates) {
     if (current.contains(d.node)) continue;
-    const auto shared =
-        shared_positions(my_subs, subscriptions_->of(d.node));
+    const auto shared = shared_positions(my_subs, my_set_id,
+                                         subscriptions_->of(d.node), d.set_id);
     std::size_t gain = 0;
     for (const std::uint32_t pos : shared) {
       if (coverage[pos] < target_) ++gain;

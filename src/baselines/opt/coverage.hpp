@@ -8,14 +8,24 @@
 // the most still-under-covered topics (one link can cover many topics at
 // once when subscriptions correlate — SpiderCast's core idea). Remaining
 // slots are filled by interest similarity.
+//
+// The similarity merge reuses the same core::PairUtilityCache machinery as
+// Vitis' ranking (set_cache + interned SetIds): the cache memoizes the
+// shared-topic *count* of a set pair, and a remembered count of zero lets
+// disjoint pairs — the overwhelming majority under uncorrelated workloads —
+// skip the merge entirely. Non-zero pairs still merge (positions are
+// needed, not just the count), so results are bit-identical with the cache
+// on, off, or cold.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "core/utility.hpp"
 #include "gossip/descriptor.hpp"
 #include "overlay/routing_table.hpp"
 #include "pubsub/subscription.hpp"
+#include "pubsub/subscription_registry.hpp"
 
 namespace vitis::baselines::opt {
 
@@ -25,12 +35,18 @@ class CoverageSelector {
   CoverageSelector(std::size_t coverage_target,
                    const pubsub::SubscriptionTable& subscriptions);
 
+  /// Attach a shared-count memo (not owned; nullptr detaches). The cache
+  /// instance must be dedicated to this selector — its values are shared
+  /// counts, not utilities.
+  void set_cache(core::PairUtilityCache* cache) { cache_ = cache; }
+
   /// Bounded-degree selection: rebuild a table of at most `capacity`
-  /// entries from the candidate buffer.
+  /// entries from the candidate buffer. `my_set_id` (optional) keys the
+  /// shared-count memo; candidates contribute their descriptor snapshot id.
   [[nodiscard]] std::vector<overlay::RoutingEntry> select_bounded(
       const pubsub::SubscriptionSet& my_subs,
-      std::span<const gossip::Descriptor> candidates,
-      std::size_t capacity) const;
+      std::span<const gossip::Descriptor> candidates, std::size_t capacity,
+      pubsub::SetId my_set_id = pubsub::kInvalidSetId) const;
 
   /// Unbounded-degree selection: given the coverage already provided by the
   /// current table (per-topic counts aligned with `my_subs`), return the
@@ -40,18 +56,20 @@ class CoverageSelector {
       const pubsub::SubscriptionSet& my_subs,
       std::span<const gossip::Descriptor> candidates,
       const overlay::RoutingTable& current,
-      std::vector<std::uint8_t>& coverage) const;
+      std::vector<std::uint8_t>& coverage,
+      pubsub::SetId my_set_id = pubsub::kInvalidSetId) const;
 
   [[nodiscard]] std::size_t coverage_target() const { return target_; }
 
  private:
   /// Positions (into my_subs) of the topics shared with `other`.
   [[nodiscard]] std::vector<std::uint32_t> shared_positions(
-      const pubsub::SubscriptionSet& my_subs,
-      const pubsub::SubscriptionSet& other) const;
+      const pubsub::SubscriptionSet& my_subs, pubsub::SetId my_id,
+      const pubsub::SubscriptionSet& other, pubsub::SetId other_id) const;
 
   std::size_t target_;
   const pubsub::SubscriptionTable* subscriptions_;
+  core::PairUtilityCache* cache_ = nullptr;  // not owned
 };
 
 }  // namespace vitis::baselines::opt

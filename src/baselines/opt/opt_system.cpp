@@ -31,6 +31,10 @@ OptSystem::OptSystem(OptConfig config, pubsub::SubscriptionTable subscriptions,
                      start_online),
       config_(config),
       selector_(config.coverage_target, this->subscriptions()) {
+  if (config_.pair_cache_slots > 0 && core::utility_cache_env_enabled()) {
+    coverage_cache_.reset(config_.pair_cache_slots);
+    selector_.set_cache(&coverage_cache_);
+  }
   if (config_.unbounded) {
     coverage_.resize(node_count());
     for (std::size_t i = 0; i < node_count(); ++i) {
@@ -43,18 +47,35 @@ OptSystem::OptSystem(OptConfig config, pubsub::SubscriptionTable subscriptions,
 void OptSystem::select_neighbors(ids::NodeIndex self,
                                  std::span<const gossip::Descriptor> candidates,
                                  overlay::RoutingTable& rt) {
+  const support::ScopedPhase phase(&profiler_mut(),
+                                   support::Phase::kRanking);
   const auto& my_subs = subscriptions().of(self);
   if (config_.unbounded) {
     // Additive: keep every existing link, add what coverage still needs.
     for (const auto& entry :
          selector_.select_additional(my_subs, candidates, rt,
-                                     coverage_[self])) {
+                                     coverage_[self], set_id(self))) {
       (void)rt.add(entry);
     }
     return;
   }
   rt.assign(selector_.select_bounded(my_subs, candidates,
-                                     base_config().routing_table_size));
+                                     base_config().routing_table_size,
+                                     set_id(self)));
+}
+
+void OptSystem::sync_cache_counters(support::Profiler& profiler) const {
+  const core::UtilityCacheStats& stats = coverage_cache_.stats();
+  profiler.set_counter(support::Counter::kUtilityCacheHits, stats.hits);
+  profiler.set_counter(support::Counter::kUtilityCacheMisses, stats.misses);
+  profiler.set_counter(support::Counter::kUtilityCacheEvictions,
+                       stats.evictions);
+  profiler.set_counter(support::Counter::kUtilityCacheInvalidations,
+                       stats.invalidations);
+}
+
+double OptSystem::cache_hit_rate() const {
+  return coverage_cache_.stats().hit_rate();
 }
 
 void OptSystem::on_join(ids::NodeIndex node) {
@@ -71,6 +92,8 @@ void OptSystem::on_leave(ids::NodeIndex node) {
 
 pubsub::DisseminationReport OptSystem::publish(ids::TopicIndex topic,
                                                ids::NodeIndex publisher) {
+  const support::ScopedPhase phase(&profiler_mut(),
+                                   support::Phase::kDelivery);
   PublishContext ctx = start_publish(topic, publisher);
 
   // Pure per-topic flooding: only links between subscribers carry the

@@ -31,6 +31,8 @@ RvrSystem::RvrSystem(RvrConfig config, pubsub::SubscriptionTable subscriptions,
 void RvrSystem::select_neighbors(ids::NodeIndex self,
                                  std::span<const gossip::Descriptor> candidates,
                                  overlay::RoutingTable& rt) {
+  const support::ScopedPhase phase(&profiler_mut(),
+                                   support::Phase::kRanking);
   const ids::RingId self_id = ring_id(self);
   std::vector<gossip::Descriptor> buffer(candidates.begin(), candidates.end());
   std::vector<overlay::RoutingEntry> selected;
@@ -91,6 +93,8 @@ void RvrSystem::refresh_subscription(ids::NodeIndex node,
 
 pubsub::DisseminationReport RvrSystem::publish(ids::TopicIndex topic,
                                                ids::NodeIndex publisher) {
+  const support::ScopedPhase phase(&profiler_mut(),
+                                   support::Phase::kDelivery);
   PublishContext ctx = start_publish(topic, publisher);
 
   // Scribe publish: route the event to the rendezvous node...

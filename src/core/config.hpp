@@ -61,6 +61,12 @@ struct VitisConfig {
   /// Requires coordinates via VitisSystem::set_coordinates().
   double proximity_weight = 0.0;
 
+  /// Slot budget for the memoized pairwise-utility cache (rounded up to a
+  /// power of two; ~24 bytes/slot). 0 disables the cache, as does the
+  /// VITIS_UTILITY_CACHE=off environment switch; either way every score is
+  /// bit-identical to the uncached merge.
+  std::size_t utility_cache_slots = std::size_t{1} << 19;
+
   [[nodiscard]] std::size_t friend_links() const {
     return routing_table_size - structural_links;
   }

@@ -10,6 +10,7 @@
 
 #include "ids/id.hpp"
 #include "pubsub/subscription.hpp"
+#include "pubsub/subscription_registry.hpp"
 
 namespace vitis::core {
 
@@ -62,9 +63,17 @@ class Profile {
   /// Proposal at a known position (bounds-checked in debug builds).
   [[nodiscard]] const GatewayProposal& proposal_at(std::size_t position) const;
 
+  /// Canonical id of the subscription set in the owning system's
+  /// SubscriptionRegistry. kInvalidSetId until interned; the owner must
+  /// refresh it after add_topic/remove_topic (the profile cannot — it has
+  /// no registry reference by design).
+  [[nodiscard]] pubsub::SetId set_id() const { return set_id_; }
+  void set_set_id(pubsub::SetId id) { set_id_ = id; }
+
  private:
   pubsub::SubscriptionSet subscriptions_;
   std::vector<GatewayProposal> proposals_;  // aligned with subscriptions_
+  pubsub::SetId set_id_ = pubsub::kInvalidSetId;
 };
 
 }  // namespace vitis::core

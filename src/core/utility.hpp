@@ -20,6 +20,14 @@
 //    array; score(b) then finds the shared topics in O(|b|) while visiting
 //    them in the same ascending order as the merge, so the floating-point
 //    sums (and with all-ones rates, the integer counts) are unchanged.
+//  * Pairwise memoization — subscription sets are hash-consed into dense
+//    SetIds (pubsub::SubscriptionRegistry); a PairUtilityCache keyed on the
+//    unordered id pair stores the exact double the merge produced, so a
+//    repeated (set, set) evaluation is one probe instead of a merge.
+//    Because SetIds are canonical, a cached value can never drift from the
+//    fresh score; epoch invalidation exists as a defensive hook for churn
+//    rejoin and resubscription. `VITIS_UTILITY_CACHE=off` disables it with
+//    byte-identical stdout.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +35,7 @@
 #include <vector>
 
 #include "pubsub/subscription.hpp"
+#include "pubsub/subscription_registry.hpp"
 
 namespace vitis::core {
 
@@ -37,6 +46,88 @@ struct PrefilterStats {
   std::uint64_t calls = 0;
   std::uint64_t rejects = 0;
 };
+
+/// Deterministic cache counters. hits/misses count lookups on pairs where
+/// both SetIds are valid; invalidations count epoch bumps; evictions count
+/// live slots overwritten because a probe window filled up.
+struct UtilityCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;
+
+  [[nodiscard]] std::uint64_t lookups() const { return hits + misses; }
+  /// Hit fraction; NaN when no lookup happened yet (serialized as JSON
+  /// null by the recorder, matching the window gauges).
+  [[nodiscard]] double hit_rate() const;
+};
+
+/// Flat open-addressing memo of Eq.-1 scores keyed on the unordered
+/// (SetId, SetId) pair. Bounded: power-of-two slot count, linear probe over
+/// a fixed window, and when the window is full the probe-start slot is
+/// overwritten — a deterministic eviction rule with no clocks or use
+/// counters involved. Invalidation is O(1) via an epoch stamp (epoch 0 is
+/// the never-valid sentinel for empty slots); on epoch wraparound every
+/// slot is cleared so stale stamps cannot alias.
+class PairUtilityCache {
+ public:
+  /// Disabled (zero-slot) cache: lookups miss, inserts drop.
+  PairUtilityCache() = default;
+
+  /// Cache with at least `min_slots` slots (rounded up to a power of two);
+  /// 0 constructs a disabled cache.
+  explicit PairUtilityCache(std::size_t min_slots) { reset(min_slots); }
+
+  /// Drop all entries and stats, resizing to `min_slots` (0 = disable).
+  void reset(std::size_t min_slots);
+
+  [[nodiscard]] bool enabled() const { return !slots_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// If the pair {a, b} is cached in the current epoch, write its score to
+  /// `value` and count a hit; otherwise count a miss. Both ids must be
+  /// valid. Never allocates.
+  [[nodiscard]] bool lookup(pubsub::SetId a, pubsub::SetId b, double& value);
+
+  /// Hint the probe-start slot of {a, b} into cache ahead of lookup().
+  /// Ranking issues one pass of prefetches over its candidate pool before
+  /// scoring, so the table probes overlap instead of serializing on memory
+  /// latency. Pure perf hint: no stats, no state change.
+  void prefetch(pubsub::SetId a, pubsub::SetId b) const;
+
+  /// Memoize the score of the pair {a, b}. Prefers a free-or-stale slot in
+  /// the probe window; otherwise evicts the probe-start slot. Never
+  /// allocates.
+  void insert(pubsub::SetId a, pubsub::SetId b, double value);
+
+  /// O(1) drop of every entry (epoch bump; full clear on wraparound).
+  void invalidate();
+
+  [[nodiscard]] const UtilityCacheStats& stats() const { return stats_; }
+
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+  /// Test hook for exercising epoch wraparound without 2^32 invalidations.
+  void set_epoch_for_test(std::uint32_t epoch) { epoch_ = epoch; }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    double value = 0.0;
+    std::uint32_t epoch = 0;  // 0 = never valid (slot empty)
+  };
+
+  static constexpr std::size_t kProbeWindow = 8;
+
+  std::vector<Slot> slots_;  // power-of-two size; empty = disabled
+  std::uint64_t mask_ = 0;
+  std::uint32_t epoch_ = 1;
+  UtilityCacheStats stats_;
+};
+
+/// The `VITIS_UTILITY_CACHE` kill switch: "off" or "0" disables the
+/// memoized scoring path (stdout must stay byte-identical either way);
+/// anything else, including unset, enables it.
+[[nodiscard]] bool utility_cache_env_enabled();
 
 class UtilityFunction {
  public:
@@ -54,8 +145,36 @@ class UtilityFunction {
   /// bit, amortizing a's side of the merge across many candidates. The
   /// stamped state stays valid until the next prepare() on this instance;
   /// `a` must outlive the score() calls.
-  void prepare(const pubsub::SubscriptionSet& a) const;
-  [[nodiscard]] double score(const pubsub::SubscriptionSet& b) const;
+  ///
+  /// When a cache is attached (set_cache), both SetIds are valid, and the
+  /// rates are skewed (not all ones), score runs the fingerprint prefilter
+  /// *first* — a proven-disjoint pair is exactly 0.0 for a few ns, cheaper
+  /// than any probe, so zero-score pairs never consume memo slots — then
+  /// consults the memo: a hit returns the stored double (the exact value a
+  /// previous merge produced) and skips the merge entirely; a miss
+  /// computes the score as before and memoizes it. With uniform (all-ones)
+  /// rates the memo is bypassed entirely: the stamped count merge costs
+  /// ~tens of ns, cheaper than probing a figure-scale table, so there is
+  /// nothing worth memoizing (the skewed path's two-sided weighted_union
+  /// is what the memo actually amortizes). Passing kInvalidSetId (the
+  /// default) bypasses the cache, so un-interned callers behave exactly as
+  /// they always have.
+  void prepare(const pubsub::SubscriptionSet& a,
+               pubsub::SetId a_id = pubsub::kInvalidSetId) const;
+  [[nodiscard]] double score(const pubsub::SubscriptionSet& b,
+                             pubsub::SetId b_id = pubsub::kInvalidSetId) const;
+
+  /// Prefetch the memo slot score(b, b_id) would probe, applying the same
+  /// prefilter gate (disjoint pairs never probe, so nothing to warm). Call
+  /// once per candidate before a scoring pass; a no-op without a cache.
+  void prefetch(const pubsub::SubscriptionSet& b, pubsub::SetId b_id) const;
+
+  /// Attach a memo (not owned; nullptr detaches). The caller is
+  /// responsible for invalidating it when interned sets change meaning —
+  /// which, with canonical SetIds, only happens defensively (churn rejoin,
+  /// resubscription).
+  void set_cache(PairUtilityCache* cache) { cache_ = cache; }
+  [[nodiscard]] PairUtilityCache* cache() const { return cache_; }
 
   /// Test hook: with the prefilter off, every pair pays the exact merge.
   void set_prefilter_enabled(bool enabled) { prefilter_enabled_ = enabled; }
@@ -69,9 +188,13 @@ class UtilityFunction {
   [[nodiscard]] std::span<const double> rates() const { return rates_; }
 
  private:
+  [[nodiscard]] double score_fresh(const pubsub::SubscriptionSet& b) const;
+  [[nodiscard]] double score_merge(const pubsub::SubscriptionSet& b) const;
+
   std::vector<double> rates_;
   bool all_ones_ = true;  // every rate == 1.0: Jaccard counts are exact
   bool prefilter_enabled_ = true;
+  PairUtilityCache* cache_ = nullptr;  // not owned
 
   // prepare()/score() scratch; mutable because scoring is logically const.
   // Single-threaded per sweep point, like every simulation structure.
@@ -80,6 +203,7 @@ class UtilityFunction {
   mutable const pubsub::SubscriptionSet* prepared_ = nullptr;
   mutable std::uint64_t prepared_fp_ = 0;
   mutable std::size_t prepared_size_ = 0;
+  mutable pubsub::SetId prepared_id_ = pubsub::kInvalidSetId;
   mutable PrefilterStats prefilter_stats_;
 };
 

@@ -23,6 +23,11 @@ VitisSystem::VitisSystem(VitisConfig config,
   config_.validate();
   VITIS_CHECK(rates.size() == subscriptions_.topic_count());
 
+  if (config_.utility_cache_slots > 0 && utility_cache_env_enabled()) {
+    utility_cache_.reset(config_.utility_cache_slots);
+    utility_.set_cache(&utility_cache_);
+  }
+
   const std::size_t n = subscriptions_.node_count();
   nodes_.reserve(n);
   std::vector<ids::RingId> ring_ids(n);
@@ -32,6 +37,8 @@ VitisSystem::VitisSystem(VitisConfig config,
     nodes_.emplace_back(ring_ids[i], Profile(subscriptions_.of(node)),
                         config_.routing_table_size);
     nodes_.back().profile.reset_proposals(node, ring_ids[i]);
+    nodes_.back().profile.set_set_id(
+        registry_.intern(nodes_.back().profile.subscriptions()));
   }
 
   const auto is_alive = [this](ids::NodeIndex node) {
@@ -39,8 +46,12 @@ VitisSystem::VitisSystem(VitisConfig config,
   };
   sampling_ = gossip::make_sampling_service(
       config_.sampling, ring_ids, config_.view_size, is_alive,
-      rng_.split(0x73616d70), [this](ids::NodeIndex node) {
+      rng_.split(0x73616d70),
+      [this](ids::NodeIndex node) {
         return nodes_[node].profile.subscriptions().fingerprint();
+      },
+      [this](ids::NodeIndex node) {
+        return nodes_[node].profile.set_id();
       });
   tman_ = std::make_unique<gossip::TManProtocol>(
       [this](ids::NodeIndex node) -> overlay::RoutingTable& {
@@ -154,15 +165,25 @@ void VitisSystem::select_neighbors(
   // arms the fingerprint prefilter (bit-identical scores either way).
   // With coordinates installed and proximity_weight > 0, physically distant
   // candidates are discounted (§III-A2's network-topology extension).
+  // Scoring keys the pairwise memo on the *live* profiles' SetIds (never a
+  // descriptor's snapshot id), so a stale snapshot cannot mis-rank.
   const pubsub::SubscriptionSet& my_subs = nodes_[self].profile.subscriptions();
   const bool use_proximity =
       config_.proximity_weight > 0.0 && !coordinates_.empty();
-  utility_.prepare(my_subs);
+  utility_.prepare(my_subs, nodes_[self].profile.set_id());
+  // One prefetch pass before scoring: the memo probes for the whole pool
+  // overlap in the memory system instead of serializing, and the pass
+  // itself warms the candidate profiles for the scoring loop below.
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    const Profile& their_profile = nodes_[buffer[i].node].profile;
+    utility_.prefetch(their_profile.subscriptions(), their_profile.set_id());
+  }
   std::vector<std::pair<double, std::size_t>>& ranked = ranked_;
   ranked.clear();
   for (std::size_t i = 0; i < buffer.size(); ++i) {
-    const auto& their_subs = nodes_[buffer[i].node].profile.subscriptions();
-    double score = utility_.score(their_subs);
+    const Profile& their_profile = nodes_[buffer[i].node].profile;
+    const auto& their_subs = their_profile.subscriptions();
+    double score = utility_.score(their_subs, their_profile.set_id());
     if (use_proximity && score > 0.0) {
       const double normalized =
           sim::latency_ms(coordinates_[self], coordinates_[buffer[i].node]) /
@@ -214,7 +235,13 @@ void VitisSystem::cycle_maintenance() {
   for (const ids::NodeIndex node : order) refresh_heartbeats(node);
   rebuild_undirected();
   rng_.shuffle(order);
-  for (const ids::NodeIndex node : order) run_election(node);
+  {
+    // Attributed per cycle, not per node: one election sweep is one phase
+    // activation (profiling found it to be the largest unattributed slice
+    // of figure-bench wall — see DESIGN.md "Hot path & determinism").
+    const support::ScopedPhase phase(&profiler_, support::Phase::kElection);
+    for (const ids::NodeIndex node : order) run_election(node);
+  }
 }
 
 void VitisSystem::refresh_heartbeats(ids::NodeIndex node) {
@@ -343,6 +370,20 @@ void VitisSystem::gossip_step(ids::NodeIndex node) {
   tman_->step(node);
 }
 
+const support::Profiler* VitisSystem::profiler() const {
+  const UtilityCacheStats& cache = utility_cache_.stats();
+  profiler_.set_counter(support::Counter::kUtilityCacheHits, cache.hits);
+  profiler_.set_counter(support::Counter::kUtilityCacheMisses, cache.misses);
+  profiler_.set_counter(support::Counter::kUtilityCacheEvictions,
+                        cache.evictions);
+  profiler_.set_counter(support::Counter::kUtilityCacheInvalidations,
+                        cache.invalidations);
+  profiler_.set_counter(support::Counter::kInternedSets, registry_.size());
+  profiler_.set_counter(support::Counter::kInternCalls,
+                        registry_.intern_calls());
+  return &profiler_;
+}
+
 // ---------------------------------------------------------------------------
 // Flight recorder (observability).
 // ---------------------------------------------------------------------------
@@ -396,6 +437,8 @@ void VitisSystem::observe_sample() {
                                 metrics_.total_messages()},
         slot(support::Gauge::kWindowHitRatio),
         slot(support::Gauge::kWindowOverheadPct));
+    slot(support::Gauge::kUtilityCacheHitRate) =
+        utility_cache_.stats().hit_rate();
     for (std::size_t p = 0; p < support::kPhaseCount; ++p) {
       sample->phase_calls[p] =
           profiler_.stats(static_cast<support::Phase>(p)).calls;
@@ -425,6 +468,7 @@ void VitisSystem::check_invariants() const {
 // ---------------------------------------------------------------------------
 pubsub::DisseminationReport VitisSystem::publish(ids::TopicIndex topic,
                                                  ids::NodeIndex publisher) {
+  const support::ScopedPhase phase(&profiler_, support::Phase::kDelivery);
   VITIS_CHECK(topic < subscriptions_.topic_count());
   VITIS_CHECK(engine_.is_alive(publisher));
 
@@ -545,6 +589,9 @@ void VitisSystem::node_join(ids::NodeIndex node) {
   engine_.set_alive(node, true);
   nodes_[node].reset_overlay_state(node);
   nodes_[node].join_cycle = engine_.cycle();
+  // A rejoining node may come back with a different subscription set (its
+  // profile can be mutated while offline); refresh its canonical id.
+  refresh_set_id(node);
   const auto contacts = random_alive_contacts(config_.bootstrap_contacts, node);
   sampling_->init_node(node, contacts);
 }
@@ -562,6 +609,7 @@ void VitisSystem::node_leave(ids::NodeIndex node) {
 // ---------------------------------------------------------------------------
 TimedDisseminationReport VitisSystem::publish_timed(ids::TopicIndex topic,
                                                     ids::NodeIndex publisher) {
+  const support::ScopedPhase phase(&profiler_, support::Phase::kDelivery);
   VITIS_CHECK(topic < subscriptions_.topic_count());
   VITIS_CHECK(engine_.is_alive(publisher));
 
@@ -691,6 +739,7 @@ bool VitisSystem::subscribe(ids::NodeIndex node, ids::TopicIndex topic) {
   const bool added = nodes_[node].profile.add_topic(topic, node,
                                                     nodes_[node].id);
   VITIS_CHECK(added);
+  refresh_set_id(node);
   return true;
 }
 
@@ -699,7 +748,18 @@ bool VitisSystem::unsubscribe(ids::NodeIndex node, ids::TopicIndex topic) {
   if (!subscriptions_.unsubscribe(node, topic)) return false;
   const bool removed = nodes_[node].profile.remove_topic(topic);
   VITIS_CHECK(removed);
+  refresh_set_id(node);
   return true;
+}
+
+void VitisSystem::refresh_set_id(ids::NodeIndex node) {
+  Profile& profile = nodes_[node].profile;
+  const pubsub::SetId id = registry_.intern(profile.subscriptions());
+  if (id == profile.set_id()) return;
+  profile.set_set_id(id);
+  // Canonical ids make stale cache entries unreachable rather than wrong,
+  // but the contract is defensive: any id change drops the whole memo.
+  utility_cache_.invalidate();
 }
 
 // ---------------------------------------------------------------------------

@@ -109,6 +109,12 @@ class VitisSystem final : public pubsub::PubSubSystem {
   [[nodiscard]] const Profile& profile(ids::NodeIndex node) const {
     return nodes_[node].profile;
   }
+  [[nodiscard]] const pubsub::SubscriptionRegistry& registry() const {
+    return registry_;
+  }
+  [[nodiscard]] const PairUtilityCache& utility_cache() const {
+    return utility_cache_;
+  }
 
   /// True when `node` currently proposes itself as gateway for `topic`.
   [[nodiscard]] bool is_gateway(ids::NodeIndex node,
@@ -131,9 +137,9 @@ class VitisSystem final : public pubsub::PubSubSystem {
   /// cycle. Test hook for the allocation audit of the steady-state step.
   void gossip_step(ids::NodeIndex node);
 
-  [[nodiscard]] const support::Profiler* profiler() const override {
-    return &profiler_;
-  }
+  /// Syncs the cache/interning counters into the profiler before returning
+  /// it, so artifact writers always see current totals.
+  [[nodiscard]] const support::Profiler* profiler() const override;
   [[nodiscard]] support::Profiler& profiler_mut() { return profiler_; }
 
   // --- flight recorder (observability) --------------------------------------
@@ -182,6 +188,11 @@ class VitisSystem final : public pubsub::PubSubSystem {
   void rebuild_undirected();
   void check_invariants() const;
   void refresh_heartbeats(ids::NodeIndex node);
+
+  // Re-intern a node's (possibly changed) subscription set; when the
+  // canonical id changed, defensively invalidate the pairwise-utility memo
+  // (subscription change and churn rejoin are the two callers).
+  void refresh_set_id(ids::NodeIndex node);
   void run_election(ids::NodeIndex node);
   void request_relay(ids::NodeIndex gateway, ids::TopicIndex topic);
 
@@ -190,7 +201,9 @@ class VitisSystem final : public pubsub::PubSubSystem {
 
   VitisConfig config_;
   pubsub::SubscriptionTable subscriptions_;
+  pubsub::SubscriptionRegistry registry_;  // hash-consed subscription sets
   UtilityFunction utility_;
+  PairUtilityCache utility_cache_;  // memoized Eq.-1 scores over SetId pairs
   sim::CycleEngine engine_;
   std::vector<VitisNode> nodes_;
   std::unique_ptr<gossip::SamplingService> sampling_;

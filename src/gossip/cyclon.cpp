@@ -10,12 +10,14 @@ CyclonSampling::CyclonSampling(std::span<const ids::RingId> ring_ids,
                                std::size_t view_size,
                                std::size_t shuffle_size,
                                std::function<bool(ids::NodeIndex)> is_alive,
-                               sim::Rng rng, FingerprintFn fingerprint)
+                               sim::Rng rng, FingerprintFn fingerprint,
+                               SetIdFn set_id)
     : ring_ids_(ring_ids.begin(), ring_ids.end()),
       view_size_(view_size),
       shuffle_size_(shuffle_size),
       is_alive_(std::move(is_alive)),
       fingerprint_(std::move(fingerprint)),
+      set_id_(std::move(set_id)),
       rng_(rng) {
   VITIS_CHECK(view_size_ > 0);
   VITIS_CHECK(shuffle_size_ > 0 && shuffle_size_ <= view_size_);

@@ -25,7 +25,8 @@ class CyclonSampling final : public SamplingService {
   CyclonSampling(std::span<const ids::RingId> ring_ids, std::size_t view_size,
                  std::size_t shuffle_size,
                  std::function<bool(ids::NodeIndex)> is_alive, sim::Rng rng,
-                 FingerprintFn fingerprint = nullptr);
+                 FingerprintFn fingerprint = nullptr,
+                 SetIdFn set_id = nullptr);
 
   void init_node(ids::NodeIndex node,
                  std::span<const ids::NodeIndex> bootstrap) override;
@@ -44,7 +45,8 @@ class CyclonSampling final : public SamplingService {
   [[nodiscard]] Descriptor self_descriptor(
       ids::NodeIndex node) const override {
     return Descriptor{node, ring_ids_[node], 0,
-                      fingerprint_ ? fingerprint_(node) : 0};
+                      fingerprint_ ? fingerprint_(node) : 0,
+                      set_id_ ? set_id_(node) : pubsub::kInvalidSetId};
   }
   [[nodiscard]] std::size_t shuffle_size() const { return shuffle_size_; }
 
@@ -54,6 +56,7 @@ class CyclonSampling final : public SamplingService {
   std::size_t shuffle_size_;
   std::function<bool(ids::NodeIndex)> is_alive_;
   FingerprintFn fingerprint_;
+  SetIdFn set_id_;
   std::vector<PartialView> views_;
   sim::Rng rng_;
   // Shuffle subsets, hoisted out of step() (allocation-free steady state).

@@ -1,17 +1,21 @@
 // Node descriptors exchanged by the gossip layers.
 //
 // A descriptor is what one node knows about another: its simulator index,
-// its ring id, an age (gossip rounds since the information was fresh), and a
-// snapshot of the node's subscription fingerprint. Ages implement
-// Newscast-style freshness ordering and failure detection; the fingerprint
-// lets receivers pre-screen similarity candidates without fetching the full
-// profile (core::UtilityFunction ranks against the live profile, so a stale
-// snapshot can never mis-rank — see DESIGN.md "Hot path & determinism").
+// its ring id, an age (gossip rounds since the information was fresh), a
+// snapshot of the node's subscription fingerprint, and the interned SetId of
+// its subscription set. Ages implement Newscast-style freshness ordering and
+// failure detection; the fingerprint lets receivers pre-screen similarity
+// candidates without fetching the full profile (core::UtilityFunction ranks
+// against the live profile, so a stale snapshot can never mis-rank — see
+// DESIGN.md "Hot path & determinism"). The SetId serves the same advisory
+// role for the memoized utility cache: ranking keys on live profile ids, so
+// a stale snapshot id is harmless.
 #pragma once
 
 #include <cstdint>
 
 #include "ids/id.hpp"
+#include "pubsub/subscription_registry.hpp"
 
 namespace vitis::gossip {
 
@@ -20,6 +24,7 @@ struct Descriptor {
   ids::RingId id = 0;
   std::uint32_t age = 0;
   std::uint64_t fp = 0;  // subscription fingerprint at descriptor creation
+  pubsub::SetId set_id = pubsub::kInvalidSetId;  // interned set at creation
 
   friend bool operator==(const Descriptor& a, const Descriptor& b) {
     return a.node == b.node;  // identity, not freshness

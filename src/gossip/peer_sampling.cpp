@@ -9,11 +9,12 @@ namespace vitis::gossip {
 PeerSamplingService::PeerSamplingService(
     std::span<const ids::RingId> ring_ids, std::size_t view_size,
     std::function<bool(ids::NodeIndex)> is_alive, sim::Rng rng,
-    FingerprintFn fingerprint)
+    FingerprintFn fingerprint, SetIdFn set_id)
     : ring_ids_(ring_ids.begin(), ring_ids.end()),
       view_size_(view_size),
       is_alive_(std::move(is_alive)),
       fingerprint_(std::move(fingerprint)),
+      set_id_(std::move(set_id)),
       rng_(rng) {
   VITIS_CHECK(view_size_ > 0);
   VITIS_CHECK(is_alive_ != nullptr);

@@ -22,11 +22,13 @@ class PeerSamplingService final : public SamplingService {
  public:
   /// `ring_ids[i]` is node i's position in the identifier space.
   /// `is_alive(i)` reports whether node i is currently online.
-  /// `fingerprint(i)` (optional) is stamped into fresh descriptors.
+  /// `fingerprint(i)` / `set_id(i)` (optional) are stamped into fresh
+  /// descriptors.
   PeerSamplingService(std::span<const ids::RingId> ring_ids,
                       std::size_t view_size,
                       std::function<bool(ids::NodeIndex)> is_alive,
-                      sim::Rng rng, FingerprintFn fingerprint = nullptr);
+                      sim::Rng rng, FingerprintFn fingerprint = nullptr,
+                      SetIdFn set_id = nullptr);
 
   /// Bootstrap a joining node with some introduction contacts.
   void init_node(ids::NodeIndex node,
@@ -54,7 +56,8 @@ class PeerSamplingService final : public SamplingService {
   [[nodiscard]] Descriptor self_descriptor(
       ids::NodeIndex node) const override {
     return Descriptor{node, ring_ids_[node], 0,
-                      fingerprint_ ? fingerprint_(node) : 0};
+                      fingerprint_ ? fingerprint_(node) : 0,
+                      set_id_ ? set_id_(node) : pubsub::kInvalidSetId};
   }
 
  private:
@@ -62,6 +65,7 @@ class PeerSamplingService final : public SamplingService {
   std::size_t view_size_;
   std::function<bool(ids::NodeIndex)> is_alive_;
   FingerprintFn fingerprint_;
+  SetIdFn set_id_;
   std::vector<PartialView> views_;
   sim::Rng rng_;
   // Exchange snapshots, hoisted out of step() (one-core scratch-buffer

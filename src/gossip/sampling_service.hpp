@@ -20,6 +20,10 @@ namespace vitis::gossip {
 /// descriptors carry the node's current fingerprint snapshot.
 using FingerprintFn = std::function<std::uint64_t(ids::NodeIndex)>;
 
+/// Optional live interned-SetId lookup; when provided, fresh descriptors
+/// carry the node's canonical subscription-set id snapshot.
+using SetIdFn = std::function<pubsub::SetId(ids::NodeIndex)>;
+
 class SamplingService {
  public:
   virtual ~SamplingService() = default;
@@ -61,11 +65,13 @@ enum class SamplingPolicy {
 
 [[nodiscard]] const char* to_string(SamplingPolicy policy);
 
-/// Build the configured sampling service. `fingerprint` (optional) is the
-/// live subscription-fingerprint lookup stamped into fresh descriptors.
+/// Build the configured sampling service. `fingerprint` and `set_id`
+/// (optional) are the live subscription-fingerprint and interned-SetId
+/// lookups stamped into fresh descriptors.
 [[nodiscard]] std::unique_ptr<SamplingService> make_sampling_service(
     SamplingPolicy policy, std::span<const ids::RingId> ring_ids,
     std::size_t view_size, std::function<bool(ids::NodeIndex)> is_alive,
-    sim::Rng rng, FingerprintFn fingerprint = nullptr);
+    sim::Rng rng, FingerprintFn fingerprint = nullptr,
+    SetIdFn set_id = nullptr);
 
 }  // namespace vitis::gossip

@@ -1,0 +1,65 @@
+#include "pubsub/subscription_registry.hpp"
+
+#include "ids/hash.hpp"
+#include "support/check.hpp"
+
+namespace vitis::pubsub {
+
+namespace {
+constexpr std::size_t kInitialBuckets = 64;  // power of two
+}  // namespace
+
+SubscriptionRegistry::SubscriptionRegistry()
+    : buckets_(kInitialBuckets), mask_(kInitialBuckets - 1) {}
+
+std::uint64_t SubscriptionRegistry::hash_topics(const SubscriptionSet& set) {
+  // Order-dependent mix over the sorted unique topic list; domain-separated
+  // from the fingerprint and ring-id hashes.
+  std::uint64_t h = 0x7365747265673031ULL;
+  for (const ids::TopicIndex topic : set) {
+    h = ids::mix64(h ^ (static_cast<std::uint64_t>(topic) + 0x9e3779b97f4a7c15ULL));
+  }
+  return h;
+}
+
+SetId SubscriptionRegistry::intern(const SubscriptionSet& set) {
+  ++intern_calls_;
+  const std::uint64_t hash = hash_topics(set);
+  std::uint64_t slot = hash & mask_;
+  while (true) {
+    Bucket& bucket = buckets_[slot];
+    if (bucket.id == kInvalidSetId) break;  // not interned yet
+    // Hash equality is only a hint; confirm with the exact set compare.
+    if (bucket.hash == hash && sets_[bucket.id] == set) return bucket.id;
+    slot = (slot + 1) & mask_;
+  }
+
+  const auto id = static_cast<SetId>(sets_.size());
+  VITIS_CHECK(id != kInvalidSetId);
+  sets_.push_back(set);
+  buckets_[slot] = Bucket{hash, id};
+  // Keep the probe chains short: grow at 2/3 load.
+  if (sets_.size() * 3 > buckets_.size() * 2) grow();
+  return id;
+}
+
+const SubscriptionSet& SubscriptionRegistry::set(SetId id) const {
+  VITIS_DCHECK(id < sets_.size());
+  return sets_[id];
+}
+
+void SubscriptionRegistry::grow() {
+  const std::size_t new_size = buckets_.size() * 2;
+  std::vector<Bucket> fresh(new_size);
+  const std::uint64_t new_mask = new_size - 1;
+  for (const Bucket& bucket : buckets_) {
+    if (bucket.id == kInvalidSetId) continue;
+    std::uint64_t slot = bucket.hash & new_mask;
+    while (fresh[slot].id != kInvalidSetId) slot = (slot + 1) & new_mask;
+    fresh[slot] = bucket;
+  }
+  buckets_ = std::move(fresh);
+  mask_ = new_mask;
+}
+
+}  // namespace vitis::pubsub

@@ -61,6 +61,7 @@ void CycleEngine::run(std::size_t cycles) {
     // of the cycle. The stride test keeps disabled recorders zero-cost.
     if (recorder_ != nullptr && observer_ != nullptr &&
         recorder_->should_sample_cycle(cycle_)) {
+      const support::ScopedPhase timer(profiler_, support::Phase::kObserve);
       observer_(cycle_);
     }
     ++cycle_;

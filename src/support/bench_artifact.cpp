@@ -81,6 +81,20 @@ void write_scalar(JsonWriter& w, const BenchArtifact::Scalar& scalar) {
   }
 }
 
+bool all_zero(const std::array<PhaseStats, kPhaseCount>& phases) {
+  for (const PhaseStats& p : phases) {
+    if (p.calls != 0 || p.wall_ns != 0) return false;
+  }
+  return true;
+}
+
+bool all_zero(const std::array<std::uint64_t, kCounterCount>& counters) {
+  for (const std::uint64_t c : counters) {
+    if (c != 0) return false;
+  }
+  return true;
+}
+
 void write_phases(JsonWriter& w, const std::array<PhaseStats, kPhaseCount>& phases) {
   w.begin_object();
   for (std::size_t p = 0; p < kPhaseCount; ++p) {
@@ -92,14 +106,31 @@ void write_phases(JsonWriter& w, const std::array<PhaseStats, kPhaseCount>& phas
   w.end_object();
 }
 
+void write_counters(JsonWriter& w,
+                    const std::array<std::uint64_t, kCounterCount>& counters) {
+  w.begin_object();
+  for (std::size_t c = 0; c < kCounterCount; ++c) {
+    w.key(to_string(static_cast<Counter>(c))).value(counters[c]);
+  }
+  w.end_object();
+}
+
+// Empty-block omission (schema v4): all-zero phases/counters are skipped so
+// micro-bench points stay compact; consumers treat absence as all-zero.
 void write_telemetry(JsonWriter& w, const RunTelemetry& t) {
   w.begin_object();
   w.key("wall_ms").value(t.wall_ms);
   w.key("peak_rss_kb").value(t.peak_rss_kb);
   w.key("cycles").value(t.cycles);
   w.key("messages").value(t.messages);
-  w.key("phases");
-  write_phases(w, t.phases);
+  if (!all_zero(t.phases)) {
+    w.key("phases");
+    write_phases(w, t.phases);
+  }
+  if (!all_zero(t.counters)) {
+    w.key("counters");
+    write_counters(w, t.counters);
+  }
   w.end_object();
 }
 
@@ -138,7 +169,7 @@ std::size_t BenchArtifact::trace_count() const {
 std::string BenchArtifact::to_json() const {
   JsonWriter w;
   w.begin_object();
-  w.key("schema_version").value(std::int64_t{3});
+  w.key("schema_version").value(std::int64_t{4});
   w.key("bench").value(name_);
   w.key("git_describe").value(git_describe_);
   w.key("scale").begin_object();
@@ -167,8 +198,11 @@ std::string BenchArtifact::to_json() const {
     w.end_object();
     w.key("telemetry");
     write_telemetry(w, point.telemetry_);
-    w.key("timeseries");
-    write_timeseries(w, point.telemetry_.series);
+    const TimeSeries& series = point.telemetry_.series;
+    if (series.stride != 0 || !series.samples.empty()) {
+      w.key("timeseries");
+      write_timeseries(w, series);
+    }
     w.end_object();
   }
   w.end_array();
@@ -184,6 +218,9 @@ std::string BenchArtifact::to_json() const {
       totals.phases[p].calls += point.telemetry_.phases[p].calls;
       totals.phases[p].wall_ns += point.telemetry_.phases[p].wall_ns;
     }
+    for (std::size_t c = 0; c < kCounterCount; ++c) {
+      totals.counters[c] += point.telemetry_.counters[c];
+    }
   }
   w.key("totals").begin_object();
   w.key("points").value(static_cast<std::uint64_t>(points_.size()));
@@ -191,8 +228,14 @@ std::string BenchArtifact::to_json() const {
   w.key("peak_rss_kb").value(totals.peak_rss_kb);
   w.key("cycles").value(totals.cycles);
   w.key("messages").value(totals.messages);
-  w.key("phases");
-  write_phases(w, totals.phases);
+  if (!all_zero(totals.phases)) {
+    w.key("phases");
+    write_phases(w, totals.phases);
+  }
+  if (!all_zero(totals.counters)) {
+    w.key("counters");
+    write_counters(w, totals.counters);
+  }
   w.key("traces").value(static_cast<std::uint64_t>(trace_count()));
   w.end_object();
 

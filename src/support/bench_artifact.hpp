@@ -3,9 +3,9 @@
 // This is the file future PRs regress performance against and
 // tools/fill_experiments.py prefers over scraping bench_output.txt.
 //
-// Schema (version 3):
+// Schema (version 4):
 //   {
-//     "schema_version": 3,
+//     "schema_version": 4,
 //     "bench": "<short bench name, e.g. fig04_friends_vs_sw>",
 //     "git_describe": "<git describe --always --dirty at configure time>",
 //     "scale": {"name": "quick", "nodes": N, "topics": T,
@@ -19,7 +19,14 @@
 //                      "cycles": ..., "messages": ...,
 //                      "phases": {"sampling": {"calls": ..., "wall_ms": ...},
 //                                 "tman": ..., "ranking": ..., "relay": ...,
-//                                 "routing": ...}},
+//                                 "routing": ..., "delivery": ...,
+//                                 "observe": ..., "election": ...},
+//                      "counters": {"utility_cache_hits": ...,
+//                                   "utility_cache_misses": ...,
+//                                   "utility_cache_evictions": ...,
+//                                   "utility_cache_invalidations": ...,
+//                                   "interned_sets": ...,
+//                                   "intern_calls": ...}},
 //        "timeseries": {"stride": S,
 //                       "samples": [{"cycle": ...,
 //                                    "gauges": {"alive_nodes": ..., ...},
@@ -29,6 +36,7 @@
 //     ],
 //     "totals": {"points": P, "wall_ms": sum, "peak_rss_kb": max,
 //                "cycles": sum, "messages": sum, "phases": {...summed...},
+//                "counters": {...summed...},
 //                "traces": <publication traces recorded across points>}
 //   }
 //
@@ -36,16 +44,26 @@
 // "telemetry" and "totals" carry the wall-clock/RSS measurements and vary
 // between runs. Within "phases", "calls" counts protocol activations and is
 // deterministic per (seed, scale); "wall_ms" is exclusive (self) time per
-// support/profiler.hpp and varies between runs. The "timeseries" block is
-// the flight recorder's per-cycle overlay-health series (deterministic per
-// (seed, scale); {"stride": 0, "samples": []} when the run did not pass
-// --observe). Gauges that are undefined for a window (e.g. hit ratio with
-// no events) serialize as null. Version history:
+// support/profiler.hpp and varies between runs. "counters" carries the
+// deterministic scoring-cache/interning event counters (support::Counter).
+// The "timeseries" block is the flight recorder's per-cycle overlay-health
+// series (deterministic per (seed, scale)). Gauges that are undefined for a
+// window (e.g. hit ratio with no events) serialize as null.
+//
+// Empty-block omission (v4): "phases" is omitted when every phase has zero
+// calls and zero wall, "counters" when every counter is zero, and a point's
+// "timeseries" when the recorder was off for that point (stride 0, no
+// samples) — micro-bench points stay compact while figure benches keep the
+// full blocks. Consumers must treat a missing block as all-zero/disabled.
+// Version history:
 //   v1 — params/metrics/telemetry without phases.
 //   v2 — adds the per-phase breakdown to telemetry and totals.
 //   v3 — adds the per-point "timeseries" block and the totals trace count;
 //        route traces live in the TRACE_<name>.jsonl sidecar
 //        (write_traces()).
+//   v4 — adds the "delivery"/"observe"/"election" phases and the telemetry
+//        "counters" block; empty phases/counters/timeseries blocks are
+//        omitted.
 #pragma once
 
 #include <cstdint>

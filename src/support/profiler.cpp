@@ -16,6 +16,30 @@ const char* to_string(Phase phase) {
       return "relay";
     case Phase::kRouting:
       return "routing";
+    case Phase::kDelivery:
+      return "delivery";
+    case Phase::kObserve:
+      return "observe";
+    case Phase::kElection:
+      return "election";
+  }
+  return "?";
+}
+
+const char* to_string(Counter counter) {
+  switch (counter) {
+    case Counter::kUtilityCacheHits:
+      return "utility_cache_hits";
+    case Counter::kUtilityCacheMisses:
+      return "utility_cache_misses";
+    case Counter::kUtilityCacheEvictions:
+      return "utility_cache_evictions";
+    case Counter::kUtilityCacheInvalidations:
+      return "utility_cache_invalidations";
+    case Counter::kInternedSets:
+      return "interned_sets";
+    case Counter::kInternCalls:
+      return "intern_calls";
   }
   return "?";
 }

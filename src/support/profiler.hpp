@@ -2,7 +2,8 @@
 //
 // The cycle engine (and the systems built on it) attribute work to a fixed
 // set of phases: peer sampling, T-Man exchanges, candidate ranking, relay
-// maintenance and greedy routing. Each phase accumulates two numbers:
+// maintenance, gateway election, greedy routing, publication dissemination
+// and flight-recorder sampling. Each phase accumulates two numbers:
 //
 //   * calls    — how many times the phase body ran. Deterministic per
 //                (seed, scale): it counts protocol activations, not time.
@@ -29,9 +30,12 @@ enum class Phase : std::uint8_t {
   kRanking,       // selectNeighbors: ring/sw picks + utility ranking
   kRelay,         // relay-link installation and aging
   kRouting,       // greedy ring lookups (rendezvous routing)
+  kDelivery,      // publish()/publish_timed(): event dissemination
+  kObserve,       // flight-recorder sampling + invariant monitors
+  kElection,      // Algorithm 5 gateway election (cycle maintenance)
 };
 
-inline constexpr std::size_t kPhaseCount = 5;
+inline constexpr std::size_t kPhaseCount = 8;
 
 [[nodiscard]] const char* to_string(Phase phase);
 
@@ -39,6 +43,26 @@ struct PhaseStats {
   std::uint64_t calls = 0;
   std::uint64_t wall_ns = 0;
 };
+
+/// Deterministic event counters riding alongside the phase stats: the
+/// two-level scoring cache (subscription interning + memoized pairwise
+/// utility) reports its hit/miss/evict totals here, and the bench artifact
+/// serializes them in the telemetry `counters` block. All values are
+/// deterministic per (seed, scale) — they count structural events, never
+/// time — but stay confined to telemetry/stderr like the rest of the
+/// profiler, never stdout.
+enum class Counter : std::uint8_t {
+  kUtilityCacheHits = 0,     // memoized pairwise-utility lookups served
+  kUtilityCacheMisses,       // lookups that fell through to the merge
+  kUtilityCacheEvictions,    // occupied slots overwritten (probe window full)
+  kUtilityCacheInvalidations,  // epoch bumps (churn rejoin / resubscription)
+  kInternedSets,             // distinct subscription sets in the registry
+  kInternCalls,              // total SubscriptionRegistry::intern() calls
+};
+
+inline constexpr std::size_t kCounterCount = 6;
+
+[[nodiscard]] const char* to_string(Counter counter);
 
 /// Monotonic clock read in nanoseconds (steady_clock).
 [[nodiscard]] std::int64_t monotonic_ns();
@@ -83,7 +107,26 @@ class Profiler {
     return stats_;
   }
 
-  void reset() { stats_ = {}; }
+  /// Counters are absolute values owned by their producer (the cache keeps
+  /// its own running stats and publishes them here), so the setter stores
+  /// rather than accumulates.
+  void set_counter(Counter counter, std::uint64_t value) {
+    counters_[static_cast<std::size_t>(counter)] = value;
+  }
+
+  [[nodiscard]] std::uint64_t counter(Counter counter) const {
+    return counters_[static_cast<std::size_t>(counter)];
+  }
+
+  [[nodiscard]] const std::array<std::uint64_t, kCounterCount>& counters()
+      const {
+    return counters_;
+  }
+
+  void reset() {
+    stats_ = {};
+    counters_ = {};
+  }
 
  private:
   void accumulate(std::int64_t now) {
@@ -92,6 +135,7 @@ class Profiler {
   }
 
   std::array<PhaseStats, kPhaseCount> stats_{};
+  std::array<std::uint64_t, kCounterCount> counters_{};
   std::array<Phase, 8> stack_{};  // nesting depth in practice: <= 2
   std::size_t depth_ = 0;
   std::int64_t mark_ = 0;

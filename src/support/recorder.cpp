@@ -25,6 +25,8 @@ const char* to_string(Gauge gauge) {
       return "window_hit_ratio";
     case Gauge::kWindowOverheadPct:
       return "window_overhead_pct";
+    case Gauge::kUtilityCacheHitRate:
+      return "utility_cache_hit_rate";
   }
   return "?";
 }

@@ -59,9 +59,11 @@ enum class Gauge : std::uint8_t {
   kWindowHitRatio,         // delivered/expected since the last sample
                            // (NaN -> JSON null when the window saw no event)
   kWindowOverheadPct,      // uninterested share of window traffic, percent
+  kUtilityCacheHitRate,    // cumulative memoized-utility hit fraction
+                           // (NaN -> JSON null before the first lookup)
 };
 
-inline constexpr std::size_t kGaugeCount = 8;
+inline constexpr std::size_t kGaugeCount = 9;
 
 [[nodiscard]] const char* to_string(Gauge gauge);
 

@@ -26,6 +26,10 @@ struct RunTelemetry {
   // Per-phase cycle-engine breakdown (indexed by support::Phase). `calls`
   // are deterministic per (seed, scale); `wall_ns` is telemetry-only.
   std::array<PhaseStats, kPhaseCount> phases{};
+  // Deterministic event counters (indexed by support::Counter): the
+  // two-level scoring cache's hit/miss/evict totals plus the interning
+  // stats. All-zero for runs without a cache.
+  std::array<std::uint64_t, kCounterCount> counters{};
   // Flight-recorder output (empty unless the run enabled the recorder).
   // Unlike the fields above, everything here is deterministic per
   // (seed, scale): the series feeds the artifact's `timeseries` block, the

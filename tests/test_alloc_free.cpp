@@ -66,6 +66,9 @@ TEST(AllocationAudit, SteadyStateGossipStepIsAllocationFree) {
   params.subscriptions.subs_per_node = 20;
   params.subscriptions.pattern = workload::CorrelationPattern::kLowCorrelation;
   params.events = 8;
+  // Skewed rates put ranking on the memoized scoring path (with uniform
+  // rates the memo is bypassed), so the audit covers probe + insert too.
+  params.rate_alpha = 1.0;
   params.seed = 1234;
   const auto scenario = workload::make_synthetic_scenario(params);
   auto system = workload::make_vitis(scenario, VitisConfig{}, 1234);
@@ -77,6 +80,7 @@ TEST(AllocationAudit, SteadyStateGossipStepIsAllocationFree) {
   // Audit window: one full activation for every node. Any push_back past
   // reserved capacity, any temporary vector, any node-local map would trip
   // the counter.
+  const std::uint64_t hits_before = system->utility_cache().stats().hits;
   const std::uint64_t before = g_allocations;
   for (ids::NodeIndex node = 0; node < system->node_count(); ++node) {
     system->gossip_step(node);
@@ -85,6 +89,15 @@ TEST(AllocationAudit, SteadyStateGossipStepIsAllocationFree) {
   EXPECT_EQ(during, 0u)
       << during << " heap allocations in " << system->node_count()
       << " steady-state gossip activations";
+
+  // The window above exercised the memoized scoring path for real: in
+  // steady state re-ranking the same interned pairs must hit the cache,
+  // and the zero-allocation assertion covers those hits.
+  if (utility_cache_env_enabled()) {
+    ASSERT_TRUE(system->utility_cache().enabled());
+    EXPECT_GT(system->utility_cache().stats().hits, hits_before)
+        << "steady-state gossip window never hit the utility cache";
+  }
 
   // The audit must be real: the same window at construction time allocates.
   const std::uint64_t fresh_before = g_allocations;

@@ -96,7 +96,11 @@ TEST(BenchArtifact, SchemaShape) {
   telemetry.messages = 1234;
   telemetry.phases[static_cast<std::size_t>(support::Phase::kSampling)] =
       support::PhaseStats{7, 1500000};  // 7 calls, 1.5 ms
-  // Schema v3: one recorder sample (gauges + phase calls) and one trace.
+  telemetry.counters[static_cast<std::size_t>(
+      support::Counter::kUtilityCacheHits)] = 41;
+  telemetry.counters[static_cast<std::size_t>(
+      support::Counter::kInternedSets)] = 3;
+  // Schema v4: one recorder sample (gauges + phase calls) and one trace.
   telemetry.series.stride = 5;
   support::TimeSeriesSample sample;
   sample.cycle = 5;
@@ -116,7 +120,7 @@ TEST(BenchArtifact, SchemaShape) {
   point.set_telemetry(telemetry);
 
   const std::string json = artifact.to_json();
-  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":4"), std::string::npos);
   EXPECT_NE(json.find("\"bench\":\"unit_test\""), std::string::npos);
   EXPECT_NE(json.find("\"git_describe\":\"deadbeef\""), std::string::npos);
   EXPECT_NE(json.find("\"scale\":{\"name\":\"quick\",\"nodes\":100,"
@@ -139,10 +143,23 @@ TEST(BenchArtifact, SchemaShape) {
   EXPECT_NE(json.find("\"ranking\":{"), std::string::npos);
   EXPECT_NE(json.find("\"relay\":{"), std::string::npos);
   EXPECT_NE(json.find("\"routing\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"delivery\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"observe\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"election\":{"), std::string::npos);
+  // v4 counters block: every counter named, set values round-tripped.
+  EXPECT_NE(json.find("\"counters\":{\"utility_cache_hits\":41,"
+                      "\"utility_cache_misses\":0,"
+                      "\"utility_cache_evictions\":0,"
+                      "\"utility_cache_invalidations\":0,"
+                      "\"interned_sets\":3,\"intern_calls\":0}"),
+            std::string::npos);
   EXPECT_NE(json.find("\"totals\":{\"points\":1"), std::string::npos);
-  // Totals carry the summed phases block too (two occurrences in all).
+  // Totals carry the summed phases and counters blocks too (two occurrences
+  // of each in all).
   EXPECT_NE(json.rfind("\"sampling\":{\"calls\":7,\"wall_ms\":1.5}"),
             json.find("\"sampling\":{\"calls\":7,\"wall_ms\":1.5}"));
+  EXPECT_NE(json.rfind("\"utility_cache_hits\":41"),
+            json.find("\"utility_cache_hits\":41"));
   // v3 timeseries block: stride, named gauges (NaN -> null), phase calls.
   EXPECT_NE(json.find("\"timeseries\":{\"stride\":5,\"samples\":[{\"cycle\":5,"
                       "\"gauges\":{\"alive_nodes\":100"),
@@ -154,6 +171,26 @@ TEST(BenchArtifact, SchemaShape) {
   EXPECT_NE(json.find("\"traces\":1"), std::string::npos);
   EXPECT_EQ(artifact.trace_count(), 1U);
   EXPECT_EQ(json.find("\"hops\""), std::string::npos);
+}
+
+// v4 omission rules: micro-bench style points (no phase wall, no counters,
+// recorder off) drop the phases/counters/timeseries blocks entirely.
+TEST(BenchArtifact, OmitsEmptyBlocks) {
+  support::BenchArtifact artifact("micro_like");
+  auto& point = artifact.add_point();
+  point.metric("real_time", 1.25);
+  support::RunTelemetry telemetry;
+  telemetry.wall_ms = 3.0;
+  point.set_telemetry(telemetry);
+
+  const std::string json = artifact.to_json();
+  EXPECT_EQ(json.find("\"phases\""), std::string::npos);
+  EXPECT_EQ(json.find("\"counters\""), std::string::npos);
+  EXPECT_EQ(json.find("\"timeseries\""), std::string::npos);
+  // The scalar telemetry fields and totals stay.
+  EXPECT_NE(json.find("\"telemetry\":{\"wall_ms\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"totals\":{\"points\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"traces\":0"), std::string::npos);
 }
 
 TEST(BenchArtifact, WriteProducesFileWithTrailingNewline) {

@@ -16,6 +16,37 @@ TEST(Profiler, PhaseNamesAreStable) {
   EXPECT_STREQ(to_string(Phase::kRanking), "ranking");
   EXPECT_STREQ(to_string(Phase::kRelay), "relay");
   EXPECT_STREQ(to_string(Phase::kRouting), "routing");
+  EXPECT_STREQ(to_string(Phase::kDelivery), "delivery");
+  EXPECT_STREQ(to_string(Phase::kObserve), "observe");
+  EXPECT_STREQ(to_string(Phase::kElection), "election");
+  EXPECT_EQ(kPhaseCount, 8u);
+}
+
+TEST(Profiler, CounterNamesAreStable) {
+  // These strings are schema: they key the "counters" block in BENCH_*.json.
+  EXPECT_STREQ(to_string(Counter::kUtilityCacheHits), "utility_cache_hits");
+  EXPECT_STREQ(to_string(Counter::kUtilityCacheMisses),
+               "utility_cache_misses");
+  EXPECT_STREQ(to_string(Counter::kUtilityCacheEvictions),
+               "utility_cache_evictions");
+  EXPECT_STREQ(to_string(Counter::kUtilityCacheInvalidations),
+               "utility_cache_invalidations");
+  EXPECT_STREQ(to_string(Counter::kInternedSets), "interned_sets");
+  EXPECT_STREQ(to_string(Counter::kInternCalls), "intern_calls");
+  EXPECT_EQ(kCounterCount, 6u);
+}
+
+TEST(Profiler, CountersStoreAbsoluteValues) {
+  // set_counter snapshots an absolute value (systems sync cumulative stats
+  // lazily in profiler()); it must overwrite, not accumulate.
+  Profiler profiler;
+  profiler.set_counter(Counter::kUtilityCacheHits, 10);
+  profiler.set_counter(Counter::kUtilityCacheHits, 7);
+  EXPECT_EQ(profiler.counter(Counter::kUtilityCacheHits), 7u);
+  EXPECT_EQ(profiler.counter(Counter::kInternCalls), 0u);
+  EXPECT_EQ(profiler.counters()[static_cast<std::size_t>(
+                Counter::kUtilityCacheHits)],
+            7u);
 }
 
 TEST(Profiler, AddAccumulatesCallsAndTime) {
@@ -84,10 +115,14 @@ TEST(Profiler, ResetClearsAllPhases) {
   Profiler profiler;
   profiler.add(Phase::kSampling, 10);
   profiler.add(Phase::kRelay, 20);
+  profiler.set_counter(Counter::kInternedSets, 5);
   profiler.reset();
   for (const PhaseStats& stats : profiler.all()) {
     EXPECT_EQ(stats.calls, 0u);
     EXPECT_EQ(stats.wall_ns, 0u);
+  }
+  for (const std::uint64_t counter : profiler.counters()) {
+    EXPECT_EQ(counter, 0u);
   }
 }
 

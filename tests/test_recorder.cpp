@@ -131,6 +131,7 @@ TEST(Recorder, GaugeNamesAreUniqueAndStable) {
   EXPECT_EQ(names.size(), kGaugeCount);  // no duplicates, none "?"
   EXPECT_EQ(names.count("window_hit_ratio"), 1u);
   EXPECT_EQ(names.count("ring_consistency"), 1u);
+  EXPECT_EQ(names.count("utility_cache_hit_rate"), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,103 @@
+// pubsub::SubscriptionRegistry: hash-consing of subscription sets into
+// dense canonical SetIds — equal sets share one id, distinct sets get
+// first-intern-order ids, and re-interning never allocates or grows.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pubsub/subscription_registry.hpp"
+#include "sim/rng.hpp"
+
+namespace vitis::pubsub {
+namespace {
+
+SubscriptionSet make_set(std::vector<ids::TopicIndex> topics) {
+  return SubscriptionSet(std::move(topics));
+}
+
+SubscriptionSet random_set(sim::Rng& rng, std::size_t count,
+                           std::size_t topics) {
+  std::vector<ids::TopicIndex> picks;
+  for (std::size_t i = 0; i < count; ++i) {
+    picks.push_back(static_cast<ids::TopicIndex>(rng.index(topics)));
+  }
+  return SubscriptionSet(std::move(picks));
+}
+
+TEST(SubscriptionRegistry, EqualSetsShareOneId) {
+  SubscriptionRegistry registry;
+  const auto a = make_set({3, 7, 11});
+  const auto b = make_set({11, 3, 7});  // same set, different insert order
+  const SetId id_a = registry.intern(a);
+  const SetId id_b = registry.intern(b);
+  EXPECT_EQ(id_a, id_b);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.intern_calls(), 2u);
+}
+
+TEST(SubscriptionRegistry, DistinctSetsGetDenseFirstInternOrderIds) {
+  SubscriptionRegistry registry;
+  EXPECT_EQ(registry.intern(make_set({1})), 0u);
+  EXPECT_EQ(registry.intern(make_set({2})), 1u);
+  EXPECT_EQ(registry.intern(make_set({1, 2})), 2u);
+  EXPECT_EQ(registry.intern(make_set({1})), 0u);  // known set: same id
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(SubscriptionRegistry, EmptySetIsInternableAndDistinct) {
+  SubscriptionRegistry registry;
+  const SetId empty = registry.intern(make_set({}));
+  const SetId full = registry.intern(make_set({0}));
+  EXPECT_NE(empty, full);
+  EXPECT_EQ(registry.intern(make_set({})), empty);
+  EXPECT_EQ(registry.set(empty).size(), 0u);
+}
+
+TEST(SubscriptionRegistry, SetRoundTripsThroughId) {
+  SubscriptionRegistry registry;
+  const auto original = make_set({2, 5, 8, 13});
+  const SetId id = registry.intern(original);
+  const SubscriptionSet& canonical = registry.set(id);
+  EXPECT_TRUE(canonical == original);
+}
+
+// Growth stress: push the table through several doublings and verify every
+// previously assigned id survives rehashing (probes the grow() path's
+// bucket re-seeding).
+TEST(SubscriptionRegistry, IdsSurviveTableGrowth) {
+  SubscriptionRegistry registry;
+  std::vector<SubscriptionSet> sets;
+  std::vector<SetId> ids;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    sets.push_back(make_set({static_cast<ids::TopicIndex>(i),
+                             static_cast<ids::TopicIndex>(i + 1000)}));
+    ids.push_back(registry.intern(sets.back()));
+  }
+  EXPECT_EQ(registry.size(), 500u);
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    EXPECT_EQ(registry.intern(sets[i]), ids[i]);
+    EXPECT_TRUE(registry.set(ids[i]) == sets[i]);
+  }
+}
+
+// Randomized consistency: interning is a pure function of set content —
+// two registries fed the same sets in different orders agree on equality
+// classes (though not necessarily on the dense ids themselves).
+TEST(SubscriptionRegistry, EqualityClassesMatchSetEquality) {
+  sim::Rng rng(42);
+  std::vector<SubscriptionSet> sets;
+  for (int i = 0; i < 64; ++i) sets.push_back(random_set(rng, 5, 20));
+  SubscriptionRegistry registry;
+  std::vector<SetId> ids;
+  for (const auto& set : sets) ids.push_back(registry.intern(set));
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (std::size_t j = 0; j < sets.size(); ++j) {
+      const bool same_set = sets[i] == sets[j];
+      EXPECT_EQ(ids[i] == ids[j], same_set)
+          << "sets " << i << " and " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vitis::pubsub

@@ -1,18 +1,25 @@
 #!/usr/bin/env python3
-"""Validate BENCH_<name>.json artifacts against the schema-v3 shape.
+"""Validate BENCH_<name>.json artifacts against the schema-v3/v4 shape.
 
 Checks every artifact for:
 
-* schema_version == 3 and the top-level keys (bench, scale, seed, jobs,
-  points, totals);
+* schema_version in {3, 4} and the top-level keys (bench, scale, seed,
+  jobs, points, totals);
 * the scale block (name/nodes/topics/cycles/events, all integers >= 0);
 * per point: params (scalars), metrics (numbers), telemetry (wall_ms,
-  peak_rss_kb, cycles, messages, five named phases with calls/wall_ms),
-  and the v3 `timeseries` block — stride plus samples, each sample a
-  cycle, the eight named gauges (number or null: NaN gauges from
-  event-free windows serialize as null) and the five phase call counters;
-* totals: points matches len(points), summed phases, and the v3 `traces`
-  count.
+  peak_rss_kb, cycles, messages, the per-version named phases with
+  calls/wall_ms and — v4 — the named counters block), and the
+  `timeseries` block — stride plus samples, each sample a cycle, the
+  per-version named gauges (number or null: NaN gauges from event-free
+  windows serialize as null) and the phase call counters;
+* v4 omission rules: "phases", "counters" and "timeseries" may be absent
+  (all-zero / recorder off); when present they must be complete;
+* totals: points matches len(points), summed phases/counters, and the
+  `traces` count.
+
+A git_describe ending in "-dirty" draws a warning on stderr (the
+committed artifacts must be regenerated from a clean tree) but does not
+fail validation.
 
 Exit status 0 when every artifact passes; 1 with one line per problem
 otherwise. Used by CI after the bench determinism job and available
@@ -27,7 +34,7 @@ import json
 import numbers
 import sys
 
-GAUGES = [
+GAUGES_V3 = [
     "alive_nodes",
     "mean_clusters_per_topic",
     "relay_links",
@@ -37,8 +44,19 @@ GAUGES = [
     "window_hit_ratio",
     "window_overhead_pct",
 ]
+GAUGES_V4 = GAUGES_V3 + ["utility_cache_hit_rate"]
 
-PHASES = ["sampling", "tman", "ranking", "relay", "routing"]
+PHASES_V3 = ["sampling", "tman", "ranking", "relay", "routing"]
+PHASES_V4 = PHASES_V3 + ["delivery", "observe", "election"]
+
+COUNTERS_V4 = [
+    "utility_cache_hits",
+    "utility_cache_misses",
+    "utility_cache_evictions",
+    "utility_cache_invalidations",
+    "interned_sets",
+    "intern_calls",
+]
 
 
 class Checker:
@@ -48,6 +66,10 @@ class Checker:
 
     def fail(self, message):
         self.problems.append(f"{self.path}: {message}")
+
+    def warn(self, message):
+        print(f"validate_artifact: warning: {self.path}: {message}",
+              file=sys.stderr)
 
     def require(self, condition, message):
         if not condition:
@@ -61,20 +83,36 @@ class Checker:
         return isinstance(value, numbers.Real) and not isinstance(value, bool)
 
 
-def check_phases(c, owner, phases, where):
+def check_phases(c, phases, names, where, optional):
+    if phases is None and optional:
+        return
     if not c.require(isinstance(phases, dict), f"{where}: phases is not an object"):
         return
-    for name in PHASES:
+    for name in names:
         stats = phases.get(name)
         if not c.require(isinstance(stats, dict), f"{where}: phase '{name}' missing"):
             continue
         c.require(c.is_count(stats.get("calls")), f"{where}: {name}.calls not a count")
         c.require(c.is_number(stats.get("wall_ms")), f"{where}: {name}.wall_ms not a number")
     for name in phases:
-        c.require(name in PHASES, f"{where}: unknown phase '{name}'")
+        c.require(name in names, f"{where}: unknown phase '{name}'")
 
 
-def check_timeseries(c, series, where):
+def check_counters(c, counters, where, optional):
+    if counters is None and optional:
+        return
+    if not c.require(isinstance(counters, dict), f"{where}: counters is not an object"):
+        return
+    for name in COUNTERS_V4:
+        c.require(c.is_count(counters.get(name)),
+                  f"{where}: counter '{name}' not a count")
+    for name in counters:
+        c.require(name in COUNTERS_V4, f"{where}: unknown counter '{name}'")
+
+
+def check_timeseries(c, series, phases, gauges, where, optional):
+    if series is None and optional:
+        return
     if not c.require(isinstance(series, dict), f"{where}: timeseries is not an object"):
         return
     c.require(c.is_count(series.get("stride")), f"{where}: timeseries.stride not a count")
@@ -92,32 +130,36 @@ def check_timeseries(c, series, where):
         if c.require(c.is_count(cycle), f"{at}: cycle not a count"):
             c.require(cycle > last_cycle, f"{at}: cycles not strictly increasing")
             last_cycle = cycle
-        gauges = sample.get("gauges")
-        if c.require(isinstance(gauges, dict), f"{at}: gauges not an object"):
-            for name in GAUGES:
-                if not c.require(name in gauges, f"{at}: gauge '{name}' missing"):
+        sample_gauges = sample.get("gauges")
+        if c.require(isinstance(sample_gauges, dict), f"{at}: gauges not an object"):
+            for name in gauges:
+                if not c.require(name in sample_gauges, f"{at}: gauge '{name}' missing"):
                     continue
-                value = gauges[name]
+                value = sample_gauges[name]
                 # null is legal: NaN gauges (event-free windows) serialize so.
                 c.require(value is None or c.is_number(value),
                           f"{at}: gauge '{name}' is neither number nor null")
-            for name in gauges:
-                c.require(name in GAUGES, f"{at}: unknown gauge '{name}'")
+            for name in sample_gauges:
+                c.require(name in gauges, f"{at}: unknown gauge '{name}'")
         calls = sample.get("phase_calls")
         if c.require(isinstance(calls, dict), f"{at}: phase_calls not an object"):
-            for name in PHASES:
+            for name in phases:
                 c.require(c.is_count(calls.get(name)),
                           f"{at}: phase_calls.{name} not a count")
 
 
-def check_telemetry(c, telemetry, where):
+def check_telemetry(c, telemetry, phases, where, optional):
     if not c.require(isinstance(telemetry, dict), f"{where}: telemetry is not an object"):
         return
     for key in ("wall_ms",):
         c.require(c.is_number(telemetry.get(key)), f"{where}: telemetry.{key} not a number")
     for key in ("peak_rss_kb", "cycles", "messages"):
         c.require(c.is_count(telemetry.get(key)), f"{where}: telemetry.{key} not a count")
-    check_phases(c, telemetry, telemetry.get("phases"), f"{where}: telemetry")
+    check_phases(c, telemetry.get("phases"), phases, f"{where}: telemetry", optional)
+    if optional:  # counters exist only in v4
+        check_counters(c, telemetry.get("counters"), f"{where}: telemetry", optional)
+    else:
+        c.require("counters" not in telemetry, f"{where}: telemetry has v4 counters in a v3 artifact")
 
 
 def check_artifact(path):
@@ -131,11 +173,19 @@ def check_artifact(path):
 
     if not c.require(isinstance(doc, dict), "top level is not an object"):
         return c.problems
-    c.require(doc.get("schema_version") == 3,
-              f"schema_version is {doc.get('schema_version')!r}, want 3")
+    version = doc.get("schema_version")
+    if not c.require(version in (3, 4),
+                     f"schema_version is {version!r}, want 3 or 4"):
+        return c.problems
+    v4 = version == 4
+    phases = PHASES_V4 if v4 else PHASES_V3
+    gauges = GAUGES_V4 if v4 else GAUGES_V3
     c.require(isinstance(doc.get("bench"), str) and doc["bench"],
               "bench name missing")
-    c.require(isinstance(doc.get("git_describe"), str), "git_describe missing")
+    if c.require(isinstance(doc.get("git_describe"), str), "git_describe missing"):
+        if doc["git_describe"].endswith("-dirty"):
+            c.warn("git_describe ends with '-dirty' — regenerate the "
+                   "recorded artifacts from a clean tree before committing")
     c.require(c.is_count(doc.get("seed")), "seed not a count")
     c.require(c.is_count(doc.get("jobs")) and doc.get("jobs", 0) >= 1,
               "jobs not a positive count")
@@ -163,8 +213,9 @@ def check_artifact(path):
             for key, value in metrics.items():
                 c.require(value is None or c.is_number(value),
                           f"{where}: metric '{key}' is not a number")
-        check_telemetry(c, point.get("telemetry"), where)
-        check_timeseries(c, point.get("timeseries"), where)
+        check_telemetry(c, point.get("telemetry"), phases, where, optional=v4)
+        check_timeseries(c, point.get("timeseries"), phases, gauges, where,
+                         optional=v4)
 
     totals = doc.get("totals")
     if c.require(isinstance(totals, dict), "totals is not an object"):
@@ -173,7 +224,9 @@ def check_artifact(path):
         for key in ("peak_rss_kb", "cycles", "messages", "traces"):
             c.require(c.is_count(totals.get(key)), f"totals.{key} not a count")
         c.require(c.is_number(totals.get("wall_ms")), "totals.wall_ms not a number")
-        check_phases(c, totals, totals.get("phases"), "totals")
+        check_phases(c, totals.get("phases"), phases, "totals", optional=v4)
+        if v4:
+            check_counters(c, totals.get("counters"), "totals", optional=True)
     return c.problems
 
 
