@@ -43,6 +43,19 @@ int main(int argc, char** argv) {
   const auto ctx = bench::BenchContext::from_args(argc, argv);
   bench::print_banner(ctx, "Fig. 12", "hit/overhead/delay under Skype churn");
 
+  // Optional lossy-network layer (off by default; stdout is byte-identical
+  // to a build without the fault layer when these stay at their defaults):
+  //   --fault-drop P    per-link message drop probability
+  //   --fault-delay P   per-hop delay-inflation probability
+  //   --fault-seed N    dedicated fault stream seed (0 = derive from --seed)
+  //   --fault-heal H    hour at which the plan is lifted (default 3/4 run)
+  const support::CliArgs fault_args(argc, argv);
+  sim::FaultConfig fault;
+  fault.drop = fault_args.get_double("fault-drop", 0.0);
+  fault.delay = fault_args.get_double("fault-delay", 0.0);
+  fault.seed =
+      static_cast<std::uint64_t>(fault_args.get_int("fault-seed", 0));
+
   // Trace parameters: paper scale follows the Skype measurement (4000-node
   // universe, ~1400 h). One gossip cycle per simulated hour.
   workload::SkypeChurnParams churn;
@@ -74,6 +87,9 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(churn.duration_hours);
   const std::size_t sample_every = paper ? 50 : 20;
   const std::size_t events_per_window = 100;
+  const bool faults_enabled = fault.any();
+  const std::size_t heal_hour = static_cast<std::size_t>(fault_args.get_int(
+      "fault-heal", static_cast<std::int64_t>(total_cycles * 3 / 4)));
   const auto fc = static_cast<std::size_t>(churn.flash_crowd_time_hours);
   const auto near_flash_crowd = [&](std::size_t cycle) {
     // Dense sampling around the flash crowd: the interesting transient
@@ -124,10 +140,14 @@ int main(int argc, char** argv) {
     driver.attach(system);
     // Upper bound on cycles actually run (flash-crowd bursts run fewer).
     bench::enable_recorder(ctx, system, total_cycles * cycles_per_hour);
+    if (faults_enabled) system.set_fault_plan(fault);
     std::vector<pubsub::MetricsSummary> summaries;
     summaries.reserve(windows.size());
     std::size_t next_window = 0;
     for (std::size_t cycle = 0; cycle < total_cycles; ++cycle) {
+      if (faults_enabled && cycle == heal_hour) {
+        system.set_fault_plan(sim::FaultConfig{});  // faults lifted; heal
+      }
       (void)driver.advance_to(static_cast<double>(cycle + 1) * cycle_s);
       const std::size_t burst = near_flash_crowd(cycle) ? 1 : cycles_per_hour;
       system.run_cycles(burst);
@@ -203,8 +223,27 @@ int main(int argc, char** argv) {
     record.param("nodes", churn.nodes);
     record.param("duration_hours", churn.duration_hours);
     record.param("flash_crowd_hour", churn.flash_crowd_time_hours);
+    if (faults_enabled) {
+      record.param("fault_drop", fault.drop);
+      record.param("fault_delay", fault.delay);
+      record.param("fault_heal_hour", static_cast<double>(heal_hour));
+    }
     record.metric("sample_windows", static_cast<double>(rows.size()));
     record.metric("mean_hit_ratio", mean_hit / n);
+    if (faults_enabled) {
+      // Mean hit ratio over the windows after the plan is lifted — the
+      // recovery headline (delivery floor once faults heal).
+      double heal_hit = 0.0;
+      std::size_t heal_n = 0;
+      for (std::size_t k = 0; k < rows.size(); ++k) {
+        if (windows[k].cycle >= heal_hour) {
+          heal_hit += rows[k].hit_ratio;
+          ++heal_n;
+        }
+      }
+      record.metric("post_heal_hit_ratio",
+                    heal_n > 0 ? heal_hit / static_cast<double>(heal_n) : 0.0);
+    }
     record.metric("min_hit_ratio", min_hit);
     record.metric("mean_traffic_overhead_pct", mean_ovh / n);
     record.metric("mean_delay_hops", mean_delay / n);

@@ -31,7 +31,8 @@ BaselineSystem::BaselineSystem(BaselineConfig config,
               sim::Rng(seed ^ 0x656e67696e65ULL)),
       metrics_(subscriptions_.node_count()),
       rng_(seed),
-      trace_rng_(seed ^ 0x7472616365ULL) {
+      trace_rng_(seed ^ 0x7472616365ULL),
+      fault_seed_(seed) {
   config_.validate();
   const std::size_t n = subscriptions_.node_count();
   ring_ids_.resize(n);
@@ -87,6 +88,12 @@ BaselineSystem::BaselineSystem(BaselineConfig config,
       support::Phase::kTman);
   engine_.add_cycle_hook("baseline-maintenance",
                          [this](std::size_t) { cycle_maintenance(); });
+  // Registered unconditionally so installing a fault plan later never
+  // reorders the hook sequence; a no-op while no crashes are scheduled.
+  engine_.add_cycle_hook("fault-crashes", [this](std::size_t cycle) {
+    fault_.for_due_crashes(cycle,
+                           [this](ids::NodeIndex node) { node_crash(node); });
+  });
 
   if (start_online) {
     for (std::size_t i = 0; i < n; ++i) {
@@ -340,6 +347,21 @@ void BaselineSystem::node_leave(ids::NodeIndex node) {
   tables_[node].clear();
   sampling_->remove_node(node);
   on_leave(node);
+}
+
+void BaselineSystem::set_fault_plan(const sim::FaultConfig& config) {
+  fault_.configure(config, fault_seed_, &engine_);
+  sim::FaultPlan* plan = fault_.active() ? &fault_ : nullptr;
+  sampling_->set_fault_plan(plan);
+  tman_->set_fault_plan(plan);
+}
+
+void BaselineSystem::node_crash(ids::NodeIndex node) {
+  VITIS_CHECK(node < tables_.size());
+  if (!engine_.is_alive(node)) return;
+  // No table clear, no sampling removal, no on_leave: a crashed node keeps
+  // occupying its peers' views until staleness expires it.
+  engine_.set_alive(node, false);
 }
 
 }  // namespace vitis::baselines

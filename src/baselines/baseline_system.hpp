@@ -24,6 +24,7 @@
 #include "pubsub/subscription_registry.hpp"
 #include "pubsub/system.hpp"
 #include "sim/cycle_engine.hpp"
+#include "sim/fault.hpp"
 
 namespace vitis::baselines {
 
@@ -79,6 +80,18 @@ class BaselineSystem : public pubsub::PubSubSystem {
   [[nodiscard]] bool is_alive(ids::NodeIndex node) const {
     return engine_.is_alive(node);
   }
+
+  // --- fault injection (lossy-network model) -------------------------------
+  /// Same contract as VitisSystem::set_fault_plan: a dedicated
+  /// seed^"fault" stream, byte-identical runs while no mechanism is
+  /// active. The baselines take the hits without recovery mechanisms —
+  /// that asymmetry is the point of the comparison.
+  void set_fault_plan(const sim::FaultConfig& config);
+  [[nodiscard]] const sim::FaultPlan& fault_plan() const { return fault_; }
+
+  /// Crash-without-leave: flips the alive bit only; tables, trees and the
+  /// peers' references survive until heartbeats expire them. Idempotent.
+  void node_crash(ids::NodeIndex node);
 
   // --- introspection -------------------------------------------------------
   [[nodiscard]] const BaselineConfig& base_config() const { return config_; }
@@ -180,6 +193,13 @@ class BaselineSystem : public pubsub::PubSubSystem {
     return set_ids_[node];
   }
 
+  // --- fault admission helpers for subclass dissemination paths -----------
+  [[nodiscard]] bool fault_active() const { return fault_.active(); }
+  [[nodiscard]] bool fault_deliver(ids::NodeIndex from, ids::NodeIndex to,
+                                   sim::MessageKind kind) {
+    return !fault_.active() || fault_.deliver(from, to, kind);
+  }
+
  private:
   void cycle_maintenance();
   void check_invariants() const;
@@ -205,6 +225,11 @@ class BaselineSystem : public pubsub::PubSubSystem {
   analysis::HealthAnalyzer health_;
   sim::Rng trace_rng_;
   std::uint64_t publish_count_ = 0;
+
+  // Fault-injection layer (inactive unless set_fault_plan installs an
+  // effective plan; draws only from the seed^"fault" stream).
+  sim::FaultPlan fault_;
+  std::uint64_t fault_seed_ = 0;
 
   // Per-phase telemetry (wall times are non-deterministic; call counts are
   // deterministic per (seed, scale)). Mutable: profiling const lookups is

@@ -107,6 +107,10 @@ pubsub::DisseminationReport OptSystem::publish(ids::TopicIndex topic,
     for (const ids::NodeIndex y : undirected(item.node)) {
       if (y == item.from) continue;
       if (!subscriptions().subscribes(y, topic)) continue;
+      if (fault_active() &&
+          !fault_deliver(item.node, y, sim::MessageKind::kPublication)) {
+        continue;
+      }
       if (transmit(ctx, item.node, y, item.hop + 1)) {
         queue.push_back(FloodItem{y, item.node, item.hop + 1});
       }

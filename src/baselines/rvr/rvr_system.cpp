@@ -86,8 +86,20 @@ void RvrSystem::maintenance_extra() {
 
 void RvrSystem::refresh_subscription(ids::NodeIndex node,
                                      ids::TopicIndex topic) {
-  const auto route = lookup(node, ids::topic_ring_id(topic));
+  auto route = lookup(node, ids::topic_ring_id(topic));
   if (!route.converged) return;
+  if (fault_active()) {
+    // A Scribe JOIN walks the path hop by hop; a dropped hop truncates the
+    // grafted branch there. No retransmit — the baselines stay fragile.
+    std::size_t reached = 1;
+    while (reached < route.path.size() &&
+           fault_deliver(route.path[reached - 1], route.path[reached],
+                         sim::MessageKind::kRelay)) {
+      ++reached;
+    }
+    if (reached < 2) return;  // first hop lost: nothing grafted
+    route.path.resize(reached);
+  }
   install_tree_path(route.path, topic, trees_);
 }
 
@@ -102,6 +114,13 @@ pubsub::DisseminationReport RvrSystem::publish(ids::TopicIndex topic,
   std::vector<TreeItem> queue;
   queue.reserve(64);
   for (std::size_t i = 1; i < route.path.size(); ++i) {
+    // A dropped route hop kills the rest of the path: admission happens
+    // before transmit so the lost message is never counted.
+    if (fault_active() &&
+        !fault_deliver(route.path[i - 1], route.path[i],
+                       sim::MessageKind::kPublication)) {
+      break;
+    }
     if (transmit(ctx, route.path[i - 1], route.path[i],
                  static_cast<std::uint32_t>(i), /*route=*/true)) {
       // Route nodes that are also tree members may disseminate early (they
@@ -122,6 +141,10 @@ pubsub::DisseminationReport RvrSystem::publish(ids::TopicIndex topic,
     for (const auto& link : trees_[item.node].links(topic)) {
       const ids::NodeIndex y = link.peer;
       if (y == item.from || !is_alive(y)) continue;
+      if (fault_active() &&
+          !fault_deliver(item.node, y, sim::MessageKind::kPublication)) {
+        continue;
+      }
       if (transmit(ctx, item.node, y, item.hop + 1)) {
         queue.push_back(TreeItem{y, item.node, item.hop + 1});
       }

@@ -38,6 +38,12 @@ void VitisConfig::validate() const {
   if (proximity_weight < 0.0) {
     throw std::invalid_argument("proximity_weight must be non-negative");
   }
+  if (relay_retransmit > 16) {
+    throw std::invalid_argument("relay_retransmit is bounded by 16 attempts");
+  }
+  if (route_fallback_limit > 16) {
+    throw std::invalid_argument("route_fallback_limit is bounded by 16");
+  }
 }
 
 }  // namespace vitis::core

@@ -61,6 +61,24 @@ struct VitisConfig {
   /// Requires coordinates via VitisSystem::set_coordinates().
   double proximity_weight = 0.0;
 
+  /// Extra relay-path setup attempts per hop when a fault plan is active
+  /// (bounded retransmit-with-backoff, abstracted to attempts within the
+  /// cycle). 0 — the default, keeping recorded outputs byte-identical —
+  /// means one attempt and no recovery.
+  std::uint32_t relay_retransmit = 0;
+
+  /// When a rendezvous-route hop is dropped under an active fault plan,
+  /// up to this many hop-timeout fallbacks re-route via the sender's ring
+  /// successor instead of abandoning the publication. 0 (default) disables.
+  std::uint32_t route_fallback_limit = 0;
+
+  /// Gateway re-election trigger: after this many consecutive election
+  /// rounds in which a remote gateway's proposal only survives as a
+  /// growing-hop echo (the silence signature of a crashed gateway), the
+  /// node resets to a self-proposal and temporarily bans the silent
+  /// gateway. 0 (default) disables.
+  std::uint32_t gateway_silence_limit = 0;
+
   /// Slot budget for the memoized pairwise-utility cache (rounded up to a
   /// power of two; ~24 bytes/slot). 0 disables the cache, as does the
   /// VITIS_UTILITY_CACHE=off environment switch; either way every score is

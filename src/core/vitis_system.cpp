@@ -19,7 +19,8 @@ VitisSystem::VitisSystem(VitisConfig config,
       engine_(subscriptions_.node_count(), sim::Rng(seed ^ 0x656e67696e65ULL)),
       metrics_(subscriptions_.node_count()),
       rng_(seed),
-      trace_rng_(seed ^ 0x7472616365ULL) {
+      trace_rng_(seed ^ 0x7472616365ULL),
+      fault_seed_(seed) {
   config_.validate();
   VITIS_CHECK(rates.size() == subscriptions_.topic_count());
 
@@ -76,6 +77,12 @@ VitisSystem::VitisSystem(VitisConfig config,
       support::Phase::kTman);
   engine_.add_cycle_hook("vitis-maintenance",
                          [this](std::size_t) { cycle_maintenance(); });
+  // Registered unconditionally so plan installation never reorders hooks;
+  // for_due_crashes is a no-op while the plan is inactive.
+  engine_.add_cycle_hook("fault-crashes", [this](std::size_t cycle) {
+    fault_.for_due_crashes(cycle,
+                           [this](ids::NodeIndex node) { node_crash(node); });
+  });
 
   undirected_.resize(n);
   visit_stamp_.assign(n, 0);
@@ -86,6 +93,13 @@ VitisSystem::VitisSystem(VitisConfig config,
   selected_.reserve(config_.routing_table_size);
   ranked_.reserve(64);
   flood_queue_.reserve(64);
+  if (config_.gateway_silence_limit > 0) {
+    silence_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      silence_[i].assign(
+          nodes_[i].profile.subscriptions().size(), TopicSilence{});
+    }
+  }
 
   if (start_online) {
     for (std::size_t i = 0; i < n; ++i) {
@@ -315,6 +329,19 @@ void VitisSystem::run_election(ids::NodeIndex node) {
       if (topic_stamp_[their_topics[b]] != topic_epoch_) continue;
       const std::size_t a = topic_pos_[their_topics[b]];
       const GatewayProposal& prop = their_profile.proposal_at(b);
+      if (!silence_.empty()) {
+        TopicSilence& ts = silence_[node][a];
+        if (ts.banned != ids::kInvalidNode) {
+          if (neighbor == ts.banned) {
+            // The banned gateway itself is proposing again — it is
+            // demonstrably back; lift the ban immediately.
+            ts.banned = ids::kInvalidNode;
+            ts.ban_ttl = 0;
+          } else if (prop.gateway == ts.banned) {
+            continue;  // suppressed echo of the silent gateway
+          }
+        }
+      }
       const bool parent_in_rt =
           prop.parent == node ||
           std::binary_search(my_neighbors.begin(), my_neighbors.end(),
@@ -328,13 +355,45 @@ void VitisSystem::run_election(ids::NodeIndex node) {
     const ids::TopicIndex topic = my_topics[i];
     const ElectionInput input{node, nd.id, ids::topic_ring_id(topic),
                               config_.gateway_depth};
+    const GatewayProposal previous = nd.profile.proposal_at(i);
     const GatewayProposal result =
         elect_gateway(input, election_scratch_[i]);
     nd.profile.set_proposal(topic, result);
-    if (is_self_gateway(node, result)) {
+    if (config_.gateway_silence_limit > 0) {
+      apply_gateway_silence(node, i, topic, previous);
+    }
+    if (is_self_gateway(node, nd.profile.proposal_at(i))) {
       request_relay(node, topic);  // Algorithm 5 lines 20-22
     }
   }
+}
+
+void VitisSystem::apply_gateway_silence(ids::NodeIndex node, std::size_t pos,
+                                        ids::TopicIndex topic,
+                                        const GatewayProposal& previous) {
+  VitisNode& nd = nodes_[node];
+  TopicSilence& ts = silence_[node][pos];
+  if (ts.ban_ttl > 0 && --ts.ban_ttl == 0) ts.banned = ids::kInvalidNode;
+  const GatewayProposal current = nd.profile.proposal_at(pos);
+  // A healthy remote gateway re-proposes itself at a stable depth every
+  // round; a crashed one survives only through neighbor echoes, and each
+  // echo round strictly inflates the hop count until the depth threshold
+  // kills it. That inflation is the "K consecutive silent cycles" signal.
+  const bool echo = current.gateway != node &&
+                    current.gateway == previous.gateway &&
+                    current.hops > previous.hops;
+  if (!echo) {
+    ts.silent = 0;
+    return;
+  }
+  if (++ts.silent < config_.gateway_silence_limit) return;
+  // Re-elect now instead of waiting out the echo decay: fall back to a
+  // self-proposal (which triggers the relay-path request next round) and
+  // ban the silent gateway long enough for the echoes to drain.
+  ts.silent = 0;
+  ts.banned = current.gateway;
+  ts.ban_ttl = 2 * config_.gateway_silence_limit;
+  nd.profile.set_proposal(topic, GatewayProposal{node, nd.id, node, 0});
 }
 
 void VitisSystem::request_relay(ids::NodeIndex gateway,
@@ -343,9 +402,25 @@ void VitisSystem::request_relay(ids::NodeIndex gateway,
   const auto result = lookup(gateway, ids::topic_ring_id(topic));
   if (!result.converged || result.path.size() < 2) return;
   for (std::size_t i = 0; i + 1 < result.path.size(); ++i) {
+    // Setup messages travel hop by hop; a lost hop (after retransmits)
+    // truncates the path there — links behind it are already installed
+    // and will be refreshed or expire through the relay TTL.
+    if (!relay_hop_delivered(result.path[i], result.path[i + 1])) return;
     nodes_[result.path[i]].relay.add_link(topic, result.path[i + 1]);
     nodes_[result.path[i + 1]].relay.add_link(topic, result.path[i]);
   }
+}
+
+bool VitisSystem::relay_hop_delivered(ids::NodeIndex src, ids::NodeIndex dst) {
+  if (!fault_.active()) return true;
+  // Bounded retransmit-with-backoff, abstracted to attempts within the
+  // cycle (real backoff timing has no meaning at cycle granularity; the
+  // bound is what matters for the drop-survival probability).
+  const std::uint32_t attempts = 1 + config_.relay_retransmit;
+  for (std::uint32_t a = 0; a < attempts; ++a) {
+    if (fault_.deliver(src, dst, sim::MessageKind::kRelay)) return true;
+  }
+  return false;
 }
 
 overlay::LookupResult VitisSystem::lookup(ids::NodeIndex origin,
@@ -509,28 +584,60 @@ pubsub::DisseminationReport VitisSystem::publish(ids::TopicIndex topic,
   // relay) hands the event to the rendezvous node by greedy routing first.
   if (!subscriptions_.subscribes(publisher, topic) &&
       !nodes_[publisher].relay.is_relay_for(topic)) {
-    const auto route = lookup(publisher, ids::topic_ring_id(topic));
-    for (std::size_t i = 1; i < route.path.size(); ++i) {
-      const ids::NodeIndex hopper = route.path[i];
-      metrics_.on_message(hopper, subscriptions_.subscribes(hopper, topic));
+    const ids::RingId target = ids::topic_ring_id(topic);
+    auto route = lookup(publisher, target);
+    std::uint32_t hop = 0;
+    std::uint32_t fallbacks_left =
+        fault_.active() ? config_.route_fallback_limit : 0;
+    const auto deliver_route_hop = [&](ids::NodeIndex from,
+                                       ids::NodeIndex to) {
+      metrics_.on_message(to, subscriptions_.subscribes(to, topic));
       ++report.messages;
       if (traced) {
-        recorder_.add_hop(route.path[i - 1], hopper,
-                          static_cast<std::uint32_t>(i),
-                          subscriptions_.subscribes(hopper, topic),
+        recorder_.add_hop(from, to, hop,
+                          subscriptions_.subscribes(to, topic),
                           /*route=*/true);
       }
-      if (visit_stamp_[hopper] != stamp) {
-        visit_stamp_[hopper] = stamp;
-        const auto hop = static_cast<std::uint32_t>(i);
-        if (expected_stamp_[hopper] == stamp) {
+      if (visit_stamp_[to] != stamp) {
+        visit_stamp_[to] = stamp;
+        if (expected_stamp_[to] == stamp) {
           ++report.delivered;
           report.delay_sum += hop;
           report.max_delay = std::max<std::size_t>(report.max_delay, hop);
           metrics_.on_delivery(hop);
         }
-        queue.push_back(FloodItem{hopper, route.path[i - 1], hop});
+        queue.push_back(FloodItem{to, from, hop});
       }
+    };
+    std::size_t i = 1;
+    while (i < route.path.size()) {
+      const ids::NodeIndex from = route.path[i - 1];
+      if (fault_.active() &&
+          !fault_.deliver(from, route.path[i],
+                          sim::MessageKind::kPublication)) {
+        // The greedy hop is lost. With the fallback knob the sender
+        // detects the hop timeout and hands the event to its ring
+        // successor, which restarts the greedy descent from there;
+        // without it the rendezvous handoff fails here.
+        if (fallbacks_left == 0) break;
+        --fallbacks_left;
+        const auto succ =
+            nodes_[from].rt.first_of(overlay::LinkKind::kSuccessor);
+        if (!succ.has_value() || !engine_.is_alive(succ->node)) break;
+        const ids::NodeIndex detour = succ->node;
+        if (!fault_.deliver(from, detour, sim::MessageKind::kPublication)) {
+          break;
+        }
+        hop += 1 + fault_.hop_penalty(from, detour);
+        deliver_route_hop(from, detour);
+        route = lookup(detour, target);
+        i = 1;
+        continue;
+      }
+      const ids::NodeIndex to = route.path[i];
+      hop += 1 + (fault_.active() ? fault_.hop_penalty(from, to) : 0);
+      deliver_route_hop(from, to);
+      ++i;
     }
   }
 
@@ -555,16 +662,23 @@ pubsub::DisseminationReport VitisSystem::publish(ids::TopicIndex topic,
           rng_.bernoulli(config_.message_loss)) {
         continue;
       }
+      if (fault_.active() &&
+          !fault_.deliver(item.node, y, sim::MessageKind::kPublication)) {
+        continue;
+      }
+      // A delayed delivery is charged extra propagation hops (jitter).
+      const std::uint32_t hop =
+          item.hop + 1 +
+          (fault_.active() ? fault_.hop_penalty(item.node, y) : 0);
       metrics_.on_message(y, subscriptions_.subscribes(y, topic));
       ++report.messages;
       if (traced) {
-        recorder_.add_hop(item.node, y, item.hop + 1,
+        recorder_.add_hop(item.node, y, hop,
                           subscriptions_.subscribes(y, topic),
                           /*route=*/false);
       }
       if (visit_stamp_[y] == stamp) continue;
       visit_stamp_[y] = stamp;
-      const std::uint32_t hop = item.hop + 1;
       if (expected_stamp_[y] == stamp) {
         ++report.delivered;
         report.delay_sum += hop;
@@ -602,6 +716,26 @@ void VitisSystem::node_leave(ids::NodeIndex node) {
   engine_.set_alive(node, false);
   nodes_[node].reset_overlay_state(node);
   sampling_->remove_node(node);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection (lossy-network model).
+// ---------------------------------------------------------------------------
+void VitisSystem::set_fault_plan(const sim::FaultConfig& config) {
+  fault_.configure(config, fault_seed_, &engine_);
+  // The gossip layers only pay the admission branch while a plan is live.
+  sim::FaultPlan* plan = fault_.active() ? &fault_ : nullptr;
+  sampling_->set_fault_plan(plan);
+  tman_->set_fault_plan(plan);
+}
+
+void VitisSystem::node_crash(ids::NodeIndex node) {
+  VITIS_CHECK(node < nodes_.size());
+  if (!engine_.is_alive(node)) return;  // idempotent, like node_leave
+  // Only the alive bit flips: the node's routing/relay/profile state and
+  // every reference its peers hold survive. Heartbeat staleness, relay
+  // TTLs and re-election are what repair the damage.
+  engine_.set_alive(node, false);
 }
 
 // ---------------------------------------------------------------------------
@@ -666,6 +800,10 @@ TimedDisseminationReport VitisSystem::publish_timed(ids::TopicIndex topic,
           rng_.bernoulli(config_.message_loss)) {
         continue;
       }
+      if (fault_.active() &&
+          !fault_.deliver(x, y, sim::MessageKind::kPublication)) {
+        continue;
+      }
       queue.schedule(now + link_latency(x, y), Arrival{y, x, hop + 1});
     }
   };
@@ -676,6 +814,13 @@ TimedDisseminationReport VitisSystem::publish_timed(ids::TopicIndex topic,
     const auto route = lookup(publisher, ids::topic_ring_id(topic));
     double t = 0.0;
     for (std::size_t i = 1; i < route.path.size(); ++i) {
+      // Admission only in the timed model: a dropped hop severs the route
+      // there (no successor fallback — the hop-count model owns recovery).
+      if (fault_.active() &&
+          !fault_.deliver(route.path[i - 1], route.path[i],
+                          sim::MessageKind::kPublication)) {
+        break;
+      }
       t += link_latency(route.path[i - 1], route.path[i]);
       queue.schedule(t, Arrival{route.path[i], route.path[i - 1],
                                 static_cast<std::uint32_t>(i)});
@@ -754,6 +899,11 @@ bool VitisSystem::unsubscribe(ids::NodeIndex node, ids::TopicIndex topic) {
 
 void VitisSystem::refresh_set_id(ids::NodeIndex node) {
   Profile& profile = nodes_[node].profile;
+  if (!silence_.empty()) {
+    // Topic positions shift with the subscription set; start the silence
+    // bookkeeping fresh rather than remapping counters.
+    silence_[node].assign(profile.subscriptions().size(), TopicSilence{});
+  }
   const pubsub::SetId id = registry_.intern(profile.subscriptions());
   if (id == profile.set_id()) return;
   profile.set_set_id(id);

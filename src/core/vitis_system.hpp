@@ -33,6 +33,7 @@
 #include "pubsub/system.hpp"
 #include "sim/coordinates.hpp"
 #include "sim/cycle_engine.hpp"
+#include "sim/fault.hpp"
 
 namespace vitis::core {
 
@@ -84,6 +85,20 @@ class VitisSystem final : public pubsub::PubSubSystem {
   [[nodiscard]] bool is_alive(ids::NodeIndex node) const {
     return engine_.is_alive(node);
   }
+
+  // --- fault injection (lossy-network model) -------------------------------
+  /// Install (or replace) the deterministic fault plan. All fault draws
+  /// come from the dedicated seed^"fault" stream; a plan with no active
+  /// mechanisms leaves the run byte-identical to a fault-free one. Passing
+  /// a fresh FaultConfig{} heals the network (crashed nodes stay down).
+  void set_fault_plan(const sim::FaultConfig& config);
+  [[nodiscard]] const sim::FaultPlan& fault_plan() const { return fault_; }
+
+  /// Crash-without-leave: the node silently goes offline. Unlike
+  /// node_leave its overlay state and its peers' references survive —
+  /// neighbors must detect the silence through heartbeat staleness, and
+  /// elections must route around the dead gateway. Idempotent.
+  void node_crash(ids::NodeIndex node);
 
   // --- dynamic subscriptions (§III) ----------------------------------------
   /// Add/remove a topic from a node's profile at runtime; friend selection,
@@ -196,6 +211,21 @@ class VitisSystem final : public pubsub::PubSubSystem {
   void run_election(ids::NodeIndex node);
   void request_relay(ids::NodeIndex gateway, ids::TopicIndex topic);
 
+  /// One relay-setup hop under the fault plan, with bounded retransmit
+  /// (config_.relay_retransmit extra attempts). Always true without an
+  /// active plan.
+  [[nodiscard]] bool relay_hop_delivered(ids::NodeIndex src,
+                                         ids::NodeIndex dst);
+
+  /// Gateway-silence bookkeeping for topic position `pos` of `node` after
+  /// an election round adopted `previous` -> current. Detects the echo
+  /// signature of a crashed gateway (same gateway, strictly growing hops)
+  /// and, at the configured limit, resets to a self-proposal and bans the
+  /// silent gateway for a few rounds.
+  void apply_gateway_silence(ids::NodeIndex node, std::size_t pos,
+                             ids::TopicIndex topic,
+                             const GatewayProposal& previous);
+
   [[nodiscard]] std::vector<ids::NodeIndex> random_alive_contacts(
       std::size_t count, ids::NodeIndex exclude);
 
@@ -217,6 +247,22 @@ class VitisSystem final : public pubsub::PubSubSystem {
   analysis::HealthAnalyzer health_;
   sim::Rng trace_rng_;
   std::uint64_t publish_count_ = 0;
+
+  // Fault-injection layer (inactive unless set_fault_plan installs an
+  // effective plan; all its draws come from the seed^"fault" stream).
+  sim::FaultPlan fault_;
+  std::uint64_t fault_seed_ = 0;
+
+  // Gateway-silence counters, one per (node, subscribed-topic position);
+  // allocated in the ctor only when gateway_silence_limit > 0 and resized
+  // on subscription change (pre-sized: the election path stays
+  // allocation-free).
+  struct TopicSilence {
+    std::uint32_t silent = 0;                   // consecutive echo rounds
+    std::uint32_t ban_ttl = 0;                  // rounds the ban persists
+    ids::NodeIndex banned = ids::kInvalidNode;  // suppressed gateway
+  };
+  std::vector<std::vector<TopicSilence>> silence_;
 
   // Per-cycle undirected adjacency (sorted per node, for binary search).
   std::vector<std::vector<ids::NodeIndex>> undirected_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/fault.hpp"
 #include "support/check.hpp"
 
 namespace vitis::gossip {
@@ -59,6 +60,10 @@ void CyclonSampling::step(ids::NodeIndex node) {
   const Descriptor partner = entries[oldest];
   view.remove(partner.node);
   if (!is_alive_(partner.node)) return;  // timeout; the slot is now free
+  if (fault_ != nullptr &&
+      !fault_->deliver(node, partner.node, sim::MessageKind::kGossip)) {
+    return;  // shuffle request lost; the freed slot reads as a timeout too
+  }
 
   // Initiator subset: up to shuffle_size-1 random entries plus self.
   std::vector<Descriptor>& outgoing = outgoing_scratch_;

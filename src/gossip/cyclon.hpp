@@ -50,6 +50,8 @@ class CyclonSampling final : public SamplingService {
   }
   [[nodiscard]] std::size_t shuffle_size() const { return shuffle_size_; }
 
+  void set_fault_plan(sim::FaultPlan* plan) override { fault_ = plan; }
+
  private:
   std::vector<ids::RingId> ring_ids_;
   std::size_t view_size_;
@@ -59,6 +61,7 @@ class CyclonSampling final : public SamplingService {
   SetIdFn set_id_;
   std::vector<PartialView> views_;
   sim::Rng rng_;
+  sim::FaultPlan* fault_ = nullptr;  // optional admission check (not owned)
   // Shuffle subsets, hoisted out of step() (allocation-free steady state).
   std::vector<Descriptor> outgoing_scratch_;
   std::vector<Descriptor> incoming_scratch_;

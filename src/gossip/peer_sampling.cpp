@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/fault.hpp"
 #include "support/check.hpp"
 
 namespace vitis::gossip {
@@ -53,6 +54,10 @@ void PeerSamplingService::step(ids::NodeIndex node) {
     // Stand-in for a connection timeout: evict the dead contact.
     view.remove(partner.node);
     return;
+  }
+  if (fault_ != nullptr &&
+      !fault_->deliver(node, partner.node, sim::MessageKind::kGossip)) {
+    return;  // request lost in transit; the view already aged this cycle
   }
 
   PartialView& partner_view = views_[partner.node];

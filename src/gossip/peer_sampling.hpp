@@ -52,6 +52,8 @@ class PeerSamplingService final : public SamplingService {
 
   [[nodiscard]] std::size_t view_size() const { return view_size_; }
 
+  void set_fault_plan(sim::FaultPlan* plan) override { fault_ = plan; }
+
   /// Fresh self-descriptor for a node.
   [[nodiscard]] Descriptor self_descriptor(
       ids::NodeIndex node) const override {
@@ -68,6 +70,7 @@ class PeerSamplingService final : public SamplingService {
   SetIdFn set_id_;
   std::vector<PartialView> views_;
   sim::Rng rng_;
+  sim::FaultPlan* fault_ = nullptr;  // optional admission check (not owned)
   // Exchange snapshots, hoisted out of step() (one-core scratch-buffer
   // convention: the per-cycle path must not allocate in steady state).
   std::vector<Descriptor> mine_scratch_;

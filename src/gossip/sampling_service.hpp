@@ -14,6 +14,10 @@
 #include "gossip/view.hpp"
 #include "sim/rng.hpp"
 
+namespace vitis::sim {
+class FaultPlan;
+}  // namespace vitis::sim
+
 namespace vitis::gossip {
 
 /// Optional live subscription-fingerprint lookup; when provided, fresh
@@ -56,6 +60,12 @@ class SamplingService {
 
   [[nodiscard]] virtual Descriptor self_descriptor(
       ids::NodeIndex node) const = 0;
+
+  /// Attach (or detach with nullptr) the fault-injection layer: when set,
+  /// every shuffle request passes a deliver() admission check after the
+  /// partner-alive check; a dropped request loses the exchange for this
+  /// cycle (timeout semantics). Not owned; must outlive step() calls.
+  virtual void set_fault_plan(sim::FaultPlan* plan) { (void)plan; }
 };
 
 enum class SamplingPolicy {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/fault.hpp"
 #include "support/check.hpp"
 
 namespace vitis::gossip {
@@ -86,6 +87,10 @@ void TManProtocol::step(ids::NodeIndex node) {
   if (!is_alive_(partner)) {
     table.remove(partner);  // timeout stand-in
     return;
+  }
+  if (fault_ != nullptr &&
+      !fault_->deliver(node, partner, sim::MessageKind::kTman)) {
+    return;  // exchange request lost; no state moves on either side
   }
 
   // Algorithm 2 lines 3-4 / Algorithm 3 lines 3-4: both sides assemble

@@ -47,6 +47,12 @@ class TManProtocol {
   [[nodiscard]] std::vector<Descriptor> build_buffer(
       ids::NodeIndex node, ids::NodeIndex exclude) const;
 
+  /// Attach (or detach with nullptr) the fault-injection layer: each
+  /// exchange request passes a deliver() admission check after the
+  /// partner-alive check; a dropped request loses the exchange for this
+  /// cycle on both ends. Not owned; must outlive step() calls.
+  void set_fault_plan(sim::FaultPlan* plan) { fault_ = plan; }
+
  private:
   /// Opens a fresh dedup scope on `buffer`: clears it and advances the
   /// epoch so the seen-array forgets every previous membership in O(1).
@@ -66,6 +72,7 @@ class TManProtocol {
   SelectFn select_;
   Config config_;
   sim::Rng rng_;
+  sim::FaultPlan* fault_ = nullptr;  // optional admission check (not owned)
 
   // Dedup seen-array, indexed by node: `seen_stamp_[n] == seen_epoch_`
   // means n is already in the buffer opened by the last begin_buffer(),

@@ -1,0 +1,132 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ids/hash.hpp"
+
+namespace vitis::sim {
+
+namespace {
+
+/// Which side of a bipartition a node falls on (pure hash, no RNG).
+[[nodiscard]] bool partition_side(std::uint64_t salt,
+                                  ids::NodeIndex node) noexcept {
+  return (ids::mix64(salt ^ (0x7061727469ULL + node)) & 1ULL) != 0;
+}
+
+}  // namespace
+
+const char* to_string(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kGossip:
+      return "gossip";
+    case MessageKind::kTman:
+      return "tman";
+    case MessageKind::kRelay:
+      return "relay";
+    case MessageKind::kPublication:
+      return "publication";
+  }
+  return "unknown";
+}
+
+bool FaultConfig::any() const {
+  return drop > 0.0 || delay > 0.0 || !partitions.empty() || !crashes.empty();
+}
+
+void FaultConfig::validate() const {
+  if (drop < 0.0 || drop >= 1.0) {
+    throw std::invalid_argument("fault drop must be in [0, 1)");
+  }
+  if (delay < 0.0 || delay >= 1.0) {
+    throw std::invalid_argument("fault delay must be in [0, 1)");
+  }
+  if (delay > 0.0 && delay_hops == 0) {
+    throw std::invalid_argument("delay_hops must be positive when delay > 0");
+  }
+  if (drop_start_cycle > drop_end_cycle) {
+    throw std::invalid_argument("drop window must have start <= end");
+  }
+  for (const PartitionWindow& w : partitions) {
+    if (w.start_cycle >= w.end_cycle) {
+      throw std::invalid_argument("partition window must have start < end");
+    }
+  }
+  for (const CrashEvent& c : crashes) {
+    if (c.node == ids::kInvalidNode) {
+      throw std::invalid_argument("crash event needs a valid node");
+    }
+  }
+}
+
+void FaultPlan::configure(const FaultConfig& config, std::uint64_t system_seed,
+                          const CycleEngine* engine) {
+  config.validate();
+  config_ = config;
+  engine_ = engine;
+  active_ = config_.any();
+  next_crash_ = 0;
+  stats_ = FaultStats{};
+  // Cursor semantics need a cycle-sorted schedule; ties break by node so
+  // the crash order is independent of the caller's list order.
+  std::sort(config_.crashes.begin(), config_.crashes.end(),
+            [](const CrashEvent& a, const CrashEvent& b) {
+              if (a.cycle != b.cycle) return a.cycle < b.cycle;
+              return a.node < b.node;
+            });
+  const std::uint64_t seed =
+      config_.seed != 0 ? config_.seed : system_seed;
+  rng_ = Rng(seed ^ kStreamSalt);
+}
+
+void FaultPlan::reset() {
+  config_ = FaultConfig{};
+  active_ = false;
+  engine_ = nullptr;
+  next_crash_ = 0;
+}
+
+bool FaultPlan::partitioned(ids::NodeIndex a, ids::NodeIndex b) const {
+  if (!active_ || config_.partitions.empty()) return false;
+  const std::size_t cycle = current_cycle();
+  for (const PartitionWindow& w : config_.partitions) {
+    if (cycle >= w.start_cycle && cycle < w.end_cycle &&
+        partition_side(w.salt, a) != partition_side(w.salt, b)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::deliver(ids::NodeIndex src, ids::NodeIndex dst,
+                        MessageKind kind) {
+  if (!active_) return true;
+  ++stats_.attempts;
+  if (partitioned(src, dst)) {
+    ++stats_.partition_drops;
+    ++stats_.drops_by_kind[static_cast<std::size_t>(kind)];
+    return false;
+  }
+  if (config_.drop > 0.0) {
+    const std::size_t cycle = current_cycle();
+    if (cycle >= config_.drop_start_cycle && cycle < config_.drop_end_cycle &&
+        rng_.bernoulli(config_.drop)) {
+      ++stats_.drops;
+      ++stats_.drops_by_kind[static_cast<std::size_t>(kind)];
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint32_t FaultPlan::hop_penalty(ids::NodeIndex src, ids::NodeIndex dst) {
+  (void)src;  // kept for future per-link delay models
+  (void)dst;
+  if (!active_ || config_.delay <= 0.0) return 0;
+  if (!rng_.bernoulli(config_.delay)) return 0;
+  ++stats_.delays;
+  return config_.delay_hops;
+}
+
+}  // namespace vitis::sim

@@ -1,0 +1,160 @@
+// Deterministic network fault injection for lossy-network robustness runs.
+//
+// A FaultPlan models the failure regimes the paper's loss-free simulation
+// abstracts away: per-link Bernoulli message drop, per-hop delay inflation,
+// scheduled bipartitions, and crash-without-leave node failures. Protocol
+// layers consult deliver(src, dst, kind) before acting on a message; a
+// false return means the transmission was lost in transit and the sender
+// learns nothing (cycle-granular timeout semantics).
+//
+// Determinism contract (same pattern as the flight recorder's trace
+// stream): every stochastic draw comes from a dedicated xoshiro stream
+// seeded with seed ^ kStreamSalt ("fault"), never from a protocol's rng.
+// Installing a plan whose knobs are all zero — or any plan whose windows
+// never fire — leaves a run byte-identical to one without the fault layer:
+// partition membership is a pure hash (no draw), and the Bernoulli streams
+// are only consulted when their probability is positive.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ids/id.hpp"
+#include "sim/cycle_engine.hpp"
+#include "sim/rng.hpp"
+
+namespace vitis::sim {
+
+/// What a transmission carries, for per-kind drop accounting and tests.
+enum class MessageKind : std::uint8_t {
+  kGossip = 0,   // peer-sampling shuffle request
+  kTman,         // T-Man exchange request
+  kRelay,        // relay-path / multicast-tree setup hop
+  kPublication,  // event dissemination hop
+};
+inline constexpr std::size_t kMessageKindCount = 4;
+
+[[nodiscard]] const char* to_string(MessageKind kind);
+
+/// Scheduled bipartition: during [start_cycle, end_cycle) the node universe
+/// splits into two salted halves and every cross-side message of every kind
+/// is cut. Side assignment is a pure hash of (salt, node) — deterministic,
+/// no RNG draw — so a window that never opens perturbs nothing.
+struct PartitionWindow {
+  std::size_t start_cycle = 0;
+  std::size_t end_cycle = 0;  // exclusive
+  std::uint64_t salt = 0;
+};
+
+/// Crash-without-leave: at `cycle` the node silently goes offline. Unlike
+/// node_leave, its own overlay state and its peers' references survive and
+/// must be repaired through heartbeat staleness and re-election.
+struct CrashEvent {
+  std::size_t cycle = 0;
+  ids::NodeIndex node = ids::kInvalidNode;
+};
+
+struct FaultConfig {
+  /// Per-message Bernoulli loss probability, active in
+  /// [drop_start_cycle, drop_end_cycle).
+  double drop = 0.0;
+  std::size_t drop_start_cycle = 0;
+  std::size_t drop_end_cycle = static_cast<std::size_t>(-1);
+
+  /// Per-delivered-publication-hop probability of delay inflation; a
+  /// delayed hop is charged `delay_hops` extra hops of propagation delay.
+  double delay = 0.0;
+  std::uint32_t delay_hops = 1;
+
+  /// Effective fault-stream seed override; 0 derives it from the owning
+  /// system's seed (the `--fault-seed` bench knob sets this).
+  std::uint64_t seed = 0;
+
+  std::vector<PartitionWindow> partitions;
+  std::vector<CrashEvent> crashes;
+
+  /// True when any fault mechanism can ever fire.
+  [[nodiscard]] bool any() const;
+
+  /// Throws std::invalid_argument on out-of-range knobs.
+  void validate() const;
+};
+
+/// Drop/delay accounting, exposed for tests and telemetry.
+struct FaultStats {
+  std::uint64_t attempts = 0;         // deliver() calls while active
+  std::uint64_t drops = 0;            // Bernoulli losses
+  std::uint64_t partition_drops = 0;  // cross-partition cuts
+  std::uint64_t delays = 0;           // inflated publication hops
+  std::uint64_t crashes = 0;          // crash events handed to the system
+  std::array<std::uint64_t, kMessageKindCount> drops_by_kind{};
+};
+
+class FaultPlan {
+ public:
+  /// XOR salt of the dedicated fault RNG stream ("fault" in ASCII), the
+  /// same derivation scheme as the engine/trace streams.
+  static constexpr std::uint64_t kStreamSalt = 0x6661756c74ULL;
+
+  FaultPlan() : rng_(0) {}
+
+  /// Install (or replace) a plan. `system_seed` is the owning system's
+  /// seed; the fault stream is (config.seed ? config.seed : system_seed)
+  /// ^ kStreamSalt. `engine` supplies the current cycle for window checks
+  /// and must outlive the plan. A config with any() == false deactivates
+  /// the plan entirely. Allocation-free after this call.
+  void configure(const FaultConfig& config, std::uint64_t system_seed,
+                 const CycleEngine* engine);
+
+  /// Deactivate: deliver() admits everything, stats freeze.
+  void reset();
+
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+
+  /// Admission check for one transmission src -> dst. False means the
+  /// message was lost (partition cut first — no draw — then Bernoulli
+  /// drop). Always true while inactive, without touching any state.
+  [[nodiscard]] bool deliver(ids::NodeIndex src, ids::NodeIndex dst,
+                             MessageKind kind);
+
+  /// Extra propagation hops charged to a delivered publication hop
+  /// (0 unless the delay knob fires).
+  [[nodiscard]] std::uint32_t hop_penalty(ids::NodeIndex src,
+                                          ids::NodeIndex dst);
+
+  /// True when an open partition window separates a and b at the current
+  /// cycle (pure hash; usable by tests without perturbing the stream).
+  [[nodiscard]] bool partitioned(ids::NodeIndex a, ids::NodeIndex b) const;
+
+  /// Invoke fn(node) for every crash event due at or before `cycle` that
+  /// has not fired yet (cursor over the cycle-sorted schedule). No-op while
+  /// inactive, so an unconditional per-cycle hook costs nothing.
+  template <typename Fn>
+  void for_due_crashes(std::size_t cycle, Fn&& fn) {
+    if (!active_) return;
+    while (next_crash_ < config_.crashes.size() &&
+           config_.crashes[next_crash_].cycle <= cycle) {
+      ++stats_.crashes;
+      fn(config_.crashes[next_crash_].node);
+      ++next_crash_;
+    }
+  }
+
+ private:
+  [[nodiscard]] std::size_t current_cycle() const {
+    return engine_ == nullptr ? 0 : engine_->cycle();
+  }
+
+  FaultConfig config_;
+  bool active_ = false;
+  const CycleEngine* engine_ = nullptr;
+  Rng rng_;
+  std::size_t next_crash_ = 0;
+  FaultStats stats_;
+};
+
+}  // namespace vitis::sim

@@ -42,6 +42,34 @@ std::unique_ptr<baselines::opt::OptSystem> make_opt(
       config, scenario.subscriptions, seed, start_online);
 }
 
+sim::FaultConfig make_fault_config(const FaultScenarioParams& params,
+                                   sim::Rng& rng) {
+  sim::FaultConfig config;
+  config.drop = rng.uniform_real(0.0, params.max_drop);
+  config.drop_start_cycle = params.fault_start;
+  config.drop_end_cycle = params.fault_end;
+  config.delay = rng.uniform_real(0.0, params.max_delay);
+  config.delay_hops = 1 + static_cast<std::uint32_t>(rng.index(3));
+  const std::size_t span = params.fault_end - params.fault_start;
+  if (span > 0 && rng.bernoulli(params.partition_chance)) {
+    // One bipartition window somewhere inside the faulty phase.
+    const std::size_t start = params.fault_start + rng.index(span / 2 + 1);
+    const std::size_t len = 1 + rng.index(span - (start - params.fault_start));
+    config.partitions.push_back(
+        sim::PartitionWindow{start, start + len, rng.next_u64()});
+  }
+  const std::size_t max_crashes = static_cast<std::size_t>(
+      params.max_crash_fraction * static_cast<double>(params.nodes));
+  const std::size_t crashes =
+      (max_crashes > 0 && span > 0) ? rng.index(max_crashes + 1) : 0;
+  for (std::size_t i = 0; i < crashes; ++i) {
+    config.crashes.push_back(sim::CrashEvent{
+        params.fault_start + rng.index(span),
+        static_cast<ids::NodeIndex>(rng.index(params.nodes))});
+  }
+  return config;
+}
+
 pubsub::MetricsSummary run_measurement(
     pubsub::PubSubSystem& system, std::size_t warmup_cycles,
     std::span<const pubsub::Publication> schedule) {

@@ -55,4 +55,22 @@ struct SyntheticScenarioParams {
     pubsub::PubSubSystem& system, std::size_t warmup_cycles,
     std::span<const pubsub::Publication> schedule);
 
+/// Bounds for a randomized fault scenario, expanded into a concrete
+/// sim::FaultConfig by drawing from the caller's scenario RNG (the fault
+/// plan itself replays from its own seed^"fault" stream, so the draw here
+/// only picks the plan, never its per-message coin flips).
+struct FaultScenarioParams {
+  std::size_t nodes = 0;           ///< network size (for crash targets)
+  std::size_t fault_start = 0;     ///< first faulty cycle
+  std::size_t fault_end = 0;       ///< first healthy cycle (exclusive)
+  double max_drop = 0.3;           ///< drop probability drawn in [0, max]
+  double max_delay = 0.2;          ///< delay probability drawn in [0, max]
+  double partition_chance = 0.5;   ///< probability of one bipartition window
+  double max_crash_fraction = 0.05;  ///< crashes drawn in [0, frac * nodes]
+};
+
+/// Draw one concrete fault plan inside `params`' bounds from `rng`.
+[[nodiscard]] sim::FaultConfig make_fault_config(
+    const FaultScenarioParams& params, sim::Rng& rng);
+
 }  // namespace vitis::workload

@@ -106,6 +106,79 @@ TEST(AllocationAudit, SteadyStateGossipStepIsAllocationFree) {
       << "counting operator new is not wired in";
 }
 
+TEST(AllocationAudit, FaultAdmissionGossipStepIsAllocationFree) {
+  // The fault layer sits on the per-message hot path (every shuffle and
+  // T-Man exchange consults deliver()); with an active plan — drop,
+  // delay, and an open partition window all firing — the steady-state
+  // gossip activation must stay allocation-free.
+  workload::SyntheticScenarioParams params;
+  params.subscriptions.nodes = 400;
+  params.subscriptions.topics = 200;
+  params.subscriptions.subs_per_node = 20;
+  params.subscriptions.pattern = workload::CorrelationPattern::kLowCorrelation;
+  params.events = 8;
+  params.seed = 1234;
+  const auto scenario = workload::make_synthetic_scenario(params);
+  VitisConfig config;
+  config.relay_retransmit = 2;      // retransmit loop on the relay path
+  config.route_fallback_limit = 2;  // successor detour on dropped hops
+  config.gateway_silence_limit = 3;
+  auto system = workload::make_vitis(scenario, config, 1234);
+  system->run_cycles(12);
+
+  sim::FaultConfig fault;
+  fault.drop = 0.2;
+  fault.delay = 0.1;
+  // Window open for the whole audit: the partition hash path runs on
+  // every admission check.
+  fault.partitions.push_back(sim::PartitionWindow{0, 1'000'000, 0x99ULL});
+  system->set_fault_plan(fault);
+  system->run_cycles(4);  // settle any plan-dependent scratch growth
+
+  const std::uint64_t before = g_allocations;
+  for (ids::NodeIndex node = 0; node < system->node_count(); ++node) {
+    system->gossip_step(node);
+  }
+  const std::uint64_t during = g_allocations - before;
+  EXPECT_EQ(during, 0u)
+      << during << " heap allocations in " << system->node_count()
+      << " fault-admitted gossip activations";
+  EXPECT_GT(system->fault_plan().stats().attempts, 0u);
+}
+
+TEST(AllocationAudit, FaultPlanPrimitivesAreAllocationFree) {
+  // deliver()/hop_penalty()/for_due_crashes() are called per message; none
+  // may touch the heap after configure().
+  sim::CycleEngine engine(16, sim::Rng(9));
+  sim::FaultConfig config;
+  config.drop = 0.3;
+  config.delay = 0.2;
+  config.partitions.push_back(sim::PartitionWindow{0, 100, 0x7ULL});
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    config.crashes.push_back(sim::CrashEvent{i, static_cast<ids::NodeIndex>(i)});
+  }
+  sim::FaultPlan plan;
+  plan.configure(config, 4242, &engine);
+
+  const std::uint64_t before = g_allocations;
+  std::uint64_t admitted = 0;
+  std::uint32_t penalty = 0;
+  std::size_t crashed = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto a = static_cast<ids::NodeIndex>(i % 16);
+    const auto b = static_cast<ids::NodeIndex>((i + 7) % 16);
+    admitted += plan.deliver(a, b, sim::MessageKind::kPublication) ? 1 : 0;
+    penalty += plan.hop_penalty(a, b);
+  }
+  plan.for_due_crashes(100, [&](ids::NodeIndex) { ++crashed; });
+  const std::uint64_t during = g_allocations - before;
+  EXPECT_EQ(during, 0u)
+      << during << " heap allocations in 10k fault-plan primitive calls";
+  EXPECT_GT(admitted, 0u);
+  EXPECT_GT(penalty, 0u);
+  EXPECT_EQ(crashed, 8u);
+}
+
 TEST(AllocationAudit, ObserveSampleIsAllocationFree) {
   workload::SyntheticScenarioParams params;
   params.subscriptions.nodes = 400;

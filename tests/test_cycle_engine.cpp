@@ -100,6 +100,25 @@ TEST(CycleEngine, ActivationOrderVariesAcrossCycles) {
   EXPECT_NE(orders[0], orders[1]);  // shuffled per cycle
 }
 
+TEST(CycleEngine, SetAliveIsIdempotentOnDeadNodes) {
+  // Regression: a crash-without-leave (fault layer) followed by a
+  // node_leave — or a crash event firing twice — must not corrupt the
+  // alive count. set_alive on an already-dead (or already-alive) node is a
+  // no-op.
+  CycleEngine engine(4, Rng(8));
+  for (ids::NodeIndex i = 0; i < 4; ++i) engine.set_alive(i, true);
+  EXPECT_EQ(engine.alive_count(), 4u);
+  engine.set_alive(2, false);
+  EXPECT_EQ(engine.alive_count(), 3u);
+  engine.set_alive(2, false);  // crash a node that already crashed
+  engine.set_alive(2, false);
+  EXPECT_EQ(engine.alive_count(), 3u);
+  engine.set_alive(1, true);  // revive a node that never died
+  EXPECT_EQ(engine.alive_count(), 3u);
+  engine.set_alive(2, true);
+  EXPECT_EQ(engine.alive_count(), 4u);
+}
+
 TEST(CycleEngine, CycleCounterAdvancesAcrossRuns) {
   CycleEngine engine(1, Rng(7));
   engine.set_alive(0, true);

@@ -1,0 +1,212 @@
+// Randomized fault-scenario fuzzer: 50 seed-enumerated (scenario, fault
+// plan, workload) combinations, each asserting the analysis/health
+// invariants through a fault phase and after healing. Every assertion is
+// wrapped in a SCOPED_TRACE carrying a one-line repro — paste the printed
+// `seed=...` line into a unit test to replay a failing scenario exactly.
+//
+// The corpus shifts with the FAULT_FUZZ_SEED_OFFSET environment variable
+// (CI runs extra offsets under the sanitizers); the default offset 0 keeps
+// the checked-in run deterministic.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/health.hpp"
+#include "workload/scenario.hpp"
+
+namespace vitis {
+namespace {
+
+constexpr std::uint64_t kBaseSeed = 5000;
+constexpr std::size_t kScenarios = 50;
+constexpr std::size_t kWarmupCycles = 20;
+constexpr std::size_t kFaultCycles = 24;
+constexpr std::size_t kRecoveryCycles = 18;
+
+std::uint64_t seed_offset() {
+  const char* env = std::getenv("FAULT_FUZZ_SEED_OFFSET");
+  return env == nullptr ? 0 : std::strtoull(env, nullptr, 10);
+}
+
+struct FuzzCase {
+  std::uint64_t seed;
+  workload::SyntheticScenario scenario;
+  sim::FaultConfig fault;
+  std::string repro;  // one-line reproduction recipe
+};
+
+FuzzCase draw_case(std::uint64_t seed) {
+  sim::Rng rng(seed);
+
+  workload::SyntheticScenarioParams params;
+  params.subscriptions.nodes = 96 + rng.index(65);   // 96..160
+  params.subscriptions.topics = 32 + rng.index(33);  // 32..64
+  params.subscriptions.subs_per_node = 8;
+  params.subscriptions.pattern = workload::CorrelationPattern::kRandom;
+  params.events = 50;
+  params.seed = seed;
+  auto scenario = workload::make_synthetic_scenario(params);
+
+  workload::FaultScenarioParams fp;
+  fp.nodes = params.subscriptions.nodes;
+  fp.fault_start = kWarmupCycles;
+  fp.fault_end = kWarmupCycles + kFaultCycles;
+  auto fault = workload::make_fault_config(fp, rng);
+
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "seed=%llu nodes=%zu topics=%zu drop=%.4f delay=%.4f "
+                "partitions=%zu crashes=%zu",
+                static_cast<unsigned long long>(seed),
+                params.subscriptions.nodes, params.subscriptions.topics,
+                fault.drop, fault.delay, fault.partitions.size(),
+                fault.crashes.size());
+  return FuzzCase{seed, std::move(scenario), std::move(fault),
+                  std::string(line)};
+}
+
+/// Publish the schedule, skipping events whose publisher is offline.
+template <typename System>
+void publish_alive(System& system,
+                   const std::vector<pubsub::Publication>& schedule) {
+  for (const auto& [topic, publisher] : schedule) {
+    if (!system.is_alive(publisher)) continue;
+    (void)system.publish(topic, publisher);
+  }
+}
+
+void check_vitis_invariants(const core::VitisSystem& system,
+                            analysis::HealthAnalyzer& health) {
+  const std::size_t n = system.node_count();
+  const std::size_t topics = system.subscriptions().topic_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto node = static_cast<ids::NodeIndex>(i);
+    if (!system.is_alive(node)) continue;
+    EXPECT_TRUE(analysis::table_within_bounds(node,
+                                              system.routing_table(node)));
+    EXPECT_TRUE(analysis::successor_is_clockwise_closest(
+        system.ring_id(node), system.routing_table(node).entries()));
+    const auto& profile = system.profile(node);
+    for (std::size_t t = 0; t < profile.subscriptions().size(); ++t) {
+      EXPECT_TRUE(analysis::gateway_depth_bounded(
+          profile.proposal_at(t).hops, system.config().gateway_depth));
+    }
+    // Relay-table bounds: every link names a valid, non-self peer and the
+    // table never holds more links than (topics x table capacity) allows.
+    const core::RelayTable& relays = system.relay_table(node);
+    EXPECT_LE(relays.topic_count(), topics);
+    for (std::size_t t = 0; t < topics; ++t) {
+      for (const auto& link : relays.links(static_cast<ids::TopicIndex>(t))) {
+        EXPECT_LT(link.peer, n);
+        EXPECT_NE(link.peer, node);
+      }
+    }
+  }
+
+  const auto is_alive = [&](ids::NodeIndex node) {
+    return system.is_alive(node);
+  };
+  const double consistency = health.ring_consistency(
+      is_alive, [&](ids::NodeIndex node) -> const overlay::RoutingTable& {
+        return system.routing_table(node);
+      });
+  EXPECT_GE(consistency, 0.9);
+
+  const auto graph = system.overlay_snapshot();
+  std::vector<std::vector<ids::NodeIndex>> adjacency(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto span = graph.neighbors(static_cast<ids::NodeIndex>(i));
+    adjacency[i].assign(span.begin(), span.end());
+  }
+  const double clusters = health.mean_clusters_per_topic(
+      adjacency, system.subscriptions(), is_alive);
+  EXPECT_LE(clusters, 2.5);
+}
+
+TEST(FaultFuzz, FiftyScenariosHoldInvariants) {
+  const std::uint64_t offset = seed_offset();
+  for (std::size_t i = 0; i < kScenarios; ++i) {
+    FuzzCase fz = draw_case(kBaseSeed + offset + i);
+    SCOPED_TRACE(fz.repro);
+
+    core::VitisConfig config;
+    config.relay_retransmit = 2;
+    config.route_fallback_limit = 2;
+    config.gateway_silence_limit = 3;
+    auto system = workload::make_vitis(fz.scenario, config, fz.seed);
+
+    std::vector<ids::RingId> ring_ids(system->node_count());
+    for (std::size_t node = 0; node < ring_ids.size(); ++node) {
+      ring_ids[node] = system->ring_id(static_cast<ids::NodeIndex>(node));
+    }
+    analysis::HealthAnalyzer health;
+    health.attach(ring_ids);
+
+    // Fault-free warmup, then the lossy phase with recovery knobs armed.
+    system->run_cycles(kWarmupCycles);
+    system->set_fault_plan(fz.fault);
+    system->run_cycles(kFaultCycles);
+
+    // Publishing under fire must never produce phantom deliveries.
+    publish_alive(*system, fz.scenario.schedule);
+    EXPECT_LE(system->metrics().delivered_total(),
+              system->metrics().expected_total());
+
+    // Heal: lift the plan, bring the crashed nodes back, let repair run.
+    system->set_fault_plan(sim::FaultConfig{});
+    EXPECT_FALSE(system->fault_plan().active());
+    for (const sim::CrashEvent& crash : fz.fault.crashes) {
+      if (!system->is_alive(crash.node)) system->node_join(crash.node);
+    }
+    system->run_cycles(kRecoveryCycles);
+
+    check_vitis_invariants(*system, health);
+
+    // Delivery-ratio floor once faults heal.
+    system->metrics().reset();
+    publish_alive(*system, fz.scenario.schedule);
+    const auto summary = pubsub::MetricsSummary::from(system->metrics());
+    EXPECT_GT(summary.hit_ratio, 0.8);
+    EXPECT_LE(system->metrics().delivered_total(),
+              system->metrics().expected_total());
+  }
+}
+
+TEST(FaultFuzz, BaselinesSurviveTheSamePlans) {
+  // Lighter pass over the baseline fault paths (route admission, tree-graft
+  // truncation, flood admission): no invariant machinery, but runs must not
+  // trip VITIS_CHECK and accounting must never go phantom.
+  const std::uint64_t offset = seed_offset();
+  for (std::size_t i = 0; i < kScenarios; i += 10) {
+    FuzzCase fz = draw_case(kBaseSeed + offset + i);
+    SCOPED_TRACE(fz.repro);
+
+    auto rvr = workload::make_rvr(fz.scenario, baselines::rvr::RvrConfig{},
+                                  fz.seed);
+    auto opt = workload::make_opt(fz.scenario, baselines::opt::OptConfig{},
+                                  fz.seed);
+    const auto exercise = [&](auto& system) {
+      system.run_cycles(kWarmupCycles);
+      system.set_fault_plan(fz.fault);
+      system.run_cycles(kFaultCycles);
+      publish_alive(system, fz.scenario.schedule);
+      EXPECT_LE(system.metrics().delivered_total(),
+                system.metrics().expected_total());
+      system.set_fault_plan(sim::FaultConfig{});
+      for (const sim::CrashEvent& crash : fz.fault.crashes) {
+        if (!system.is_alive(crash.node)) system.node_join(crash.node);
+      }
+      system.run_cycles(kRecoveryCycles);
+      publish_alive(system, fz.scenario.schedule);
+      EXPECT_LE(system.metrics().delivered_total(),
+                system.metrics().expected_total());
+    };
+    exercise(*rvr);
+    exercise(*opt);
+  }
+}
+
+}  // namespace
+}  // namespace vitis
