@@ -1,7 +1,7 @@
 // Shared helpers for the figure-reproduction bench binaries.
 //
 // Every binary accepts:
-//   --scale quick|paper   (or env REPRO_SCALE; default quick)
+//   --scale quick|paper|massive   (or env REPRO_SCALE; default quick)
 //   --nodes/--topics/--cycles/--events N   (override individual knobs)
 //   --seed N
 //   --jobs N              (worker threads for the sweep; or env REPRO_JOBS)
@@ -191,6 +191,8 @@ inline void record_phases(support::RunTelemetry& telemetry,
     telemetry.phases = profiler->all();
     telemetry.counters = profiler->counters();
   }
+  // Schema-v5 throughput gauge; telemetry-only like wall_ms.
+  telemetry.cycles_per_second = system.cycles_per_second();
   if (const support::Recorder* rec = system.recorder();
       rec != nullptr && rec->enabled()) {
     telemetry.series = rec->series();

@@ -43,7 +43,12 @@ BaselineSystem::BaselineSystem(BaselineConfig config,
   // more than the whole network, so clamp capacity there.
   const std::size_t capacity =
       std::min(config_.routing_table_size, std::max<std::size_t>(n, 2));
-  tables_.assign(n, overlay::RoutingTable(capacity));
+  rt_capacity_ = capacity;
+  rt_slab_ = std::make_unique<overlay::RoutingEntry[]>(n * capacity);
+  tables_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tables_.emplace_back(rt_slab_.get() + i * capacity, capacity);
+  }
   join_cycle_.assign(n, 0);
   undirected_.resize(n);
   visit_stamp_.assign(n, 0);
@@ -141,7 +146,9 @@ std::vector<ids::NodeIndex> BaselineSystem::random_alive_contacts(
 }
 
 void BaselineSystem::cycle_maintenance() {
-  for (const ids::NodeIndex node : engine_.alive_nodes()) {
+  // Heartbeats never flip liveness, so iterating the engine's activation
+  // list directly (no copy) is safe here.
+  for (const ids::NodeIndex node : engine_.active_nodes()) {
     refresh_heartbeats(node);
   }
   rebuild_undirected();
@@ -158,17 +165,28 @@ void BaselineSystem::refresh_heartbeats(ids::NodeIndex node) {
 }
 
 void BaselineSystem::rebuild_undirected() {
-  for (auto& neighbors : undirected_) neighbors.clear();
-  for (std::size_t i = 0; i < tables_.size(); ++i) {
-    const auto node = static_cast<ids::NodeIndex>(i);
-    if (!engine_.is_alive(node)) continue;
-    for (const auto& entry : tables_[i].entries()) {
+  // Clear only the adjacency lists the previous rebuild populated (see
+  // VitisSystem::rebuild_undirected for why this stays byte-identical to
+  // the historical full scan).
+  for (const ids::NodeIndex node : undirected_touched_) {
+    undirected_[node].clear();
+  }
+  undirected_touched_.clear();
+  const auto adjacency = [this](ids::NodeIndex node)
+      -> std::vector<ids::NodeIndex>& {
+    std::vector<ids::NodeIndex>& list = undirected_[node];
+    if (list.empty()) undirected_touched_.push_back(node);
+    return list;
+  };
+  for (const ids::NodeIndex node : engine_.active_nodes()) {
+    for (const auto& entry : tables_[node].entries()) {
       if (entry.node == node || !engine_.is_alive(entry.node)) continue;
-      undirected_[i].push_back(entry.node);
-      undirected_[entry.node].push_back(node);
+      adjacency(node).push_back(entry.node);
+      adjacency(entry.node).push_back(node);
     }
   }
-  for (auto& neighbors : undirected_) {
+  for (const ids::NodeIndex node : undirected_touched_) {
+    std::vector<ids::NodeIndex>& neighbors = undirected_[node];
     std::sort(neighbors.begin(), neighbors.end());
     neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
                     neighbors.end());
@@ -193,16 +211,31 @@ overlay::LookupResult BaselineSystem::lookup(ids::NodeIndex origin,
 
 analysis::Graph BaselineSystem::overlay_snapshot() const {
   analysis::Graph graph(tables_.size());
-  for (std::size_t i = 0; i < tables_.size(); ++i) {
-    const auto node = static_cast<ids::NodeIndex>(i);
-    if (!engine_.is_alive(node)) continue;
-    for (const auto& entry : tables_[i].entries()) {
+  for (const ids::NodeIndex node : engine_.active_nodes()) {
+    for (const auto& entry : tables_[node].entries()) {
       if (entry.node != node && engine_.is_alive(entry.node)) {
         graph.add_edge(node, entry.node);
       }
     }
   }
   return graph;
+}
+
+std::size_t BaselineSystem::memory_footprint() const {
+  std::size_t adjacency_links = 0;
+  for (const ids::NodeIndex node : undirected_touched_) {
+    adjacency_links += undirected_[node].size();
+  }
+  const std::size_t n = tables_.size();
+  return n * rt_capacity_ * sizeof(overlay::RoutingEntry) +
+         n * (sizeof(overlay::RoutingTable) + sizeof(ids::RingId) +
+              sizeof(std::size_t) + sizeof(pubsub::SetId)) +
+         sampling_->memory_bytes() +
+         undirected_.size() * sizeof(std::vector<ids::NodeIndex>) +
+         adjacency_links * sizeof(ids::NodeIndex) +
+         (visit_stamp_.size() + expected_stamp_.size()) *
+             sizeof(std::uint32_t) +
+         extra_memory_bytes();
 }
 
 BaselineSystem::PublishContext BaselineSystem::start_publish(
@@ -320,12 +353,10 @@ void BaselineSystem::check_invariants() const {
   // The gateway-depth invariant is Vitis-specific; the structural ring and
   // table-bound invariants hold for both baselines (OPT's coverage tables
   // carry no kSuccessor entries, making the ring check vacuous there).
-  for (std::size_t i = 0; i < tables_.size(); ++i) {
-    const auto node = static_cast<ids::NodeIndex>(i);
-    if (!engine_.is_alive(node)) continue;
-    VITIS_CHECK(analysis::table_within_bounds(node, tables_[i]));
+  for (const ids::NodeIndex node : engine_.active_nodes()) {
+    VITIS_CHECK(analysis::table_within_bounds(node, tables_[node]));
     VITIS_CHECK(analysis::successor_is_clockwise_closest(
-        ring_ids_[i], tables_[i].entries()));
+        ring_ids_[node], tables_[node].entries()));
   }
 }
 

@@ -108,6 +108,17 @@ class BaselineSystem : public pubsub::PubSubSystem {
                                              ids::RingId target) const;
   [[nodiscard]] analysis::Graph overlay_snapshot() const;
 
+  /// Deterministic logical footprint of the shared baseline state in bytes
+  /// (routing slab, sampling views, adjacency; live sizes only — see
+  /// VitisSystem::memory_footprint for the contract). Subclass state rides
+  /// on top through extra_memory_bytes().
+  [[nodiscard]] std::size_t memory_footprint() const override;
+
+  /// Maintenance throughput over run_cycles() wall time (telemetry only).
+  [[nodiscard]] double cycles_per_second() const override {
+    return engine_.cycles_per_second();
+  }
+
  protected:
   BaselineSystem(BaselineConfig config,
                  pubsub::SubscriptionTable subscriptions, std::uint64_t seed,
@@ -140,6 +151,10 @@ class BaselineSystem : public pubsub::PubSubSystem {
   /// Cumulative pairwise-cache hit fraction for the recorder gauge; NaN
   /// (JSON null) for systems without a cache.
   [[nodiscard]] virtual double cache_hit_rate() const;
+
+  /// Subclass contribution to memory_footprint() (RVR's multicast trees,
+  /// OPT's per-topic state); same live-sizes-only contract.
+  [[nodiscard]] virtual std::size_t extra_memory_bytes() const { return 0; }
 
   // --- dissemination helpers ----------------------------------------------
   struct PublishContext {
@@ -212,6 +227,10 @@ class BaselineSystem : public pubsub::PubSubSystem {
   std::vector<pubsub::SetId> set_ids_;     // per node, interned in the ctor
   sim::CycleEngine engine_;
   std::vector<ids::RingId> ring_ids_;
+  // One contiguous routing-entry slab shared by all per-node tables (the
+  // RoutingTable objects are handles into it), mirroring core::NodeArena.
+  std::size_t rt_capacity_ = 0;
+  std::unique_ptr<overlay::RoutingEntry[]> rt_slab_;
   std::vector<overlay::RoutingTable> tables_;
   std::vector<std::size_t> join_cycle_;
   std::unique_ptr<gossip::SamplingService> sampling_;
@@ -236,7 +255,10 @@ class BaselineSystem : public pubsub::PubSubSystem {
   // telemetry, not protocol state.
   mutable support::Profiler profiler_;
 
+  // Adjacency rebuilds iterate the engine's activation list and clear only
+  // the nodes touched by the previous rebuild (see VitisSystem).
   std::vector<std::vector<ids::NodeIndex>> undirected_;
+  std::vector<ids::NodeIndex> undirected_touched_;
   mutable std::vector<overlay::RoutingEntry> lookup_scratch_;
   std::vector<std::uint32_t> visit_stamp_;
   std::vector<std::uint32_t> expected_stamp_;

@@ -64,7 +64,8 @@ void RvrSystem::select_neighbors(ids::NodeIndex self,
 
 void RvrSystem::maintenance_extra() {
   const support::ScopedPhase phase(&profiler_mut(), support::Phase::kRelay);
-  const auto alive = engine().alive_nodes();
+  // Tree refresh never flips liveness, so the activation list is stable.
+  const auto alive = engine().active_nodes();
   for (const ids::NodeIndex node : alive) {
     trees_[node].age_and_expire(config_.tree_ttl());
   }

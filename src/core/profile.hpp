@@ -70,6 +70,13 @@ class Profile {
   [[nodiscard]] pubsub::SetId set_id() const { return set_id_; }
   void set_set_id(pubsub::SetId id) { set_id_ = id; }
 
+  /// Deterministic logical footprint of the heap-side state in bytes (live
+  /// sizes only; the Profile object itself is accounted by its owner).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return subscriptions_.size() * sizeof(ids::TopicIndex) +
+           proposals_.size() * sizeof(GatewayProposal);
+  }
+
  private:
   pubsub::SubscriptionSet subscriptions_;
   std::vector<GatewayProposal> proposals_;  // aligned with subscriptions_

@@ -6,58 +6,86 @@ namespace vitis::core {
 
 std::size_t RelayTable::lower_bound(ids::TopicIndex topic) const {
   const auto it = std::lower_bound(
-      table_.begin(), table_.end(), topic,
-      [](const TopicRelays& tr, ids::TopicIndex t) { return tr.topic < t; });
-  return static_cast<std::size_t>(it - table_.begin());
+      segments_.begin(), segments_.end(), topic,
+      [](const Segment& s, ids::TopicIndex t) { return s.topic < t; });
+  return static_cast<std::size_t>(it - segments_.begin());
 }
 
 void RelayTable::add_link(ids::TopicIndex topic, ids::NodeIndex peer) {
-  const std::size_t pos = lower_bound(topic);
-  if (pos == table_.size() || table_[pos].topic != topic) {
-    table_.insert(table_.begin() + static_cast<std::ptrdiff_t>(pos),
-                  TopicRelays{topic, {}});
+  std::size_t pos = lower_bound(topic);
+  if (pos == segments_.size() || segments_[pos].topic != topic) {
+    const std::uint32_t begin =
+        pos == 0 ? 0 : segments_[pos - 1].begin + segments_[pos - 1].count;
+    segments_.insert(segments_.begin() + static_cast<std::ptrdiff_t>(pos),
+                     Segment{topic, begin, 0});
   }
-  auto& links = table_[pos].links;
-  for (auto& link : links) {
-    if (link.peer == peer) {
-      link.age = 0;
+  Segment& segment = segments_[pos];
+  for (std::uint32_t i = 0; i < segment.count; ++i) {
+    if (links_[segment.begin + i].peer == peer) {
+      links_[segment.begin + i].age = 0;
       return;
     }
   }
-  links.push_back(Link{peer, 0});
+  // Append at the segment's end; later segments shift right by one.
+  links_.insert(
+      links_.begin() + static_cast<std::ptrdiff_t>(segment.begin) +
+          static_cast<std::ptrdiff_t>(segment.count),
+      Link{peer, 0});
+  ++segment.count;
+  for (std::size_t i = pos + 1; i < segments_.size(); ++i) {
+    ++segments_[i].begin;
+  }
 }
 
 std::span<const RelayTable::Link> RelayTable::links(
     ids::TopicIndex topic) const {
   const std::size_t pos = lower_bound(topic);
-  if (pos == table_.size() || table_[pos].topic != topic) return {};
-  return table_[pos].links;
+  if (pos == segments_.size() || segments_[pos].topic != topic) return {};
+  return {links_.data() + segments_[pos].begin, segments_[pos].count};
 }
 
 bool RelayTable::is_relay_for(ids::TopicIndex topic) const {
   const std::size_t pos = lower_bound(topic);
-  return pos < table_.size() && table_[pos].topic == topic;
+  return pos < segments_.size() && segments_[pos].topic == topic;
 }
 
-std::size_t RelayTable::link_count() const {
-  std::size_t count = 0;
-  for (const auto& tr : table_) count += tr.links.size();
-  return count;
+void RelayTable::drop_empty_segments() {
+  std::erase_if(segments_, [](const Segment& s) { return s.count == 0; });
 }
 
 void RelayTable::remove_peer(ids::NodeIndex peer) {
-  for (auto& tr : table_) {
-    std::erase_if(tr.links, [peer](const Link& l) { return l.peer == peer; });
+  std::uint32_t out = 0;
+  for (auto& segment : segments_) {
+    const std::uint32_t begin = segment.begin;
+    segment.begin = out;
+    std::uint32_t kept = 0;
+    for (std::uint32_t i = 0; i < segment.count; ++i) {
+      const Link& link = links_[begin + i];
+      if (link.peer != peer) links_[out + kept++] = link;
+    }
+    segment.count = kept;
+    out += kept;
   }
-  std::erase_if(table_, [](const TopicRelays& tr) { return tr.links.empty(); });
+  links_.resize(out);
+  drop_empty_segments();
 }
 
 void RelayTable::age_and_expire(std::uint32_t ttl) {
-  for (auto& tr : table_) {
-    for (auto& link : tr.links) ++link.age;
-    std::erase_if(tr.links, [ttl](const Link& l) { return l.age > ttl; });
+  std::uint32_t out = 0;
+  for (auto& segment : segments_) {
+    const std::uint32_t begin = segment.begin;
+    segment.begin = out;
+    std::uint32_t kept = 0;
+    for (std::uint32_t i = 0; i < segment.count; ++i) {
+      Link link = links_[begin + i];
+      ++link.age;
+      if (link.age <= ttl) links_[out + kept++] = link;
+    }
+    segment.count = kept;
+    out += kept;
   }
-  std::erase_if(table_, [](const TopicRelays& tr) { return tr.links.empty(); });
+  links_.resize(out);
+  drop_empty_segments();
 }
 
 }  // namespace vitis::core

@@ -5,11 +5,14 @@
 // rendezvous node). Links age out unless a gateway's periodic lookup
 // refreshes them, which is how departed relays are pruned.
 //
-// Layout: a flat vector of per-topic link lists kept sorted by topic.
-// Relay tables are small (a handful of topics per node), so binary search
-// over a contiguous array beats a hash map on both lookup cost and memory,
-// and links() can hand out a span without copying — the dissemination loop
-// reads it on every forwarded event.
+// Layout: a flat segment index (sorted by topic) over one contiguous link
+// array, in segment order. Relay tables are small (a handful of topics per
+// node), so binary search over a contiguous array beats a hash map on both
+// lookup cost and memory, and links() can hand out a span without copying —
+// the dissemination loop reads it on every forwarded event. Flattening the
+// per-topic link lists into a single array costs two heap blocks per node
+// instead of 1 + topic_count, which is what makes a million relay tables
+// affordable.
 #pragma once
 
 #include <cstdint>
@@ -37,10 +40,10 @@ class RelayTable {
   [[nodiscard]] bool is_relay_for(ids::TopicIndex topic) const;
 
   /// Number of topics this node currently relays.
-  [[nodiscard]] std::size_t topic_count() const { return table_.size(); }
+  [[nodiscard]] std::size_t topic_count() const { return segments_.size(); }
 
   /// Total number of relay links across all topics.
-  [[nodiscard]] std::size_t link_count() const;
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
 
   /// Remove every link to `peer` (the peer left the overlay).
   void remove_peer(ids::NodeIndex peer);
@@ -48,17 +51,32 @@ class RelayTable {
   /// Age all links by one round and drop those older than `ttl`.
   void age_and_expire(std::uint32_t ttl);
 
-  void clear() { table_.clear(); }
+  void clear() {
+    segments_.clear();
+    links_.clear();
+  }
+
+  /// Deterministic logical footprint in bytes (live sizes, never
+  /// vector::capacity() — growth policy is implementation-defined).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return segments_.size() * sizeof(Segment) + links_.size() * sizeof(Link);
+  }
 
  private:
-  struct TopicRelays {
+  struct Segment {
     ids::TopicIndex topic;
-    std::vector<Link> links;
+    std::uint32_t begin;  // offset into links_
+    std::uint32_t count;
   };
 
   [[nodiscard]] std::size_t lower_bound(ids::TopicIndex topic) const;
 
-  std::vector<TopicRelays> table_;  // sorted by topic, no empty entries
+  /// Drop zero-length segments and recompact links_ after a link-removing
+  /// pass left `links_` already compacted in segment order.
+  void drop_empty_segments();
+
+  std::vector<Segment> segments_;  // sorted by topic, no empty segments
+  std::vector<Link> links_;        // contiguous, in segment order
 };
 
 }  // namespace vitis::core

@@ -17,6 +17,7 @@ VitisSystem::VitisSystem(VitisConfig config,
       subscriptions_(std::move(subscriptions)),
       utility_(rates),
       engine_(subscriptions_.node_count(), sim::Rng(seed ^ 0x656e67696e65ULL)),
+      arena_(subscriptions_.node_count(), config.routing_table_size),
       metrics_(subscriptions_.node_count()),
       rng_(seed),
       trace_rng_(seed ^ 0x7472616365ULL),
@@ -30,33 +31,30 @@ VitisSystem::VitisSystem(VitisConfig config,
   }
 
   const std::size_t n = subscriptions_.node_count();
-  nodes_.reserve(n);
-  std::vector<ids::RingId> ring_ids(n);
   for (std::size_t i = 0; i < n; ++i) {
     const auto node = static_cast<ids::NodeIndex>(i);
-    ring_ids[i] = ids::node_ring_id(node);
-    nodes_.emplace_back(ring_ids[i], Profile(subscriptions_.of(node)),
-                        config_.routing_table_size);
-    nodes_.back().profile.reset_proposals(node, ring_ids[i]);
-    nodes_.back().profile.set_set_id(
-        registry_.intern(nodes_.back().profile.subscriptions()));
+    const ids::RingId ring = ids::node_ring_id(node);
+    Profile profile(subscriptions_.of(node));
+    profile.reset_proposals(node, ring);
+    profile.set_set_id(registry_.intern(profile.subscriptions()));
+    arena_.init_node(node, ring, std::move(profile));
   }
 
   const auto is_alive = [this](ids::NodeIndex node) {
     return engine_.is_alive(node);
   };
   sampling_ = gossip::make_sampling_service(
-      config_.sampling, ring_ids, config_.view_size, is_alive,
+      config_.sampling, arena_.ring_ids(), config_.view_size, is_alive,
       rng_.split(0x73616d70),
       [this](ids::NodeIndex node) {
-        return nodes_[node].profile.subscriptions().fingerprint();
+        return arena_.profile(node).subscriptions().fingerprint();
       },
       [this](ids::NodeIndex node) {
-        return nodes_[node].profile.set_id();
+        return arena_.profile(node).set_id();
       });
   tman_ = std::make_unique<gossip::TManProtocol>(
       [this](ids::NodeIndex node) -> overlay::RoutingTable& {
-        return nodes_[node].rt;
+        return arena_.rt(node);
       },
       *sampling_, is_alive,
       [this](ids::NodeIndex self,
@@ -97,7 +95,8 @@ VitisSystem::VitisSystem(VitisConfig config,
     silence_.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
       silence_[i].assign(
-          nodes_[i].profile.subscriptions().size(), TopicSilence{});
+          arena_.profile(static_cast<ids::NodeIndex>(i)).subscriptions().size(),
+          TopicSilence{});
     }
   }
 
@@ -117,7 +116,7 @@ VitisSystem::VitisSystem(VitisConfig config,
 std::vector<ids::NodeIndex> VitisSystem::random_alive_contacts(
     std::size_t count, ids::NodeIndex exclude) {
   std::vector<ids::NodeIndex> contacts;
-  const std::size_t n = nodes_.size();
+  const std::size_t n = arena_.size();
   if (engine_.alive_count() == 0) return contacts;
   // Rejection sampling: the alive fraction is high in every scenario we
   // simulate, so a bounded number of draws suffices.
@@ -144,7 +143,7 @@ void VitisSystem::select_neighbors(
     ids::NodeIndex self, std::span<const gossip::Descriptor> candidates,
     overlay::RoutingTable& table) {
   const support::ScopedPhase phase(&profiler_, support::Phase::kRanking);
-  const ids::RingId self_id = nodes_[self].id;
+  const ids::RingId self_id = arena_.ring_id(self);
   std::vector<gossip::Descriptor>& buffer = select_buffer_;
   buffer.assign(candidates.begin(), candidates.end());
   std::vector<overlay::RoutingEntry>& selected = selected_;
@@ -181,21 +180,21 @@ void VitisSystem::select_neighbors(
   // candidates are discounted (§III-A2's network-topology extension).
   // Scoring keys the pairwise memo on the *live* profiles' SetIds (never a
   // descriptor's snapshot id), so a stale snapshot cannot mis-rank.
-  const pubsub::SubscriptionSet& my_subs = nodes_[self].profile.subscriptions();
+  const pubsub::SubscriptionSet& my_subs = arena_.profile(self).subscriptions();
   const bool use_proximity =
       config_.proximity_weight > 0.0 && !coordinates_.empty();
-  utility_.prepare(my_subs, nodes_[self].profile.set_id());
+  utility_.prepare(my_subs, arena_.profile(self).set_id());
   // One prefetch pass before scoring: the memo probes for the whole pool
   // overlap in the memory system instead of serializing, and the pass
   // itself warms the candidate profiles for the scoring loop below.
   for (std::size_t i = 0; i < buffer.size(); ++i) {
-    const Profile& their_profile = nodes_[buffer[i].node].profile;
+    const Profile& their_profile = arena_.profile(buffer[i].node);
     utility_.prefetch(their_profile.subscriptions(), their_profile.set_id());
   }
   std::vector<std::pair<double, std::size_t>>& ranked = ranked_;
   ranked.clear();
   for (std::size_t i = 0; i < buffer.size(); ++i) {
-    const Profile& their_profile = nodes_[buffer[i].node].profile;
+    const Profile& their_profile = arena_.profile(buffer[i].node);
     const auto& their_subs = their_profile.subscriptions();
     double score = utility_.score(their_subs, their_profile.set_id());
     if (use_proximity && score > 0.0) {
@@ -259,30 +258,42 @@ void VitisSystem::cycle_maintenance() {
 }
 
 void VitisSystem::refresh_heartbeats(ids::NodeIndex node) {
-  VitisNode& nd = nodes_[node];
-  nd.rt.increment_ages();
-  for (const auto& entry : nd.rt.entries()) {
-    if (engine_.is_alive(entry.node)) nd.rt.mark_fresh(entry.node);
+  overlay::RoutingTable& rt = arena_.rt(node);
+  rt.increment_ages();
+  for (const auto& entry : rt.entries()) {
+    if (engine_.is_alive(entry.node)) rt.mark_fresh(entry.node);
   }
-  (void)nd.rt.drop_older_than(config_.staleness_threshold);
+  (void)rt.drop_older_than(config_.staleness_threshold);
   {
     const support::ScopedPhase phase(&profiler_, support::Phase::kRelay);
-    nd.relay.age_and_expire(config_.relay_ttl);
+    arena_.relay(node).age_and_expire(config_.relay_ttl);
   }
 }
 
 void VitisSystem::rebuild_undirected() {
-  for (auto& neighbors : undirected_) neighbors.clear();
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    const auto node = static_cast<ids::NodeIndex>(i);
-    if (!engine_.is_alive(node)) continue;
-    for (const auto& entry : nodes_[i].rt.entries()) {
+  // Clear only the adjacency lists the previous rebuild populated; clearing
+  // all N vectors would reintroduce the O(N) per-cycle sweep the engine's
+  // activation list removed. The active list is ascending, so edges are
+  // appended in the same order as the historical full scan.
+  for (const ids::NodeIndex node : undirected_touched_) {
+    undirected_[node].clear();
+  }
+  undirected_touched_.clear();
+  const auto adjacency = [this](ids::NodeIndex node)
+      -> std::vector<ids::NodeIndex>& {
+    std::vector<ids::NodeIndex>& list = undirected_[node];
+    if (list.empty()) undirected_touched_.push_back(node);
+    return list;
+  };
+  for (const ids::NodeIndex node : engine_.active_nodes()) {
+    for (const auto& entry : arena_.rt(node).entries()) {
       if (entry.node == node || !engine_.is_alive(entry.node)) continue;
-      undirected_[i].push_back(entry.node);
-      undirected_[entry.node].push_back(node);
+      adjacency(node).push_back(entry.node);
+      adjacency(entry.node).push_back(node);
     }
   }
-  for (auto& neighbors : undirected_) {
+  for (const ids::NodeIndex node : undirected_touched_) {
+    std::vector<ids::NodeIndex>& neighbors = undirected_[node];
     std::sort(neighbors.begin(), neighbors.end());
     neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
                     neighbors.end());
@@ -290,8 +301,8 @@ void VitisSystem::rebuild_undirected() {
 }
 
 void VitisSystem::run_election(ids::NodeIndex node) {
-  VitisNode& nd = nodes_[node];
-  const auto my_topics = nd.profile.subscriptions().topics();
+  Profile& my_profile = arena_.profile(node);
+  const auto my_topics = my_profile.subscriptions().topics();
   if (my_topics.empty()) return;
 
   if (election_scratch_.size() < my_topics.size()) {
@@ -316,12 +327,12 @@ void VitisSystem::run_election(ids::NodeIndex node) {
 
   const auto& my_neighbors = undirected_[node];
   for (const ids::NodeIndex neighbor : my_neighbors) {
-    const Profile& their_profile = nodes_[neighbor].profile;
+    const Profile& their_profile = arena_.profile(neighbor);
     const auto their_topics = their_profile.subscriptions().topics();
     // Cheap whole-profile screen first: disjoint fingerprints prove this
     // neighbor shares no topic with us.
     if (pubsub::fingerprints_disjoint(
-            nd.profile.subscriptions().fingerprint(),
+            my_profile.subscriptions().fingerprint(),
             their_profile.subscriptions().fingerprint())) {
       continue;
     }
@@ -353,16 +364,17 @@ void VitisSystem::run_election(ids::NodeIndex node) {
 
   for (std::size_t i = 0; i < my_topics.size(); ++i) {
     const ids::TopicIndex topic = my_topics[i];
-    const ElectionInput input{node, nd.id, ids::topic_ring_id(topic),
+    const ElectionInput input{node, arena_.ring_id(node),
+                              ids::topic_ring_id(topic),
                               config_.gateway_depth};
-    const GatewayProposal previous = nd.profile.proposal_at(i);
+    const GatewayProposal previous = my_profile.proposal_at(i);
     const GatewayProposal result =
         elect_gateway(input, election_scratch_[i]);
-    nd.profile.set_proposal(topic, result);
+    my_profile.set_proposal(topic, result);
     if (config_.gateway_silence_limit > 0) {
       apply_gateway_silence(node, i, topic, previous);
     }
-    if (is_self_gateway(node, nd.profile.proposal_at(i))) {
+    if (is_self_gateway(node, my_profile.proposal_at(i))) {
       request_relay(node, topic);  // Algorithm 5 lines 20-22
     }
   }
@@ -371,10 +383,10 @@ void VitisSystem::run_election(ids::NodeIndex node) {
 void VitisSystem::apply_gateway_silence(ids::NodeIndex node, std::size_t pos,
                                         ids::TopicIndex topic,
                                         const GatewayProposal& previous) {
-  VitisNode& nd = nodes_[node];
+  Profile& profile = arena_.profile(node);
   TopicSilence& ts = silence_[node][pos];
   if (ts.ban_ttl > 0 && --ts.ban_ttl == 0) ts.banned = ids::kInvalidNode;
-  const GatewayProposal current = nd.profile.proposal_at(pos);
+  const GatewayProposal current = profile.proposal_at(pos);
   // A healthy remote gateway re-proposes itself at a stable depth every
   // round; a crashed one survives only through neighbor echoes, and each
   // echo round strictly inflates the hop count until the depth threshold
@@ -393,21 +405,22 @@ void VitisSystem::apply_gateway_silence(ids::NodeIndex node, std::size_t pos,
   ts.silent = 0;
   ts.banned = current.gateway;
   ts.ban_ttl = 2 * config_.gateway_silence_limit;
-  nd.profile.set_proposal(topic, GatewayProposal{node, nd.id, node, 0});
+  profile.set_proposal(
+      topic, GatewayProposal{node, arena_.ring_id(node), node, 0});
 }
 
 void VitisSystem::request_relay(ids::NodeIndex gateway,
                                 ids::TopicIndex topic) {
   const support::ScopedPhase phase(&profiler_, support::Phase::kRelay);
-  const auto result = lookup(gateway, ids::topic_ring_id(topic));
+  const auto& result = lookup_cached(gateway, ids::topic_ring_id(topic));
   if (!result.converged || result.path.size() < 2) return;
   for (std::size_t i = 0; i + 1 < result.path.size(); ++i) {
     // Setup messages travel hop by hop; a lost hop (after retransmits)
     // truncates the path there — links behind it are already installed
     // and will be refreshed or expire through the relay TTL.
     if (!relay_hop_delivered(result.path[i], result.path[i + 1])) return;
-    nodes_[result.path[i]].relay.add_link(topic, result.path[i + 1]);
-    nodes_[result.path[i + 1]].relay.add_link(topic, result.path[i]);
+    arena_.relay(result.path[i]).add_link(topic, result.path[i + 1]);
+    arena_.relay(result.path[i + 1]).add_link(topic, result.path[i]);
   }
 }
 
@@ -425,18 +438,24 @@ bool VitisSystem::relay_hop_delivered(ids::NodeIndex src, ids::NodeIndex dst) {
 
 overlay::LookupResult VitisSystem::lookup(ids::NodeIndex origin,
                                           ids::RingId target) const {
+  return lookup_cached(origin, target);  // copy out of the member buffer
+}
+
+const overlay::LookupResult& VitisSystem::lookup_cached(
+    ids::NodeIndex origin, ids::RingId target) const {
   const support::ScopedPhase phase(&profiler_, support::Phase::kRouting);
   const overlay::NeighborFn neighbors =
       [this](ids::NodeIndex node) -> std::span<const overlay::RoutingEntry> {
     lookup_scratch_.clear();
-    for (const auto& entry : nodes_[node].rt.entries()) {
+    for (const auto& entry : arena_.rt(node).entries()) {
       if (engine_.is_alive(entry.node)) lookup_scratch_.push_back(entry);
     }
     return lookup_scratch_;
   };
-  return overlay::greedy_lookup(
-      neighbors, [this](ids::NodeIndex n) { return nodes_[n].id; }, origin,
-      target, config_.lookup_hop_budget);
+  overlay::greedy_lookup_into(
+      neighbors, [this](ids::NodeIndex n) { return arena_.ring_id(n); },
+      origin, target, config_.lookup_hop_budget, lookup_result_);
+  return lookup_result_;
 }
 
 void VitisSystem::gossip_step(ids::NodeIndex node) {
@@ -468,11 +487,7 @@ void VitisSystem::configure_recorder(const support::RecorderConfig& config) {
     engine_.set_observer(nullptr, nullptr);
     return;
   }
-  if (!health_.attached()) {
-    std::vector<ids::RingId> ring_ids(nodes_.size());
-    for (std::size_t i = 0; i < nodes_.size(); ++i) ring_ids[i] = nodes_[i].id;
-    health_.attach(ring_ids);
-  }
+  if (!health_.attached()) health_.attach(arena_.ring_ids());
   engine_.set_observer(&recorder_, [this](std::size_t) { observe_sample(); });
 }
 
@@ -485,7 +500,7 @@ void VitisSystem::observe_sample() {
     };
     const auto table_of =
         [this](ids::NodeIndex node) -> const overlay::RoutingTable& {
-      return nodes_[node].rt;
+      return arena_.rt(node);
     };
     const auto slot = [&](support::Gauge gauge) -> double& {
       return sample->gauges[static_cast<std::size_t>(gauge)];
@@ -495,14 +510,13 @@ void VitisSystem::observe_sample() {
     slot(support::Gauge::kMeanClustersPerTopic) =
         health_.mean_clusters_per_topic(undirected_, subscriptions_, is_alive);
     std::uint64_t relay_links = 0;
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      if (!engine_.is_alive(static_cast<ids::NodeIndex>(i))) continue;
-      relay_links += nodes_[i].relay.link_count();
+    for (const ids::NodeIndex node : engine_.active_nodes()) {
+      relay_links += arena_.relay(node).link_count();
     }
     slot(support::Gauge::kRelayLinks) = static_cast<double>(relay_links);
     slot(support::Gauge::kRingConsistency) =
         health_.ring_consistency(is_alive, table_of);
-    analysis::view_ages(nodes_.size(), is_alive, table_of,
+    analysis::view_ages(arena_.size(), is_alive, table_of,
                         slot(support::Gauge::kMeanViewAge),
                         slot(support::Gauge::kMaxViewAge));
     recorder_.window_gauges(
@@ -523,16 +537,15 @@ void VitisSystem::observe_sample() {
 }
 
 void VitisSystem::check_invariants() const {
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    const auto node = static_cast<ids::NodeIndex>(i);
-    if (!engine_.is_alive(node)) continue;
-    const VitisNode& nd = nodes_[i];
-    VITIS_CHECK(analysis::table_within_bounds(node, nd.rt));
-    VITIS_CHECK(
-        analysis::successor_is_clockwise_closest(nd.id, nd.rt.entries()));
-    const auto topics = nd.profile.subscriptions().topics();
+  for (const ids::NodeIndex node : engine_.active_nodes()) {
+    const overlay::RoutingTable& rt = arena_.rt(node);
+    const Profile& profile = arena_.profile(node);
+    VITIS_CHECK(analysis::table_within_bounds(node, rt));
+    VITIS_CHECK(analysis::successor_is_clockwise_closest(arena_.ring_id(node),
+                                                         rt.entries()));
+    const auto topics = profile.subscriptions().topics();
     for (std::size_t t = 0; t < topics.size(); ++t) {
-      VITIS_CHECK(analysis::gateway_depth_bounded(nd.profile.proposal_at(t).hops,
+      VITIS_CHECK(analysis::gateway_depth_bounded(profile.proposal_at(t).hops,
                                                   config_.gateway_depth));
     }
   }
@@ -568,7 +581,7 @@ pubsub::DisseminationReport VitisSystem::publish(ids::TopicIndex topic,
 
   for (const ids::NodeIndex s : subscriptions_.subscribers(topic)) {
     if (s == publisher || !engine_.is_alive(s)) continue;
-    if (nodes_[s].join_cycle + config_.join_grace_cycles > engine_.cycle()) {
+    if (arena_.join_cycle(s) + config_.join_grace_cycles > engine_.cycle()) {
       continue;  // freshly joined: not yet expected to receive events
     }
     expected_stamp_[s] = stamp;
@@ -583,7 +596,7 @@ pubsub::DisseminationReport VitisSystem::publish(ids::TopicIndex topic,
   // A publisher outside any cluster of the topic (not subscribed, not a
   // relay) hands the event to the rendezvous node by greedy routing first.
   if (!subscriptions_.subscribes(publisher, topic) &&
-      !nodes_[publisher].relay.is_relay_for(topic)) {
+      !arena_.relay(publisher).is_relay_for(topic)) {
     const ids::RingId target = ids::topic_ring_id(topic);
     auto route = lookup(publisher, target);
     std::uint32_t hop = 0;
@@ -622,7 +635,7 @@ pubsub::DisseminationReport VitisSystem::publish(ids::TopicIndex topic,
         if (fallbacks_left == 0) break;
         --fallbacks_left;
         const auto succ =
-            nodes_[from].rt.first_of(overlay::LinkKind::kSuccessor);
+            arena_.rt(from).first_of(overlay::LinkKind::kSuccessor);
         if (!succ.has_value() || !engine_.is_alive(succ->node)) break;
         const ids::NodeIndex detour = succ->node;
         if (!fault_.deliver(from, detour, sim::MessageKind::kPublication)) {
@@ -649,7 +662,7 @@ pubsub::DisseminationReport VitisSystem::publish(ids::TopicIndex topic,
     for (const ids::NodeIndex y : undirected_[item.node]) {
       if (subscriptions_.subscribes(y, topic)) targets.push_back(y);
     }
-    for (const auto& link : nodes_[item.node].relay.links(topic)) {
+    for (const auto& link : arena_.relay(item.node).links(topic)) {
       if (engine_.is_alive(link.peer)) targets.push_back(link.peer);
     }
     std::sort(targets.begin(), targets.end());
@@ -698,11 +711,11 @@ pubsub::DisseminationReport VitisSystem::publish(ids::TopicIndex topic,
 // Churn (§III-D).
 // ---------------------------------------------------------------------------
 void VitisSystem::node_join(ids::NodeIndex node) {
-  VITIS_CHECK(node < nodes_.size());
+  VITIS_CHECK(node < arena_.size());
   if (engine_.is_alive(node)) return;
   engine_.set_alive(node, true);
-  nodes_[node].reset_overlay_state(node);
-  nodes_[node].join_cycle = engine_.cycle();
+  arena_.reset_overlay_state(node);
+  arena_.set_join_cycle(node, engine_.cycle());
   // A rejoining node may come back with a different subscription set (its
   // profile can be mutated while offline); refresh its canonical id.
   refresh_set_id(node);
@@ -711,10 +724,10 @@ void VitisSystem::node_join(ids::NodeIndex node) {
 }
 
 void VitisSystem::node_leave(ids::NodeIndex node) {
-  VITIS_CHECK(node < nodes_.size());
+  VITIS_CHECK(node < arena_.size());
   if (!engine_.is_alive(node)) return;
   engine_.set_alive(node, false);
-  nodes_[node].reset_overlay_state(node);
+  arena_.reset_overlay_state(node);
   sampling_->remove_node(node);
 }
 
@@ -730,7 +743,7 @@ void VitisSystem::set_fault_plan(const sim::FaultConfig& config) {
 }
 
 void VitisSystem::node_crash(ids::NodeIndex node) {
-  VITIS_CHECK(node < nodes_.size());
+  VITIS_CHECK(node < arena_.size());
   if (!engine_.is_alive(node)) return;  // idempotent, like node_leave
   // Only the alive bit flips: the node's routing/relay/profile state and
   // every reference its peers hold survive. Heartbeat staleness, relay
@@ -760,7 +773,7 @@ TimedDisseminationReport VitisSystem::publish_timed(ids::TopicIndex topic,
   const std::uint32_t stamp = current_stamp_;
   for (const ids::NodeIndex s : subscriptions_.subscribers(topic)) {
     if (s == publisher || !engine_.is_alive(s)) continue;
-    if (nodes_[s].join_cycle + config_.join_grace_cycles > engine_.cycle()) {
+    if (arena_.join_cycle(s) + config_.join_grace_cycles > engine_.cycle()) {
       continue;
     }
     expected_stamp_[s] = stamp;
@@ -789,7 +802,7 @@ TimedDisseminationReport VitisSystem::publish_timed(ids::TopicIndex topic,
     for (const ids::NodeIndex y : undirected_[x]) {
       if (subscriptions_.subscribes(y, topic)) targets.push_back(y);
     }
-    for (const auto& link : nodes_[x].relay.links(topic)) {
+    for (const auto& link : arena_.relay(x).links(topic)) {
       if (engine_.is_alive(link.peer)) targets.push_back(link.peer);
     }
     std::sort(targets.begin(), targets.end());
@@ -810,7 +823,7 @@ TimedDisseminationReport VitisSystem::publish_timed(ids::TopicIndex topic,
 
   // Non-subscriber publishers hand the event toward the rendezvous first.
   if (!subscriptions_.subscribes(publisher, topic) &&
-      !nodes_[publisher].relay.is_relay_for(topic)) {
+      !arena_.relay(publisher).is_relay_for(topic)) {
     const auto route = lookup(publisher, ids::topic_ring_id(topic));
     double t = 0.0;
     for (std::size_t i = 1; i < route.path.size(); ++i) {
@@ -855,7 +868,7 @@ TimedDisseminationReport VitisSystem::publish_timed(ids::TopicIndex topic,
 // Physical proximity extension (§III-A2).
 // ---------------------------------------------------------------------------
 void VitisSystem::set_coordinates(std::vector<sim::Coordinate> coordinates) {
-  VITIS_CHECK(coordinates.size() == nodes_.size());
+  VITIS_CHECK(coordinates.size() == arena_.size());
   coordinates_ = std::move(coordinates);
 }
 
@@ -863,12 +876,10 @@ double VitisSystem::mean_friend_latency_ms() const {
   if (coordinates_.empty()) return 0.0;
   double sum = 0.0;
   std::size_t links = 0;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    const auto node = static_cast<ids::NodeIndex>(i);
-    if (!engine_.is_alive(node)) continue;
-    for (const auto& entry : nodes_[i].rt.entries()) {
+  for (const ids::NodeIndex node : engine_.active_nodes()) {
+    for (const auto& entry : arena_.rt(node).entries()) {
       if (entry.kind != overlay::LinkKind::kFriend) continue;
-      sum += sim::latency_ms(coordinates_[i], coordinates_[entry.node]);
+      sum += sim::latency_ms(coordinates_[node], coordinates_[entry.node]);
       ++links;
     }
   }
@@ -879,26 +890,26 @@ double VitisSystem::mean_friend_latency_ms() const {
 // Dynamic subscriptions (§III).
 // ---------------------------------------------------------------------------
 bool VitisSystem::subscribe(ids::NodeIndex node, ids::TopicIndex topic) {
-  VITIS_CHECK(node < nodes_.size());
+  VITIS_CHECK(node < arena_.size());
   if (!subscriptions_.subscribe(node, topic)) return false;
-  const bool added = nodes_[node].profile.add_topic(topic, node,
-                                                    nodes_[node].id);
+  const bool added =
+      arena_.profile(node).add_topic(topic, node, arena_.ring_id(node));
   VITIS_CHECK(added);
   refresh_set_id(node);
   return true;
 }
 
 bool VitisSystem::unsubscribe(ids::NodeIndex node, ids::TopicIndex topic) {
-  VITIS_CHECK(node < nodes_.size());
+  VITIS_CHECK(node < arena_.size());
   if (!subscriptions_.unsubscribe(node, topic)) return false;
-  const bool removed = nodes_[node].profile.remove_topic(topic);
+  const bool removed = arena_.profile(node).remove_topic(topic);
   VITIS_CHECK(removed);
   refresh_set_id(node);
   return true;
 }
 
 void VitisSystem::refresh_set_id(ids::NodeIndex node) {
-  Profile& profile = nodes_[node].profile;
+  Profile& profile = arena_.profile(node);
   if (!silence_.empty()) {
     // Topic positions shift with the subscription set; start the silence
     // bookkeeping fresh rather than remapping counters.
@@ -916,7 +927,7 @@ void VitisSystem::refresh_set_id(ids::NodeIndex node) {
 // Introspection.
 // ---------------------------------------------------------------------------
 bool VitisSystem::is_gateway(ids::NodeIndex node, ids::TopicIndex topic) const {
-  const auto proposal = nodes_[node].profile.proposal(topic);
+  const auto proposal = arena_.profile(node).proposal(topic);
   return proposal.has_value() && proposal->gateway == node;
 }
 
@@ -934,11 +945,9 @@ std::vector<ids::NodeIndex> VitisSystem::gateways_of(
 ids::NodeIndex VitisSystem::global_rendezvous(ids::TopicIndex topic) const {
   const ids::RingId target = ids::topic_ring_id(topic);
   ids::NodeIndex best = ids::kInvalidNode;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    const auto node = static_cast<ids::NodeIndex>(i);
-    if (!engine_.is_alive(node)) continue;
+  for (const ids::NodeIndex node : engine_.active_nodes()) {
     if (best == ids::kInvalidNode ||
-        ids::closer_to(target, nodes_[node].id, nodes_[best].id)) {
+        ids::closer_to(target, arena_.ring_id(node), arena_.ring_id(best))) {
       best = node;
     }
   }
@@ -946,17 +955,29 @@ ids::NodeIndex VitisSystem::global_rendezvous(ids::TopicIndex topic) const {
 }
 
 analysis::Graph VitisSystem::overlay_snapshot() const {
-  analysis::Graph graph(nodes_.size());
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    const auto node = static_cast<ids::NodeIndex>(i);
-    if (!engine_.is_alive(node)) continue;
-    for (const auto& entry : nodes_[i].rt.entries()) {
+  analysis::Graph graph(arena_.size());
+  for (const ids::NodeIndex node : engine_.active_nodes()) {
+    for (const auto& entry : arena_.rt(node).entries()) {
       if (entry.node != node && engine_.is_alive(entry.node)) {
         graph.add_edge(node, entry.node);
       }
     }
   }
   return graph;
+}
+
+std::size_t VitisSystem::memory_footprint() const {
+  std::size_t adjacency_links = 0;
+  for (const ids::NodeIndex node : undirected_touched_) {
+    adjacency_links += undirected_[node].size();
+  }
+  return arena_.memory_bytes() + sampling_->memory_bytes() +
+         undirected_.size() * sizeof(std::vector<ids::NodeIndex>) +
+         adjacency_links * sizeof(ids::NodeIndex) +
+         (visit_stamp_.size() + expected_stamp_.size()) *
+             sizeof(std::uint32_t) +
+         topic_stamp_.size() * sizeof(std::uint32_t) +
+         topic_pos_.size() * sizeof(std::size_t);
 }
 
 }  // namespace vitis::core

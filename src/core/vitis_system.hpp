@@ -25,8 +25,8 @@
 #include "analysis/health.hpp"
 #include "core/config.hpp"
 #include "core/gateway.hpp"
+#include "core/node_arena.hpp"
 #include "core/utility.hpp"
-#include "core/vitis_node.hpp"
 #include "gossip/sampling_service.hpp"
 #include "gossip/tman.hpp"
 #include "overlay/greedy_routing.hpp"
@@ -109,21 +109,22 @@ class VitisSystem final : public pubsub::PubSubSystem {
 
   // --- introspection (tests, benches, analysis) ----------------------------
   [[nodiscard]] const VitisConfig& config() const { return config_; }
-  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t node_count() const { return arena_.size(); }
   [[nodiscard]] std::size_t cycle() const { return engine_.cycle(); }
   [[nodiscard]] ids::RingId ring_id(ids::NodeIndex node) const {
-    return nodes_[node].id;
+    return arena_.ring_id(node);
   }
   [[nodiscard]] const overlay::RoutingTable& routing_table(
       ids::NodeIndex node) const {
-    return nodes_[node].rt;
+    return arena_.rt(node);
   }
   [[nodiscard]] const RelayTable& relay_table(ids::NodeIndex node) const {
-    return nodes_[node].relay;
+    return arena_.relay(node);
   }
   [[nodiscard]] const Profile& profile(ids::NodeIndex node) const {
-    return nodes_[node].profile;
+    return arena_.profile(node);
   }
+  [[nodiscard]] const NodeArena& arena() const { return arena_; }
   [[nodiscard]] const pubsub::SubscriptionRegistry& registry() const {
     return registry_;
   }
@@ -147,10 +148,28 @@ class VitisSystem final : public pubsub::PubSubSystem {
   [[nodiscard]] overlay::LookupResult lookup(ids::NodeIndex origin,
                                              ids::RingId target) const;
 
+  /// Allocation-free lookup into a member result buffer; the reference is
+  /// valid until the next lookup. Used by the per-cycle relay refresh.
+  const overlay::LookupResult& lookup_cached(ids::NodeIndex origin,
+                                             ids::RingId target) const;
+
   /// One gossip activation for `node` — peer-sampling exchange followed by
   /// a T-Man exchange, exactly what the cycle engine runs per node per
   /// cycle. Test hook for the allocation audit of the steady-state step.
   void gossip_step(ids::NodeIndex node);
+
+  /// Deterministic logical footprint of the per-node protocol state in
+  /// bytes: the node arena (routing slab, profiles, relay tables) plus the
+  /// sampling views and the undirected adjacency. A pure function of
+  /// (seed, scale) — safe for stdout; the OS-level peak_rss_bytes gauge in
+  /// the bench artifact is the telemetry-side counterpart.
+  [[nodiscard]] std::size_t memory_footprint() const override;
+
+  /// Maintenance throughput over the wall time spent inside run_cycles()
+  /// (telemetry only, never printed to stdout). 0 before the first cycle.
+  [[nodiscard]] double cycles_per_second() const override {
+    return engine_.cycles_per_second();
+  }
 
   /// Syncs the cache/interning counters into the profiler before returning
   /// it, so artifact writers always see current totals.
@@ -235,7 +254,7 @@ class VitisSystem final : public pubsub::PubSubSystem {
   UtilityFunction utility_;
   PairUtilityCache utility_cache_;  // memoized Eq.-1 scores over SetId pairs
   sim::CycleEngine engine_;
-  std::vector<VitisNode> nodes_;
+  NodeArena arena_;  // dense-id SoA columns for all per-node protocol state
   std::unique_ptr<gossip::SamplingService> sampling_;
   std::unique_ptr<gossip::TManProtocol> tman_;
   pubsub::MetricsCollector metrics_;
@@ -265,7 +284,10 @@ class VitisSystem final : public pubsub::PubSubSystem {
   std::vector<std::vector<TopicSilence>> silence_;
 
   // Per-cycle undirected adjacency (sorted per node, for binary search).
+  // Rebuilds iterate the engine's activation list and clear only the nodes
+  // touched by the previous rebuild, so quiescent regions cost nothing.
   std::vector<std::vector<ids::NodeIndex>> undirected_;
+  std::vector<ids::NodeIndex> undirected_touched_;
 
   // Physical coordinates (empty unless set_coordinates() was called).
   std::vector<sim::Coordinate> coordinates_;
@@ -284,6 +306,7 @@ class VitisSystem final : public pubsub::PubSubSystem {
 
   // Scratch buffers, reused to keep the hot paths allocation-free.
   mutable std::vector<overlay::RoutingEntry> lookup_scratch_;
+  mutable overlay::LookupResult lookup_result_;  // lookup_cached() buffer
   std::vector<std::vector<NeighborProposal>> election_scratch_;
   mutable std::vector<std::uint32_t> visit_stamp_;
   mutable std::vector<std::uint32_t> expected_stamp_;

@@ -23,12 +23,23 @@ CyclonSampling::CyclonSampling(std::span<const ids::RingId> ring_ids,
   VITIS_CHECK(view_size_ > 0);
   VITIS_CHECK(shuffle_size_ > 0 && shuffle_size_ <= view_size_);
   VITIS_CHECK(is_alive_ != nullptr);
+  view_slab_ =
+      std::make_unique<Descriptor[]>(ring_ids_.size() * view_size_);
   views_.reserve(ring_ids_.size());
   for (std::size_t i = 0; i < ring_ids_.size(); ++i) {
-    views_.emplace_back(view_size_);
+    views_.emplace_back(view_slab_.get() + i * view_size_, view_size_);
   }
   outgoing_scratch_.reserve(view_size_ + 1);
   incoming_scratch_.reserve(view_size_ + 1);
+}
+
+std::size_t CyclonSampling::memory_bytes() const {
+  // Logical footprint from sizes and fixed capacities only (never
+  // vector::capacity(), whose growth policy is implementation-defined).
+  return ring_ids_.size() * view_size_ * sizeof(Descriptor) +
+         views_.size() * sizeof(PartialView) +
+         ring_ids_.size() * sizeof(ids::RingId) +
+         2 * (view_size_ + 1) * sizeof(Descriptor);
 }
 
 void CyclonSampling::init_node(ids::NodeIndex node,

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -52,6 +53,8 @@ class CyclonSampling final : public SamplingService {
 
   void set_fault_plan(sim::FaultPlan* plan) override { fault_ = plan; }
 
+  [[nodiscard]] std::size_t memory_bytes() const override;
+
  private:
   std::vector<ids::RingId> ring_ids_;
   std::size_t view_size_;
@@ -59,6 +62,9 @@ class CyclonSampling final : public SamplingService {
   std::function<bool(ids::NodeIndex)> is_alive_;
   FingerprintFn fingerprint_;
   SetIdFn set_id_;
+  // One contiguous N×view_size descriptor slab; views_ are handles into it
+  // (never reallocated after construction — slab pointers must stay valid).
+  std::unique_ptr<Descriptor[]> view_slab_;
   std::vector<PartialView> views_;
   sim::Rng rng_;
   sim::FaultPlan* fault_ = nullptr;  // optional admission check (not owned)

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -54,6 +55,8 @@ class PeerSamplingService final : public SamplingService {
 
   void set_fault_plan(sim::FaultPlan* plan) override { fault_ = plan; }
 
+  [[nodiscard]] std::size_t memory_bytes() const override;
+
   /// Fresh self-descriptor for a node.
   [[nodiscard]] Descriptor self_descriptor(
       ids::NodeIndex node) const override {
@@ -68,6 +71,9 @@ class PeerSamplingService final : public SamplingService {
   std::function<bool(ids::NodeIndex)> is_alive_;
   FingerprintFn fingerprint_;
   SetIdFn set_id_;
+  // One contiguous N×view_size descriptor slab; views_ are handles into it
+  // (never reallocated after construction — slab pointers must stay valid).
+  std::unique_ptr<Descriptor[]> view_slab_;
   std::vector<PartialView> views_;
   sim::Rng rng_;
   sim::FaultPlan* fault_ = nullptr;  // optional admission check (not owned)

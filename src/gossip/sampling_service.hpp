@@ -66,6 +66,11 @@ class SamplingService {
   /// partner-alive check; a dropped request loses the exchange for this
   /// cycle (timeout semantics). Not owned; must outlive step() calls.
   virtual void set_fault_plan(sim::FaultPlan* plan) { (void)plan; }
+
+  /// Deterministic logical footprint of the service's per-node state in
+  /// bytes (descriptor slab + view handles + scratch). Depends only on
+  /// (node count, view size), never on run history — safe for stdout.
+  [[nodiscard]] virtual std::size_t memory_bytes() const { return 0; }
 };
 
 enum class SamplingPolicy {

@@ -6,25 +6,32 @@
 
 namespace vitis::gossip {
 
-PartialView::PartialView(std::size_t capacity) : capacity_(capacity) {
+PartialView::PartialView(std::size_t capacity)
+    : capacity_(capacity), owned_(std::make_unique<Descriptor[]>(capacity)) {
   VITIS_CHECK(capacity > 0);
-  entries_.reserve(capacity);
+  data_ = owned_.get();
+}
+
+PartialView::PartialView(Descriptor* slab, std::size_t capacity)
+    : capacity_(capacity), data_(slab) {
+  VITIS_CHECK(capacity > 0);
+  VITIS_CHECK(slab != nullptr);
 }
 
 void PartialView::insert(const Descriptor& descriptor) {
   VITIS_DCHECK(descriptor.node != ids::kInvalidNode);
-  for (auto& existing : entries_) {
-    if (existing.node == descriptor.node) {
-      if (descriptor.age < existing.age) existing = descriptor;
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (data_[i].node == descriptor.node) {
+      if (descriptor.age < data_[i].age) data_[i] = descriptor;
       return;
     }
   }
-  if (entries_.size() < capacity_) {
-    entries_.push_back(descriptor);
+  if (size_ < capacity_) {
+    data_[size_++] = descriptor;
     return;
   }
-  auto oldest = std::max_element(
-      entries_.begin(), entries_.end(),
+  auto* oldest = std::max_element(
+      data_, data_ + size_,
       [](const Descriptor& a, const Descriptor& b) { return a.age < b.age; });
   if (descriptor.age < oldest->age) *oldest = descriptor;
 }
@@ -34,26 +41,35 @@ void PartialView::merge(std::span<const Descriptor> batch) {
 }
 
 bool PartialView::remove(ids::NodeIndex node) {
-  const auto it =
-      std::find_if(entries_.begin(), entries_.end(),
-                   [node](const Descriptor& d) { return d.node == node; });
-  if (it == entries_.end()) return false;
-  entries_.erase(it);
-  return true;
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (data_[i].node == node) {
+      // Preserve insertion order, like vector::erase did historically.
+      std::move(data_ + i + 1, data_ + size_, data_ + i);
+      --size_;
+      return true;
+    }
+  }
+  return false;
 }
 
 bool PartialView::contains(ids::NodeIndex node) const {
-  return std::any_of(entries_.begin(), entries_.end(),
+  return std::any_of(data_, data_ + size_,
                      [node](const Descriptor& d) { return d.node == node; });
 }
 
 void PartialView::increment_ages() {
-  for (auto& d : entries_) ++d.age;
+  for (std::size_t i = 0; i < size_; ++i) ++data_[i].age;
 }
 
 void PartialView::drop_older_than(std::uint32_t max_age) {
-  std::erase_if(entries_,
-                [max_age](const Descriptor& d) { return d.age > max_age; });
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (data_[i].age <= max_age) {
+      if (kept != i) data_[kept] = data_[i];
+      ++kept;
+    }
+  }
+  size_ = kept;
 }
 
 }  // namespace vitis::gossip

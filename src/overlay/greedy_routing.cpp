@@ -8,8 +8,20 @@ LookupResult greedy_lookup(
     const NeighborFn& neighbors,
     const std::function<ids::RingId(ids::NodeIndex)>& ring_id_of,
     ids::NodeIndex origin, ids::RingId target, std::size_t max_hops) {
-  VITIS_CHECK(neighbors != nullptr && ring_id_of != nullptr);
   LookupResult result;
+  greedy_lookup_into(neighbors, ring_id_of, origin, target, max_hops, result);
+  return result;
+}
+
+void greedy_lookup_into(
+    const NeighborFn& neighbors,
+    const std::function<ids::RingId(ids::NodeIndex)>& ring_id_of,
+    ids::NodeIndex origin, ids::RingId target, std::size_t max_hops,
+    LookupResult& result) {
+  VITIS_CHECK(neighbors != nullptr && ring_id_of != nullptr);
+  result.path.clear();
+  result.owner = ids::kInvalidNode;
+  result.converged = false;
   ids::NodeIndex current = origin;
   result.path.push_back(current);
 
@@ -28,7 +40,7 @@ LookupResult greedy_lookup(
       // Local minimum: `current` is the closest node it knows of — done.
       result.owner = current;
       result.converged = true;
-      return result;
+      return;
     }
     current = best_node;
     result.path.push_back(current);
@@ -37,7 +49,6 @@ LookupResult greedy_lookup(
   // Budget exhausted; report the last node but flag non-convergence.
   result.owner = current;
   result.converged = false;
-  return result;
 }
 
 }  // namespace vitis::overlay

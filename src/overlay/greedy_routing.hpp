@@ -41,4 +41,13 @@ using NeighborFn =
     const std::function<ids::RingId(ids::NodeIndex)>& ring_id_of,
     ids::NodeIndex origin, ids::RingId target, std::size_t max_hops = 256);
 
+/// Same lookup into a caller-retained result: `result.path`'s capacity is
+/// reused, so steady-state callers (the per-cycle relay refresh) stay
+/// allocation-free.
+void greedy_lookup_into(
+    const NeighborFn& neighbors,
+    const std::function<ids::RingId(ids::NodeIndex)>& ring_id_of,
+    ids::NodeIndex origin, ids::RingId target, std::size_t max_hops,
+    LookupResult& result);
+
 }  // namespace vitis::overlay

@@ -22,19 +22,27 @@ const char* to_string(LinkKind kind) {
   return "?";
 }
 
-RoutingTable::RoutingTable(std::size_t capacity) : capacity_(capacity) {
+RoutingTable::RoutingTable(std::size_t capacity)
+    : capacity_(capacity),
+      owned_(std::make_unique<RoutingEntry[]>(capacity)) {
   VITIS_CHECK(capacity > 0);
-  entries_.reserve(capacity);
+  data_ = owned_.get();
+}
+
+RoutingTable::RoutingTable(RoutingEntry* slab, std::size_t capacity)
+    : capacity_(capacity), data_(slab) {
+  VITIS_CHECK(capacity > 0);
+  VITIS_CHECK(slab != nullptr);
 }
 
 bool RoutingTable::contains(ids::NodeIndex node) const {
-  return std::any_of(entries_.begin(), entries_.end(),
+  return std::any_of(data_, data_ + size_,
                      [node](const RoutingEntry& e) { return e.node == node; });
 }
 
 std::optional<RoutingEntry> RoutingTable::find(ids::NodeIndex node) const {
-  for (const auto& e : entries_) {
-    if (e.node == node) return e;
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (data_[i].node == node) return data_[i];
   }
   return std::nullopt;
 }
@@ -46,32 +54,36 @@ void RoutingTable::assign(std::span<const RoutingEntry> entries) {
       VITIS_CHECK(entries[i].node != entries[j].node);
     }
   }
-  entries_.assign(entries.begin(), entries.end());
+  std::copy(entries.begin(), entries.end(), data_);
+  size_ = entries.size();
 }
 
 bool RoutingTable::add(const RoutingEntry& entry) {
-  if (entries_.size() >= capacity_ || contains(entry.node)) return false;
-  entries_.push_back(entry);
+  if (size_ >= capacity_ || contains(entry.node)) return false;
+  data_[size_++] = entry;
   return true;
 }
 
 bool RoutingTable::remove(ids::NodeIndex node) {
-  const auto it =
-      std::find_if(entries_.begin(), entries_.end(),
-                   [node](const RoutingEntry& e) { return e.node == node; });
-  if (it == entries_.end()) return false;
-  entries_.erase(it);
-  return true;
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (data_[i].node == node) {
+      // Preserve insertion order, like vector::erase did historically.
+      std::move(data_ + i + 1, data_ + size_, data_ + i);
+      --size_;
+      return true;
+    }
+  }
+  return false;
 }
 
 void RoutingTable::increment_ages() {
-  for (auto& e : entries_) ++e.age;
+  for (std::size_t i = 0; i < size_; ++i) ++data_[i].age;
 }
 
 void RoutingTable::mark_fresh(ids::NodeIndex node) {
-  for (auto& e : entries_) {
-    if (e.node == node) {
-      e.age = 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (data_[i].node == node) {
+      data_[i].age = 0;
       return;
     }
   }
@@ -80,34 +92,37 @@ void RoutingTable::mark_fresh(ids::NodeIndex node) {
 std::vector<ids::NodeIndex> RoutingTable::drop_older_than(
     std::uint32_t max_age) {
   std::vector<ids::NodeIndex> dropped;
-  std::erase_if(entries_, [&](const RoutingEntry& e) {
-    if (e.age > max_age) {
-      dropped.push_back(e.node);
-      return true;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (data_[i].age > max_age) {
+      dropped.push_back(data_[i].node);
+    } else {
+      if (kept != i) data_[kept] = data_[i];
+      ++kept;
     }
-    return false;
-  });
+  }
+  size_ = kept;
   return dropped;
 }
 
 std::vector<ids::NodeIndex> RoutingTable::neighbor_indices() const {
   std::vector<ids::NodeIndex> nodes;
-  nodes.reserve(entries_.size());
-  for (const auto& e : entries_) nodes.push_back(e.node);
+  nodes.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) nodes.push_back(data_[i].node);
   return nodes;
 }
 
 std::optional<RoutingEntry> RoutingTable::first_of(LinkKind kind) const {
-  for (const auto& e : entries_) {
-    if (e.kind == kind) return e;
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (data_[i].kind == kind) return data_[i];
   }
   return std::nullopt;
 }
 
 std::size_t RoutingTable::count_of(LinkKind kind) const {
-  return static_cast<std::size_t>(
-      std::count_if(entries_.begin(), entries_.end(),
-                    [kind](const RoutingEntry& e) { return e.kind == kind; }));
+  return static_cast<std::size_t>(std::count_if(
+      data_, data_ + size_,
+      [kind](const RoutingEntry& e) { return e.kind == kind; }));
 }
 
 }  // namespace vitis::overlay

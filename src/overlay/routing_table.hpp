@@ -5,9 +5,18 @@
 // Entries are tagged with the link kind so selection policies, dissemination
 // and the analysis toolkit can distinguish structural links (ring + small
 // world) from similarity links (friends) and OPT's coverage links.
+//
+// Storage is dual-mode: a table either owns its fixed-capacity entry buffer
+// (standalone construction, used by tests and small tools) or is a handle
+// into an externally owned slab (core::NodeArena / BaselineSystem allocate
+// one contiguous N×capacity RoutingEntry slab and hand each node a slice),
+// so a million node tables cost one allocation instead of a million. The
+// API and semantics are identical in both modes; capacity is fixed for the
+// table's lifetime either way.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -42,16 +51,27 @@ struct RoutingEntry {
 
 class RoutingTable {
  public:
+  /// Owning mode: allocates a private fixed-capacity entry buffer.
   explicit RoutingTable(std::size_t capacity);
 
+  /// Slab mode: `slab` points at `capacity` entries owned by the caller
+  /// (e.g. one arena allocation covering every node); the slab must outlive
+  /// the table and must never be reallocated while handles exist.
+  RoutingTable(RoutingEntry* slab, std::size_t capacity);
+
+  RoutingTable(RoutingTable&&) noexcept = default;
+  RoutingTable& operator=(RoutingTable&&) noexcept = default;
+  RoutingTable(const RoutingTable&) = delete;
+  RoutingTable& operator=(const RoutingTable&) = delete;
+
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
-  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
   [[nodiscard]] std::span<const RoutingEntry> entries() const {
-    return entries_;
+    return {data_, size_};
   }
 
-  void clear() { entries_.clear(); }
+  void clear() { size_ = 0; }
 
   [[nodiscard]] bool contains(ids::NodeIndex node) const;
   [[nodiscard]] std::optional<RoutingEntry> find(ids::NodeIndex node) const;
@@ -59,8 +79,8 @@ class RoutingTable {
   /// Replace the whole table with a fresh selection (the T-Man way: the
   /// selection function rebuilds the table each round). Capacity enforced;
   /// duplicates by node are rejected. The span overload copies into the
-  /// table's retained storage (reserved to capacity at construction), so
-  /// callers can reuse one scratch selection buffer allocation-free.
+  /// table's retained storage (fixed at construction), so callers can reuse
+  /// one scratch selection buffer allocation-free.
   void assign(std::span<const RoutingEntry> entries);
   void assign(std::vector<RoutingEntry> entries) {
     assign(std::span<const RoutingEntry>(entries));
@@ -89,7 +109,9 @@ class RoutingTable {
 
  private:
   std::size_t capacity_;
-  std::vector<RoutingEntry> entries_;  // unique by node
+  std::size_t size_ = 0;
+  RoutingEntry* data_ = nullptr;          // owned_ buffer or caller's slab
+  std::unique_ptr<RoutingEntry[]> owned_;  // null in slab mode
 };
 
 }  // namespace vitis::overlay

@@ -49,6 +49,18 @@ class PubSubSystem {
     return nullptr;
   }
 
+  /// Deterministic logical footprint of the system's per-node protocol
+  /// state in bytes, computed from live sizes and fixed slab capacities
+  /// only — a pure function of (seed, scale), safe to print on stdout.
+  /// 0 for systems without an accounting.
+  [[nodiscard]] virtual std::size_t memory_footprint() const { return 0; }
+
+  /// Maintenance throughput: cycles completed per second of wall time
+  /// spent inside run_cycles(). Telemetry only (non-deterministic; bench
+  /// artifacts and stderr, never stdout). 0 before the first cycle or for
+  /// systems without a cycle engine.
+  [[nodiscard]] virtual double cycles_per_second() const { return 0.0; }
+
   /// Enable (or reconfigure) the flight recorder for this run; the default
   /// is a no-op for systems without one. Off by default and zero-cost when
   /// disabled — enabling it never perturbs the simulated protocol (gauges

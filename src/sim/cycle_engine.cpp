@@ -1,6 +1,9 @@
 #include "sim/cycle_engine.hpp"
 
+#include <algorithm>
+
 #include "support/check.hpp"
+#include "support/run_stats.hpp"
 
 namespace vitis::sim {
 
@@ -23,7 +26,16 @@ void CycleEngine::set_alive(ids::NodeIndex node, bool alive) {
   VITIS_CHECK(node < alive_.size());
   if (alive_[node] == alive) return;
   alive_[node] = alive;
-  alive_count_ += alive ? 1 : std::size_t(-1);
+  // Keep the activation list dense and ascending: the common churn patterns
+  // (join at the high end, crash anywhere) cost O(log A) to locate plus the
+  // tail move; the order must match the historical full-bitmap scan so the
+  // per-cycle shuffle sees an identical starting permutation.
+  const auto at = std::lower_bound(active_.begin(), active_.end(), node);
+  if (alive) {
+    active_.insert(at, node);
+  } else {
+    active_.erase(at);
+  }
 }
 
 std::vector<ids::NodeIndex> CycleEngine::alive_nodes() const {
@@ -33,19 +45,16 @@ std::vector<ids::NodeIndex> CycleEngine::alive_nodes() const {
 }
 
 void CycleEngine::alive_nodes_into(std::vector<ids::NodeIndex>& out) const {
-  out.clear();
-  out.reserve(alive_count_);
-  for (std::size_t i = 0; i < alive_.size(); ++i) {
-    if (alive_[i]) out.push_back(static_cast<ids::NodeIndex>(i));
-  }
+  out.assign(active_.begin(), active_.end());
 }
 
 void CycleEngine::run(std::size_t cycles) {
+  const support::WallTimer timer;
   for (std::size_t c = 0; c < cycles; ++c) {
-    alive_nodes_into(order_scratch_);
+    order_scratch_.assign(active_.begin(), active_.end());
     rng_.shuffle(order_scratch_);
     for (const auto& entry : protocols_) {
-      const support::ScopedPhase timer(
+      const support::ScopedPhase phase_timer(
           entry.phase ? profiler_ : nullptr,
           entry.phase.value_or(support::Phase::kSampling));
       for (const ids::NodeIndex node : order_scratch_) {
@@ -61,11 +70,13 @@ void CycleEngine::run(std::size_t cycles) {
     // of the cycle. The stride test keeps disabled recorders zero-cost.
     if (recorder_ != nullptr && observer_ != nullptr &&
         recorder_->should_sample_cycle(cycle_)) {
-      const support::ScopedPhase timer(profiler_, support::Phase::kObserve);
+      const support::ScopedPhase phase_timer(profiler_,
+                                             support::Phase::kObserve);
       observer_(cycle_);
     }
     ++cycle_;
   }
+  run_wall_ms_ += timer.elapsed_ms();
 }
 
 }  // namespace vitis::sim

@@ -5,11 +5,22 @@
 // cycle (as PeerSim does, avoiding activation-order artifacts). Protocols
 // are closures registered by the pub/sub systems; the engine owns only the
 // clock, the alive set, and the activation schedule.
+//
+// The activation schedule is event-driven: `set_alive` maintains a dense,
+// ascending activation list incrementally, so a cycle costs O(active ×
+// protocols) — quiescent nodes (dead, or never joined out of a large
+// universe) cost zero per cycle instead of being skipped by an O(N) scan.
+// In this cycle-based model every alive node has a due gossip timer each
+// cycle, so the activation list is exactly the alive set; the list is kept
+// ascending so the per-cycle shuffle consumes the same RNG stream over the
+// same starting permutation as the historical full-bitmap scan
+// (byte-identical recorded outputs).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -56,10 +67,17 @@ class CycleEngine {
   [[nodiscard]] bool is_alive(ids::NodeIndex node) const {
     return alive_[node];
   }
-  [[nodiscard]] std::size_t alive_count() const { return alive_count_; }
+  [[nodiscard]] std::size_t alive_count() const { return active_.size(); }
   [[nodiscard]] std::size_t node_count() const { return alive_.size(); }
 
-  /// Indices of currently alive nodes, ascending.
+  /// The activation list: indices of currently alive nodes, ascending.
+  /// Valid until the next set_alive call. Systems iterate this instead of
+  /// scanning [0, node_count) so per-cycle maintenance is O(active).
+  [[nodiscard]] std::span<const ids::NodeIndex> active_nodes() const {
+    return active_;
+  }
+
+  /// Indices of currently alive nodes, ascending (copy).
   [[nodiscard]] std::vector<ids::NodeIndex> alive_nodes() const;
 
   /// Same, into a caller-retained buffer (cleared first) — the
@@ -72,6 +90,18 @@ class CycleEngine {
   /// Number of completed cycles since construction.
   [[nodiscard]] std::size_t cycle() const { return cycle_; }
 
+  /// Wall-clock milliseconds accumulated inside run() calls. Telemetry
+  /// only — never printed on stdout (varies between runs).
+  [[nodiscard]] double run_wall_ms() const { return run_wall_ms_; }
+
+  /// Simulated cycles per wall-clock second across all run() calls so far
+  /// (0 before the first cycle). Telemetry only, like run_wall_ms().
+  [[nodiscard]] double cycles_per_second() const {
+    return run_wall_ms_ > 0.0
+               ? static_cast<double>(cycle_) / (run_wall_ms_ / 1000.0)
+               : 0.0;
+  }
+
   /// Engine-owned RNG, shared with protocols that need scheduling noise.
   [[nodiscard]] Rng& rng() { return rng_; }
 
@@ -82,11 +112,12 @@ class CycleEngine {
     std::optional<support::Phase> phase;
   };
 
-  std::vector<bool> alive_;
-  std::size_t alive_count_ = 0;
+  std::vector<bool> alive_;  // O(1) is_alive for the full index universe
+  std::vector<ids::NodeIndex> active_;  // dense ascending activation list
   std::vector<ProtocolEntry> protocols_;
   std::vector<std::pair<std::string, CycleHook>> hooks_;
   std::size_t cycle_ = 0;
+  double run_wall_ms_ = 0.0;
   Rng rng_;
   support::Profiler* profiler_ = nullptr;
   support::Recorder* recorder_ = nullptr;

@@ -121,8 +121,10 @@ void write_telemetry(JsonWriter& w, const RunTelemetry& t) {
   w.begin_object();
   w.key("wall_ms").value(t.wall_ms);
   w.key("peak_rss_kb").value(t.peak_rss_kb);
+  w.key("peak_rss_bytes").value(t.peak_rss_bytes);
   w.key("cycles").value(t.cycles);
   w.key("messages").value(t.messages);
+  w.key("cycles_per_second").value(t.cycles_per_second);
   if (!all_zero(t.phases)) {
     w.key("phases");
     write_phases(w, t.phases);
@@ -169,7 +171,7 @@ std::size_t BenchArtifact::trace_count() const {
 std::string BenchArtifact::to_json() const {
   JsonWriter w;
   w.begin_object();
-  w.key("schema_version").value(std::int64_t{4});
+  w.key("schema_version").value(std::int64_t{5});
   w.key("bench").value(name_);
   w.key("git_describe").value(git_describe_);
   w.key("scale").begin_object();
@@ -208,12 +210,23 @@ std::string BenchArtifact::to_json() const {
   w.end_array();
 
   RunTelemetry totals;
+  // Aggregated throughput: total cycles over total run_cycles() wall time,
+  // using only points that reported a rate (ran cycles).
+  std::uint64_t paced_cycles = 0;
+  double paced_wall_s = 0.0;
   for (const Point& point : points_) {
     totals.wall_ms += point.telemetry_.wall_ms;
     totals.peak_rss_kb =
         std::max(totals.peak_rss_kb, point.telemetry_.peak_rss_kb);
+    totals.peak_rss_bytes =
+        std::max(totals.peak_rss_bytes, point.telemetry_.peak_rss_bytes);
     totals.cycles += point.telemetry_.cycles;
     totals.messages += point.telemetry_.messages;
+    if (point.telemetry_.cycles_per_second > 0.0) {
+      paced_cycles += point.telemetry_.cycles;
+      paced_wall_s += static_cast<double>(point.telemetry_.cycles) /
+                      point.telemetry_.cycles_per_second;
+    }
     for (std::size_t p = 0; p < kPhaseCount; ++p) {
       totals.phases[p].calls += point.telemetry_.phases[p].calls;
       totals.phases[p].wall_ns += point.telemetry_.phases[p].wall_ns;
@@ -222,12 +235,18 @@ std::string BenchArtifact::to_json() const {
       totals.counters[c] += point.telemetry_.counters[c];
     }
   }
+  if (paced_wall_s > 0.0) {
+    totals.cycles_per_second =
+        static_cast<double>(paced_cycles) / paced_wall_s;
+  }
   w.key("totals").begin_object();
   w.key("points").value(static_cast<std::uint64_t>(points_.size()));
   w.key("wall_ms").value(totals.wall_ms);
   w.key("peak_rss_kb").value(totals.peak_rss_kb);
+  w.key("peak_rss_bytes").value(totals.peak_rss_bytes);
   w.key("cycles").value(totals.cycles);
   w.key("messages").value(totals.messages);
+  w.key("cycles_per_second").value(totals.cycles_per_second);
   if (!all_zero(totals.phases)) {
     w.key("phases");
     write_phases(w, totals.phases);

@@ -3,9 +3,9 @@
 // This is the file future PRs regress performance against and
 // tools/fill_experiments.py prefers over scraping bench_output.txt.
 //
-// Schema (version 4):
+// Schema (version 5):
 //   {
-//     "schema_version": 4,
+//     "schema_version": 5,
 //     "bench": "<short bench name, e.g. fig04_friends_vs_sw>",
 //     "git_describe": "<git describe --always --dirty at configure time>",
 //     "scale": {"name": "quick", "nodes": N, "topics": T,
@@ -16,7 +16,8 @@
 //       {"params":    {"<key>": <number|string>, ...},
 //        "metrics":   {"<key>": <number>, ...},
 //        "telemetry": {"wall_ms": ..., "peak_rss_kb": ...,
-//                      "cycles": ..., "messages": ...,
+//                      "peak_rss_bytes": ..., "cycles": ...,
+//                      "messages": ..., "cycles_per_second": ...,
 //                      "phases": {"sampling": {"calls": ..., "wall_ms": ...},
 //                                 "tman": ..., "ranking": ..., "relay": ...,
 //                                 "routing": ..., "delivery": ...,
@@ -35,7 +36,9 @@
 //       ...
 //     ],
 //     "totals": {"points": P, "wall_ms": sum, "peak_rss_kb": max,
-//                "cycles": sum, "messages": sum, "phases": {...summed...},
+//                "peak_rss_bytes": max, "cycles": sum, "messages": sum,
+//                "cycles_per_second": sum(cycles)/sum(run_cycles wall),
+//                "phases": {...summed...},
 //                "counters": {...summed...},
 //                "traces": <publication traces recorded across points>}
 //   }
@@ -64,6 +67,10 @@
 //   v4 — adds the "delivery"/"observe"/"election" phases and the telemetry
 //        "counters" block; empty phases/counters/timeseries blocks are
 //        omitted.
+//   v5 — adds the capacity gauges: per-point/totals "peak_rss_bytes" (same
+//        high-water mark as peak_rss_kb, byte-resolution) and
+//        "cycles_per_second" (maintenance throughput over the wall time
+//        spent inside run_cycles; 0 for points that ran no cycles).
 #pragma once
 
 #include <cstdint>

@@ -84,6 +84,16 @@ BenchScale resolve_scale(const CliArgs& args) {
     scale.topics = 5'000;
     scale.cycles = 80;
     scale.events = 1'000;
+  } else if (name == "massive") {
+    // Opt-in capacity tier (never the default): a million nodes exercises
+    // the arena/SoA layouts and the event-driven engine at Internet scale.
+    // Expect tens of GB of RSS and hours of wall time at full size; scale
+    // it down with --nodes/--cycles for smoke runs (see DESIGN.md "Memory
+    // layout & scale tiers" for the measured capacity model).
+    scale.nodes = 1'000'000;
+    scale.topics = 100'000;
+    scale.cycles = 30;
+    scale.events = 200;
   } else {
     // Quick scale preserves all qualitative shapes at a fraction of the
     // paper's size; the full sweep suite finishes in tens of minutes on one

@@ -41,10 +41,13 @@ class CliArgs {
 /// Read an environment variable, empty optional when unset.
 [[nodiscard]] std::optional<std::string> env_string(const std::string& name);
 
-/// Benchmark scale selector: "quick" (default) or "paper". Controlled by the
-/// REPRO_SCALE environment variable or an explicit --scale option.
+/// Benchmark scale selector: "quick" (default), "paper", or the opt-in
+/// "massive" capacity tier (10^6 nodes — see DESIGN.md "Memory layout &
+/// scale tiers" before running it). Controlled by the REPRO_SCALE
+/// environment variable or an explicit --scale option; --nodes/--topics/
+/// --cycles/--events override individual fields of any tier.
 struct BenchScale {
-  std::string name;     // "quick" or "paper"
+  std::string name;     // "quick", "paper", or "massive"
   std::size_t nodes;    // network size for synthetic experiments
   std::size_t topics;   // topic universe for synthetic experiments
   std::size_t cycles;   // gossip cycles to convergence

@@ -40,4 +40,6 @@ std::int64_t peak_rss_kb() {
 #endif
 }
 
+std::int64_t peak_rss_bytes() { return peak_rss_kb() * 1024; }
+
 }  // namespace vitis::support

@@ -21,8 +21,13 @@ struct RunTelemetry {
   double wall_ms = 0.0;            // wall-clock duration of the run body
   std::int64_t peak_rss_kb = 0;    // process RSS high-water mark (kB) after
                                    // the run; monotone across a sweep
+  std::int64_t peak_rss_bytes = 0;  // same high-water mark in bytes (schema
+                                    // v5; the kB field stays for readers)
   std::uint64_t cycles = 0;        // protocol cycles simulated by the run
   std::uint64_t messages = 0;      // point-to-point messages processed
+  // Maintenance throughput (cycles per second of run_cycles() wall time,
+  // schema v5). Telemetry-only like wall_ms; 0 when the body ran no cycles.
+  double cycles_per_second = 0.0;
   // Per-phase cycle-engine breakdown (indexed by support::Phase). `calls`
   // are deterministic per (seed, scale); `wall_ns` is telemetry-only.
   std::array<PhaseStats, kPhaseCount> phases{};
@@ -57,5 +62,9 @@ class WallTimer {
 /// value — record it per point anyway: the maximum over points bounds the
 /// sweep's footprint.
 [[nodiscard]] std::int64_t peak_rss_kb();
+
+/// peak_rss_kb() scaled to bytes — the schema-v5 gauge; kept alongside the
+/// kB reading so existing consumers need no unit change.
+[[nodiscard]] std::int64_t peak_rss_bytes();
 
 }  // namespace vitis::support

@@ -44,6 +44,7 @@ template <typename Point, typename Fn>
     outcomes[i].result = fn(points[i], outcomes[i].telemetry);
     outcomes[i].telemetry.wall_ms = timer.elapsed_ms();
     outcomes[i].telemetry.peak_rss_kb = peak_rss_kb();
+    outcomes[i].telemetry.peak_rss_bytes = peak_rss_bytes();
   });
   return outcomes;
 }

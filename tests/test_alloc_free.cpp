@@ -106,6 +106,53 @@ TEST(AllocationAudit, SteadyStateGossipStepIsAllocationFree) {
       << "counting operator new is not wired in";
 }
 
+TEST(AllocationAudit, ArenaSteadyStateMaintenanceCycleIsAllocationFree) {
+  // The arena conversion must not reintroduce per-cycle churn: once every
+  // scratch buffer (activation order, touched adjacency lists, exchange
+  // buffers, slab-backed routing tables) reached steady-state size, a FULL
+  // maintenance cycle — gossip, T-Man, ranking, election, relay repair,
+  // heartbeats, adjacency rebuild — is amortized allocation-free. Strict
+  // zero is not the invariant here (T-Man keeps reshaping the overlay, so a
+  // node newly recruited onto a relay path or gaining its first adjacency
+  // edges legitimately grows a vector's capacity once); the invariant is
+  // that allocations are RARE capacity-growth events, orders of magnitude
+  // below the activation count — any per-activation temporary (the failure
+  // mode an arena regression would introduce) trips the budget immediately.
+  workload::SyntheticScenarioParams params;
+  params.subscriptions.nodes = 400;
+  params.subscriptions.topics = 200;
+  params.subscriptions.subs_per_node = 20;
+  params.subscriptions.pattern = workload::CorrelationPattern::kLowCorrelation;
+  params.events = 8;
+  params.seed = 4321;
+  const auto scenario = workload::make_synthetic_scenario(params);
+  auto system = workload::make_vitis(scenario, VitisConfig{}, 4321);
+
+  // Warmup long enough to cover every periodic protocol (election period,
+  // relay refresh) at least twice, so all amortized growth has happened.
+  system->run_cycles(48);
+
+  const std::uint64_t before = g_allocations;
+  constexpr std::size_t kCycles = 4;
+  system->run_cycles(kCycles);
+  const std::uint64_t during = g_allocations - before;
+  // 400 nodes × 4 cycles ≈ 1600 activations; residual capacity growth
+  // measures ~13 allocations here. One temporary per activation would be
+  // ≥ 1600 — budget an order of magnitude below that, an order above the
+  // residue (allocator growth policies differ across stdlibs).
+  const std::uint64_t budget = system->node_count() * kCycles / 10;
+  EXPECT_LT(during, budget)
+      << during << " heap allocations in " << kCycles
+      << " steady-state maintenance cycles (budget " << budget << ")";
+
+  // The deterministic footprint gauge is itself allocation-free (the
+  // capacity bench calls it per sweep point).
+  const std::uint64_t gauge_before = g_allocations;
+  const std::size_t footprint = system->memory_footprint();
+  EXPECT_EQ(g_allocations - gauge_before, 0u);
+  EXPECT_GT(footprint, 0u);
+}
+
 TEST(AllocationAudit, FaultAdmissionGossipStepIsAllocationFree) {
   // The fault layer sits on the per-message hot path (every shuffle and
   // T-Man exchange consults deliver()); with an active plan — drop,

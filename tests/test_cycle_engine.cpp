@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
 #include <vector>
 
 #include "sim/cycle_engine.hpp"
@@ -125,6 +127,69 @@ TEST(CycleEngine, CycleCounterAdvancesAcrossRuns) {
   engine.run(2);
   engine.run(3);
   EXPECT_EQ(engine.cycle(), 5u);
+}
+
+TEST(CycleEngine, QuiescentNodesCostZeroWork) {
+  // Event-driven activation: a huge universe with a handful of alive nodes
+  // charges protocol work only to the alive ones — the activation list is
+  // the schedule, there is no O(node_count) scan per cycle.
+  constexpr std::size_t kUniverse = 100'000;
+  CycleEngine engine(kUniverse, Rng(11));
+  const std::vector<ids::NodeIndex> joined{7, 421, 90'000};
+  for (const ids::NodeIndex node : joined) engine.set_alive(node, true);
+  std::size_t total_calls = 0;
+  std::vector<ids::NodeIndex> touched;
+  engine.add_protocol("count", [&](ids::NodeIndex node, std::size_t) {
+    ++total_calls;
+    touched.push_back(node);
+  });
+  engine.run(50);
+  EXPECT_EQ(total_calls, joined.size() * 50);
+  EXPECT_EQ(engine.active_nodes().size(), joined.size());
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  EXPECT_EQ(touched, joined);
+}
+
+TEST(CycleEngine, ActivationListMatchesFullBitmapScan) {
+  // Equivalence digest: after an arbitrary churn history the incremental
+  // activation list must equal the ascending full scan of the alive bitmap
+  // — same members, same order (the order feeds the per-cycle shuffle, so
+  // divergence here would silently change every recorded output).
+  constexpr std::size_t kNodes = 257;
+  CycleEngine engine(kNodes, Rng(12));
+  Rng churn(34);
+  for (int step = 0; step < 2'000; ++step) {
+    const auto node =
+        static_cast<ids::NodeIndex>(churn.index(kNodes));
+    engine.set_alive(node, churn.index(3) != 0);  // bias toward alive
+    if (step % 100 != 0) continue;
+    std::vector<ids::NodeIndex> scan;
+    for (ids::NodeIndex i = 0; i < kNodes; ++i) {
+      if (engine.is_alive(i)) scan.push_back(i);
+    }
+    const auto active = engine.active_nodes();
+    ASSERT_EQ(std::vector<ids::NodeIndex>(active.begin(), active.end()),
+              scan)
+        << "activation list diverged from the bitmap at step " << step;
+  }
+  EXPECT_EQ(engine.alive_nodes().size(), engine.alive_count());
+}
+
+TEST(CycleEngine, ThroughputGaugeCountsOnlyRunTime) {
+  CycleEngine engine(8, Rng(13));
+  for (ids::NodeIndex i = 0; i < 8; ++i) engine.set_alive(i, true);
+  engine.add_protocol("noop", [](ids::NodeIndex, std::size_t) {});
+  // Telemetry gauges start at zero: no cycles, no rate.
+  EXPECT_EQ(engine.run_wall_ms(), 0.0);
+  EXPECT_EQ(engine.cycles_per_second(), 0.0);
+  engine.run(25);
+  EXPECT_GT(engine.run_wall_ms(), 0.0);
+  EXPECT_GT(engine.cycles_per_second(), 0.0);
+  // The gauge is cycles over accumulated run() wall time.
+  EXPECT_DOUBLE_EQ(engine.cycles_per_second(),
+                   static_cast<double>(engine.cycle()) /
+                       (engine.run_wall_ms() / 1000.0));
 }
 
 }  // namespace

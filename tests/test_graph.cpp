@@ -76,7 +76,8 @@ TEST(Graph, ComponentDiameter) {
 }
 
 TEST(Graph, FromRoutingTables) {
-  std::vector<overlay::RoutingTable> tables(3, overlay::RoutingTable(2));
+  std::vector<overlay::RoutingTable> tables;  // move-only: no fill-construct
+  for (int i = 0; i < 3; ++i) tables.emplace_back(2);
   tables[0].add({1, 10, overlay::LinkKind::kFriend, 0});
   tables[1].add({2, 20, overlay::LinkKind::kFriend, 0});
   tables[2].add({0, 0, overlay::LinkKind::kFriend, 0});

@@ -26,7 +26,8 @@ class StaticOverlay {
               [&](ids::NodeIndex a, ids::NodeIndex b) {
                 return ids_[a] < ids_[b];
               });
-    tables_.assign(n, RoutingTable(2 + chords));
+    tables_.reserve(n);  // move-only: no fill-assign
+    for (std::size_t i = 0; i < n; ++i) tables_.emplace_back(2 + chords);
     sim::Rng rng(seed);
     for (std::size_t pos = 0; pos < n; ++pos) {
       const ids::NodeIndex node = order_[pos];

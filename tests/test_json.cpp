@@ -92,8 +92,10 @@ TEST(BenchArtifact, SchemaShape) {
   support::RunTelemetry telemetry;
   telemetry.wall_ms = 12.5;
   telemetry.peak_rss_kb = 2048;
+  telemetry.peak_rss_bytes = 2097152;
   telemetry.cycles = 10;
   telemetry.messages = 1234;
+  telemetry.cycles_per_second = 800.0;
   telemetry.phases[static_cast<std::size_t>(support::Phase::kSampling)] =
       support::PhaseStats{7, 1500000};  // 7 calls, 1.5 ms
   telemetry.counters[static_cast<std::size_t>(
@@ -120,7 +122,7 @@ TEST(BenchArtifact, SchemaShape) {
   point.set_telemetry(telemetry);
 
   const std::string json = artifact.to_json();
-  EXPECT_NE(json.find("\"schema_version\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":5"), std::string::npos);
   EXPECT_NE(json.find("\"bench\":\"unit_test\""), std::string::npos);
   EXPECT_NE(json.find("\"git_describe\":\"deadbeef\""), std::string::npos);
   EXPECT_NE(json.find("\"scale\":{\"name\":\"quick\",\"nodes\":100,"
@@ -132,8 +134,11 @@ TEST(BenchArtifact, SchemaShape) {
   EXPECT_NE(json.find("\"friends\":6"), std::string::npos);
   EXPECT_NE(json.find("\"alpha\":0.5"), std::string::npos);
   EXPECT_NE(json.find("\"hit_ratio\":0.999"), std::string::npos);
+  // v5 capacity gauges sit between the v1 keys and the phases block.
   EXPECT_NE(json.find("\"telemetry\":{\"wall_ms\":12.5,\"peak_rss_kb\":2048,"
-                      "\"cycles\":10,\"messages\":1234,\"phases\":{"),
+                      "\"peak_rss_bytes\":2097152,"
+                      "\"cycles\":10,\"messages\":1234,"
+                      "\"cycles_per_second\":800,\"phases\":{"),
             std::string::npos);
   // Per-phase breakdown: every phase present, set values round-tripped.
   EXPECT_NE(json.find("\"sampling\":{\"calls\":7,\"wall_ms\":1.5}"),

@@ -53,7 +53,8 @@ class TManMergeFixture {
  public:
   TManMergeFixture(std::vector<Descriptor> script, std::size_t sample_size)
       : sampling_(std::move(script)) {
-    tables_.assign(8, overlay::RoutingTable(4));
+    tables_.reserve(8);  // move-only: no fill-assign
+    for (int i = 0; i < 8; ++i) tables_.emplace_back(4);
     tman_ = std::make_unique<TManProtocol>(
         [this](ids::NodeIndex n) -> overlay::RoutingTable& {
           return tables_[n];

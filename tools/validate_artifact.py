@@ -1,21 +1,22 @@
 #!/usr/bin/env python3
-"""Validate BENCH_<name>.json artifacts against the schema-v3/v4 shape.
+"""Validate BENCH_<name>.json artifacts against the schema-v3/v4/v5 shape.
 
 Checks every artifact for:
 
-* schema_version in {3, 4} and the top-level keys (bench, scale, seed,
+* schema_version in {3, 4, 5} and the top-level keys (bench, scale, seed,
   jobs, points, totals);
 * the scale block (name/nodes/topics/cycles/events, all integers >= 0);
 * per point: params (scalars), metrics (numbers), telemetry (wall_ms,
   peak_rss_kb, cycles, messages, the per-version named phases with
-  calls/wall_ms and — v4 — the named counters block), and the
+  calls/wall_ms, the — v4+ — named counters block, and the — v5 —
+  capacity gauges peak_rss_bytes and cycles_per_second), and the
   `timeseries` block — stride plus samples, each sample a cycle, the
   per-version named gauges (number or null: NaN gauges from event-free
   windows serialize as null) and the phase call counters;
-* v4 omission rules: "phases", "counters" and "timeseries" may be absent
+* v4+ omission rules: "phases", "counters" and "timeseries" may be absent
   (all-zero / recorder off); when present they must be complete;
-* totals: points matches len(points), summed phases/counters, and the
-  `traces` count.
+* totals: points matches len(points), summed phases/counters, the — v5 —
+  capacity gauges, and the `traces` count.
 
 A git_describe ending in "-dirty" draws a warning on stderr (the
 committed artifacts must be regenerated from a clean tree) but does not
@@ -148,15 +149,24 @@ def check_timeseries(c, series, phases, gauges, where, optional):
                           f"{at}: phase_calls.{name} not a count")
 
 
-def check_telemetry(c, telemetry, phases, where, optional):
+def check_telemetry(c, telemetry, phases, where, optional, v5):
     if not c.require(isinstance(telemetry, dict), f"{where}: telemetry is not an object"):
         return
     for key in ("wall_ms",):
         c.require(c.is_number(telemetry.get(key)), f"{where}: telemetry.{key} not a number")
     for key in ("peak_rss_kb", "cycles", "messages"):
         c.require(c.is_count(telemetry.get(key)), f"{where}: telemetry.{key} not a count")
+    if v5:  # capacity gauges exist only in v5
+        c.require(c.is_count(telemetry.get("peak_rss_bytes")),
+                  f"{where}: telemetry.peak_rss_bytes not a count")
+        c.require(c.is_number(telemetry.get("cycles_per_second")),
+                  f"{where}: telemetry.cycles_per_second not a number")
+    else:
+        for key in ("peak_rss_bytes", "cycles_per_second"):
+            c.require(key not in telemetry,
+                      f"{where}: telemetry has v5 '{key}' in a v{3 if not optional else 4} artifact")
     check_phases(c, telemetry.get("phases"), phases, f"{where}: telemetry", optional)
-    if optional:  # counters exist only in v4
+    if optional:  # counters exist only in v4+
         check_counters(c, telemetry.get("counters"), f"{where}: telemetry", optional)
     else:
         c.require("counters" not in telemetry, f"{where}: telemetry has v4 counters in a v3 artifact")
@@ -174,10 +184,11 @@ def check_artifact(path):
     if not c.require(isinstance(doc, dict), "top level is not an object"):
         return c.problems
     version = doc.get("schema_version")
-    if not c.require(version in (3, 4),
-                     f"schema_version is {version!r}, want 3 or 4"):
+    if not c.require(version in (3, 4, 5),
+                     f"schema_version is {version!r}, want 3, 4 or 5"):
         return c.problems
-    v4 = version == 4
+    v4 = version >= 4  # v5 keeps the v4 phases/gauges/counters/omissions
+    v5 = version >= 5
     phases = PHASES_V4 if v4 else PHASES_V3
     gauges = GAUGES_V4 if v4 else GAUGES_V3
     c.require(isinstance(doc.get("bench"), str) and doc["bench"],
@@ -213,7 +224,8 @@ def check_artifact(path):
             for key, value in metrics.items():
                 c.require(value is None or c.is_number(value),
                           f"{where}: metric '{key}' is not a number")
-        check_telemetry(c, point.get("telemetry"), phases, where, optional=v4)
+        check_telemetry(c, point.get("telemetry"), phases, where, optional=v4,
+                        v5=v5)
         check_timeseries(c, point.get("timeseries"), phases, gauges, where,
                          optional=v4)
 
@@ -224,6 +236,11 @@ def check_artifact(path):
         for key in ("peak_rss_kb", "cycles", "messages", "traces"):
             c.require(c.is_count(totals.get(key)), f"totals.{key} not a count")
         c.require(c.is_number(totals.get("wall_ms")), "totals.wall_ms not a number")
+        if v5:
+            c.require(c.is_count(totals.get("peak_rss_bytes")),
+                      "totals.peak_rss_bytes not a count")
+            c.require(c.is_number(totals.get("cycles_per_second")),
+                      "totals.cycles_per_second not a number")
         check_phases(c, totals.get("phases"), phases, "totals", optional=v4)
         if v4:
             check_counters(c, totals.get("counters"), "totals", optional=True)
