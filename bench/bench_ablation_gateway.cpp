@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
   const auto outcomes = bench::sweep(
       ctx, points,
       [&](const Point& point, support::RunTelemetry& telemetry) -> Result {
-        core::VitisConfig config;
+        core::VitisConfig config = bench::with_run_jobs(ctx);
         config.gateway_depth = point.depth;
         auto system = workload::make_vitis(scenario, config, ctx.seed);
         bench::enable_recorder(ctx, *system, ctx.scale.cycles);

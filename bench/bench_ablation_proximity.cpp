@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   const auto outcomes = bench::sweep(
       ctx, points,
       [&](const Point& point, support::RunTelemetry& telemetry) -> Result {
-        core::VitisConfig config;
+        core::VitisConfig config = bench::with_run_jobs(ctx);
         config.proximity_weight = point.weight;
         auto system = workload::make_vitis(scenario, config, ctx.seed);
         system->set_coordinates(coords);

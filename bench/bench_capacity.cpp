@@ -32,10 +32,12 @@ enum class System { kVitis, kRvr, kOpt };
 
 constexpr const char* kSystemNames[3] = {"vitis", "rvr", "opt"};
 
-// One sweep point: system × ladder rung.
+// One sweep point: system × ladder rung (plus an optional fixed engine
+// worker count for the thread-scaling appendix).
 struct Point {
   System system = System::kVitis;
-  std::size_t rung = 0;  // index into the node ladder
+  std::size_t rung = 0;      // index into the node ladder
+  std::size_t run_jobs = 0;  // 0 = the context's --run-jobs
 };
 
 // The sweep body's result: paper metrics plus the deterministic footprint.
@@ -81,6 +83,18 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Thread-scaling appendix (schema v6): Vitis at the ½× rung under a fixed
+  // engine-worker ladder. Appended after the 9 ladder points so the stdout
+  // tables (which index outcomes[0..8]) are untouched; the extra points are
+  // bit-identical in params/metrics and differ only in wall-clock telemetry
+  // (telemetry.run_jobs / telemetry.parallel), which is where the --run-jobs
+  // speedup is recorded.
+  const std::size_t kScalingRung = 1;
+  for (const std::size_t engine_jobs : {std::size_t{1}, std::size_t{2},
+                                        std::size_t{4}, std::size_t{8}}) {
+    points.push_back(Point{System::kVitis, kScalingRung, engine_jobs});
+  }
+
   const auto outcomes = bench::sweep(
       ctx, points,
       [&](const Point& point,
@@ -89,17 +103,21 @@ int main(int argc, char** argv) {
         telemetry.cycles = ctx.scale.cycles;
         std::unique_ptr<pubsub::PubSubSystem> system;
         switch (point.system) {
-          case System::kVitis:
-            system = workload::make_vitis(scenario, core::VitisConfig{},
-                                          ctx.seed);
+          case System::kVitis: {
+            core::VitisConfig config = bench::with_run_jobs(ctx);
+            if (point.run_jobs > 0) config.run_jobs = point.run_jobs;
+            system = workload::make_vitis(scenario, config, ctx.seed);
             break;
+          }
           case System::kRvr:
-            system = workload::make_rvr(scenario, baselines::rvr::RvrConfig{},
-                                        ctx.seed);
+            system = workload::make_rvr(
+                scenario, bench::with_run_jobs(ctx, baselines::rvr::RvrConfig{}),
+                ctx.seed);
             break;
           case System::kOpt:
-            system = workload::make_opt(scenario, baselines::opt::OptConfig{},
-                                        ctx.seed);
+            system = workload::make_opt(
+                scenario, bench::with_run_jobs(ctx, baselines::opt::OptConfig{}),
+                ctx.seed);
             break;
         }
         bench::enable_recorder(ctx, *system, ctx.scale.cycles);

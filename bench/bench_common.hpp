@@ -5,6 +5,9 @@
 //   --nodes/--topics/--cycles/--events N   (override individual knobs)
 //   --seed N
 //   --jobs N              (worker threads for the sweep; or env REPRO_JOBS)
+//   --run-jobs N          (worker threads inside each simulation's cycle
+//                          engine; or env REPRO_RUN_JOBS; output is
+//                          bit-identical for any value)
 //   --csv path            (also dump the table as CSV)
 //   --json path           (override the BENCH_<name>.json artifact path)
 //   --observe             (flight recorder: health time series + invariant
@@ -47,6 +50,10 @@ struct BenchContext {
   support::BenchScale scale;
   std::uint64_t seed = 42;
   std::size_t jobs = 1;
+  /// Cycle-engine workers per simulation (--run-jobs). Purely a wall-clock
+  /// knob: simulated output is bit-identical at any value, so it never
+  /// appears in banners, tables, or artifact params — only in telemetry.
+  std::size_t run_jobs = 1;
   std::string csv_path;   // empty = no CSV dump
   std::string json_path;  // empty = BENCH_<name>.json in the working dir
 
@@ -66,6 +73,13 @@ struct BenchContext {
     }();
     const std::int64_t jobs = args.get_int("jobs", env_jobs);
     ctx.jobs = jobs > 1 ? static_cast<std::size_t>(jobs) : 1;
+    const std::int64_t env_run_jobs = [] {
+      const auto env = support::env_string("REPRO_RUN_JOBS");
+      return env.has_value() ? std::strtoll(env->c_str(), nullptr, 10)
+                             : std::int64_t{1};
+    }();
+    const std::int64_t run_jobs = args.get_int("run-jobs", env_run_jobs);
+    ctx.run_jobs = run_jobs > 1 ? static_cast<std::size_t>(run_jobs) : 1;
     ctx.csv_path = args.get_string("csv", "");
     ctx.json_path = args.get_string("json", "");
     ctx.observe.enabled = args.get_bool("observe", false);
@@ -120,6 +134,25 @@ inline workload::SyntheticScenarioParams synthetic_params(
 
 inline const char* pattern_label(workload::CorrelationPattern pattern) {
   return workload::to_string(pattern);
+}
+
+/// Apply the context's --run-jobs to a system config. Three overloads so
+/// bench bodies can wrap whatever config they build; the knob only moves
+/// wall-clock, never simulated output.
+inline core::VitisConfig with_run_jobs(const BenchContext& ctx,
+                                       core::VitisConfig config = {}) {
+  config.run_jobs = ctx.run_jobs;
+  return config;
+}
+inline baselines::rvr::RvrConfig with_run_jobs(
+    const BenchContext& ctx, baselines::rvr::RvrConfig config) {
+  config.base.run_jobs = ctx.run_jobs;
+  return config;
+}
+inline baselines::opt::OptConfig with_run_jobs(
+    const BenchContext& ctx, baselines::opt::OptConfig config) {
+  config.base.run_jobs = ctx.run_jobs;
+  return config;
 }
 
 // --- sweep execution -------------------------------------------------------
@@ -193,6 +226,9 @@ inline void record_phases(support::RunTelemetry& telemetry,
   }
   // Schema-v5 throughput gauge; telemetry-only like wall_ms.
   telemetry.cycles_per_second = system.cycles_per_second();
+  // Schema-v6 parallelism telemetry: worker count and per-stage busy/span.
+  telemetry.run_jobs = system.run_jobs();
+  telemetry.parallel = system.parallel_phases();
   if (const support::Recorder* rec = system.recorder();
       rec != nullptr && rec->enabled()) {
     telemetry.series = rec->series();

@@ -65,7 +65,8 @@ int main(int argc, char** argv) {
           support::RunTelemetry& telemetry) -> pubsub::MetricsSummary {
         telemetry.cycles = ctx.scale.cycles;
         if (point.pattern < 0) {
-          baselines::rvr::RvrConfig rvr_config;
+          baselines::rvr::RvrConfig rvr_config =
+              bench::with_run_jobs(ctx, baselines::rvr::RvrConfig{});
           rvr_config.base.routing_table_size = kRtSize;
           auto rvr = workload::make_rvr(scenarios[2], rvr_config, ctx.seed);
           bench::enable_recorder(ctx, *rvr, ctx.scale.cycles);
@@ -76,7 +77,7 @@ int main(int argc, char** argv) {
           return summary;
         }
         const auto& scenario = scenarios[point.pattern];
-        core::VitisConfig config;
+        core::VitisConfig config = bench::with_run_jobs(ctx);
         config.routing_table_size = kRtSize;
         config.structural_links = kRtSize - point.friends;
         auto system = workload::make_vitis(scenario, config, ctx.seed);

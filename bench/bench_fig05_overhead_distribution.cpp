@@ -50,11 +50,13 @@ int main(int argc, char** argv) {
         const auto& scenario = point.correlated ? correlated : random_scenario;
         std::unique_ptr<pubsub::PubSubSystem> system;
         if (point.vitis) {
-          core::VitisConfig vitis_config;  // defaults: RT 15, k 3, d 5
-          system = workload::make_vitis(scenario, vitis_config, ctx.seed);
+          // defaults: RT 15, k 3, d 5
+          system = workload::make_vitis(scenario, bench::with_run_jobs(ctx),
+                                        ctx.seed);
         } else {
-          baselines::rvr::RvrConfig rvr_config;
-          system = workload::make_rvr(scenario, rvr_config, ctx.seed);
+          system = workload::make_rvr(
+              scenario, bench::with_run_jobs(ctx, baselines::rvr::RvrConfig{}),
+              ctx.seed);
         }
         bench::enable_recorder(ctx, *system, ctx.scale.cycles);
         Result result;

@@ -53,8 +53,9 @@ int main(int argc, char** argv) {
             bench::synthetic_params(ctx, patterns[scenario_pattern],
                                     point.alpha));
         if (point.pattern < 0) {
-          baselines::rvr::RvrConfig rvr_config;
-          auto rvr = workload::make_rvr(scenario, rvr_config, ctx.seed);
+          auto rvr = workload::make_rvr(
+              scenario, bench::with_run_jobs(ctx, baselines::rvr::RvrConfig{}),
+              ctx.seed);
           bench::enable_recorder(ctx, *rvr, ctx.scale.cycles);
           const auto summary = workload::run_measurement(
               *rvr, ctx.scale.cycles, scenario.schedule);
@@ -62,7 +63,7 @@ int main(int argc, char** argv) {
           bench::record_phases(telemetry, *rvr);
           return summary;
         }
-        core::VitisConfig config;  // RT 15, k 3
+        core::VitisConfig config = bench::with_run_jobs(ctx);  // RT 15, k 3
         auto system = workload::make_vitis(scenario, config, ctx.seed);
         bench::enable_recorder(ctx, *system, ctx.scale.cycles);
         const auto summary = workload::run_measurement(

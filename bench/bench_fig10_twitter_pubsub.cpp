@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
           support::RunTelemetry& telemetry) -> pubsub::MetricsSummary {
         telemetry.cycles = ctx.scale.cycles;
         if (point.system == 0) {
-          core::VitisConfig vitis_config;
+          core::VitisConfig vitis_config = bench::with_run_jobs(ctx);
           vitis_config.routing_table_size = point.rt_size;
           core::VitisSystem system(vitis_config, table, weight_vec, ctx.seed);
           bench::enable_recorder(ctx, system, ctx.scale.cycles);
@@ -70,7 +70,8 @@ int main(int argc, char** argv) {
           return summary;
         }
         if (point.system == 1) {
-          baselines::rvr::RvrConfig rvr_config;
+          baselines::rvr::RvrConfig rvr_config =
+              bench::with_run_jobs(ctx, baselines::rvr::RvrConfig{});
           rvr_config.base.routing_table_size = point.rt_size;
           baselines::rvr::RvrSystem system(rvr_config, table, ctx.seed);
           bench::enable_recorder(ctx, system, ctx.scale.cycles);
@@ -80,7 +81,8 @@ int main(int argc, char** argv) {
           bench::record_phases(telemetry, system);
           return summary;
         }
-        baselines::opt::OptConfig opt_config;
+        baselines::opt::OptConfig opt_config =
+            bench::with_run_jobs(ctx, baselines::opt::OptConfig{});
         opt_config.base.routing_table_size = point.rt_size;
         baselines::opt::OptSystem system(opt_config, table, ctx.seed);
         bench::enable_recorder(ctx, system, ctx.scale.cycles);

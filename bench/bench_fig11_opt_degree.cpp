@@ -38,7 +38,8 @@ int main(int argc, char** argv) {
         const auto full = workload::make_twitter_subscriptions(params, rng);
         const auto table = workload::sample_twitter(full, point.users, rng);
 
-        baselines::opt::OptConfig config;
+        baselines::opt::OptConfig config =
+            bench::with_run_jobs(ctx, baselines::opt::OptConfig{});
         config.unbounded = true;
         baselines::opt::OptSystem system(config, table, ctx.seed);
         bench::enable_recorder(ctx, system, ctx.scale.cycles);

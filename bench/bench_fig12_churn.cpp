@@ -172,11 +172,12 @@ int main(int argc, char** argv) {
       [&](const Point& point, support::RunTelemetry& telemetry)
           -> std::vector<pubsub::MetricsSummary> {
         if (point.system == 0) {
-          auto system = workload::make_vitis(scenario, core::VitisConfig{},
+          auto system = workload::make_vitis(scenario, bench::with_run_jobs(ctx),
                                              ctx.seed, /*start_online=*/false);
           return replay(*system, telemetry);
         }
-        baselines::rvr::RvrConfig rvr_config;
+        baselines::rvr::RvrConfig rvr_config = bench::with_run_jobs(
+            ctx, baselines::rvr::RvrConfig{});
         rvr_config.tree_refresh_interval = 2;  // Scribe repairs aggressively
         auto system = workload::make_rvr(scenario, rvr_config, ctx.seed,
                                          /*start_online=*/false);

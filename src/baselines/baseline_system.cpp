@@ -27,8 +27,8 @@ BaselineSystem::BaselineSystem(BaselineConfig config,
                                std::uint64_t seed, bool start_online)
     : config_(config),
       subscriptions_(std::move(subscriptions)),
-      engine_(subscriptions_.node_count(),
-              sim::Rng(seed ^ 0x656e67696e65ULL)),
+      engine_(subscriptions_.node_count(), seed ^ 0x656e67696e65ULL,
+              config.run_jobs),
       metrics_(subscriptions_.node_count()),
       rng_(seed),
       trace_rng_(seed ^ 0x7472616365ULL),
@@ -68,7 +68,7 @@ BaselineSystem::BaselineSystem(BaselineConfig config,
   };
   sampling_ = gossip::make_sampling_service(
       config_.sampling, ring_ids_, config_.view_size, is_alive,
-      rng_.split(0x73616d70), nullptr,
+      ids::mix64(seed ^ 0x73616d70ULL), nullptr,
       [this](ids::NodeIndex node) { return set_ids_[node]; });
   tman_ = std::make_unique<gossip::TManProtocol>(
       [this](ids::NodeIndex node) -> overlay::RoutingTable& {
@@ -77,20 +77,31 @@ BaselineSystem::BaselineSystem(BaselineConfig config,
       *sampling_, is_alive,
       [this](ids::NodeIndex self,
              std::span<const gossip::Descriptor> candidates,
-             overlay::RoutingTable& rt) {
-        select_neighbors(self, candidates, rt);
+             overlay::RoutingTable& rt, sim::Rng& rng) {
+        select_neighbors(self, candidates, rt, rng);
       },
       gossip::TManProtocol::Config{config_.sample_size},
-      rng_.split(0x746d616e));
+      ids::mix64(seed ^ 0x746d616eULL));
 
   engine_.set_profiler(&profiler_);
-  engine_.add_protocol(
-      "peer-sampling",
-      [this](ids::NodeIndex node, std::size_t) { sampling_->step(node); },
+  engine_.add_stage(
+      "peer-sampling", 0x73616d706c65ULL,
+      [this](ids::NodeIndex node, std::size_t, sim::Rng& rng,
+             std::size_t worker) { sampling_->prepare(node, rng, worker); },
+      [this](std::size_t cycle) { sampling_->apply(cycle); },
       support::Phase::kSampling);
-  engine_.add_protocol(
-      "t-man", [this](ids::NodeIndex node, std::size_t) { tman_->step(node); },
+  engine_.add_stage(
+      "t-man", 0x746d616eULL,
+      [this](ids::NodeIndex node, std::size_t, sim::Rng& rng,
+             std::size_t worker) { tman_->prepare(node, rng, worker); },
+      [this](std::size_t cycle) { tman_->apply(cycle); },
       support::Phase::kTman);
+  engine_.add_stage(
+      "heartbeats", 0x6862656174ULL,
+      [this](ids::NodeIndex node, std::size_t, sim::Rng&,
+             std::size_t worker) { refresh_heartbeats(node, worker); });
+  // RVR's tree refresh (maintenance_extra) walks shared per-topic state, so
+  // the rebuild + extra maintenance stays a serial hook.
   engine_.add_cycle_hook("baseline-maintenance",
                          [this](std::size_t) { cycle_maintenance(); });
   // Registered unconditionally so installing a fault plan later never
@@ -99,6 +110,9 @@ BaselineSystem::BaselineSystem(BaselineConfig config,
     fault_.for_due_crashes(cycle,
                            [this](ids::NodeIndex node) { node_crash(node); });
   });
+
+  sampling_->set_workers(engine_.run_jobs());
+  tman_->set_workers(engine_.run_jobs());
 
   if (start_online) {
     for (std::size_t i = 0; i < n; ++i) {
@@ -146,22 +160,30 @@ std::vector<ids::NodeIndex> BaselineSystem::random_alive_contacts(
 }
 
 void BaselineSystem::cycle_maintenance() {
-  // Heartbeats never flip liveness, so iterating the engine's activation
-  // list directly (no copy) is safe here.
-  for (const ids::NodeIndex node : engine_.active_nodes()) {
-    refresh_heartbeats(node);
-  }
   rebuild_undirected();
   maintenance_extra();
 }
 
-void BaselineSystem::refresh_heartbeats(ids::NodeIndex node) {
+void BaselineSystem::refresh_heartbeats(ids::NodeIndex node,
+                                        std::size_t worker) {
+  (void)worker;  // node-local throughout; no phase attribution here
   overlay::RoutingTable& rt = tables_[node];
   rt.increment_ages();
   for (const auto& entry : rt.entries()) {
     if (engine_.is_alive(entry.node)) rt.mark_fresh(entry.node);
   }
   (void)rt.drop_older_than(config_.staleness_threshold);
+}
+
+std::vector<support::ParallelPhaseStats> BaselineSystem::parallel_phases()
+    const {
+  std::vector<support::ParallelPhaseStats> phases;
+  for (const auto& timing : engine_.stage_timings()) {
+    phases.push_back(support::ParallelPhaseStats{
+        timing.name, static_cast<double>(timing.busy_ns) / 1e6,
+        static_cast<double>(timing.span_ns) / 1e6});
+  }
+  return phases;
 }
 
 void BaselineSystem::rebuild_undirected() {

@@ -38,6 +38,10 @@ struct BaselineConfig {
   gossip::SamplingPolicy sampling = gossip::SamplingPolicy::kNewscast;
   std::size_t lookup_hop_budget = 128;
 
+  /// Worker threads of the intra-run cycle engine (`--run-jobs`); output is
+  /// bit-identical for any value — see core::VitisConfig::run_jobs.
+  std::size_t run_jobs = 1;
+
   void validate() const;
 };
 
@@ -119,16 +123,27 @@ class BaselineSystem : public pubsub::PubSubSystem {
     return engine_.cycles_per_second();
   }
 
+  /// Cycle-engine worker count (`--run-jobs`); telemetry only.
+  [[nodiscard]] std::size_t run_jobs() const override {
+    return engine_.run_jobs();
+  }
+
+  /// Per-stage busy/span accounting of the sharded engine (telemetry).
+  [[nodiscard]] std::vector<support::ParallelPhaseStats> parallel_phases()
+      const override;
+
  protected:
   BaselineSystem(BaselineConfig config,
                  pubsub::SubscriptionTable subscriptions, std::uint64_t seed,
                  bool start_online);
 
   /// Neighbor-selection policy (the only structural difference between the
-  /// baselines).
+  /// baselines). `rng` is the calling T-Man exchange's deterministic
+  /// stream; policies that draw (RVR's small-world targets) must use it,
+  /// never a shared member stream.
   virtual void select_neighbors(
       ids::NodeIndex self, std::span<const gossip::Descriptor> candidates,
-      overlay::RoutingTable& table) = 0;
+      overlay::RoutingTable& table, sim::Rng& rng) = 0;
 
   /// Per-cycle maintenance after heartbeats and adjacency rebuild (tree
   /// refresh for RVR; nothing for OPT).
@@ -218,7 +233,7 @@ class BaselineSystem : public pubsub::PubSubSystem {
  private:
   void cycle_maintenance();
   void check_invariants() const;
-  void refresh_heartbeats(ids::NodeIndex node);
+  void refresh_heartbeats(ids::NodeIndex node, std::size_t worker);
   void rebuild_undirected();
 
   BaselineConfig config_;

@@ -46,7 +46,8 @@ OptSystem::OptSystem(OptConfig config, pubsub::SubscriptionTable subscriptions,
 
 void OptSystem::select_neighbors(ids::NodeIndex self,
                                  std::span<const gossip::Descriptor> candidates,
-                                 overlay::RoutingTable& rt) {
+                                 overlay::RoutingTable& rt, sim::Rng& rng) {
+  (void)rng;  // coverage selection is fully deterministic
   const support::ScopedPhase phase(&profiler_mut(),
                                    support::Phase::kRanking);
   const auto& my_subs = subscriptions().of(self);

@@ -53,7 +53,7 @@ class OptSystem final : public BaselineSystem {
  protected:
   void select_neighbors(ids::NodeIndex self,
                         std::span<const gossip::Descriptor> candidates,
-                        overlay::RoutingTable& rt) override;
+                        overlay::RoutingTable& rt, sim::Rng& rng) override;
   void on_join(ids::NodeIndex node) override;
   void on_leave(ids::NodeIndex node) override;
   void sync_cache_counters(support::Profiler& profiler) const override;

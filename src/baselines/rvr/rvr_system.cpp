@@ -30,7 +30,7 @@ RvrSystem::RvrSystem(RvrConfig config, pubsub::SubscriptionTable subscriptions,
 // remaining slot a small-world link at a random harmonic distance.
 void RvrSystem::select_neighbors(ids::NodeIndex self,
                                  std::span<const gossip::Descriptor> candidates,
-                                 overlay::RoutingTable& rt) {
+                                 overlay::RoutingTable& rt, sim::Rng& rng) {
   const support::ScopedPhase phase(&profiler_mut(),
                                    support::Phase::kRanking);
   const ids::RingId self_id = ring_id(self);
@@ -53,7 +53,7 @@ void RvrSystem::select_neighbors(ids::NodeIndex self,
   while (selected.size() < base_config().routing_table_size &&
          !buffer.empty()) {
     const ids::RingId target = overlay::random_sw_target(
-        self_id, std::max<std::size_t>(alive_count(), 2), rng());
+        self_id, std::max<std::size_t>(alive_count(), 2), rng);
     const auto sw = overlay::closest_to_target(buffer, target, self);
     if (!sw.has_value()) break;
     take(*sw, overlay::LinkKind::kSmallWorld);

@@ -58,7 +58,7 @@ class RvrSystem final : public BaselineSystem {
  protected:
   void select_neighbors(ids::NodeIndex self,
                         std::span<const gossip::Descriptor> candidates,
-                        overlay::RoutingTable& rt) override;
+                        overlay::RoutingTable& rt, sim::Rng& rng) override;
   void maintenance_extra() override;
   void on_leave(ids::NodeIndex node) override { trees_[node].clear(); }
 

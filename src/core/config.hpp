@@ -79,6 +79,13 @@ struct VitisConfig {
   /// gateway. 0 (default) disables.
   std::uint32_t gateway_silence_limit = 0;
 
+  /// Worker threads of the intra-run cycle engine (`--run-jobs`). The
+  /// protocol stages are sharded over contiguous node slices with barriered
+  /// merges, so the simulated output is bit-identical for ANY value — only
+  /// wall time changes. 1 (default) runs stages inline on the calling
+  /// thread without spawning workers.
+  std::size_t run_jobs = 1;
+
   /// Slot budget for the memoized pairwise-utility cache (rounded up to a
   /// power of two; ~24 bytes/slot). 0 disables the cache, as does the
   /// VITIS_UTILITY_CACHE=off environment switch; either way every score is

@@ -9,6 +9,18 @@
 
 namespace vitis::core {
 
+namespace {
+
+// Stage RNG salts: each parallel stage's per-(node, cycle) forks live in
+// their own namespace of the engine seed. gossip_step() reuses these to
+// reproduce the engine's exact draws.
+constexpr std::uint64_t kSaltSampling = 0x73616d706c65ULL;  // "sample"
+constexpr std::uint64_t kSaltTman = 0x746d616eULL;          // "tman"
+constexpr std::uint64_t kSaltHeartbeat = 0x6862656174ULL;   // "hbeat"
+constexpr std::uint64_t kSaltRelay = 0x72656c6179ULL;       // "relay"
+
+}  // namespace
+
 VitisSystem::VitisSystem(VitisConfig config,
                          pubsub::SubscriptionTable subscriptions,
                          std::vector<double> rates, std::uint64_t seed,
@@ -16,7 +28,8 @@ VitisSystem::VitisSystem(VitisConfig config,
     : config_(config),
       subscriptions_(std::move(subscriptions)),
       utility_(rates),
-      engine_(subscriptions_.node_count(), sim::Rng(seed ^ 0x656e67696e65ULL)),
+      engine_(subscriptions_.node_count(), seed ^ 0x656e67696e65ULL,
+              config.run_jobs),
       arena_(subscriptions_.node_count(), config.routing_table_size),
       metrics_(subscriptions_.node_count()),
       rng_(seed),
@@ -45,7 +58,7 @@ VitisSystem::VitisSystem(VitisConfig config,
   };
   sampling_ = gossip::make_sampling_service(
       config_.sampling, arena_.ring_ids(), config_.view_size, is_alive,
-      rng_.split(0x73616d70),
+      ids::mix64(seed ^ 0x73616d70ULL),
       [this](ids::NodeIndex node) {
         return arena_.profile(node).subscriptions().fingerprint();
       },
@@ -59,28 +72,53 @@ VitisSystem::VitisSystem(VitisConfig config,
       *sampling_, is_alive,
       [this](ids::NodeIndex self,
              std::span<const gossip::Descriptor> candidates,
-             overlay::RoutingTable& table) {
-        select_neighbors(self, candidates, table);
+             overlay::RoutingTable& table, sim::Rng& rng) {
+        select_neighbors(self, candidates, table, rng);
       },
       gossip::TManProtocol::Config{config_.sample_size},
-      rng_.split(0x746d616e));
+      ids::mix64(seed ^ 0x746d616eULL));
 
   engine_.set_profiler(&profiler_);
-  engine_.add_protocol(
-      "peer-sampling",
-      [this](ids::NodeIndex node, std::size_t) { sampling_->step(node); },
+  engine_.add_stage(
+      "peer-sampling", kSaltSampling,
+      [this](ids::NodeIndex node, std::size_t, sim::Rng& rng,
+             std::size_t worker) { sampling_->prepare(node, rng, worker); },
+      [this](std::size_t cycle) { sampling_->apply(cycle); },
       support::Phase::kSampling);
-  engine_.add_protocol(
-      "t-man", [this](ids::NodeIndex node, std::size_t) { tman_->step(node); },
+  engine_.add_stage(
+      "t-man", kSaltTman,
+      [this](ids::NodeIndex node, std::size_t, sim::Rng& rng,
+             std::size_t worker) { tman_->prepare(node, rng, worker); },
+      [this](std::size_t cycle) { tman_->apply(cycle); },
       support::Phase::kTman);
+  engine_.add_stage(
+      "heartbeats", kSaltHeartbeat,
+      [this](ids::NodeIndex node, std::size_t, sim::Rng&,
+             std::size_t worker) { refresh_heartbeats(node, worker); });
   engine_.add_cycle_hook("vitis-maintenance",
                          [this](std::size_t) { cycle_maintenance(); });
+  engine_.add_stage(
+      "relay-refresh", kSaltRelay,
+      [this](ids::NodeIndex node, std::size_t, sim::Rng&,
+             std::size_t worker) { refresh_relays(node, worker); },
+      [this](std::size_t) {
+        relay_outbox_.drain([this](const RelayInstall& install) {
+          arena_.relay(install.a).add_link(install.topic, install.b);
+          arena_.relay(install.b).add_link(install.topic, install.a);
+        });
+      });
   // Registered unconditionally so plan installation never reorders hooks;
   // for_due_crashes is a no-op while the plan is inactive.
   engine_.add_cycle_hook("fault-crashes", [this](std::size_t cycle) {
     fault_.for_due_crashes(cycle,
                            [this](ids::NodeIndex node) { node_crash(node); });
   });
+
+  const std::size_t workers = engine_.run_jobs();
+  sampling_->set_workers(workers);
+  tman_->set_workers(workers);
+  relay_outbox_.configure(workers);
+  lookup_ctx_.resize(workers);
 
   undirected_.resize(n);
   visit_stamp_.assign(n, 0);
@@ -141,7 +179,7 @@ void VitisSystem::run_cycles(std::size_t cycles) { engine_.run(cycles); }
 // ---------------------------------------------------------------------------
 void VitisSystem::select_neighbors(
     ids::NodeIndex self, std::span<const gossip::Descriptor> candidates,
-    overlay::RoutingTable& table) {
+    overlay::RoutingTable& table, sim::Rng& rng) {
   const support::ScopedPhase phase(&profiler_, support::Phase::kRanking);
   const ids::RingId self_id = arena_.ring_id(self);
   std::vector<gossip::Descriptor>& buffer = select_buffer_;
@@ -167,7 +205,7 @@ void VitisSystem::select_neighbors(
   const std::size_t sw_links = config_.structural_links - 2;
   for (std::size_t i = 0; i < sw_links && !buffer.empty(); ++i) {
     const ids::RingId target = overlay::random_sw_target(
-        self_id, std::max<std::size_t>(engine_.alive_count(), 2), rng_);
+        self_id, std::max<std::size_t>(engine_.alive_count(), 2), rng);
     if (const auto sw = overlay::closest_to_target(buffer, target, self)) {
       take(*sw, overlay::LinkKind::kSmallWorld);
     }
@@ -243,21 +281,22 @@ void VitisSystem::select_neighbors(
 // Per-cycle maintenance: heartbeats, gateway election, relay refresh.
 // ---------------------------------------------------------------------------
 void VitisSystem::cycle_maintenance() {
-  std::vector<ids::NodeIndex>& order = maintenance_order_;
-  engine_.alive_nodes_into(order);
-  for (const ids::NodeIndex node : order) refresh_heartbeats(node);
   rebuild_undirected();
-  rng_.shuffle(order);
+  relay_requests_.clear();
   {
     // Attributed per cycle, not per node: one election sweep is one phase
     // activation (profiling found it to be the largest unattributed slice
     // of figure-bench wall — see DESIGN.md "Hot path & determinism").
+    // The sweep runs in ascending node order, so relay_requests_ comes out
+    // sorted by (gateway, topic) without a sort.
     const support::ScopedPhase phase(&profiler_, support::Phase::kElection);
-    for (const ids::NodeIndex node : order) run_election(node);
+    for (const ids::NodeIndex node : engine_.active_nodes()) {
+      run_election(node);
+    }
   }
 }
 
-void VitisSystem::refresh_heartbeats(ids::NodeIndex node) {
+void VitisSystem::refresh_heartbeats(ids::NodeIndex node, std::size_t worker) {
   overlay::RoutingTable& rt = arena_.rt(node);
   rt.increment_ages();
   for (const auto& entry : rt.entries()) {
@@ -265,7 +304,8 @@ void VitisSystem::refresh_heartbeats(ids::NodeIndex node) {
   }
   (void)rt.drop_older_than(config_.staleness_threshold);
   {
-    const support::ScopedPhase phase(&profiler_, support::Phase::kRelay);
+    const support::ScopedPhase phase(&profiler_, support::Phase::kRelay,
+                                     worker);
     arena_.relay(node).age_and_expire(config_.relay_ttl);
   }
 }
@@ -375,7 +415,9 @@ void VitisSystem::run_election(ids::NodeIndex node) {
       apply_gateway_silence(node, i, topic, previous);
     }
     if (is_self_gateway(node, my_profile.proposal_at(i))) {
-      request_relay(node, topic);  // Algorithm 5 lines 20-22
+      // Algorithm 5 lines 20-22, deferred: the relay-refresh stage serves
+      // the requests after the sweep (lookups over stable routing state).
+      relay_requests_.push_back(RelayRequest{node, topic});
     }
   }
 }
@@ -409,29 +451,66 @@ void VitisSystem::apply_gateway_silence(ids::NodeIndex node, std::size_t pos,
       topic, GatewayProposal{node, arena_.ring_id(node), node, 0});
 }
 
-void VitisSystem::request_relay(ids::NodeIndex gateway,
-                                ids::TopicIndex topic) {
-  const support::ScopedPhase phase(&profiler_, support::Phase::kRelay);
-  const auto& result = lookup_cached(gateway, ids::topic_ring_id(topic));
-  if (!result.converged || result.path.size() < 2) return;
-  for (std::size_t i = 0; i + 1 < result.path.size(); ++i) {
-    // Setup messages travel hop by hop; a lost hop (after retransmits)
-    // truncates the path there — links behind it are already installed
-    // and will be refreshed or expire through the relay TTL.
-    if (!relay_hop_delivered(result.path[i], result.path[i + 1])) return;
-    arena_.relay(result.path[i]).add_link(topic, result.path[i + 1]);
-    arena_.relay(result.path[i + 1]).add_link(topic, result.path[i]);
+void VitisSystem::refresh_relays(ids::NodeIndex node, std::size_t worker) {
+  // This node's slice of the (gateway, topic)-sorted request list.
+  auto it = std::lower_bound(
+      relay_requests_.begin(), relay_requests_.end(), node,
+      [](const RelayRequest& r, ids::NodeIndex n) { return r.gateway < n; });
+  for (; it != relay_requests_.end() && it->gateway == node; ++it) {
+    const ids::TopicIndex topic = it->topic;
+    const support::ScopedPhase phase(&profiler_, support::Phase::kRelay,
+                                     worker);
+    LookupCtx& ctx = lookup_ctx_[worker];
+    {
+      const support::ScopedPhase route(&profiler_, support::Phase::kRouting,
+                                       worker);
+      const overlay::NeighborFn neighbors =
+          [this, &ctx](
+              ids::NodeIndex n) -> std::span<const overlay::RoutingEntry> {
+        ctx.scratch.clear();
+        for (const auto& entry : arena_.rt(n).entries()) {
+          if (engine_.is_alive(entry.node)) ctx.scratch.push_back(entry);
+        }
+        return ctx.scratch;
+      };
+      overlay::greedy_lookup_into(
+          neighbors, [this](ids::NodeIndex n) { return arena_.ring_id(n); },
+          node, ids::topic_ring_id(topic), config_.lookup_hop_budget,
+          ctx.result);
+    }
+    const overlay::LookupResult& result = ctx.result;
+    if (!result.converged || result.path.size() < 2) continue;
+    const std::uint64_t nonce_base =
+        ids::mix64((static_cast<std::uint64_t>(node) << 32) ^ topic);
+    for (std::size_t i = 0; i + 1 < result.path.size(); ++i) {
+      // Setup messages travel hop by hop; a lost hop (after retransmits)
+      // truncates the path there — links before it are still emitted and
+      // will be refreshed or expire through the relay TTL.
+      if (!relay_hop_delivered(result.path[i], result.path[i + 1], nonce_base,
+                               static_cast<std::uint32_t>(i))) {
+        break;
+      }
+      relay_outbox_.lane(worker).push_back(
+          RelayInstall{topic, result.path[i], result.path[i + 1]});
+    }
   }
 }
 
-bool VitisSystem::relay_hop_delivered(ids::NodeIndex src, ids::NodeIndex dst) {
+bool VitisSystem::relay_hop_delivered(ids::NodeIndex src, ids::NodeIndex dst,
+                                      std::uint64_t nonce_base,
+                                      std::uint32_t hop) const {
   if (!fault_.active()) return true;
   // Bounded retransmit-with-backoff, abstracted to attempts within the
   // cycle (real backoff timing has no meaning at cycle granularity; the
-  // bound is what matters for the drop-survival probability).
+  // bound is what matters for the drop-survival probability). Explicit
+  // nonces keep each (hop, attempt) draw distinct and schedule-independent;
+  // 64 bounds attempts-per-hop, far above any sane relay_retransmit.
   const std::uint32_t attempts = 1 + config_.relay_retransmit;
   for (std::uint32_t a = 0; a < attempts; ++a) {
-    if (fault_.deliver(src, dst, sim::MessageKind::kRelay)) return true;
+    if (fault_.deliver(src, dst, sim::MessageKind::kRelay,
+                       nonce_base + std::uint64_t{hop} * 64 + a)) {
+      return true;
+    }
   }
   return false;
 }
@@ -460,8 +539,27 @@ const overlay::LookupResult& VitisSystem::lookup_cached(
 
 void VitisSystem::gossip_step(ids::NodeIndex node) {
   VITIS_CHECK(engine_.is_alive(node));
-  sampling_->step(node);
-  tman_->step(node);
+  // Mirror one engine activation: the same counter-based forks the stages
+  // would produce for this node at the current cycle, with the merge run
+  // immediately after (a one-node stage is its own barrier).
+  sim::Rng sampling_rng =
+      sim::Rng::at(engine_.seed(), kSaltSampling, node, engine_.cycle());
+  sampling_->prepare(node, sampling_rng, 0);
+  sampling_->apply(engine_.cycle());
+  sim::Rng tman_rng =
+      sim::Rng::at(engine_.seed(), kSaltTman, node, engine_.cycle());
+  tman_->prepare(node, tman_rng, 0);
+  tman_->apply(engine_.cycle());
+}
+
+std::vector<support::ParallelPhaseStats> VitisSystem::parallel_phases() const {
+  std::vector<support::ParallelPhaseStats> phases;
+  for (const auto& timing : engine_.stage_timings()) {
+    phases.push_back(support::ParallelPhaseStats{
+        timing.name, static_cast<double>(timing.busy_ns) / 1e6,
+        static_cast<double>(timing.span_ns) / 1e6});
+  }
+  return phases;
 }
 
 const support::Profiler* VitisSystem::profiler() const {

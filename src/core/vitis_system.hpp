@@ -34,6 +34,7 @@
 #include "sim/coordinates.hpp"
 #include "sim/cycle_engine.hpp"
 #include "sim/fault.hpp"
+#include "sim/outbox.hpp"
 
 namespace vitis::core {
 
@@ -153,9 +154,10 @@ class VitisSystem final : public pubsub::PubSubSystem {
   const overlay::LookupResult& lookup_cached(ids::NodeIndex origin,
                                              ids::RingId target) const;
 
-  /// One gossip activation for `node` — peer-sampling exchange followed by
-  /// a T-Man exchange, exactly what the cycle engine runs per node per
-  /// cycle. Test hook for the allocation audit of the steady-state step.
+  /// One gossip activation for `node` — a peer-sampling prepare/apply pair
+  /// followed by a T-Man pair, with the same counter-based RNG forks the
+  /// cycle engine would use at the current cycle. Test hook for the
+  /// allocation audit of the steady-state step.
   void gossip_step(ids::NodeIndex node);
 
   /// Deterministic logical footprint of the per-node protocol state in
@@ -170,6 +172,16 @@ class VitisSystem final : public pubsub::PubSubSystem {
   [[nodiscard]] double cycles_per_second() const override {
     return engine_.cycles_per_second();
   }
+
+  /// Cycle-engine worker count (`--run-jobs`); output is bit-identical for
+  /// any value, so this is telemetry only.
+  [[nodiscard]] std::size_t run_jobs() const override {
+    return engine_.run_jobs();
+  }
+
+  /// Per-stage busy/span accounting of the sharded engine (telemetry).
+  [[nodiscard]] std::vector<support::ParallelPhaseStats> parallel_phases()
+      const override;
 
   /// Syncs the cache/interning counters into the profiler before returning
   /// it, so artifact writers always see current totals.
@@ -211,30 +223,45 @@ class VitisSystem final : public pubsub::PubSubSystem {
       ids::TopicIndex topic, ids::NodeIndex publisher);
 
  private:
-  // Algorithm 4.
+  // Algorithm 4. `rng` is the calling exchange's deterministic stream
+  // (drives the small-world target draws).
   void select_neighbors(ids::NodeIndex self,
                         std::span<const gossip::Descriptor> candidates,
-                        overlay::RoutingTable& table);
+                        overlay::RoutingTable& table, sim::Rng& rng);
 
-  // Heartbeats + election + relay refresh, once per cycle.
+  // Adjacency rebuild + gateway-election sweep, once per cycle (serial
+  // hook; elections have cross-node read-modify-write dependencies).
+  // Collects the elected self-gateways' relay requests for the following
+  // relay-refresh stage instead of serving them inline.
   void cycle_maintenance();
 
   void rebuild_undirected();
   void check_invariants() const;
-  void refresh_heartbeats(ids::NodeIndex node);
+
+  // Stage body: age/drop own routing-table heartbeats and expire own relay
+  // links. Node-local by construction (runs in parallel).
+  void refresh_heartbeats(ids::NodeIndex node, std::size_t worker);
+
+  // Stage body: serve `node`'s relay requests collected by this cycle's
+  // election sweep — greedy lookups over frozen routing state plus
+  // counter-based fault admission — emitting link installs into the
+  // worker's outbox lane; the stage merge applies them.
+  void refresh_relays(ids::NodeIndex node, std::size_t worker);
 
   // Re-intern a node's (possibly changed) subscription set; when the
   // canonical id changed, defensively invalidate the pairwise-utility memo
   // (subscription change and churn rejoin are the two callers).
   void refresh_set_id(ids::NodeIndex node);
   void run_election(ids::NodeIndex node);
-  void request_relay(ids::NodeIndex gateway, ids::TopicIndex topic);
 
   /// One relay-setup hop under the fault plan, with bounded retransmit
   /// (config_.relay_retransmit extra attempts). Always true without an
-  /// active plan.
+  /// active plan. `nonce_base`/`hop` key the admission draws (explicit
+  /// counter nonces — this runs inside a parallel stage).
   [[nodiscard]] bool relay_hop_delivered(ids::NodeIndex src,
-                                         ids::NodeIndex dst);
+                                         ids::NodeIndex dst,
+                                         std::uint64_t nonce_base,
+                                         std::uint32_t hop) const;
 
   /// Gateway-silence bookkeeping for topic position `pos` of `node` after
   /// an election round adopted `previous` -> current. Detects the echo
@@ -294,7 +321,7 @@ class VitisSystem final : public pubsub::PubSubSystem {
 
   // Per-phase counters/timers (wired into engine_ and the lookup/relay
   // paths); mutable because profiling const lookups is telemetry, not
-  // state. Single-threaded like the rest of the system.
+  // state. Parallel stage bodies time onto their own worker lane.
   mutable support::Profiler profiler_;
 
   /// Transmission queue item of the dissemination BFS.
@@ -303,6 +330,31 @@ class VitisSystem final : public pubsub::PubSubSystem {
     ids::NodeIndex from;
     std::uint32_t hop;
   };
+
+  // Relay refresh: the election sweep appends the elected self-gateways'
+  // requests — ascending (gateway, topic) by construction — and the
+  // relay-refresh stage binary-searches its node's slice, emitting link
+  // installs through per-worker lanes.
+  struct RelayRequest {
+    ids::NodeIndex gateway;
+    ids::TopicIndex topic;
+  };
+  struct RelayInstall {
+    ids::TopicIndex topic;
+    ids::NodeIndex a;
+    ids::NodeIndex b;
+  };
+  std::vector<RelayRequest> relay_requests_;
+  sim::Outbox<RelayInstall> relay_outbox_;
+
+  // Per-worker greedy-lookup buffers for the relay-refresh stage (the
+  // shared lookup_scratch_/lookup_result_ pair below serves serial
+  // callers only).
+  struct LookupCtx {
+    std::vector<overlay::RoutingEntry> scratch;
+    overlay::LookupResult result;
+  };
+  mutable std::vector<LookupCtx> lookup_ctx_;
 
   // Scratch buffers, reused to keep the hot paths allocation-free.
   mutable std::vector<overlay::RoutingEntry> lookup_scratch_;
@@ -320,8 +372,7 @@ class VitisSystem final : public pubsub::PubSubSystem {
   std::vector<std::uint32_t> topic_stamp_;
   std::vector<std::size_t> topic_pos_;
   std::uint32_t topic_epoch_ = 0;
-  // Maintenance + dissemination working sets.
-  std::vector<ids::NodeIndex> maintenance_order_;
+  // Dissemination working sets.
   std::vector<FloodItem> flood_queue_;
   std::vector<ids::NodeIndex> targets_;
 };

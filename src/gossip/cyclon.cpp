@@ -7,11 +7,24 @@
 
 namespace vitis::gossip {
 
+namespace {
+
+/// Salt of the apply-time subset-shuffle forks ("cyclon" in ASCII).
+constexpr std::uint64_t kApplySalt = 0x6379636c6f6eULL;
+
+/// One 64-bit identity for the (initiator, partner) pair.
+[[nodiscard]] constexpr std::uint64_t pack_pair(ids::NodeIndex a,
+                                                ids::NodeIndex b) noexcept {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
 CyclonSampling::CyclonSampling(std::span<const ids::RingId> ring_ids,
                                std::size_t view_size,
                                std::size_t shuffle_size,
                                std::function<bool(ids::NodeIndex)> is_alive,
-                               sim::Rng rng, FingerprintFn fingerprint,
+                               std::uint64_t seed, FingerprintFn fingerprint,
                                SetIdFn set_id)
     : ring_ids_(ring_ids.begin(), ring_ids.end()),
       view_size_(view_size),
@@ -19,7 +32,7 @@ CyclonSampling::CyclonSampling(std::span<const ids::RingId> ring_ids,
       is_alive_(std::move(is_alive)),
       fingerprint_(std::move(fingerprint)),
       set_id_(std::move(set_id)),
-      rng_(rng) {
+      seed_(seed) {
   VITIS_CHECK(view_size_ > 0);
   VITIS_CHECK(shuffle_size_ > 0 && shuffle_size_ <= view_size_);
   VITIS_CHECK(is_alive_ != nullptr);
@@ -57,7 +70,9 @@ void CyclonSampling::remove_node(ids::NodeIndex node) {
   views_[node].clear();
 }
 
-void CyclonSampling::step(ids::NodeIndex node) {
+void CyclonSampling::prepare(ids::NodeIndex node, sim::Rng& rng,
+                             std::size_t worker) {
+  (void)rng;  // the partner pick is deterministic (oldest entry)
   PartialView& view = views_[node];
   view.increment_ages();
   if (view.empty()) return;
@@ -72,52 +87,68 @@ void CyclonSampling::step(ids::NodeIndex node) {
   view.remove(partner.node);
   if (!is_alive_(partner.node)) return;  // timeout; the slot is now free
   if (fault_ != nullptr &&
-      !fault_->deliver(node, partner.node, sim::MessageKind::kGossip)) {
+      !fault_->deliver(node, partner.node, sim::MessageKind::kGossip, 0)) {
     return;  // shuffle request lost; the freed slot reads as a timeout too
   }
+  outbox_.lane(worker).push_back(Exchange{node, partner.node});
+}
 
-  // Initiator subset: up to shuffle_size-1 random entries plus self.
-  std::vector<Descriptor>& outgoing = outgoing_scratch_;
-  outgoing.assign(view.entries().begin(), view.entries().end());
-  rng_.shuffle(outgoing);
-  if (outgoing.size() > shuffle_size_ - 1) {
-    outgoing.resize(shuffle_size_ - 1);
-  }
-  outgoing.push_back(self_descriptor(node));
+void CyclonSampling::apply(std::size_t cycle) {
+  outbox_.drain([&](const Exchange& exchange) {
+    const ids::NodeIndex node = exchange.initiator;
+    const ids::NodeIndex partner_node = exchange.partner;
+    // The swap's subset draws are a pure function of the exchange identity,
+    // so the replay is independent of how exchanges were recorded.
+    sim::Rng rng = sim::Rng::at(seed_, kApplySalt,
+                                pack_pair(node, partner_node), cycle);
+    PartialView& view = views_[node];
 
-  // Partner subset.
-  PartialView& partner_view = views_[partner.node];
-  std::vector<Descriptor>& incoming = incoming_scratch_;
-  incoming.assign(partner_view.entries().begin(), partner_view.entries().end());
-  rng_.shuffle(incoming);
-  if (incoming.size() > shuffle_size_) incoming.resize(shuffle_size_);
+    // Initiator subset: up to shuffle_size-1 random entries plus self
+    // (the partner slot was freed in prepare()).
+    std::vector<Descriptor>& outgoing = outgoing_scratch_;
+    outgoing.assign(view.entries().begin(), view.entries().end());
+    rng.shuffle(outgoing);
+    if (outgoing.size() > shuffle_size_ - 1) {
+      outgoing.resize(shuffle_size_ - 1);
+    }
+    outgoing.push_back(self_descriptor(node));
 
-  // Initiator drops what it sent (except self) to make room, then merges.
-  for (const auto& d : outgoing) {
-    if (d.node != node) view.remove(d.node);
-  }
-  for (const auto& d : incoming) {
-    if (d.node == node) continue;
-    view.insert(d);
-  }
+    // Partner subset.
+    PartialView& partner_view = views_[partner_node];
+    std::vector<Descriptor>& incoming = incoming_scratch_;
+    incoming.assign(partner_view.entries().begin(),
+                    partner_view.entries().end());
+    rng.shuffle(incoming);
+    if (incoming.size() > shuffle_size_) incoming.resize(shuffle_size_);
 
-  // Partner merges the initiator's subset symmetrically.
-  for (const auto& d : outgoing) {
-    if (d.node == partner.node) continue;
-    partner_view.insert(d);
-  }
-  partner_view.remove(partner.node);
+    // Initiator drops what it sent (except self) to make room, then merges.
+    for (const auto& d : outgoing) {
+      if (d.node != node) view.remove(d.node);
+    }
+    for (const auto& d : incoming) {
+      if (d.node == node) continue;
+      view.insert(d);
+    }
+
+    // Partner merges the initiator's subset symmetrically.
+    for (const auto& d : outgoing) {
+      if (d.node == partner_node) continue;
+      partner_view.insert(d);
+    }
+    partner_view.remove(partner_node);
+  });
 }
 
 void CyclonSampling::sample_into(ids::NodeIndex node, std::size_t k,
-                                 std::vector<Descriptor>& out) {
+                                 std::vector<Descriptor>& out,
+                                 sim::Rng& rng) {
   const PartialView& view = views_[node];
   const std::size_t start = out.size();
   for (const auto& d : view.entries()) {
     if (is_alive_(d.node)) out.push_back(d);
   }
   if (out.size() - start > k) {
-    rng_.shuffle(std::span<Descriptor>(out).subspan(start));
+    rng.shuffle(std::span<Descriptor>(out).subspan(start));
     out.resize(start + k);
   }
 }

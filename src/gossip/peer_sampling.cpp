@@ -9,14 +9,13 @@ namespace vitis::gossip {
 
 PeerSamplingService::PeerSamplingService(
     std::span<const ids::RingId> ring_ids, std::size_t view_size,
-    std::function<bool(ids::NodeIndex)> is_alive, sim::Rng rng,
-    FingerprintFn fingerprint, SetIdFn set_id)
+    std::function<bool(ids::NodeIndex)> is_alive, FingerprintFn fingerprint,
+    SetIdFn set_id)
     : ring_ids_(ring_ids.begin(), ring_ids.end()),
       view_size_(view_size),
       is_alive_(std::move(is_alive)),
       fingerprint_(std::move(fingerprint)),
-      set_id_(std::move(set_id)),
-      rng_(rng) {
+      set_id_(std::move(set_id)) {
   VITIS_CHECK(view_size_ > 0);
   VITIS_CHECK(is_alive_ != nullptr);
   view_slab_ =
@@ -55,13 +54,14 @@ void PeerSamplingService::remove_node(ids::NodeIndex node) {
   views_[node].clear();
 }
 
-void PeerSamplingService::step(ids::NodeIndex node) {
+void PeerSamplingService::prepare(ids::NodeIndex node, sim::Rng& rng,
+                                  std::size_t worker) {
   PartialView& view = views_[node];
   // Age first so our own information decays even in isolation.
   view.increment_ages();
   if (view.empty()) return;
 
-  const std::size_t pick = rng_.index(view.size());
+  const std::size_t pick = rng.index(view.size());
   const Descriptor partner = view.entries()[pick];
   if (!is_alive_(partner.node)) {
     // Stand-in for a connection timeout: evict the dead contact.
@@ -69,34 +69,42 @@ void PeerSamplingService::step(ids::NodeIndex node) {
     return;
   }
   if (fault_ != nullptr &&
-      !fault_->deliver(node, partner.node, sim::MessageKind::kGossip)) {
+      !fault_->deliver(node, partner.node, sim::MessageKind::kGossip, 0)) {
     return;  // request lost in transit; the view already aged this cycle
   }
+  outbox_.lane(worker).push_back(Exchange{node, partner.node});
+}
 
-  PartialView& partner_view = views_[partner.node];
+void PeerSamplingService::apply(std::size_t cycle) {
+  (void)cycle;  // the symmetric merge draws nothing
+  outbox_.drain([&](const Exchange& exchange) {
+    PartialView& view = views_[exchange.initiator];
+    PartialView& partner_view = views_[exchange.partner];
 
-  // Snapshot both sides before mutation (a real exchange is symmetric).
-  mine_scratch_.assign(view.entries().begin(), view.entries().end());
-  mine_scratch_.push_back(self_descriptor(node));
-  theirs_scratch_.assign(partner_view.entries().begin(),
-                         partner_view.entries().end());
-  theirs_scratch_.push_back(self_descriptor(partner.node));
+    // Snapshot both sides before mutation (a real exchange is symmetric).
+    mine_scratch_.assign(view.entries().begin(), view.entries().end());
+    mine_scratch_.push_back(self_descriptor(exchange.initiator));
+    theirs_scratch_.assign(partner_view.entries().begin(),
+                           partner_view.entries().end());
+    theirs_scratch_.push_back(self_descriptor(exchange.partner));
 
-  view.merge(theirs_scratch_);
-  view.remove(node);  // never keep self
-  partner_view.merge(mine_scratch_);
-  partner_view.remove(partner.node);
+    view.merge(theirs_scratch_);
+    view.remove(exchange.initiator);  // never keep self
+    partner_view.merge(mine_scratch_);
+    partner_view.remove(exchange.partner);
+  });
 }
 
 void PeerSamplingService::sample_into(ids::NodeIndex node, std::size_t k,
-                                      std::vector<Descriptor>& out) {
+                                      std::vector<Descriptor>& out,
+                                      sim::Rng& rng) {
   const PartialView& view = views_[node];
   const std::size_t start = out.size();
   for (const auto& d : view.entries()) {
     if (is_alive_(d.node)) out.push_back(d);
   }
   if (out.size() - start > k) {
-    rng_.shuffle(std::span<Descriptor>(out).subspan(start));
+    rng.shuffle(std::span<Descriptor>(out).subspan(start));
     out.resize(start + k);
   }
 }

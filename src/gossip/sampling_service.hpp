@@ -4,6 +4,16 @@
 // we ship the two it cites — a Newscast-style full-view shuffle
 // (PeerSamplingService) and Cyclon (CyclonSampling) — behind this
 // interface, selectable per system via SamplingPolicy.
+//
+// Exchanges follow the engine's two-phase protocol: `prepare` is the
+// parallel stage body (own-view writes only — aging, dead-partner
+// eviction — plus a thin {initiator, partner} exchange record appended to
+// the worker's outbox lane), and `apply` is the serial barriered merge that
+// re-executes every recorded two-sided exchange from live state in lane
+// order. Every random choice in prepare comes from the caller's
+// counter-based per-(node, cycle) stream, and apply's draws fork from
+// (seed, initiator, partner, cycle) — so the whole exchange schedule is a
+// pure function of the run seed, independent of `--run-jobs`.
 #pragma once
 
 #include <functional>
@@ -39,19 +49,33 @@ class SamplingService {
   /// Forget all state of a departed node.
   virtual void remove_node(ids::NodeIndex node) = 0;
 
-  /// One active gossip exchange for `node`.
-  virtual void step(ids::NodeIndex node) = 0;
+  /// Parallel stage body: age `node`'s own view, pick an exchange partner
+  /// from `rng` (the node's counter-based stream), and enqueue the exchange
+  /// into worker `worker`'s outbox lane. Touches only node-local state;
+  /// safe to call concurrently for distinct nodes.
+  virtual void prepare(ids::NodeIndex node, sim::Rng& rng,
+                       std::size_t worker) = 0;
+
+  /// Serial barriered merge: execute every exchange recorded by prepare(),
+  /// lanes in worker order, records in append order (= ascending initiator
+  /// order for any worker count).
+  virtual void apply(std::size_t cycle) = 0;
+
+  /// Size the per-worker outbox lanes (>= 1); call before the first
+  /// prepare() whenever the engine's run_jobs differs from 1.
+  virtual void set_workers(std::size_t workers) = 0;
 
   /// Append up to `k` uniformly random descriptors of alive peers to `out`
-  /// (not cleared). The allocation-free primitive under sample().
+  /// (not cleared), drawing the subsample from `rng`. The allocation-free
+  /// primitive under sample().
   virtual void sample_into(ids::NodeIndex node, std::size_t k,
-                           std::vector<Descriptor>& out) = 0;
+                           std::vector<Descriptor>& out, sim::Rng& rng) = 0;
 
   /// Up to `k` uniformly random descriptors of alive peers.
   [[nodiscard]] std::vector<Descriptor> sample(ids::NodeIndex node,
-                                               std::size_t k) {
+                                               std::size_t k, sim::Rng& rng) {
     std::vector<Descriptor> out;
-    sample_into(node, k, out);
+    sample_into(node, k, out, rng);
     return out;
   }
 
@@ -64,8 +88,8 @@ class SamplingService {
   /// Attach (or detach with nullptr) the fault-injection layer: when set,
   /// every shuffle request passes a deliver() admission check after the
   /// partner-alive check; a dropped request loses the exchange for this
-  /// cycle (timeout semantics). Not owned; must outlive step() calls.
-  virtual void set_fault_plan(sim::FaultPlan* plan) { (void)plan; }
+  /// cycle (timeout semantics). Not owned; must outlive prepare() calls.
+  virtual void set_fault_plan(const sim::FaultPlan* plan) { (void)plan; }
 
   /// Deterministic logical footprint of the service's per-node state in
   /// bytes (descriptor slab + view handles + scratch). Depends only on
@@ -80,13 +104,14 @@ enum class SamplingPolicy {
 
 [[nodiscard]] const char* to_string(SamplingPolicy policy);
 
-/// Build the configured sampling service. `fingerprint` and `set_id`
-/// (optional) are the live subscription-fingerprint and interned-SetId
-/// lookups stamped into fresh descriptors.
+/// Build the configured sampling service. `seed` roots the service's
+/// apply-time counter-based RNG forks (derive it from the system seed).
+/// `fingerprint` and `set_id` (optional) are the live subscription-
+/// fingerprint and interned-SetId lookups stamped into fresh descriptors.
 [[nodiscard]] std::unique_ptr<SamplingService> make_sampling_service(
     SamplingPolicy policy, std::span<const ids::RingId> ring_ids,
     std::size_t view_size, std::function<bool(ids::NodeIndex)> is_alive,
-    sim::Rng rng, FingerprintFn fingerprint = nullptr,
+    std::uint64_t seed, FingerprintFn fingerprint = nullptr,
     SetIdFn set_id = nullptr);
 
 }  // namespace vitis::gossip

@@ -7,18 +7,36 @@
 
 namespace vitis::gossip {
 
+namespace {
+
+/// Salt of the apply-time per-exchange forks ("tmanx" in ASCII).
+constexpr std::uint64_t kApplySalt = 0x746d616e78ULL;
+
+[[nodiscard]] constexpr std::uint64_t pack_pair(ids::NodeIndex a,
+                                                ids::NodeIndex b) noexcept {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
 TManProtocol::TManProtocol(TableFn table_of, SamplingService& sampling,
                            std::function<bool(ids::NodeIndex)> is_alive,
-                           SelectFn select, Config config, sim::Rng rng)
+                           SelectFn select, Config config, std::uint64_t seed)
     : table_of_(std::move(table_of)),
       sampling_(&sampling),
       is_alive_(std::move(is_alive)),
       select_(std::move(select)),
       config_(config),
-      rng_(rng) {
+      seed_(seed),
+      prepare_scratch_(1) {
   VITIS_CHECK(table_of_ != nullptr);
   VITIS_CHECK(is_alive_ != nullptr);
   VITIS_CHECK(select_ != nullptr);
+}
+
+void TManProtocol::set_workers(std::size_t workers) {
+  outbox_.configure(workers);
+  prepare_scratch_.resize(workers == 0 ? 1 : workers);
 }
 
 void TManProtocol::begin_buffer(std::vector<Descriptor>& buffer) const {
@@ -50,11 +68,12 @@ void TManProtocol::merge_unique(std::vector<Descriptor>& buffer,
 
 void TManProtocol::build_buffer_into(ids::NodeIndex node,
                                      ids::NodeIndex exclude,
-                                     std::vector<Descriptor>& buffer) const {
+                                     std::vector<Descriptor>& buffer,
+                                     sim::Rng& rng) const {
   begin_buffer(buffer);
   buffer.reserve(config_.sample_size + table_of_(node).size() + 1);
   seed_scratch_.clear();
-  sampling_->sample_into(node, config_.sample_size, seed_scratch_);
+  sampling_->sample_into(node, config_.sample_size, seed_scratch_, rng);
   for (const auto& d : seed_scratch_) {
     merge_unique(buffer, d, exclude);
   }
@@ -63,54 +82,71 @@ void TManProtocol::build_buffer_into(ids::NodeIndex node,
   }
 }
 
-std::vector<Descriptor> TManProtocol::build_buffer(
-    ids::NodeIndex node, ids::NodeIndex exclude) const {
+std::vector<Descriptor> TManProtocol::build_buffer(ids::NodeIndex node,
+                                                   ids::NodeIndex exclude,
+                                                   sim::Rng& rng) const {
   std::vector<Descriptor> buffer;
-  build_buffer_into(node, exclude, buffer);
+  build_buffer_into(node, exclude, buffer, rng);
   return buffer;
 }
 
-void TManProtocol::step(ids::NodeIndex node) {
+void TManProtocol::prepare(ids::NodeIndex node, sim::Rng& rng,
+                           std::size_t worker) {
   overlay::RoutingTable& table = table_of_(node);
 
   // selectRandomNeighbor(): uniform over the routing table, with the
-  // peer-sampling view as a bootstrap fallback.
+  // peer-sampling view as a bootstrap fallback. Reads only frozen state
+  // (tables mutate in apply, liveness in hooks).
   ids::NodeIndex partner = ids::kInvalidNode;
   if (!table.empty()) {
-    partner = table.entries()[rng_.index(table.size())].node;
+    partner = table.entries()[rng.index(table.size())].node;
   } else {
-    seed_scratch_.clear();
-    sampling_->sample_into(node, 1, seed_scratch_);
-    if (!seed_scratch_.empty()) partner = seed_scratch_.front().node;
+    std::vector<Descriptor>& scratch = prepare_scratch_[worker];
+    scratch.clear();
+    sampling_->sample_into(node, 1, scratch, rng);
+    if (!scratch.empty()) partner = scratch.front().node;
   }
   if (partner == ids::kInvalidNode) return;
   if (!is_alive_(partner)) {
-    table.remove(partner);  // timeout stand-in
+    table.remove(partner);  // timeout stand-in (own-table write)
     return;
   }
   if (fault_ != nullptr &&
-      !fault_->deliver(node, partner, sim::MessageKind::kTman)) {
+      !fault_->deliver(node, partner, sim::MessageKind::kTman, 0)) {
     return;  // exchange request lost; no state moves on either side
   }
+  outbox_.lane(worker).push_back(Exchange{node, partner});
+}
 
-  // Algorithm 2 lines 3-4 / Algorithm 3 lines 3-4: both sides assemble
-  // sample ∪ own RT; then each merges the other's buffer plus the other's
-  // own descriptor (lines 6-8).
-  build_buffer_into(node, /*exclude=*/partner, mine_);
-  build_buffer_into(partner, /*exclude=*/node, theirs_);
+void TManProtocol::apply(std::size_t cycle) {
+  outbox_.drain([&](const Exchange& exchange) {
+    const ids::NodeIndex node = exchange.initiator;
+    const ids::NodeIndex partner = exchange.partner;
+    // Every draw in the replay — sampling subsets for both buffers and the
+    // selection policy's randomness — forks from the exchange identity.
+    sim::Rng rng =
+        sim::Rng::at(seed_, kApplySalt, pack_pair(node, partner), cycle);
+    overlay::RoutingTable& table = table_of_(node);
 
-  begin_buffer(for_me_);
-  for (const auto& d : mine_) merge_unique(for_me_, d, node);
-  for (const auto& d : theirs_) merge_unique(for_me_, d, node);
-  merge_unique(for_me_, sampling_->self_descriptor(partner), node);
+    // Algorithm 2 lines 3-4 / Algorithm 3 lines 3-4: both sides assemble
+    // sample ∪ own RT; then each merges the other's buffer plus the other's
+    // own descriptor (lines 6-8).
+    build_buffer_into(node, /*exclude=*/partner, mine_, rng);
+    build_buffer_into(partner, /*exclude=*/node, theirs_, rng);
 
-  begin_buffer(for_partner_);
-  for (const auto& d : theirs_) merge_unique(for_partner_, d, partner);
-  for (const auto& d : mine_) merge_unique(for_partner_, d, partner);
-  merge_unique(for_partner_, sampling_->self_descriptor(node), partner);
+    begin_buffer(for_me_);
+    for (const auto& d : mine_) merge_unique(for_me_, d, node);
+    for (const auto& d : theirs_) merge_unique(for_me_, d, node);
+    merge_unique(for_me_, sampling_->self_descriptor(partner), node);
 
-  select_(node, for_me_, table);
-  select_(partner, for_partner_, table_of_(partner));
+    begin_buffer(for_partner_);
+    for (const auto& d : theirs_) merge_unique(for_partner_, d, partner);
+    for (const auto& d : mine_) merge_unique(for_partner_, d, partner);
+    merge_unique(for_partner_, sampling_->self_descriptor(node), partner);
+
+    select_(node, for_me_, table, rng);
+    select_(partner, for_partner_, table_of_(partner), rng);
+  });
 }
 
 }  // namespace vitis::gossip

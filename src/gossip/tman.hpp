@@ -4,6 +4,13 @@
 // thread): each round a node merges its routing table with a random
 // neighbor's and a fresh peer-sampling batch, then a pluggable
 // `selectNeighbors` policy (Algorithm 4 for Vitis) rebuilds the table.
+//
+// Split per the engine's two-phase protocol: prepare() picks the exchange
+// partner from the node's counter-based stream (own-table writes only) and
+// records the exchange; apply() replays every recorded exchange serially in
+// deterministic lane order, forking each exchange's draws — buffer
+// subsampling and the selection policy's randomness — from
+// (seed, initiator, partner, cycle).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +20,7 @@
 
 #include "gossip/sampling_service.hpp"
 #include "overlay/routing_table.hpp"
+#include "sim/outbox.hpp"
 #include "sim/rng.hpp"
 
 namespace vitis::gossip {
@@ -20,10 +28,12 @@ namespace vitis::gossip {
 class TManProtocol {
  public:
   /// Rebuilds `table` for node `self` from the merged candidate buffer.
-  /// Candidates never include `self` and are unique by node.
+  /// Candidates never include `self` and are unique by node. `rng` is the
+  /// exchange's deterministic stream (small-world draws etc.).
   using SelectFn = std::function<void(ids::NodeIndex self,
                                       std::span<const Descriptor> candidates,
-                                      overlay::RoutingTable& table)>;
+                                      overlay::RoutingTable& table,
+                                      sim::Rng& rng)>;
 
   struct Config {
     std::size_t sample_size = 10;  // fresh descriptors drawn per exchange
@@ -33,27 +43,44 @@ class TManProtocol {
   /// node-state records).
   using TableFn = std::function<overlay::RoutingTable&(ids::NodeIndex)>;
 
+  /// `seed` roots the apply-time per-exchange RNG forks (derive from the
+  /// system seed).
   TManProtocol(TableFn table_of, SamplingService& sampling,
                std::function<bool(ids::NodeIndex)> is_alive, SelectFn select,
-               Config config, sim::Rng rng);
+               Config config, std::uint64_t seed);
 
-  /// One active exchange for `node`: pick a random routing-table neighbor
-  /// (falling back to the peer-sampling view when the table is empty),
-  /// exchange buffers, and run selection on both ends.
-  void step(ids::NodeIndex node);
+  /// Stage body of one active exchange: pick a random routing-table
+  /// neighbor (falling back to the peer-sampling view when the table is
+  /// empty), screen liveness/faults, and enqueue the exchange. Touches only
+  /// `node`'s own table.
+  void prepare(ids::NodeIndex node, sim::Rng& rng, std::size_t worker);
+
+  /// Serial barriered merge: replay the recorded exchanges — buffer
+  /// construction and two-sided selection — from live state.
+  void apply(std::size_t cycle);
+
+  /// Size the per-worker outbox lanes and prepare scratch (>= 1).
+  void set_workers(std::size_t workers);
 
   /// The merged candidate buffer node would use this instant (exposed for
-  /// tests and for protocols that piggyback on the exchange).
-  [[nodiscard]] std::vector<Descriptor> build_buffer(
-      ids::NodeIndex node, ids::NodeIndex exclude) const;
+  /// tests and for protocols that piggyback on the exchange). `rng` drives
+  /// the peer-sampling subsample.
+  [[nodiscard]] std::vector<Descriptor> build_buffer(ids::NodeIndex node,
+                                                     ids::NodeIndex exclude,
+                                                     sim::Rng& rng) const;
 
   /// Attach (or detach with nullptr) the fault-injection layer: each
   /// exchange request passes a deliver() admission check after the
   /// partner-alive check; a dropped request loses the exchange for this
-  /// cycle on both ends. Not owned; must outlive step() calls.
-  void set_fault_plan(sim::FaultPlan* plan) { fault_ = plan; }
+  /// cycle on both ends. Not owned; must outlive prepare() calls.
+  void set_fault_plan(const sim::FaultPlan* plan) { fault_ = plan; }
 
  private:
+  struct Exchange {
+    ids::NodeIndex initiator = ids::kInvalidNode;
+    ids::NodeIndex partner = ids::kInvalidNode;
+  };
+
   /// Opens a fresh dedup scope on `buffer`: clears it and advances the
   /// epoch so the seen-array forgets every previous membership in O(1).
   void begin_buffer(std::vector<Descriptor>& buffer) const;
@@ -64,25 +91,31 @@ class TManProtocol {
                     ids::NodeIndex exclude) const;
 
   void build_buffer_into(ids::NodeIndex node, ids::NodeIndex exclude,
-                         std::vector<Descriptor>& buffer) const;
+                         std::vector<Descriptor>& buffer,
+                         sim::Rng& rng) const;
 
   TableFn table_of_;
   SamplingService* sampling_;
   std::function<bool(ids::NodeIndex)> is_alive_;
   SelectFn select_;
   Config config_;
-  sim::Rng rng_;
-  sim::FaultPlan* fault_ = nullptr;  // optional admission check (not owned)
+  std::uint64_t seed_;  // roots the apply-time per-exchange forks
+  const sim::FaultPlan* fault_ = nullptr;  // optional admission (not owned)
+  sim::Outbox<Exchange> outbox_;
+  // Per-worker scratch for prepare()'s sampling fallback (bootstrap path).
+  std::vector<std::vector<Descriptor>> prepare_scratch_;
 
   // Dedup seen-array, indexed by node: `seen_stamp_[n] == seen_epoch_`
   // means n is already in the buffer opened by the last begin_buffer(),
   // at position `seen_slot_[n]`. Grown on demand; mutable because
-  // build_buffer is logically const. Single-threaded like all protocols.
+  // build_buffer is logically const. Touched only from serial contexts
+  // (apply and test helpers), never from prepare().
   mutable std::vector<std::uint32_t> seen_stamp_;
   mutable std::vector<std::size_t> seen_slot_;
   mutable std::uint32_t seen_epoch_ = 0;
 
-  // Exchange buffers, hoisted out of step() (allocation-free steady state).
+  // Exchange buffers, hoisted out of apply() (allocation-free steady
+  // state); serial-context only, like the seen-array.
   mutable std::vector<Descriptor> mine_;
   mutable std::vector<Descriptor> theirs_;
   mutable std::vector<Descriptor> for_me_;

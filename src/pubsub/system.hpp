@@ -6,11 +6,14 @@
 #include <string>
 #include <utility>
 
+#include <vector>
+
 #include "ids/id.hpp"
 #include "pubsub/metrics.hpp"
 #include "pubsub/subscription.hpp"
 #include "support/profiler.hpp"
 #include "support/recorder.hpp"
+#include "support/run_stats.hpp"
 
 namespace vitis::pubsub {
 
@@ -60,6 +63,18 @@ class PubSubSystem {
   /// artifacts and stderr, never stdout). 0 before the first cycle or for
   /// systems without a cycle engine.
   [[nodiscard]] virtual double cycles_per_second() const { return 0.0; }
+
+  /// Cycle-engine worker count of this run (`--run-jobs`). The simulated
+  /// output is bit-identical for any value; the count is telemetry only.
+  /// 1 for systems without a sharded engine.
+  [[nodiscard]] virtual std::size_t run_jobs() const { return 1; }
+
+  /// Per-stage parallel-section accounting of the cycle engine (busy vs
+  /// span wall time; telemetry only). Empty for systems without one.
+  [[nodiscard]] virtual std::vector<support::ParallelPhaseStats>
+  parallel_phases() const {
+    return {};
+  }
 
   /// Enable (or reconfigure) the flight recorder for this run; the default
   /// is a no-op for systems without one. Off by default and zero-cost when

@@ -7,19 +7,37 @@
 
 namespace vitis::sim {
 
-CycleEngine::CycleEngine(std::size_t node_count, Rng rng)
-    : alive_(node_count, false), rng_(rng) {}
+CycleEngine::CycleEngine(std::size_t node_count, std::uint64_t seed,
+                         std::size_t run_jobs)
+    : alive_(node_count, false),
+      seed_(seed),
+      pool_(run_jobs),
+      worker_busy_ns_(pool_.jobs(), 0) {}
 
-void CycleEngine::add_protocol(std::string name, NodeProtocol protocol,
-                               std::optional<support::Phase> phase) {
-  VITIS_CHECK(protocol != nullptr);
-  protocols_.push_back(
-      ProtocolEntry{std::move(name), std::move(protocol), phase});
+void CycleEngine::add_stage(std::string name, std::uint64_t salt,
+                            NodeStageFn body, MergeFn merge,
+                            std::optional<support::Phase> phase) {
+  VITIS_CHECK(body != nullptr);
+  Step step;
+  step.name = std::move(name);
+  step.salt = salt;
+  step.body = std::move(body);
+  step.merge = std::move(merge);
+  step.phase = phase;
+  steps_.push_back(std::move(step));
 }
 
 void CycleEngine::add_cycle_hook(std::string name, CycleHook hook) {
   VITIS_CHECK(hook != nullptr);
-  hooks_.emplace_back(std::move(name), std::move(hook));
+  Step step;
+  step.name = std::move(name);
+  step.hook = std::move(hook);
+  steps_.push_back(std::move(step));
+}
+
+void CycleEngine::set_profiler(support::Profiler* profiler) {
+  profiler_ = profiler;
+  if (profiler_ != nullptr) profiler_->configure_workers(pool_.jobs());
 }
 
 void CycleEngine::set_alive(ids::NodeIndex node, bool alive) {
@@ -28,12 +46,17 @@ void CycleEngine::set_alive(ids::NodeIndex node, bool alive) {
   alive_[node] = alive;
   // Keep the activation list dense and ascending: the common churn patterns
   // (join at the high end, crash anywhere) cost O(log A) to locate plus the
-  // tail move; the order must match the historical full-bitmap scan so the
-  // per-cycle shuffle sees an identical starting permutation.
+  // tail move. The ascending order is what makes the per-stage contiguous
+  // worker slices — and so the outbox lane concatenation — independent of
+  // the worker count.
   const auto at = std::lower_bound(active_.begin(), active_.end(), node);
   if (alive) {
+    VITIS_CHECK(at == active_.end() || *at != node);
     active_.insert(at, node);
   } else {
+    // A desynced caller (alive_ bitmap and activation list disagreeing)
+    // would otherwise erase an unrelated neighbor silently.
+    VITIS_CHECK(at != active_.end() && *at == node);
     active_.erase(at);
   }
 }
@@ -48,23 +71,51 @@ void CycleEngine::alive_nodes_into(std::vector<ids::NodeIndex>& out) const {
   out.assign(active_.begin(), active_.end());
 }
 
+void CycleEngine::run_stage(Step& step) {
+  // Snapshot the activation list: an earlier hook in this cycle may mutate
+  // it (crashes, churn), and the slices below must index a stable array.
+  order_scratch_.assign(active_.begin(), active_.end());
+  const std::size_t total = order_scratch_.size();
+  const std::size_t jobs = pool_.jobs();
+  // Stage-level phase attribution on worker lane 0 (covers the parallel
+  // section and the serial merge); one call per stage per cycle, so the
+  // deterministic call counts are independent of the worker count.
+  const support::ScopedPhase scope(step.phase ? profiler_ : nullptr,
+                                   step.phase.value_or(support::Phase::kSampling),
+                                   0);
+  const std::int64_t span_start = support::monotonic_ns();
+  pool_.run([&](std::size_t worker) {
+    const std::int64_t busy_start = support::monotonic_ns();
+    // Contiguous ascending slices: worker w steps nodes [total·w/J,
+    // total·(w+1)/J). Records appended to lane w in this order concatenate
+    // to the global ascending node order for any J.
+    const std::size_t begin = total * worker / jobs;
+    const std::size_t end = total * (worker + 1) / jobs;
+    for (std::size_t i = begin; i < end; ++i) {
+      const ids::NodeIndex node = order_scratch_[i];
+      if (!alive_[node]) continue;  // killed by an earlier hook this cycle
+      Rng rng = Rng::at(seed_, step.salt, node, cycle_);
+      step.body(node, cycle_, rng, worker);
+    }
+    worker_busy_ns_[worker] = support::monotonic_ns() - busy_start;
+  });
+  step.span_ns += static_cast<std::uint64_t>(support::monotonic_ns() -
+                                             span_start);
+  for (const std::int64_t busy : worker_busy_ns_) {
+    step.busy_ns += static_cast<std::uint64_t>(busy);
+  }
+  if (step.merge != nullptr) step.merge(cycle_);
+}
+
 void CycleEngine::run(std::size_t cycles) {
   const support::WallTimer timer;
   for (std::size_t c = 0; c < cycles; ++c) {
-    order_scratch_.assign(active_.begin(), active_.end());
-    rng_.shuffle(order_scratch_);
-    for (const auto& entry : protocols_) {
-      const support::ScopedPhase phase_timer(
-          entry.phase ? profiler_ : nullptr,
-          entry.phase.value_or(support::Phase::kSampling));
-      for (const ids::NodeIndex node : order_scratch_) {
-        // A protocol earlier in this cycle may have killed the node.
-        if (alive_[node]) entry.protocol(node, cycle_);
+    for (Step& step : steps_) {
+      if (step.hook != nullptr) {
+        step.hook(cycle_);
+      } else {
+        run_stage(step);
       }
-    }
-    for (const auto& [name, hook] : hooks_) {
-      (void)name;
-      hook(cycle_);
     }
     // Observability sampling last, so gauges see the post-maintenance state
     // of the cycle. The stride test keeps disabled recorders zero-cost.
@@ -77,6 +128,15 @@ void CycleEngine::run(std::size_t cycles) {
     ++cycle_;
   }
   run_wall_ms_ += timer.elapsed_ms();
+}
+
+std::vector<CycleEngine::StageTiming> CycleEngine::stage_timings() const {
+  std::vector<StageTiming> timings;
+  for (const Step& step : steps_) {
+    if (step.body == nullptr) continue;
+    timings.push_back(StageTiming{step.name, step.busy_ns, step.span_ns});
+  }
+  return timings;
 }
 
 }  // namespace vitis::sim

@@ -1,20 +1,32 @@
-// Cycle-driven simulation engine (PeerSim cycle-based mode substitute).
+// Cycle-driven simulation engine (PeerSim cycle-based mode substitute),
+// sharded for deterministic intra-run parallelism.
 //
-// A *cycle* corresponds to one gossip period δt: within a cycle every alive
-// node executes each registered protocol once, in a fresh random order per
-// cycle (as PeerSim does, avoiding activation-order artifacts). Protocols
-// are closures registered by the pub/sub systems; the engine owns only the
-// clock, the alive set, and the activation schedule.
+// A *cycle* corresponds to one gossip period δt. Within a cycle the engine
+// executes an ordered list of *steps* registered by the pub/sub systems:
+//
+//   * a **stage** runs a per-node body over every alive node, sliced into
+//     `run_jobs` contiguous chunks of the ascending activation snapshot and
+//     executed by a persistent worker pool (worker 0 = the calling thread).
+//     Each activation receives a private counter-based RNG forked as
+//     Rng::at(seed, stage_salt, node, cycle) — a pure function of the
+//     identities, so a node's draws are schedule- and thread-independent.
+//     Stage bodies may write only node-local state and append exchange
+//     records to their worker's outbox lane; after the stage barrier an
+//     optional serial **merge** drains the lanes in worker order. Because
+//     the slices are contiguous over an ascending snapshot, lane
+//     concatenation is globally ascending by initiating node for ANY worker
+//     count — the merge order, and therefore the whole run, is bit-identical
+//     whatever `--run-jobs` is.
+//   * a **hook** runs serially once per cycle (elections, crash delivery,
+//     anything with cross-node read-modify-write dependencies).
 //
 // The activation schedule is event-driven: `set_alive` maintains a dense,
 // ascending activation list incrementally, so a cycle costs O(active ×
-// protocols) — quiescent nodes (dead, or never joined out of a large
-// universe) cost zero per cycle instead of being skipped by an O(N) scan.
-// In this cycle-based model every alive node has a due gossip timer each
-// cycle, so the activation list is exactly the alive set; the list is kept
-// ascending so the per-cycle shuffle consumes the same RNG stream over the
-// same starting permutation as the historical full-bitmap scan
-// (byte-identical recorded outputs).
+// steps) — quiescent nodes (dead, or never joined out of a large universe)
+// cost zero per cycle. Liveness is frozen during a stage: set_alive may be
+// called only from hooks or between run() calls, never from stage bodies
+// (the per-stage snapshot plus the per-node alive check keep a node killed
+// by an earlier hook in the same cycle from being stepped).
 #pragma once
 
 #include <cstdint>
@@ -26,6 +38,7 @@
 
 #include "ids/id.hpp"
 #include "sim/rng.hpp"
+#include "sim/worker_pool.hpp"
 #include "support/profiler.hpp"
 #include "support/recorder.hpp"
 
@@ -34,30 +47,45 @@ namespace vitis::sim {
 class CycleEngine {
  public:
   /// `node_count` fixes the universe of node indices; nodes start dead and
-  /// must be activated via `set_alive`.
-  CycleEngine(std::size_t node_count, Rng rng);
+  /// must be activated via `set_alive`. `seed` roots every stage's
+  /// counter-based per-node RNG forks; `run_jobs` sizes the worker pool
+  /// (1 = fully serial, identical semantics).
+  CycleEngine(std::size_t node_count, std::uint64_t seed,
+              std::size_t run_jobs = 1);
 
-  /// A protocol body: invoked once per alive node per cycle.
-  using NodeProtocol =
-      std::function<void(ids::NodeIndex node, std::size_t cycle)>;
+  /// A stage body: invoked once per alive node per cycle, possibly
+  /// concurrently with other nodes' invocations. `rng` is the node's
+  /// private counter-based stream for this (stage, cycle); `worker`
+  /// selects the caller's outbox lane / profiler lane.
+  using NodeStageFn = std::function<void(ids::NodeIndex node,
+                                         std::size_t cycle, Rng& rng,
+                                         std::size_t worker)>;
 
-  /// A per-cycle hook: invoked once per cycle after all node protocols.
+  /// A serial merge run after the stage barrier (drains outbox lanes).
+  using MergeFn = std::function<void(std::size_t cycle)>;
+
+  /// A per-cycle hook: invoked serially once per cycle, in step order.
   using CycleHook = std::function<void(std::size_t cycle)>;
 
-  /// `phase` (optional) attributes the protocol's whole per-cycle pass to a
-  /// profiler phase when a profiler is attached via set_profiler.
-  void add_protocol(std::string name, NodeProtocol protocol,
-                    std::optional<support::Phase> phase = std::nullopt);
+  /// Append a parallel node stage to the per-cycle step list. `salt`
+  /// namespaces the stage's RNG forks (distinct per stage). `phase`
+  /// (optional) attributes the stage's pass — parallel section plus merge —
+  /// to a profiler phase on worker lane 0 when a profiler is attached.
+  void add_stage(std::string name, std::uint64_t salt, NodeStageFn body,
+                 MergeFn merge = nullptr,
+                 std::optional<support::Phase> phase = std::nullopt);
+
+  /// Append a serial hook to the per-cycle step list.
   void add_cycle_hook(std::string name, CycleHook hook);
 
-  /// Attach (or detach, with nullptr) the per-phase profiler. Not owned;
-  /// must outlive the engine's run() calls.
-  void set_profiler(support::Profiler* profiler) { profiler_ = profiler; }
+  /// Attach (or detach, with nullptr) the per-phase profiler; its worker
+  /// lanes are sized to the pool. Not owned; must outlive run() calls.
+  void set_profiler(support::Profiler* profiler);
 
-  /// Attach the flight recorder's sampling hook: after each cycle's
-  /// protocols and hooks, `hook(cycle)` fires when the recorder's stride
-  /// says the cycle is sampled. Detach with (nullptr, nullptr). Neither is
-  /// owned; both must outlive run().
+  /// Attach the flight recorder's sampling hook: after each cycle's steps,
+  /// `hook(cycle)` fires when the recorder's stride says the cycle is
+  /// sampled. Detach with (nullptr, nullptr). Neither is owned; both must
+  /// outlive run().
   void set_observer(support::Recorder* recorder, CycleHook hook) {
     recorder_ = recorder;
     observer_ = std::move(hook);
@@ -90,6 +118,12 @@ class CycleEngine {
   /// Number of completed cycles since construction.
   [[nodiscard]] std::size_t cycle() const { return cycle_; }
 
+  /// The seed rooting the counter-based stage RNG forks.
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// The worker-pool size (`--run-jobs`).
+  [[nodiscard]] std::size_t run_jobs() const { return pool_.jobs(); }
+
   /// Wall-clock milliseconds accumulated inside run() calls. Telemetry
   /// only — never printed on stdout (varies between runs).
   [[nodiscard]] double run_wall_ms() const { return run_wall_ms_; }
@@ -102,27 +136,43 @@ class CycleEngine {
                : 0.0;
   }
 
-  /// Engine-owned RNG, shared with protocols that need scheduling noise.
-  [[nodiscard]] Rng& rng() { return rng_; }
+  /// Per-stage parallel-efficiency accounting, accumulated across run()
+  /// calls: busy_ns sums every worker's time inside the stage's parallel
+  /// section; span_ns is the section's wall time. Telemetry only (feeds
+  /// the schema-v6 `parallel` block); busy/(span × run_jobs) ≈ efficiency.
+  struct StageTiming {
+    std::string name;
+    std::uint64_t busy_ns = 0;
+    std::uint64_t span_ns = 0;
+  };
+  [[nodiscard]] std::vector<StageTiming> stage_timings() const;
 
  private:
-  struct ProtocolEntry {
+  struct Step {
     std::string name;
-    NodeProtocol protocol;
+    std::uint64_t salt = 0;
+    NodeStageFn body;  // null for hooks
+    MergeFn merge;
+    CycleHook hook;  // null for stages
     std::optional<support::Phase> phase;
+    std::uint64_t busy_ns = 0;
+    std::uint64_t span_ns = 0;
   };
+
+  void run_stage(Step& step);
 
   std::vector<bool> alive_;  // O(1) is_alive for the full index universe
   std::vector<ids::NodeIndex> active_;  // dense ascending activation list
-  std::vector<ProtocolEntry> protocols_;
-  std::vector<std::pair<std::string, CycleHook>> hooks_;
+  std::vector<Step> steps_;
   std::size_t cycle_ = 0;
   double run_wall_ms_ = 0.0;
-  Rng rng_;
+  std::uint64_t seed_;
+  WorkerPool pool_;
   support::Profiler* profiler_ = nullptr;
   support::Recorder* recorder_ = nullptr;
   CycleHook observer_;  // fires on sampled cycles, after the cycle hooks
-  std::vector<ids::NodeIndex> order_scratch_;  // per-cycle activation order
+  std::vector<ids::NodeIndex> order_scratch_;   // per-stage snapshot
+  std::vector<std::int64_t> worker_busy_ns_;    // per-stage scratch
 };
 
 }  // namespace vitis::sim

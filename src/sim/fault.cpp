@@ -67,7 +67,8 @@ void FaultPlan::configure(const FaultConfig& config, std::uint64_t system_seed,
   engine_ = engine;
   active_ = config_.any();
   next_crash_ = 0;
-  stats_ = FaultStats{};
+  auto_nonce_ = 0;
+  stats_.reset();
   // Cursor semantics need a cycle-sorted schedule; ties break by node so
   // the crash order is independent of the caller's list order.
   std::sort(config_.crashes.begin(), config_.crashes.end(),
@@ -77,7 +78,7 @@ void FaultPlan::configure(const FaultConfig& config, std::uint64_t system_seed,
             });
   const std::uint64_t seed =
       config_.seed != 0 ? config_.seed : system_seed;
-  rng_ = Rng(seed ^ kStreamSalt);
+  stream_base_ = ids::mix64(seed ^ kStreamSalt);
 }
 
 void FaultPlan::reset() {
@@ -85,6 +86,22 @@ void FaultPlan::reset() {
   active_ = false;
   engine_ = nullptr;
   next_crash_ = 0;
+  auto_nonce_ = 0;
+}
+
+FaultStats FaultPlan::stats() const {
+  FaultStats snapshot;
+  snapshot.attempts = stats_.attempts.load(std::memory_order_relaxed);
+  snapshot.drops = stats_.drops.load(std::memory_order_relaxed);
+  snapshot.partition_drops =
+      stats_.partition_drops.load(std::memory_order_relaxed);
+  snapshot.delays = stats_.delays.load(std::memory_order_relaxed);
+  snapshot.crashes = stats_.crashes.load(std::memory_order_relaxed);
+  for (std::size_t k = 0; k < kMessageKindCount; ++k) {
+    snapshot.drops_by_kind[k] =
+        stats_.drops_by_kind[k].load(std::memory_order_relaxed);
+  }
+  return snapshot;
 }
 
 bool FaultPlan::partitioned(ids::NodeIndex a, ids::NodeIndex b) const {
@@ -99,34 +116,63 @@ bool FaultPlan::partitioned(ids::NodeIndex a, ids::NodeIndex b) const {
   return false;
 }
 
+double FaultPlan::admission_u(std::uint64_t tag, ids::NodeIndex src,
+                              ids::NodeIndex dst, std::uint64_t nonce) const {
+  // Chained SplitMix compression of the full message identity: any two
+  // distinct (cycle, src, dst, tag, nonce) tuples get independent uniforms,
+  // and the value never depends on how many other messages were checked.
+  std::uint64_t s = ids::mix64(stream_base_ ^ current_cycle());
+  s = ids::mix64(s ^ ((static_cast<std::uint64_t>(src) << 32) | dst));
+  s = ids::mix64(s ^ tag);
+  s = ids::mix64(s ^ nonce);
+  return static_cast<double>(s >> 11) * 0x1.0p-53;
+}
+
 bool FaultPlan::deliver(ids::NodeIndex src, ids::NodeIndex dst,
-                        MessageKind kind) {
+                        MessageKind kind, std::uint64_t nonce) const {
   if (!active_) return true;
-  ++stats_.attempts;
+  stats_.attempts.fetch_add(1, std::memory_order_relaxed);
   if (partitioned(src, dst)) {
-    ++stats_.partition_drops;
-    ++stats_.drops_by_kind[static_cast<std::size_t>(kind)];
+    stats_.partition_drops.fetch_add(1, std::memory_order_relaxed);
+    stats_.drops_by_kind[static_cast<std::size_t>(kind)].fetch_add(
+        1, std::memory_order_relaxed);
     return false;
   }
   if (config_.drop > 0.0) {
     const std::size_t cycle = current_cycle();
+    // Tag space: drop draws live at kind, delay draws at kind | 0x100 —
+    // the same message identity never shares a uniform between mechanisms.
     if (cycle >= config_.drop_start_cycle && cycle < config_.drop_end_cycle &&
-        rng_.bernoulli(config_.drop)) {
-      ++stats_.drops;
-      ++stats_.drops_by_kind[static_cast<std::size_t>(kind)];
+        admission_u(static_cast<std::uint64_t>(kind), src, dst, nonce) <
+            config_.drop) {
+      stats_.drops.fetch_add(1, std::memory_order_relaxed);
+      stats_.drops_by_kind[static_cast<std::size_t>(kind)].fetch_add(
+          1, std::memory_order_relaxed);
       return false;
     }
   }
   return true;
 }
 
-std::uint32_t FaultPlan::hop_penalty(ids::NodeIndex src, ids::NodeIndex dst) {
-  (void)src;  // kept for future per-link delay models
-  (void)dst;
+bool FaultPlan::deliver(ids::NodeIndex src, ids::NodeIndex dst,
+                        MessageKind kind) const {
+  if (!active_) return true;
+  return deliver(src, dst, kind, 0x8000000000000000ULL | auto_nonce_++);
+}
+
+std::uint32_t FaultPlan::hop_penalty(ids::NodeIndex src, ids::NodeIndex dst,
+                                     std::uint64_t nonce) const {
   if (!active_ || config_.delay <= 0.0) return 0;
-  if (!rng_.bernoulli(config_.delay)) return 0;
-  ++stats_.delays;
+  constexpr std::uint64_t kDelayTag = 0x100;
+  if (admission_u(kDelayTag, src, dst, nonce) >= config_.delay) return 0;
+  stats_.delays.fetch_add(1, std::memory_order_relaxed);
   return config_.delay_hops;
+}
+
+std::uint32_t FaultPlan::hop_penalty(ids::NodeIndex src,
+                                     ids::NodeIndex dst) const {
+  if (!active_ || config_.delay <= 0.0) return 0;
+  return hop_penalty(src, dst, 0x8000000000000000ULL | auto_nonce_++);
 }
 
 }  // namespace vitis::sim

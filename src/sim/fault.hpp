@@ -7,16 +7,23 @@
 // false return means the transmission was lost in transit and the sender
 // learns nothing (cycle-granular timeout semantics).
 //
-// Determinism contract (same pattern as the flight recorder's trace
-// stream): every stochastic draw comes from a dedicated xoshiro stream
-// seeded with seed ^ kStreamSalt ("fault"), never from a protocol's rng.
-// Installing a plan whose knobs are all zero — or any plan whose windows
-// never fire — leaves a run byte-identical to one without the fault layer:
-// partition membership is a pure hash (no draw), and the Bernoulli streams
-// are only consulted when their probability is positive.
+// Determinism contract (the parallel-engine discipline): every stochastic
+// admission decision is a *counter-based* pure hash of (fault seed, cycle,
+// src, dst, kind, nonce) — no generator state is consulted, so the decision
+// for one message is independent of every other message's schedule. That is
+// what lets parallel stage bodies call deliver() concurrently and still
+// produce `--run-jobs N` ≡ `--run-jobs 1` bit-identity: parallel call sites
+// pass an explicit nonce derived from their message identity, serial call
+// sites (publish paths, tree walks) use the nonce-less overloads, which
+// draw nonces from an internal deterministic counter. Installing a plan
+// whose knobs are all zero — or any plan whose windows never fire — leaves
+// a run byte-identical to one without the fault layer: partition membership
+// is a pure hash, and the drop/delay hashes are only consulted when their
+// probability is positive. Stats are relaxed atomics (sums, order-free).
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -94,11 +101,11 @@ struct FaultStats {
 
 class FaultPlan {
  public:
-  /// XOR salt of the dedicated fault RNG stream ("fault" in ASCII), the
+  /// XOR salt of the dedicated fault hash stream ("fault" in ASCII), the
   /// same derivation scheme as the engine/trace streams.
   static constexpr std::uint64_t kStreamSalt = 0x6661756c74ULL;
 
-  FaultPlan() : rng_(0) {}
+  FaultPlan() = default;
 
   /// Install (or replace) a plan. `system_seed` is the owning system's
   /// seed; the fault stream is (config.seed ? config.seed : system_seed)
@@ -113,18 +120,36 @@ class FaultPlan {
 
   [[nodiscard]] bool active() const { return active_; }
   [[nodiscard]] const FaultConfig& config() const { return config_; }
-  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+
+  /// Value snapshot of the drop/delay accounting (relaxed-atomic reads; an
+  /// exact total once all stage workers passed the barrier).
+  [[nodiscard]] FaultStats stats() const;
 
   /// Admission check for one transmission src -> dst. False means the
-  /// message was lost (partition cut first — no draw — then Bernoulli
-  /// drop). Always true while inactive, without touching any state.
+  /// message was lost (partition cut first — no hash — then counter-hash
+  /// Bernoulli drop keyed by (cycle, src, dst, kind, nonce)). Always true
+  /// while inactive. Parallel stage bodies must use this overload with a
+  /// nonce that identifies the message within its (cycle, src, dst, kind)
+  /// tuple (0 for once-per-cycle exchanges); it is safe to call
+  /// concurrently.
   [[nodiscard]] bool deliver(ids::NodeIndex src, ids::NodeIndex dst,
-                             MessageKind kind);
+                             MessageKind kind, std::uint64_t nonce) const;
+
+  /// Serial-context convenience: draws the nonce from an internal
+  /// deterministic counter (publish paths, tree walks — anywhere the call
+  /// order itself is deterministic). NOT safe to call concurrently.
+  [[nodiscard]] bool deliver(ids::NodeIndex src, ids::NodeIndex dst,
+                             MessageKind kind) const;
 
   /// Extra propagation hops charged to a delivered publication hop
-  /// (0 unless the delay knob fires).
+  /// (0 unless the delay knob fires). Same nonce contract as deliver().
   [[nodiscard]] std::uint32_t hop_penalty(ids::NodeIndex src,
-                                          ids::NodeIndex dst);
+                                          ids::NodeIndex dst,
+                                          std::uint64_t nonce) const;
+
+  /// Serial-context convenience over the internal nonce counter.
+  [[nodiscard]] std::uint32_t hop_penalty(ids::NodeIndex src,
+                                          ids::NodeIndex dst) const;
 
   /// True when an open partition window separates a and b at the current
   /// cycle (pure hash; usable by tests without perturbing the stream).
@@ -138,23 +163,54 @@ class FaultPlan {
     if (!active_) return;
     while (next_crash_ < config_.crashes.size() &&
            config_.crashes[next_crash_].cycle <= cycle) {
-      ++stats_.crashes;
+      stats_.crashes.fetch_add(1, std::memory_order_relaxed);
       fn(config_.crashes[next_crash_].node);
       ++next_crash_;
     }
   }
 
  private:
+  /// Accounting under concurrent deliver() calls: each field is a relaxed
+  /// atomic (pure sums — no ordering requirements); stats() snapshots them
+  /// into the plain FaultStats value type.
+  struct AtomicFaultStats {
+    std::atomic<std::uint64_t> attempts{0};
+    std::atomic<std::uint64_t> drops{0};
+    std::atomic<std::uint64_t> partition_drops{0};
+    std::atomic<std::uint64_t> delays{0};
+    std::atomic<std::uint64_t> crashes{0};
+    std::array<std::atomic<std::uint64_t>, kMessageKindCount> drops_by_kind{};
+
+    void reset() {
+      attempts.store(0, std::memory_order_relaxed);
+      drops.store(0, std::memory_order_relaxed);
+      partition_drops.store(0, std::memory_order_relaxed);
+      delays.store(0, std::memory_order_relaxed);
+      crashes.store(0, std::memory_order_relaxed);
+      for (auto& kind : drops_by_kind) {
+        kind.store(0, std::memory_order_relaxed);
+      }
+    }
+  };
+
   [[nodiscard]] std::size_t current_cycle() const {
     return engine_ == nullptr ? 0 : engine_->cycle();
   }
 
+  /// Uniform [0, 1) as a pure hash of the message identity.
+  [[nodiscard]] double admission_u(std::uint64_t tag, ids::NodeIndex src,
+                                   ids::NodeIndex dst,
+                                   std::uint64_t nonce) const;
+
   FaultConfig config_;
   bool active_ = false;
   const CycleEngine* engine_ = nullptr;
-  Rng rng_;
+  std::uint64_t stream_base_ = 0;  // mix of (effective seed ^ kStreamSalt)
   std::size_t next_crash_ = 0;
-  FaultStats stats_;
+  // Deterministic nonce counter behind the serial deliver()/hop_penalty()
+  // overloads; mutable because admission checks are logically const.
+  mutable std::uint64_t auto_nonce_ = 0;
+  mutable AtomicFaultStats stats_;
 };
 
 }  // namespace vitis::sim

@@ -107,6 +107,18 @@ Rng Rng::split(std::uint64_t stream_id) noexcept {
   return Rng(next_u64() ^ ids::mix64(stream_id));
 }
 
+Rng Rng::at(std::uint64_t seed, std::uint64_t stream, std::uint64_t a,
+            std::uint64_t b) noexcept {
+  // Chained SplitMix64 compression of the identity tuple; each component
+  // passes through a full mix so adjacent (node, cycle) pairs land in
+  // unrelated seed neighborhoods.
+  std::uint64_t s = ids::mix64(seed ^ 0x636f756e746572ULL);  // "counter"
+  s = ids::mix64(s ^ stream);
+  s = ids::mix64(s ^ a);
+  s = ids::mix64(s ^ b);
+  return Rng(s);
+}
+
 std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
   VITIS_CHECK(k <= n);
   std::vector<std::size_t> pool(n);

@@ -65,6 +65,16 @@ class Rng {
   /// distinct ids never correlate in practice.
   [[nodiscard]] Rng split(std::uint64_t stream_id) noexcept;
 
+  /// Counter-based stream fork: a generator whose sequence is a pure
+  /// function of the four identities, independent of any call history.
+  /// This is the parallel-engine discipline — a per-(node, cycle) stream
+  /// forked as at(seed, protocol_salt, node, cycle) draws identical values
+  /// whatever order (or thread) nodes are stepped in, which is what makes
+  /// `--run-jobs N` bit-identical to `--run-jobs 1`. Unlike split(), at()
+  /// does not advance any parent stream.
+  [[nodiscard]] static Rng at(std::uint64_t seed, std::uint64_t stream,
+                              std::uint64_t a = 0, std::uint64_t b = 0) noexcept;
+
   /// Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& items) noexcept {

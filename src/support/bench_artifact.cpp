@@ -125,6 +125,21 @@ void write_telemetry(JsonWriter& w, const RunTelemetry& t) {
   w.key("cycles").value(t.cycles);
   w.key("messages").value(t.messages);
   w.key("cycles_per_second").value(t.cycles_per_second);
+  w.key("run_jobs").value(t.run_jobs);
+  if (!t.parallel.empty()) {
+    w.key("parallel").begin_object();
+    for (const ParallelPhaseStats& stage : t.parallel) {
+      const double capacity_ms =
+          stage.span_ms * static_cast<double>(t.run_jobs);
+      w.key(stage.stage).begin_object();
+      w.key("busy_ms").value(stage.busy_ms);
+      w.key("span_ms").value(stage.span_ms);
+      w.key("efficiency")
+          .value(capacity_ms > 0.0 ? stage.busy_ms / capacity_ms : 0.0);
+      w.end_object();
+    }
+    w.end_object();
+  }
   if (!all_zero(t.phases)) {
     w.key("phases");
     write_phases(w, t.phases);
@@ -171,7 +186,7 @@ std::size_t BenchArtifact::trace_count() const {
 std::string BenchArtifact::to_json() const {
   JsonWriter w;
   w.begin_object();
-  w.key("schema_version").value(std::int64_t{5});
+  w.key("schema_version").value(std::int64_t{6});
   w.key("bench").value(name_);
   w.key("git_describe").value(git_describe_);
   w.key("scale").begin_object();
@@ -210,10 +225,9 @@ std::string BenchArtifact::to_json() const {
   w.end_array();
 
   RunTelemetry totals;
-  // Aggregated throughput: total cycles over total run_cycles() wall time,
-  // using only points that reported a rate (ran cycles).
-  std::uint64_t paced_cycles = 0;
-  double paced_wall_s = 0.0;
+  // Capacity throughput (v6): the best rate any point achieved. A paced
+  // mean would average across points with different worker counts once a
+  // sweep carries thread-scaling points.
   for (const Point& point : points_) {
     totals.wall_ms += point.telemetry_.wall_ms;
     totals.peak_rss_kb =
@@ -222,11 +236,8 @@ std::string BenchArtifact::to_json() const {
         std::max(totals.peak_rss_bytes, point.telemetry_.peak_rss_bytes);
     totals.cycles += point.telemetry_.cycles;
     totals.messages += point.telemetry_.messages;
-    if (point.telemetry_.cycles_per_second > 0.0) {
-      paced_cycles += point.telemetry_.cycles;
-      paced_wall_s += static_cast<double>(point.telemetry_.cycles) /
-                      point.telemetry_.cycles_per_second;
-    }
+    totals.cycles_per_second = std::max(totals.cycles_per_second,
+                                        point.telemetry_.cycles_per_second);
     for (std::size_t p = 0; p < kPhaseCount; ++p) {
       totals.phases[p].calls += point.telemetry_.phases[p].calls;
       totals.phases[p].wall_ns += point.telemetry_.phases[p].wall_ns;
@@ -234,10 +245,6 @@ std::string BenchArtifact::to_json() const {
     for (std::size_t c = 0; c < kCounterCount; ++c) {
       totals.counters[c] += point.telemetry_.counters[c];
     }
-  }
-  if (paced_wall_s > 0.0) {
-    totals.cycles_per_second =
-        static_cast<double>(paced_cycles) / paced_wall_s;
   }
   w.key("totals").begin_object();
   w.key("points").value(static_cast<std::uint64_t>(points_.size()));

@@ -3,9 +3,9 @@
 // This is the file future PRs regress performance against and
 // tools/fill_experiments.py prefers over scraping bench_output.txt.
 //
-// Schema (version 5):
+// Schema (version 6):
 //   {
-//     "schema_version": 5,
+//     "schema_version": 6,
 //     "bench": "<short bench name, e.g. fig04_friends_vs_sw>",
 //     "git_describe": "<git describe --always --dirty at configure time>",
 //     "scale": {"name": "quick", "nodes": N, "topics": T,
@@ -18,6 +18,11 @@
 //        "telemetry": {"wall_ms": ..., "peak_rss_kb": ...,
 //                      "peak_rss_bytes": ..., "cycles": ...,
 //                      "messages": ..., "cycles_per_second": ...,
+//                      "run_jobs": ...,
+//                      "parallel": {"peer-sampling": {"busy_ms": ...,
+//                                                     "span_ms": ...,
+//                                                     "efficiency": ...},
+//                                   ...per stage...},
 //                      "phases": {"sampling": {"calls": ..., "wall_ms": ...},
 //                                 "tman": ..., "ranking": ..., "relay": ...,
 //                                 "routing": ..., "delivery": ...,
@@ -37,7 +42,9 @@
 //     ],
 //     "totals": {"points": P, "wall_ms": sum, "peak_rss_kb": max,
 //                "peak_rss_bytes": max, "cycles": sum, "messages": sum,
-//                "cycles_per_second": sum(cycles)/sum(run_cycles wall),
+//                "cycles_per_second": max over points (v6; the capacity
+//                                     gauge — thread-scaling points make a
+//                                     paced mean meaningless),
 //                "phases": {...summed...},
 //                "counters": {...summed...},
 //                "traces": <publication traces recorded across points>}
@@ -71,6 +78,14 @@
 //        high-water mark as peak_rss_kb, byte-resolution) and
 //        "cycles_per_second" (maintenance throughput over the wall time
 //        spent inside run_cycles; 0 for points that ran no cycles).
+//   v6 — adds the intra-run parallelism telemetry: per-point "run_jobs"
+//        (the cycle-engine worker count; simulated output is bit-identical
+//        for any value, so it NEVER appears in params/metrics/scale or on
+//        stdout) and the optional "parallel" block (per-stage busy/span
+//        wall plus busy/(span × run_jobs) efficiency, omitted for systems
+//        without a sharded engine). totals "cycles_per_second" becomes the
+//        max over points: with thread-scaling points in one sweep, the
+//        paced mean of v5 would average over different worker counts.
 #pragma once
 
 #include <cstdint>

@@ -12,13 +12,17 @@
 //                confined to the BENCH_*.json artifacts and stderr, never
 //                printed on stdout.
 //
-// The profiler is strictly single-threaded, matching the one-core
-// convention for simulation runs: each sweep point owns its own system and
-// therefore its own profiler instance.
+// Parallel stages (`--run-jobs N`) attribute work per worker: the profiler
+// keeps one isolated lane per worker (enter/exit/ScopedPhase take a worker
+// index, default 0), and the read accessors return the merged sums across
+// lanes. Call counts stay deterministic and independent of the worker
+// count — they count activations, and every activation happens exactly once
+// on exactly one lane; only the wall_ns split across lanes varies.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "support/check.hpp"
 
@@ -68,48 +72,76 @@ inline constexpr std::size_t kCounterCount = 6;
 [[nodiscard]] std::int64_t monotonic_ns();
 
 /// Phases may nest (candidate ranking runs inside the T-Man exchange); the
-/// profiler attributes *exclusive* (self) time via a phase stack, so the
-/// per-phase wall_ns are disjoint and sum to the total profiled time.
+/// profiler attributes *exclusive* (self) time via a per-lane phase stack,
+/// so the per-phase wall_ns are disjoint and sum to the total profiled time.
 class Profiler {
  public:
+  Profiler() : lanes_(1) {}
+
+  /// Size the per-worker lane set (>= 1). Existing accumulations on
+  /// surviving lanes are kept; lanes must not shrink while scopes are open.
+  void configure_workers(std::size_t workers) {
+    lanes_.resize(workers == 0 ? 1 : workers);
+  }
+
+  [[nodiscard]] std::size_t workers() const { return lanes_.size(); }
+
   /// Direct accumulation (no nesting bookkeeping).
-  void add(Phase phase, std::uint64_t wall_ns, std::uint64_t calls = 1) {
-    auto& s = stats_[static_cast<std::size_t>(phase)];
+  void add(Phase phase, std::uint64_t wall_ns, std::uint64_t calls = 1,
+           std::size_t worker = 0) {
+    auto& s = lanes_[worker].stats[static_cast<std::size_t>(phase)];
     s.calls += calls;
     s.wall_ns += wall_ns;
   }
 
-  /// Enter a phase: pauses the enclosing phase (if any) and starts
-  /// attributing wall time to `phase`. Counts one call.
-  void enter(Phase phase) {
+  /// Enter a phase on `worker`'s lane: pauses the enclosing phase (if any)
+  /// and starts attributing wall time to `phase`. Counts one call.
+  void enter(Phase phase, std::size_t worker = 0) {
+    Lane& lane = lanes_[worker];
     const std::int64_t now = monotonic_ns();
-    if (depth_ > 0) accumulate(now);
-    VITIS_DCHECK(depth_ < stack_.size());
-    stack_[depth_++] = phase;
-    mark_ = now;
-    ++stats_[static_cast<std::size_t>(phase)].calls;
+    if (lane.depth > 0) accumulate(lane, now);
+    VITIS_DCHECK(lane.depth < lane.stack.size());
+    lane.stack[lane.depth++] = phase;
+    lane.mark = now;
+    ++lane.stats[static_cast<std::size_t>(phase)].calls;
   }
 
-  /// Leave the innermost phase and resume its parent.
-  void exit() {
-    VITIS_DCHECK(depth_ > 0);
+  /// Leave the innermost phase on `worker`'s lane and resume its parent.
+  void exit(std::size_t worker = 0) {
+    Lane& lane = lanes_[worker];
+    VITIS_DCHECK(lane.depth > 0);
     const std::int64_t now = monotonic_ns();
-    accumulate(now);
-    --depth_;
-    mark_ = now;
+    accumulate(lane, now);
+    --lane.depth;
+    lane.mark = now;
   }
 
-  [[nodiscard]] const PhaseStats& stats(Phase phase) const {
-    return stats_[static_cast<std::size_t>(phase)];
+  /// Merged (summed across worker lanes) stats for one phase.
+  [[nodiscard]] PhaseStats stats(Phase phase) const {
+    PhaseStats merged;
+    for (const Lane& lane : lanes_) {
+      merged.calls += lane.stats[static_cast<std::size_t>(phase)].calls;
+      merged.wall_ns += lane.stats[static_cast<std::size_t>(phase)].wall_ns;
+    }
+    return merged;
   }
 
-  [[nodiscard]] const std::array<PhaseStats, kPhaseCount>& all() const {
-    return stats_;
+  /// Merged stats for every phase.
+  [[nodiscard]] std::array<PhaseStats, kPhaseCount> all() const {
+    std::array<PhaseStats, kPhaseCount> merged{};
+    for (const Lane& lane : lanes_) {
+      for (std::size_t p = 0; p < kPhaseCount; ++p) {
+        merged[p].calls += lane.stats[p].calls;
+        merged[p].wall_ns += lane.stats[p].wall_ns;
+      }
+    }
+    return merged;
   }
 
   /// Counters are absolute values owned by their producer (the cache keeps
   /// its own running stats and publishes them here), so the setter stores
-  /// rather than accumulates.
+  /// rather than accumulates. Single-valued (no lanes): producers publish
+  /// from serial code only.
   void set_counter(Counter counter, std::uint64_t value) {
     counters_[static_cast<std::size_t>(counter)] = value;
   }
@@ -124,40 +156,48 @@ class Profiler {
   }
 
   void reset() {
-    stats_ = {};
+    for (Lane& lane : lanes_) lane = Lane{};
     counters_ = {};
   }
 
  private:
-  void accumulate(std::int64_t now) {
-    stats_[static_cast<std::size_t>(stack_[depth_ - 1])].wall_ns +=
-        static_cast<std::uint64_t>(now - mark_);
+  // Cache-line aligned so concurrent lanes never false-share.
+  struct alignas(64) Lane {
+    std::array<PhaseStats, kPhaseCount> stats{};
+    std::array<Phase, 8> stack{};  // nesting depth in practice: <= 2
+    std::size_t depth = 0;
+    std::int64_t mark = 0;
+  };
+
+  static void accumulate(Lane& lane, std::int64_t now) {
+    lane.stats[static_cast<std::size_t>(lane.stack[lane.depth - 1])].wall_ns +=
+        static_cast<std::uint64_t>(now - lane.mark);
   }
 
-  std::array<PhaseStats, kPhaseCount> stats_{};
+  std::vector<Lane> lanes_;
   std::array<std::uint64_t, kCounterCount> counters_{};
-  std::array<Phase, 8> stack_{};  // nesting depth in practice: <= 2
-  std::size_t depth_ = 0;
-  std::int64_t mark_ = 0;
 };
 
 /// RAII phase scope over Profiler::enter/exit. A null profiler makes the
-/// scope a no-op (for unwired systems).
+/// scope a no-op (for unwired systems). Parallel stage bodies pass their
+/// worker index so the scope lands on that worker's lane.
 class ScopedPhase {
  public:
-  ScopedPhase(Profiler* profiler, Phase phase) : profiler_(profiler) {
-    if (profiler_ != nullptr) profiler_->enter(phase);
+  ScopedPhase(Profiler* profiler, Phase phase, std::size_t worker = 0)
+      : profiler_(profiler), worker_(worker) {
+    if (profiler_ != nullptr) profiler_->enter(phase, worker_);
   }
 
   ScopedPhase(const ScopedPhase&) = delete;
   ScopedPhase& operator=(const ScopedPhase&) = delete;
 
   ~ScopedPhase() {
-    if (profiler_ != nullptr) profiler_->exit();
+    if (profiler_ != nullptr) profiler_->exit(worker_);
   }
 
  private:
   Profiler* profiler_;
+  std::size_t worker_;
 };
 
 }  // namespace vitis::support

@@ -7,12 +7,23 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "support/profiler.hpp"
 #include "support/recorder.hpp"
 
 namespace vitis::support {
+
+/// Parallel-efficiency accounting for one cycle-engine stage, accumulated
+/// over a run: `busy_ms` sums every worker's time inside the stage's
+/// parallel section, `span_ms` is the section's wall time. Telemetry only
+/// (wall times vary between runs); busy/(span × run_jobs) ≈ efficiency.
+struct ParallelPhaseStats {
+  std::string stage;
+  double busy_ms = 0.0;
+  double span_ms = 0.0;
+};
 
 /// Telemetry attached to one (seed, parameter-point) run. The sweep runner
 /// fills wall_ms and peak_rss_kb; the run body reports cycles/messages and
@@ -28,6 +39,13 @@ struct RunTelemetry {
   // Maintenance throughput (cycles per second of run_cycles() wall time,
   // schema v5). Telemetry-only like wall_ms; 0 when the body ran no cycles.
   double cycles_per_second = 0.0;
+  // Cycle-engine worker count of the run (`--run-jobs`, schema v6). The
+  // simulated output is bit-identical for any value, so this lives in
+  // telemetry only — never in params, metrics or stdout.
+  std::uint64_t run_jobs = 1;
+  // Per-stage parallel-section accounting (schema v6 `parallel` block);
+  // empty for systems without a sharded cycle engine.
+  std::vector<ParallelPhaseStats> parallel;
   // Per-phase cycle-engine breakdown (indexed by support::Phase). `calls`
   // are deterministic per (seed, scale); `wall_ns` is telemetry-only.
   std::array<PhaseStats, kPhaseCount> phases{};

@@ -1,12 +1,14 @@
 // Bounded worker pool for embarrassingly-parallel index ranges.
 //
-// The simulation core stays strictly single-threaded; the only sanctioned
-// concurrency in this codebase is *between* independent (seed, parameter)
-// runs, each of which owns its RNG and system instance. parallel_for is the
-// one primitive that expresses this: workers claim indices from a shared
-// counter, so each index runs exactly once, on exactly one thread, and the
-// caller stores results into per-index slots to keep merged output
-// independent of scheduling order.
+// This is the *between-runs* half of the codebase's two sanctioned forms of
+// concurrency: independent (seed, parameter) runs, each owning its RNG and
+// system instance, fan out over `--jobs N` here. (The other half is
+// *intra-run*: sim::WorkerPool shards the cycle engine's stages under
+// `--run-jobs N` with counter-based RNG streams and barriered merges.)
+// parallel_for is the one primitive that expresses the between-runs form:
+// workers claim indices from a shared counter, so each index runs exactly
+// once, on exactly one thread, and the caller stores results into per-index
+// slots to keep merged output independent of scheduling order.
 #pragma once
 
 #include <cstddef>

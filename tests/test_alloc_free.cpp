@@ -196,7 +196,7 @@ TEST(AllocationAudit, FaultAdmissionGossipStepIsAllocationFree) {
 TEST(AllocationAudit, FaultPlanPrimitivesAreAllocationFree) {
   // deliver()/hop_penalty()/for_due_crashes() are called per message; none
   // may touch the heap after configure().
-  sim::CycleEngine engine(16, sim::Rng(9));
+  sim::CycleEngine engine(16, 9);
   sim::FaultConfig config;
   config.drop = 0.3;
   config.delay = 0.2;

@@ -51,7 +51,7 @@ TEST(ChurnTrace, PopulationAt) {
 
 TEST(ChurnPlayback, AppliesEventsInOrder) {
   const auto trace = simple_trace();
-  CycleEngine engine(3, Rng(1));
+  CycleEngine engine(3, 1);
   ChurnPlayback playback(trace, engine);
 
   auto changes = playback.advance_to(1.5);
@@ -68,7 +68,7 @@ TEST(ChurnPlayback, AppliesEventsInOrder) {
 
 TEST(ChurnPlayback, SkipsRedundantEvents) {
   ChurnTrace trace({{1.0, 0, true}, {2.0, 0, true}, {3.0, 0, false}});
-  CycleEngine engine(1, Rng(1));
+  CycleEngine engine(1, 1);
   ChurnPlayback playback(trace, engine);
   const auto changes = playback.advance_to(2.5);
   EXPECT_EQ(changes.joined.size(), 1u);  // the duplicate join is swallowed
@@ -77,7 +77,7 @@ TEST(ChurnPlayback, SkipsRedundantEvents) {
 
 TEST(ChurnPlayback, HalfOpenBoundary) {
   ChurnTrace trace({{1.0, 0, true}});
-  CycleEngine engine(1, Rng(1));
+  CycleEngine engine(1, 1);
   ChurnPlayback playback(trace, engine);
   // advance_to(t) applies events with time < t strictly.
   EXPECT_TRUE(playback.advance_to(1.0).joined.empty());

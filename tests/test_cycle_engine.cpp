@@ -2,22 +2,32 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "sim/cycle_engine.hpp"
+#include "sim/outbox.hpp"
 
 namespace vitis::sim {
 namespace {
 
+// Shorthand: a stage body that ignores its RNG and worker index.
+CycleEngine::NodeStageFn counting(std::vector<int>& calls) {
+  return [&calls](ids::NodeIndex node, std::size_t, Rng&, std::size_t) {
+    ++calls[node];
+  };
+}
+
 TEST(CycleEngine, StartsWithEveryoneDead) {
-  CycleEngine engine(10, Rng(1));
+  CycleEngine engine(10, 1);
   EXPECT_EQ(engine.alive_count(), 0u);
   EXPECT_EQ(engine.node_count(), 10u);
   EXPECT_TRUE(engine.alive_nodes().empty());
+  EXPECT_EQ(engine.run_jobs(), 1u);
 }
 
 TEST(CycleEngine, AliveBookkeeping) {
-  CycleEngine engine(5, Rng(1));
+  CycleEngine engine(5, 1);
   engine.set_alive(0, true);
   engine.set_alive(3, true);
   EXPECT_EQ(engine.alive_count(), 2u);
@@ -30,13 +40,11 @@ TEST(CycleEngine, AliveBookkeeping) {
   EXPECT_EQ(engine.alive_nodes(), std::vector<ids::NodeIndex>{3});
 }
 
-TEST(CycleEngine, ProtocolRunsOncePerAliveNodePerCycle) {
-  CycleEngine engine(6, Rng(2));
+TEST(CycleEngine, StageRunsOncePerAliveNodePerCycle) {
+  CycleEngine engine(6, 2);
   for (ids::NodeIndex i = 0; i < 4; ++i) engine.set_alive(i, true);
   std::vector<int> calls(6, 0);
-  engine.add_protocol("count", [&](ids::NodeIndex node, std::size_t) {
-    ++calls[node];
-  });
+  engine.add_stage("count", 0x1, counting(calls));
   engine.run(3);
   for (ids::NodeIndex i = 0; i < 4; ++i) EXPECT_EQ(calls[i], 3);
   EXPECT_EQ(calls[4], 0);
@@ -44,28 +52,31 @@ TEST(CycleEngine, ProtocolRunsOncePerAliveNodePerCycle) {
   EXPECT_EQ(engine.cycle(), 3u);
 }
 
-TEST(CycleEngine, ProtocolsRunInRegistrationOrder) {
-  CycleEngine engine(2, Rng(3));
+TEST(CycleEngine, StagesRunInRegistrationOrder) {
+  CycleEngine engine(2, 3);
   engine.set_alive(0, true);
   std::vector<int> trace;
-  engine.add_protocol("first", [&](ids::NodeIndex, std::size_t) {
-    trace.push_back(1);
-  });
-  engine.add_protocol("second", [&](ids::NodeIndex, std::size_t) {
-    trace.push_back(2);
-  });
+  engine.add_stage("first", 0x1,
+                   [&](ids::NodeIndex, std::size_t, Rng&, std::size_t) {
+                     trace.push_back(1);
+                   });
+  engine.add_stage("second", 0x2,
+                   [&](ids::NodeIndex, std::size_t, Rng&, std::size_t) {
+                     trace.push_back(2);
+                   });
   engine.run(2);
   EXPECT_EQ(trace, (std::vector<int>{1, 2, 1, 2}));
 }
 
-TEST(CycleEngine, HookRunsAfterProtocols) {
-  CycleEngine engine(3, Rng(4));
+TEST(CycleEngine, HookRunsAfterEarlierStages) {
+  CycleEngine engine(3, 4);
   engine.set_alive(0, true);
   engine.set_alive(1, true);
   std::vector<int> trace;
-  engine.add_protocol("p", [&](ids::NodeIndex, std::size_t) {
-    trace.push_back(0);
-  });
+  engine.add_stage("p", 0x1,
+                   [&](ids::NodeIndex, std::size_t, Rng&, std::size_t) {
+                     trace.push_back(0);
+                   });
   engine.add_cycle_hook("h", [&](std::size_t cycle) {
     trace.push_back(100 + static_cast<int>(cycle));
   });
@@ -73,33 +84,123 @@ TEST(CycleEngine, HookRunsAfterProtocols) {
   EXPECT_EQ(trace, (std::vector<int>{0, 0, 100, 0, 0, 101}));
 }
 
-TEST(CycleEngine, NodeKilledMidCycleIsSkippedByLaterProtocols) {
-  CycleEngine engine(2, Rng(5));
+TEST(CycleEngine, NodeKilledByHookIsSkippedByLaterStages) {
+  // Liveness mutation belongs to hooks (stages run over a frozen snapshot);
+  // a node crashed by a hook must not be stepped by stages later in the
+  // same cycle.
+  CycleEngine engine(2, 5);
   engine.set_alive(0, true);
   engine.set_alive(1, true);
-  int second_protocol_runs = 0;
-  engine.add_protocol("killer", [&](ids::NodeIndex node, std::size_t) {
-    if (node == 1) engine.set_alive(1, false);
+  int observed_runs = 0;
+  engine.add_cycle_hook("killer", [&](std::size_t cycle) {
+    if (cycle == 0) engine.set_alive(1, false);
   });
-  engine.add_protocol("observer", [&](ids::NodeIndex node, std::size_t) {
-    if (node == 1) ++second_protocol_runs;
-  });
+  engine.add_stage("observer", 0x1,
+                   [&](ids::NodeIndex node, std::size_t, Rng&, std::size_t) {
+                     if (node == 1) ++observed_runs;
+                   });
   engine.run(1);
-  EXPECT_EQ(second_protocol_runs, 0);
+  EXPECT_EQ(observed_runs, 0);
 }
 
-TEST(CycleEngine, ActivationOrderVariesAcrossCycles) {
-  CycleEngine engine(50, Rng(6));
+TEST(CycleEngine, StageOrderIsAscendingByNode) {
+  // The per-stage traversal is the ascending activation snapshot — this
+  // order (not a shuffle) is what makes contiguous worker slices
+  // concatenate identically for any worker count.
+  CycleEngine engine(50, 6);
   for (ids::NodeIndex i = 0; i < 50; ++i) engine.set_alive(i, true);
-  std::vector<std::vector<ids::NodeIndex>> orders;
-  orders.emplace_back();
-  engine.add_protocol("record", [&](ids::NodeIndex node, std::size_t) {
-    orders.back().push_back(node);
-  });
-  engine.add_cycle_hook("next", [&](std::size_t) { orders.emplace_back(); });
-  engine.run(3);
-  ASSERT_GE(orders.size(), 3u);
-  EXPECT_NE(orders[0], orders[1]);  // shuffled per cycle
+  std::vector<ids::NodeIndex> order;
+  engine.add_stage("record", 0x1,
+                   [&](ids::NodeIndex node, std::size_t, Rng&, std::size_t) {
+                     order.push_back(node);
+                   });
+  engine.run(1);
+  ASSERT_EQ(order.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(CycleEngine, StageRngIsACounterStream) {
+  // A node's stage draw is a pure function of (seed, salt, node, cycle):
+  // independent of other nodes, of the traversal schedule, and of the
+  // worker count.
+  constexpr std::uint64_t kSeed = 77;
+  constexpr std::uint64_t kSalt = 0xabc;
+  CycleEngine engine(8, kSeed);
+  for (ids::NodeIndex i = 0; i < 8; ++i) engine.set_alive(i, true);
+  std::vector<std::vector<std::uint64_t>> draws(8);
+  engine.add_stage("draw", kSalt,
+                   [&](ids::NodeIndex node, std::size_t, Rng& rng,
+                       std::size_t) { draws[node].push_back(rng.next_u64()); });
+  engine.run(2);
+  for (ids::NodeIndex node = 0; node < 8; ++node) {
+    ASSERT_EQ(draws[node].size(), 2u);
+    for (std::size_t cycle = 0; cycle < 2; ++cycle) {
+      Rng expected = Rng::at(kSeed, kSalt, node, cycle);
+      EXPECT_EQ(draws[node][cycle], expected.next_u64())
+          << "node " << node << " cycle " << cycle;
+    }
+    EXPECT_NE(draws[node][0], draws[node][1]);  // fresh stream per cycle
+  }
+}
+
+TEST(CycleEngine, MergeDrainsLanesInAscendingInitiatorOrder) {
+  // The outbox contract: records appended per worker lane, drained in
+  // worker order after the barrier, reassemble the global ascending
+  // initiator order — for any worker count.
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{3}}) {
+    CycleEngine engine(31, 9, jobs);
+    for (ids::NodeIndex i = 0; i < 31; ++i) engine.set_alive(i, true);
+    Outbox<ids::NodeIndex> outbox;
+    outbox.configure(engine.run_jobs());
+    std::vector<ids::NodeIndex> merged;
+    engine.add_stage(
+        "enqueue", 0x1,
+        [&](ids::NodeIndex node, std::size_t, Rng&, std::size_t worker) {
+          outbox.lane(worker).push_back(node);
+        },
+        [&](std::size_t) {
+          outbox.drain([&](const ids::NodeIndex& node) {
+            merged.push_back(node);
+          });
+        });
+    engine.run(2);
+    ASSERT_EQ(merged.size(), 62u) << "jobs=" << jobs;
+    EXPECT_TRUE(std::is_sorted(merged.begin(), merged.begin() + 31));
+    EXPECT_TRUE(std::is_sorted(merged.begin() + 31, merged.end()));
+  }
+}
+
+TEST(CycleEngine, RunIsBitIdenticalAcrossWorkerCounts) {
+  // The tentpole invariant at engine level: identical per-node state
+  // evolution whatever run_jobs is.
+  const auto simulate = [](std::size_t jobs) {
+    CycleEngine engine(40, 123, jobs);
+    for (ids::NodeIndex i = 0; i < 40; ++i) engine.set_alive(i, true);
+    std::vector<std::uint64_t> state(40, 0);
+    Outbox<std::pair<ids::NodeIndex, std::uint64_t>> outbox;
+    outbox.configure(engine.run_jobs());
+    engine.add_stage(
+        "mix", 0x51,
+        [&](ids::NodeIndex node, std::size_t, Rng& rng, std::size_t worker) {
+          state[node] ^= rng.next_u64();  // node-local write only
+          outbox.lane(worker).push_back({node, rng.next_u64()});
+        },
+        [&](std::size_t) {
+          // Serial merge: cross-node writes happen only here.
+          outbox.drain([&](const auto& record) {
+            state[(record.first + 1) % 40] += record.second;
+          });
+        });
+    engine.add_cycle_hook("churn", [&](std::size_t cycle) {
+      if (cycle == 3) engine.set_alive(7, false);
+      if (cycle == 5) engine.set_alive(7, true);
+    });
+    engine.run(8);
+    return state;
+  };
+  const auto serial = simulate(1);
+  EXPECT_EQ(serial, simulate(2));
+  EXPECT_EQ(serial, simulate(7));
 }
 
 TEST(CycleEngine, SetAliveIsIdempotentOnDeadNodes) {
@@ -107,7 +208,7 @@ TEST(CycleEngine, SetAliveIsIdempotentOnDeadNodes) {
   // node_leave — or a crash event firing twice — must not corrupt the
   // alive count. set_alive on an already-dead (or already-alive) node is a
   // no-op.
-  CycleEngine engine(4, Rng(8));
+  CycleEngine engine(4, 8);
   for (ids::NodeIndex i = 0; i < 4; ++i) engine.set_alive(i, true);
   EXPECT_EQ(engine.alive_count(), 4u);
   engine.set_alive(2, false);
@@ -121,8 +222,18 @@ TEST(CycleEngine, SetAliveIsIdempotentOnDeadNodes) {
   EXPECT_EQ(engine.alive_count(), 4u);
 }
 
+TEST(CycleEngineDeathTest, SetAliveRejectsOutOfRangeNodes) {
+  // Regression for the activation-list guards: an out-of-range index would
+  // previously walk off the bitmap; now it must trip VITIS_CHECK rather
+  // than silently corrupt (or silently miss) the activation list the
+  // worker slices are built from.
+  CycleEngine engine(4, 8);
+  EXPECT_DEATH(engine.set_alive(4, true), "VITIS_CHECK");
+  EXPECT_DEATH(engine.set_alive(1000, false), "VITIS_CHECK");
+}
+
 TEST(CycleEngine, CycleCounterAdvancesAcrossRuns) {
-  CycleEngine engine(1, Rng(7));
+  CycleEngine engine(1, 7);
   engine.set_alive(0, true);
   engine.run(2);
   engine.run(3);
@@ -131,18 +242,19 @@ TEST(CycleEngine, CycleCounterAdvancesAcrossRuns) {
 
 TEST(CycleEngine, QuiescentNodesCostZeroWork) {
   // Event-driven activation: a huge universe with a handful of alive nodes
-  // charges protocol work only to the alive ones — the activation list is
+  // charges stage work only to the alive ones — the activation list is
   // the schedule, there is no O(node_count) scan per cycle.
   constexpr std::size_t kUniverse = 100'000;
-  CycleEngine engine(kUniverse, Rng(11));
+  CycleEngine engine(kUniverse, 11);
   const std::vector<ids::NodeIndex> joined{7, 421, 90'000};
   for (const ids::NodeIndex node : joined) engine.set_alive(node, true);
   std::size_t total_calls = 0;
   std::vector<ids::NodeIndex> touched;
-  engine.add_protocol("count", [&](ids::NodeIndex node, std::size_t) {
-    ++total_calls;
-    touched.push_back(node);
-  });
+  engine.add_stage("count", 0x1,
+                   [&](ids::NodeIndex node, std::size_t, Rng&, std::size_t) {
+                     ++total_calls;
+                     touched.push_back(node);
+                   });
   engine.run(50);
   EXPECT_EQ(total_calls, joined.size() * 50);
   EXPECT_EQ(engine.active_nodes().size(), joined.size());
@@ -154,10 +266,11 @@ TEST(CycleEngine, QuiescentNodesCostZeroWork) {
 TEST(CycleEngine, ActivationListMatchesFullBitmapScan) {
   // Equivalence digest: after an arbitrary churn history the incremental
   // activation list must equal the ascending full scan of the alive bitmap
-  // — same members, same order (the order feeds the per-cycle shuffle, so
-  // divergence here would silently change every recorded output).
+  // — same members, same order (the order feeds the contiguous worker
+  // slices, so divergence here would silently change every recorded
+  // output).
   constexpr std::size_t kNodes = 257;
-  CycleEngine engine(kNodes, Rng(12));
+  CycleEngine engine(kNodes, 12);
   Rng churn(34);
   for (int step = 0; step < 2'000; ++step) {
     const auto node =
@@ -177,9 +290,10 @@ TEST(CycleEngine, ActivationListMatchesFullBitmapScan) {
 }
 
 TEST(CycleEngine, ThroughputGaugeCountsOnlyRunTime) {
-  CycleEngine engine(8, Rng(13));
+  CycleEngine engine(8, 13);
   for (ids::NodeIndex i = 0; i < 8; ++i) engine.set_alive(i, true);
-  engine.add_protocol("noop", [](ids::NodeIndex, std::size_t) {});
+  engine.add_stage("noop", 0x1,
+                   [](ids::NodeIndex, std::size_t, Rng&, std::size_t) {});
   // Telemetry gauges start at zero: no cycles, no rate.
   EXPECT_EQ(engine.run_wall_ms(), 0.0);
   EXPECT_EQ(engine.cycles_per_second(), 0.0);
@@ -190,6 +304,22 @@ TEST(CycleEngine, ThroughputGaugeCountsOnlyRunTime) {
   EXPECT_DOUBLE_EQ(engine.cycles_per_second(),
                    static_cast<double>(engine.cycle()) /
                        (engine.run_wall_ms() / 1000.0));
+}
+
+TEST(CycleEngine, StageTimingsCoverStagesNotHooks) {
+  CycleEngine engine(16, 14, 2);
+  for (ids::NodeIndex i = 0; i < 16; ++i) engine.set_alive(i, true);
+  engine.add_stage("a", 0x1,
+                   [](ids::NodeIndex, std::size_t, Rng&, std::size_t) {});
+  engine.add_cycle_hook("h", [](std::size_t) {});
+  engine.add_stage("b", 0x2,
+                   [](ids::NodeIndex, std::size_t, Rng&, std::size_t) {});
+  engine.run(3);
+  const auto timings = engine.stage_timings();
+  ASSERT_EQ(timings.size(), 2u);
+  EXPECT_EQ(timings[0].name, "a");
+  EXPECT_EQ(timings[1].name, "b");
+  for (const auto& t : timings) EXPECT_GT(t.span_ns, 0u);
 }
 
 }  // namespace

@@ -21,7 +21,7 @@ class CyclonFixture : public ::testing::Test {
     }
     service_ = std::make_unique<CyclonSampling>(
         ring_ids_, /*view_size=*/8, /*shuffle_size=*/4,
-        [this](ids::NodeIndex n) { return alive_[n]; }, sim::Rng(7));
+        [this](ids::NodeIndex n) { return alive_[n]; }, /*seed=*/7);
     for (std::size_t i = 0; i < kNodes; ++i) {
       std::vector<ids::NodeIndex> contacts;
       for (std::size_t k = 1; k <= 3; ++k) {
@@ -31,17 +31,25 @@ class CyclonFixture : public ::testing::Test {
     }
   }
 
+  // One engine-style round: every alive node's prepare with its
+  // counter-based stream, then the serial merge.
   void run_rounds(int rounds) {
     for (int r = 0; r < rounds; ++r) {
       for (std::size_t i = 0; i < kNodes; ++i) {
-        service_->step(static_cast<ids::NodeIndex>(i));
+        if (!alive_[i]) continue;
+        sim::Rng rng = sim::Rng::at(7, 0x73616d706c65ULL, i, cycle_);
+        service_->prepare(static_cast<ids::NodeIndex>(i), rng, 0);
       }
+      service_->apply(cycle_);
+      ++cycle_;
     }
   }
 
   std::vector<ids::RingId> ring_ids_;
   std::vector<bool> alive_;
   std::unique_ptr<CyclonSampling> service_;
+  std::size_t cycle_ = 0;
+  sim::Rng query_rng_{11};  // for sample() queries outside the cycle path
 };
 
 TEST_F(CyclonFixture, ViewsNeverContainSelf) {
@@ -98,7 +106,7 @@ TEST_F(CyclonFixture, DeadPeersGetEvicted) {
 TEST_F(CyclonFixture, SampleFiltersDeadAndIsDistinct) {
   run_rounds(10);
   alive_[1] = false;
-  const auto sample = service_->sample(0, 6);
+  const auto sample = service_->sample(0, 6, query_rng_);
   std::set<ids::NodeIndex> unique;
   for (const auto& d : sample) {
     EXPECT_TRUE(alive_[d.node]);
@@ -111,9 +119,9 @@ TEST(SamplingFactory, BuildsBothPolicies) {
   std::vector<ids::RingId> ring_ids{1, 2, 3};
   const auto alive = [](ids::NodeIndex) { return true; };
   const auto newscast = make_sampling_service(
-      SamplingPolicy::kNewscast, ring_ids, 4, alive, sim::Rng(1));
+      SamplingPolicy::kNewscast, ring_ids, 4, alive, /*seed=*/1);
   const auto cyclon = make_sampling_service(SamplingPolicy::kCyclon, ring_ids,
-                                            4, alive, sim::Rng(1));
+                                            4, alive, /*seed=*/1);
   ASSERT_NE(newscast, nullptr);
   ASSERT_NE(cyclon, nullptr);
   EXPECT_EQ(newscast->self_descriptor(1).id, ring_ids[1]);

@@ -96,6 +96,9 @@ TEST(BenchArtifact, SchemaShape) {
   telemetry.cycles = 10;
   telemetry.messages = 1234;
   telemetry.cycles_per_second = 800.0;
+  // Schema v6: engine worker count plus the per-stage utilization block.
+  telemetry.run_jobs = 2;
+  telemetry.parallel.push_back(support::ParallelPhaseStats{"sampling", 3.0, 2.0});
   telemetry.phases[static_cast<std::size_t>(support::Phase::kSampling)] =
       support::PhaseStats{7, 1500000};  // 7 calls, 1.5 ms
   telemetry.counters[static_cast<std::size_t>(
@@ -122,7 +125,7 @@ TEST(BenchArtifact, SchemaShape) {
   point.set_telemetry(telemetry);
 
   const std::string json = artifact.to_json();
-  EXPECT_NE(json.find("\"schema_version\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":6"), std::string::npos);
   EXPECT_NE(json.find("\"bench\":\"unit_test\""), std::string::npos);
   EXPECT_NE(json.find("\"git_describe\":\"deadbeef\""), std::string::npos);
   EXPECT_NE(json.find("\"scale\":{\"name\":\"quick\",\"nodes\":100,"
@@ -134,11 +137,14 @@ TEST(BenchArtifact, SchemaShape) {
   EXPECT_NE(json.find("\"friends\":6"), std::string::npos);
   EXPECT_NE(json.find("\"alpha\":0.5"), std::string::npos);
   EXPECT_NE(json.find("\"hit_ratio\":0.999"), std::string::npos);
-  // v5 capacity gauges sit between the v1 keys and the phases block.
+  // v5 capacity gauges sit between the v1 keys and the phases block; v6
+  // appends run_jobs and the per-stage parallel utilization after them.
   EXPECT_NE(json.find("\"telemetry\":{\"wall_ms\":12.5,\"peak_rss_kb\":2048,"
                       "\"peak_rss_bytes\":2097152,"
                       "\"cycles\":10,\"messages\":1234,"
-                      "\"cycles_per_second\":800,\"phases\":{"),
+                      "\"cycles_per_second\":800,\"run_jobs\":2,"
+                      "\"parallel\":{\"sampling\":{\"busy_ms\":3,"
+                      "\"span_ms\":2,\"efficiency\":0.75}},\"phases\":{"),
             std::string::npos);
   // Per-phase breakdown: every phase present, set values round-tripped.
   EXPECT_NE(json.find("\"sampling\":{\"calls\":7,\"wall_ms\":1.5}"),

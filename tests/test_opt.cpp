@@ -153,7 +153,7 @@ TEST(OptSystem, DisconnectedTopicComponentsMissDeliveries) {
   // exactly match the publisher's component in the topic subgraph.
   const auto scenario = scenario_for(53);
   OptConfig config;
-  config.base.routing_table_size = 6;  // starved degree
+  config.base.routing_table_size = 5;  // starved degree
   auto system = workload::make_opt(scenario, config, 53);
   system->run_cycles(25);
   system->metrics().reset();
@@ -161,7 +161,7 @@ TEST(OptSystem, DisconnectedTopicComponentsMissDeliveries) {
     const auto report = system->publish(topic, publisher);
     EXPECT_LE(report.delivered, report.expected);
   }
-  // With degree 6 on 15-topic subscriptions, full coverage is impossible;
+  // With degree 5 on 15-topic subscriptions, full coverage is impossible;
   // hit ratio must be below 100% but nonzero.
   const double hit = system->metrics().hit_ratio();
   EXPECT_GT(hit, 0.2);

@@ -20,7 +20,7 @@ class PeerSamplingFixture : public ::testing::Test {
     }
     service_ = std::make_unique<PeerSamplingService>(
         ring_ids_, /*view_size=*/8,
-        [this](ids::NodeIndex n) { return alive_[n]; }, sim::Rng(99));
+        [this](ids::NodeIndex n) { return alive_[n]; });
     // Bootstrap: everyone knows the next three nodes on the index line.
     for (std::size_t i = 0; i < kNodes; ++i) {
       std::vector<ids::NodeIndex> contacts;
@@ -31,17 +31,25 @@ class PeerSamplingFixture : public ::testing::Test {
     }
   }
 
+  // One engine-style round: every alive node's prepare with its
+  // counter-based stream, then the serial merge.
   void run_rounds(int rounds) {
     for (int r = 0; r < rounds; ++r) {
       for (std::size_t i = 0; i < kNodes; ++i) {
-        service_->step(static_cast<ids::NodeIndex>(i));
+        if (!alive_[i]) continue;
+        sim::Rng rng = sim::Rng::at(99, 0x73616d706c65ULL, i, cycle_);
+        service_->prepare(static_cast<ids::NodeIndex>(i), rng, 0);
       }
+      service_->apply(cycle_);
+      ++cycle_;
     }
   }
 
   std::vector<ids::RingId> ring_ids_;
   std::vector<bool> alive_;
   std::unique_ptr<PeerSamplingService> service_;
+  std::size_t cycle_ = 0;
+  sim::Rng query_rng_{7};  // for sample() queries outside the cycle path
 };
 
 TEST_F(PeerSamplingFixture, BootstrapPopulatesViews) {
@@ -60,7 +68,7 @@ TEST_F(PeerSamplingFixture, ViewsNeverContainSelf) {
 }
 
 TEST_F(PeerSamplingFixture, ViewsFillUpAndDiversify) {
-  run_rounds(20);
+  run_rounds(30);
   // After gossip, views should be full and each node should know peers well
   // beyond its bootstrap neighborhood.
   std::set<ids::NodeIndex> known_by_zero;
@@ -77,7 +85,7 @@ TEST_F(PeerSamplingFixture, ViewsFillUpAndDiversify) {
 
 TEST_F(PeerSamplingFixture, SampleReturnsDistinctAlivePeers) {
   run_rounds(10);
-  const auto sample = service_->sample(5, 4);
+  const auto sample = service_->sample(5, 4, query_rng_);
   EXPECT_LE(sample.size(), 4u);
   std::set<ids::NodeIndex> unique;
   for (const auto& d : sample) {
@@ -116,8 +124,10 @@ TEST_F(PeerSamplingFixture, SelfDescriptorIsFresh) {
 
 TEST_F(PeerSamplingFixture, IsolatedNodeSurvives) {
   service_->init_node(3, {});  // no contacts
-  service_->step(3);           // must not crash
-  EXPECT_TRUE(service_->sample(3, 5).empty());
+  sim::Rng rng = sim::Rng::at(99, 0x73616d706c65ULL, 3, cycle_);
+  service_->prepare(3, rng, 0);  // must not crash
+  service_->apply(cycle_);
+  EXPECT_TRUE(service_->sample(3, 5, query_rng_).empty());
 }
 
 }  // namespace

@@ -25,7 +25,7 @@ class TManRingFixture : public ::testing::Test {
       tables_.emplace_back(4);
     }
     sampling_ = std::make_unique<PeerSamplingService>(
-        ring_ids_, 10, [](ids::NodeIndex) { return true; }, sim::Rng(5));
+        ring_ids_, 10, [](ids::NodeIndex) { return true; });
     for (std::size_t i = 0; i < kNodes; ++i) {
       std::vector<ids::NodeIndex> contacts{
           static_cast<ids::NodeIndex>((i + 1) % kNodes),
@@ -38,10 +38,10 @@ class TManRingFixture : public ::testing::Test {
         },
         *sampling_, [](ids::NodeIndex) { return true; },
         [this](ids::NodeIndex self, std::span<const Descriptor> candidates,
-               overlay::RoutingTable& table) {
+               overlay::RoutingTable& table, sim::Rng&) {
           select_ring(self, candidates, table);
         },
-        TManProtocol::Config{6}, sim::Rng(6));
+        TManProtocol::Config{6}, /*seed=*/6);
   }
 
   void select_ring(ids::NodeIndex self, std::span<const Descriptor> candidates,
@@ -64,12 +64,21 @@ class TManRingFixture : public ::testing::Test {
     table.assign(std::move(selected));
   }
 
+  // One engine-style cycle per round: the sampling stage (prepare per node
+  // from its counter stream, then the serial merge), then the T-Man stage.
   void run_rounds(int rounds) {
     for (int r = 0; r < rounds; ++r) {
       for (std::size_t i = 0; i < kNodes; ++i) {
-        sampling_->step(static_cast<ids::NodeIndex>(i));
-        tman_->step(static_cast<ids::NodeIndex>(i));
+        sim::Rng rng = sim::Rng::at(5, 0x73616d706c65ULL, i, cycle_);
+        sampling_->prepare(static_cast<ids::NodeIndex>(i), rng, 0);
       }
+      sampling_->apply(cycle_);
+      for (std::size_t i = 0; i < kNodes; ++i) {
+        sim::Rng rng = sim::Rng::at(5, 0x746d616eULL, i, cycle_);
+        tman_->prepare(static_cast<ids::NodeIndex>(i), rng, 0);
+      }
+      tman_->apply(cycle_);
+      ++cycle_;
     }
   }
 
@@ -94,6 +103,7 @@ class TManRingFixture : public ::testing::Test {
   std::vector<overlay::RoutingTable> tables_;
   std::unique_ptr<PeerSamplingService> sampling_;
   std::unique_ptr<TManProtocol> tman_;
+  std::size_t cycle_ = 0;
 };
 
 TEST_F(TManRingFixture, BufferNeverContainsSelfOrExcluded) {
@@ -101,7 +111,8 @@ TEST_F(TManRingFixture, BufferNeverContainsSelfOrExcluded) {
   for (std::size_t i = 0; i < kNodes; ++i) {
     const auto node = static_cast<ids::NodeIndex>(i);
     const ids::NodeIndex excluded = (node + 1) % kNodes;
-    const auto buffer = tman_->build_buffer(node, excluded);
+    sim::Rng rng(1234 + i);
+    const auto buffer = tman_->build_buffer(node, excluded, rng);
     for (const auto& d : buffer) {
       EXPECT_NE(d.node, node);
       EXPECT_NE(d.node, excluded);

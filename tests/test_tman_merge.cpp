@@ -23,10 +23,12 @@ class ScriptedSampling final : public SamplingService {
 
   void init_node(ids::NodeIndex, std::span<const ids::NodeIndex>) override {}
   void remove_node(ids::NodeIndex) override {}
-  void step(ids::NodeIndex) override {}
+  void prepare(ids::NodeIndex, sim::Rng&, std::size_t) override {}
+  void apply(std::size_t) override {}
+  void set_workers(std::size_t) override {}
 
-  void sample_into(ids::NodeIndex, std::size_t k,
-                   std::vector<Descriptor>& out) override {
+  void sample_into(ids::NodeIndex, std::size_t k, std::vector<Descriptor>& out,
+                   sim::Rng&) override {
     for (std::size_t i = 0; i < script_.size() && i < k; ++i) {
       out.push_back(script_[i]);
     }
@@ -61,8 +63,14 @@ class TManMergeFixture {
         },
         sampling_, [](ids::NodeIndex) { return true; },
         [](ids::NodeIndex, std::span<const Descriptor>,
-           overlay::RoutingTable&) {},
-        TManProtocol::Config{sample_size}, sim::Rng(3));
+           overlay::RoutingTable&, sim::Rng&) {},
+        TManProtocol::Config{sample_size}, /*seed=*/3);
+  }
+
+  std::vector<Descriptor> build_buffer(ids::NodeIndex node,
+                                       ids::NodeIndex exclude) {
+    sim::Rng rng(17);  // ScriptedSampling ignores the sample draws
+    return tman_->build_buffer(node, exclude, rng);
   }
 
   std::vector<overlay::RoutingTable> tables_;
@@ -73,7 +81,7 @@ class TManMergeFixture {
 TEST(TManMerge, DuplicateSampleKeepsYoungestAge) {
   // The sample itself delivers node 2 twice: old copy first, young second.
   TManMergeFixture fx({desc(2, 7), desc(3, 5), desc(2, 3)}, 3);
-  const auto buffer = fx.tman_->build_buffer(0, ids::kInvalidNode);
+  const auto buffer = fx.build_buffer(0, ids::kInvalidNode);
   ASSERT_EQ(buffer.size(), 2u);
   EXPECT_EQ(buffer[0].node, 2u);  // first-occurrence position is kept
   EXPECT_EQ(buffer[0].age, 3u);   // ...but the youngest age wins
@@ -83,7 +91,7 @@ TEST(TManMerge, DuplicateSampleKeepsYoungestAge) {
 
 TEST(TManMerge, YoungCopyFirstSurvivesOlderDuplicate) {
   TManMergeFixture fx({desc(2, 1), desc(2, 9)}, 2);
-  const auto buffer = fx.tman_->build_buffer(0, ids::kInvalidNode);
+  const auto buffer = fx.build_buffer(0, ids::kInvalidNode);
   ASSERT_EQ(buffer.size(), 1u);
   EXPECT_EQ(buffer[0].age, 1u);
 }
@@ -98,7 +106,7 @@ TEST(TManMerge, TableDuplicateOfSampledNodeKeepsYoungest) {
   ASSERT_TRUE(fx.tables_[0].add(
       overlay::RoutingEntry{4, ids::node_ring_id(4),
                             overlay::LinkKind::kFriend, 8}));
-  const auto buffer = fx.tman_->build_buffer(0, ids::kInvalidNode);
+  const auto buffer = fx.build_buffer(0, ids::kInvalidNode);
   ASSERT_EQ(buffer.size(), 2u);
   EXPECT_EQ(buffer[0].node, 2u);
   EXPECT_EQ(buffer[0].age, 1u);
@@ -108,7 +116,7 @@ TEST(TManMerge, TableDuplicateOfSampledNodeKeepsYoungest) {
 
 TEST(TManMerge, ExcludedNodeNeverEnters) {
   TManMergeFixture fx({desc(2, 0), desc(3, 0)}, 2);
-  const auto buffer = fx.tman_->build_buffer(0, /*exclude=*/2);
+  const auto buffer = fx.build_buffer(0, /*exclude=*/2);
   ASSERT_EQ(buffer.size(), 1u);
   EXPECT_EQ(buffer[0].node, 3u);
 }
@@ -118,7 +126,7 @@ TEST(TManMerge, ConsecutiveBuffersDoNotLeakMembership) {
   // descriptors must reappear in a second build, with the same dedup.
   TManMergeFixture fx({desc(2, 7), desc(2, 3)}, 2);
   for (int round = 0; round < 3; ++round) {
-    const auto buffer = fx.tman_->build_buffer(0, ids::kInvalidNode);
+    const auto buffer = fx.build_buffer(0, ids::kInvalidNode);
     ASSERT_EQ(buffer.size(), 1u);
     EXPECT_EQ(buffer[0].node, 2u);
     EXPECT_EQ(buffer[0].age, 3u);

@@ -1,20 +1,25 @@
 #!/usr/bin/env python3
-"""Validate BENCH_<name>.json artifacts against the schema-v3/v4/v5 shape.
+"""Validate BENCH_<name>.json artifacts against the schema-v3..v6 shape.
 
 Checks every artifact for:
 
-* schema_version in {3, 4, 5} and the top-level keys (bench, scale, seed,
-  jobs, points, totals);
+* schema_version in {3, 4, 5, 6} and the top-level keys (bench, scale,
+  seed, jobs, points, totals);
 * the scale block (name/nodes/topics/cycles/events, all integers >= 0);
 * per point: params (scalars), metrics (numbers), telemetry (wall_ms,
   peak_rss_kb, cycles, messages, the per-version named phases with
-  calls/wall_ms, the — v4+ — named counters block, and the — v5 —
-  capacity gauges peak_rss_bytes and cycles_per_second), and the
-  `timeseries` block — stride plus samples, each sample a cycle, the
-  per-version named gauges (number or null: NaN gauges from event-free
-  windows serialize as null) and the phase call counters;
+  calls/wall_ms, the — v4+ — named counters block, the — v5 —
+  capacity gauges peak_rss_bytes and cycles_per_second, and the — v6 —
+  run_jobs count plus the optional per-stage `parallel` block with
+  busy_ms/span_ms/efficiency), and the `timeseries` block — stride plus
+  samples, each sample a cycle, the per-version named gauges (number or
+  null: NaN gauges from event-free windows serialize as null) and the
+  phase call counters;
 * v4+ omission rules: "phases", "counters" and "timeseries" may be absent
   (all-zero / recorder off); when present they must be complete;
+* v6 placement rule: --run-jobs is a wall-clock-only knob, so "run_jobs"
+  must NEVER leak into the stdout-affecting fields — params, metrics,
+  totals or scale. A v6 artifact mentioning it there fails validation;
 * totals: points matches len(points), summed phases/counters, the — v5 —
   capacity gauges, and the `traces` count.
 
@@ -149,7 +154,29 @@ def check_timeseries(c, series, phases, gauges, where, optional):
                           f"{at}: phase_calls.{name} not a count")
 
 
-def check_telemetry(c, telemetry, phases, where, optional, v5):
+def check_parallel(c, parallel, where):
+    if parallel is None:  # optional: serial systems omit the block
+        return
+    if not c.require(isinstance(parallel, dict) and parallel,
+                     f"{where}: parallel is not a non-empty object"):
+        return
+    for stage, stats in parallel.items():
+        at = f"{where}: parallel['{stage}']"
+        if not c.require(isinstance(stats, dict), f"{at} is not an object"):
+            continue
+        for key in ("busy_ms", "span_ms", "efficiency"):
+            c.require(c.is_number(stats.get(key)), f"{at}: {key} not a number")
+        for key in stats:
+            c.require(key in ("busy_ms", "span_ms", "efficiency"),
+                      f"{at}: unknown key '{key}'")
+        # efficiency is busy/(span × run_jobs) — a utilization, never > 1.
+        eff = stats.get("efficiency")
+        if c.is_number(eff):
+            c.require(0.0 <= eff <= 1.0 + 1e-9,
+                      f"{at}: efficiency {eff!r} outside [0, 1]")
+
+
+def check_telemetry(c, telemetry, phases, where, optional, v5, v6):
     if not c.require(isinstance(telemetry, dict), f"{where}: telemetry is not an object"):
         return
     for key in ("wall_ms",):
@@ -165,6 +192,15 @@ def check_telemetry(c, telemetry, phases, where, optional, v5):
         for key in ("peak_rss_bytes", "cycles_per_second"):
             c.require(key not in telemetry,
                       f"{where}: telemetry has v5 '{key}' in a v{3 if not optional else 4} artifact")
+    if v6:  # parallelism telemetry exists only in v6
+        c.require(c.is_count(telemetry.get("run_jobs")) and
+                  telemetry.get("run_jobs", 0) >= 1,
+                  f"{where}: telemetry.run_jobs not a positive count")
+        check_parallel(c, telemetry.get("parallel"), f"{where}: telemetry")
+    else:
+        for key in ("run_jobs", "parallel"):
+            c.require(key not in telemetry,
+                      f"{where}: telemetry has v6 '{key}' in a pre-v6 artifact")
     check_phases(c, telemetry.get("phases"), phases, f"{where}: telemetry", optional)
     if optional:  # counters exist only in v4+
         check_counters(c, telemetry.get("counters"), f"{where}: telemetry", optional)
@@ -184,11 +220,12 @@ def check_artifact(path):
     if not c.require(isinstance(doc, dict), "top level is not an object"):
         return c.problems
     version = doc.get("schema_version")
-    if not c.require(version in (3, 4, 5),
-                     f"schema_version is {version!r}, want 3, 4 or 5"):
+    if not c.require(version in (3, 4, 5, 6),
+                     f"schema_version is {version!r}, want 3..6"):
         return c.problems
-    v4 = version >= 4  # v5 keeps the v4 phases/gauges/counters/omissions
+    v4 = version >= 4  # v5/v6 keep the v4 phases/gauges/counters/omissions
     v5 = version >= 5
+    v6 = version >= 6
     phases = PHASES_V4 if v4 else PHASES_V3
     gauges = GAUGES_V4 if v4 else GAUGES_V3
     c.require(isinstance(doc.get("bench"), str) and doc["bench"],
@@ -206,6 +243,9 @@ def check_artifact(path):
         c.require(isinstance(scale.get("name"), str), "scale.name missing")
         for key in ("nodes", "topics", "cycles", "events"):
             c.require(c.is_count(scale.get(key)), f"scale.{key} not a count")
+        if v6:
+            c.require("run_jobs" not in scale,
+                      "scale mentions run_jobs (stdout-affecting; telemetry-only)")
 
     points = doc.get("points")
     if not c.require(isinstance(points, list) and points, "points missing or empty"):
@@ -219,13 +259,21 @@ def check_artifact(path):
             for key, value in params.items():
                 c.require(isinstance(value, str) or c.is_number(value),
                           f"{where}: param '{key}' is not a scalar")
+            if v6:
+                c.require("run_jobs" not in params,
+                          f"{where}: params mention run_jobs "
+                          "(stdout-affecting; telemetry-only)")
         metrics = point.get("metrics")
         if c.require(isinstance(metrics, dict), f"{where}: metrics not an object"):
             for key, value in metrics.items():
                 c.require(value is None or c.is_number(value),
                           f"{where}: metric '{key}' is not a number")
+            if v6:
+                c.require("run_jobs" not in metrics,
+                          f"{where}: metrics mention run_jobs "
+                          "(stdout-affecting; telemetry-only)")
         check_telemetry(c, point.get("telemetry"), phases, where, optional=v4,
-                        v5=v5)
+                        v5=v5, v6=v6)
         check_timeseries(c, point.get("timeseries"), phases, gauges, where,
                          optional=v4)
 
@@ -241,6 +289,10 @@ def check_artifact(path):
                       "totals.peak_rss_bytes not a count")
             c.require(c.is_number(totals.get("cycles_per_second")),
                       "totals.cycles_per_second not a number")
+        if v6:
+            for key in ("run_jobs", "parallel"):
+                c.require(key not in totals,
+                          f"totals mention {key} (stdout-affecting; telemetry-only)")
         check_phases(c, totals.get("phases"), phases, "totals", optional=v4)
         if v4:
             check_counters(c, totals.get("counters"), "totals", optional=True)
