@@ -29,6 +29,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -234,12 +235,47 @@ inline void record_phases(support::RunTelemetry& telemetry,
     telemetry.series = rec->series();
     telemetry.traces = rec->traces();
   }
+  // Schema-v7 distribution channels (lane-merged; deterministic per
+  // (seed, scale) — they land in the point's `distributions` block, not in
+  // the telemetry object).
+  if (const support::HistogramSet* distributions = system.distributions()) {
+    telemetry.distributions = distributions->merged_all();
+  }
+}
+
+/// With --observe, one stderr digest line per point summarizing the run's
+/// final health sample — long massive-tier runs become diagnosable without
+/// opening the JSON. Runs on the main thread after the sweep (workers must
+/// never log), in declaration order, from deterministic recorder data.
+inline void emit_health_digest(const BenchContext& ctx,
+                               const support::BenchArtifact& artifact) {
+  if (!ctx.observe.enabled) return;
+  const auto gauge_text = [](const support::TimeSeriesSample& sample,
+                             support::Gauge gauge, int decimals) {
+    const double value = sample.gauges[static_cast<std::size_t>(gauge)];
+    return std::isnan(value) ? std::string("n/a")
+                             : support::format_fixed(value, decimals);
+  };
+  const auto& points = artifact.points();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const support::RunTelemetry& telemetry = points[i].telemetry();
+    if (telemetry.series.samples.empty()) continue;
+    const support::TimeSeriesSample& last = telemetry.series.samples.back();
+    support::log_info(
+        "health[" + std::to_string(i) + "]: cycle=" +
+        std::to_string(last.cycle) + " clusters/topic=" +
+        gauge_text(last, support::Gauge::kMeanClustersPerTopic, 3) +
+        " ring=" + gauge_text(last, support::Gauge::kRingConsistency, 3) +
+        " hit=" + gauge_text(last, support::Gauge::kWindowHitRatio, 3) +
+        " traces=" + std::to_string(telemetry.traces.size()));
+  }
 }
 
 /// Write the artifact (default path BENCH_<name>.json, `--json` overrides)
 /// and note the location on stderr.
 inline void write_artifact(const BenchContext& ctx,
                            const support::BenchArtifact& artifact) {
+  emit_health_digest(ctx, artifact);
   const std::string path = ctx.json_path.empty()
                                ? "BENCH_" + artifact.name() + ".json"
                                : ctx.json_path;

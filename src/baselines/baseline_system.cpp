@@ -84,6 +84,8 @@ BaselineSystem::BaselineSystem(BaselineConfig config,
       ids::mix64(seed ^ 0x746d616eULL));
 
   engine_.set_profiler(&profiler_);
+  engine_.set_histograms(&histograms_);
+  metrics_.set_histograms(&histograms_);
   engine_.add_stage(
       "peer-sampling", 0x73616d706c65ULL,
       [this](ids::NodeIndex node, std::size_t, sim::Rng& rng,
@@ -136,6 +138,17 @@ const support::Profiler* BaselineSystem::profiler() const {
   return &profiler_;
 }
 
+const support::HistogramSet* BaselineSystem::distributions() const {
+  // Same export-time derivation as VitisSystem::distributions(): the
+  // per-node message totals are cumulative, so rebuild the channel.
+  histograms_.reset_channel(support::Channel::kNodeMessages);
+  for (const pubsub::NodeTraffic& traffic : metrics_.traffic()) {
+    if (traffic.total() == 0) continue;
+    histograms_.record(support::Channel::kNodeMessages, traffic.total());
+  }
+  return &histograms_;
+}
+
 double BaselineSystem::cache_hit_rate() const {
   return std::numeric_limits<double>::quiet_NaN();
 }
@@ -166,22 +179,28 @@ void BaselineSystem::cycle_maintenance() {
 
 void BaselineSystem::refresh_heartbeats(ids::NodeIndex node,
                                         std::size_t worker) {
-  (void)worker;  // node-local throughout; no phase attribution here
   overlay::RoutingTable& rt = tables_[node];
   rt.increment_ages();
   for (const auto& entry : rt.entries()) {
     if (engine_.is_alive(entry.node)) rt.mark_fresh(entry.node);
   }
   (void)rt.drop_older_than(config_.staleness_threshold);
+  histograms_.record(support::Channel::kRoutingTableSize, rt.entries().size(),
+                     worker);
 }
 
 std::vector<support::ParallelPhaseStats> BaselineSystem::parallel_phases()
     const {
   std::vector<support::ParallelPhaseStats> phases;
   for (const auto& timing : engine_.stage_timings()) {
-    phases.push_back(support::ParallelPhaseStats{
+    support::ParallelPhaseStats stage{
         timing.name, static_cast<double>(timing.busy_ns) / 1e6,
-        static_cast<double>(timing.span_ns) / 1e6});
+        static_cast<double>(timing.span_ns) / 1e6, {}};
+    stage.worker_busy_ms.reserve(timing.worker_busy_ns.size());
+    for (const std::uint64_t busy : timing.worker_busy_ns) {
+      stage.worker_busy_ms.push_back(static_cast<double>(busy) / 1e6);
+    }
+    phases.push_back(std::move(stage));
   }
   return phases;
 }
@@ -363,6 +382,8 @@ void BaselineSystem::observe_sample() {
         slot(support::Gauge::kWindowHitRatio),
         slot(support::Gauge::kWindowOverheadPct));
     slot(support::Gauge::kUtilityCacheHitRate) = cache_hit_rate();
+    slot(support::Gauge::kShardImbalance) =
+        engine_.canonical_shard_imbalance();
     for (std::size_t p = 0; p < support::kPhaseCount; ++p) {
       sample->phase_calls[p] =
           profiler_.stats(static_cast<support::Phase>(p)).calls;

@@ -66,6 +66,10 @@ class BaselineSystem : public pubsub::PubSubSystem {
   /// subclass cache stats) into the profiler before returning it.
   [[nodiscard]] const support::Profiler* profiler() const override;
 
+  /// Syncs the end-of-run channels (per-node message totals) before
+  /// returning the distribution set, mirroring profiler()'s counter sync.
+  [[nodiscard]] const support::HistogramSet* distributions() const override;
+
   // --- flight recorder (observability) --------------------------------------
   /// Same contract as VitisSystem: trace sampling draws from a dedicated
   /// RNG stream, so observation never perturbs the protocol rng().
@@ -209,6 +213,11 @@ class BaselineSystem : public pubsub::PubSubSystem {
   [[nodiscard]] sim::CycleEngine& engine() { return engine_; }
   [[nodiscard]] const sim::CycleEngine& engine() const { return engine_; }
   [[nodiscard]] support::Profiler& profiler_mut() const { return profiler_; }
+  /// Distribution channels for subclass dissemination paths (RVR records
+  /// its rendezvous-route lengths here); serial callers use lane 0.
+  [[nodiscard]] support::HistogramSet& histograms_mut() const {
+    return histograms_;
+  }
   [[nodiscard]] sim::Rng& rng() { return rng_; }
   [[nodiscard]] overlay::RoutingTable& table(ids::NodeIndex node) {
     return tables_[node];
@@ -269,6 +278,10 @@ class BaselineSystem : public pubsub::PubSubSystem {
   // deterministic per (seed, scale)). Mutable: profiling const lookups is
   // telemetry, not protocol state.
   mutable support::Profiler profiler_;
+
+  // Distribution channels (always on; lane-merged on export, so the counts
+  // are worker-count invariant — see core::VitisSystem::histograms_).
+  mutable support::HistogramSet histograms_;
 
   // Adjacency rebuilds iterate the engine's activation list and clear only
   // the nodes touched by the previous rebuild (see VitisSystem).

@@ -112,6 +112,12 @@ pubsub::DisseminationReport RvrSystem::publish(ids::TopicIndex topic,
 
   // Scribe publish: route the event to the rendezvous node...
   const auto route = lookup(publisher, ids::topic_ring_id(topic));
+  // RVR's analogue of Vitis' relay-path channel: the greedy rendezvous
+  // route length per publication (serial publish path, lane 0).
+  if (route.path.size() >= 2) {
+    histograms_mut().record(support::Channel::kRelayPathLength,
+                            route.path.size() - 1);
+  }
   std::vector<TreeItem> queue;
   queue.reserve(64);
   for (std::size_t i = 1; i < route.path.size(); ++i) {

@@ -79,6 +79,8 @@ VitisSystem::VitisSystem(VitisConfig config,
       ids::mix64(seed ^ 0x746d616eULL));
 
   engine_.set_profiler(&profiler_);
+  engine_.set_histograms(&histograms_);
+  metrics_.set_histograms(&histograms_);
   engine_.add_stage(
       "peer-sampling", kSaltSampling,
       [this](ids::NodeIndex node, std::size_t, sim::Rng& rng,
@@ -303,6 +305,8 @@ void VitisSystem::refresh_heartbeats(ids::NodeIndex node, std::size_t worker) {
     if (engine_.is_alive(entry.node)) rt.mark_fresh(entry.node);
   }
   (void)rt.drop_older_than(config_.staleness_threshold);
+  histograms_.record(support::Channel::kRoutingTableSize, rt.entries().size(),
+                     worker);
   {
     const support::ScopedPhase phase(&profiler_, support::Phase::kRelay,
                                      worker);
@@ -480,6 +484,8 @@ void VitisSystem::refresh_relays(ids::NodeIndex node, std::size_t worker) {
     }
     const overlay::LookupResult& result = ctx.result;
     if (!result.converged || result.path.size() < 2) continue;
+    histograms_.record(support::Channel::kRelayPathLength,
+                       result.path.size() - 1, worker);
     const std::uint64_t nonce_base =
         ids::mix64((static_cast<std::uint64_t>(node) << 32) ^ topic);
     for (std::size_t i = 0; i + 1 < result.path.size(); ++i) {
@@ -555,9 +561,14 @@ void VitisSystem::gossip_step(ids::NodeIndex node) {
 std::vector<support::ParallelPhaseStats> VitisSystem::parallel_phases() const {
   std::vector<support::ParallelPhaseStats> phases;
   for (const auto& timing : engine_.stage_timings()) {
-    phases.push_back(support::ParallelPhaseStats{
+    support::ParallelPhaseStats stage{
         timing.name, static_cast<double>(timing.busy_ns) / 1e6,
-        static_cast<double>(timing.span_ns) / 1e6});
+        static_cast<double>(timing.span_ns) / 1e6, {}};
+    stage.worker_busy_ms.reserve(timing.worker_busy_ns.size());
+    for (const std::uint64_t busy : timing.worker_busy_ns) {
+      stage.worker_busy_ms.push_back(static_cast<double>(busy) / 1e6);
+    }
+    phases.push_back(std::move(stage));
   }
   return phases;
 }
@@ -574,6 +585,18 @@ const support::Profiler* VitisSystem::profiler() const {
   profiler_.set_counter(support::Counter::kInternCalls,
                         registry_.intern_calls());
   return &profiler_;
+}
+
+const support::HistogramSet* VitisSystem::distributions() const {
+  // Node message totals are cumulative state, not a stream of events —
+  // re-derive the channel on each export (idempotent, like the counter
+  // sync in profiler()). Nodes that saw no traffic are omitted.
+  histograms_.reset_channel(support::Channel::kNodeMessages);
+  for (const pubsub::NodeTraffic& traffic : metrics_.traffic()) {
+    if (traffic.total() == 0) continue;
+    histograms_.record(support::Channel::kNodeMessages, traffic.total());
+  }
+  return &histograms_;
 }
 
 // ---------------------------------------------------------------------------
@@ -626,6 +649,8 @@ void VitisSystem::observe_sample() {
         slot(support::Gauge::kWindowOverheadPct));
     slot(support::Gauge::kUtilityCacheHitRate) =
         utility_cache_.stats().hit_rate();
+    slot(support::Gauge::kShardImbalance) =
+        engine_.canonical_shard_imbalance();
     for (std::size_t p = 0; p < support::kPhaseCount; ++p) {
       sample->phase_calls[p] =
           profiler_.stats(static_cast<support::Phase>(p)).calls;

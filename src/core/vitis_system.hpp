@@ -188,6 +188,10 @@ class VitisSystem final : public pubsub::PubSubSystem {
   [[nodiscard]] const support::Profiler* profiler() const override;
   [[nodiscard]] support::Profiler& profiler_mut() { return profiler_; }
 
+  /// Syncs the end-of-run channels (per-node message totals) before
+  /// returning the distribution set, mirroring profiler()'s counter sync.
+  [[nodiscard]] const support::HistogramSet* distributions() const override;
+
   // --- flight recorder (observability) --------------------------------------
   /// Enable/reconfigure the flight recorder. The engine then samples the
   /// overlay-health time series on strided cycles; publish() traces a
@@ -323,6 +327,12 @@ class VitisSystem final : public pubsub::PubSubSystem {
   // paths); mutable because profiling const lookups is telemetry, not
   // state. Parallel stage bodies time onto their own worker lane.
   mutable support::Profiler profiler_;
+
+  // Distribution channels (always on — recording is a few scalar ops).
+  // Parallel stage bodies record onto their own worker lane; the lanes
+  // merge by bucket sum, so the export is worker-count invariant. Mutable
+  // because distributions() re-derives the node-message channel on read.
+  mutable support::HistogramSet histograms_;
 
   /// Transmission queue item of the dissemination BFS.
   struct FloodItem {

@@ -21,6 +21,9 @@ void MetricsCollector::on_message(ids::NodeIndex node, bool interested) {
 void MetricsCollector::on_delivery(std::size_t hops) {
   const std::size_t bucket = std::min(hops, kDelayBuckets - 1);
   ++delay_histogram_[bucket];
+  if (histograms_ != nullptr) {
+    histograms_->record(support::Channel::kDeliveryHops, hops);
+  }
 }
 
 std::size_t MetricsCollector::delay_percentile(double quantile) const {
@@ -44,6 +47,13 @@ void MetricsCollector::on_report(const DisseminationReport& report) {
   delivered_ += report.delivered;
   delay_sum_ += report.delay_sum;
   ++events_;
+  // Per-publication latency: the event's worst delivery hop, in cycles of
+  // δt (one hop = one transmission = one gossip period). Events that
+  // reached no subscriber record 0.
+  if (histograms_ != nullptr) {
+    histograms_->record(support::Channel::kPublicationLatency,
+                        report.max_delay);
+  }
 }
 
 void MetricsCollector::reset() {

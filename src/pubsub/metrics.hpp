@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ids/id.hpp"
+#include "support/histogram.hpp"
 
 namespace vitis::pubsub {
 
@@ -80,6 +81,15 @@ class MetricsCollector {
 
   void on_report(const DisseminationReport& report);
 
+  /// Attach (or detach, with nullptr) the system's distribution channels:
+  /// on_delivery then records Channel::kDeliveryHops and on_report records
+  /// Channel::kPublicationLatency (the event's worst delivery hop). Both
+  /// are called from the systems' serial publish paths, so they record on
+  /// lane 0. Not owned; must outlive the collector's use.
+  void set_histograms(support::HistogramSet* histograms) {
+    histograms_ = histograms;
+  }
+
   void reset();
 
   // --- summaries -----------------------------------------------------------
@@ -130,6 +140,7 @@ class MetricsCollector {
   static constexpr std::size_t kDelayBuckets = 64;
 
   std::vector<NodeTraffic> traffic_;
+  support::HistogramSet* histograms_ = nullptr;
   std::uint64_t expected_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t delay_sum_ = 0;

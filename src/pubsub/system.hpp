@@ -11,6 +11,7 @@
 #include "ids/id.hpp"
 #include "pubsub/metrics.hpp"
 #include "pubsub/subscription.hpp"
+#include "support/histogram.hpp"
 #include "support/profiler.hpp"
 #include "support/recorder.hpp"
 #include "support/run_stats.hpp"
@@ -49,6 +50,16 @@ class PubSubSystem {
   /// systems without one). Wall times are telemetry-only; calls are
   /// deterministic per (seed, scale).
   [[nodiscard]] virtual const support::Profiler* profiler() const {
+    return nullptr;
+  }
+
+  /// Distribution channels of this run (support::Histogram per
+  /// support::Channel), when wired (null for systems without them). Bucket
+  /// counts are exact and deterministic per (seed, scale) — bit-identical
+  /// across `--jobs`/`--run-jobs` — and feed the artifact's schema-v7
+  /// `distributions` block. End-of-run channels (node message totals) are
+  /// re-derived on each call, so it is non-const on the implementation side.
+  [[nodiscard]] virtual const support::HistogramSet* distributions() const {
     return nullptr;
   }
 

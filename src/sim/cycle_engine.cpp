@@ -1,6 +1,7 @@
 #include "sim/cycle_engine.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "support/check.hpp"
 #include "support/run_stats.hpp"
@@ -24,6 +25,7 @@ void CycleEngine::add_stage(std::string name, std::uint64_t salt,
   step.body = std::move(body);
   step.merge = std::move(merge);
   step.phase = phase;
+  step.worker_busy_ns.assign(pool_.jobs(), 0);
   steps_.push_back(std::move(step));
 }
 
@@ -38,6 +40,25 @@ void CycleEngine::add_cycle_hook(std::string name, CycleHook hook) {
 void CycleEngine::set_profiler(support::Profiler* profiler) {
   profiler_ = profiler;
   if (profiler_ != nullptr) profiler_->configure_workers(pool_.jobs());
+}
+
+void CycleEngine::set_histograms(support::HistogramSet* histograms) {
+  histograms_ = histograms;
+  if (histograms_ != nullptr) histograms_->configure_workers(pool_.jobs());
+}
+
+double CycleEngine::canonical_shard_imbalance() const {
+  const std::size_t total = active_.size();
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  std::size_t max_slice = 0;
+  for (std::size_t shard = 0; shard < kCanonicalShards; ++shard) {
+    const std::size_t begin = total * shard / kCanonicalShards;
+    const std::size_t end = total * (shard + 1) / kCanonicalShards;
+    max_slice = std::max(max_slice, end - begin);
+  }
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(kCanonicalShards);
+  return static_cast<double>(max_slice) / mean;
 }
 
 void CycleEngine::set_alive(ids::NodeIndex node, bool alive) {
@@ -77,6 +98,11 @@ void CycleEngine::run_stage(Step& step) {
   order_scratch_.assign(active_.begin(), active_.end());
   const std::size_t total = order_scratch_.size();
   const std::size_t jobs = pool_.jobs();
+  // One activation-count recording per stage pass, taken serially before
+  // the pool runs — the deterministic channels stay worker-count invariant.
+  if (histograms_ != nullptr) {
+    histograms_->record(support::Channel::kStageActivations, total);
+  }
   // Stage-level phase attribution on worker lane 0 (covers the parallel
   // section and the serial merge); one call per stage per cycle, so the
   // deterministic call counts are independent of the worker count.
@@ -101,8 +127,10 @@ void CycleEngine::run_stage(Step& step) {
   });
   step.span_ns += static_cast<std::uint64_t>(support::monotonic_ns() -
                                              span_start);
-  for (const std::int64_t busy : worker_busy_ns_) {
-    step.busy_ns += static_cast<std::uint64_t>(busy);
+  for (std::size_t worker = 0; worker < worker_busy_ns_.size(); ++worker) {
+    const auto busy = static_cast<std::uint64_t>(worker_busy_ns_[worker]);
+    step.busy_ns += busy;
+    step.worker_busy_ns[worker] += busy;
   }
   if (step.merge != nullptr) step.merge(cycle_);
 }
@@ -134,7 +162,8 @@ std::vector<CycleEngine::StageTiming> CycleEngine::stage_timings() const {
   std::vector<StageTiming> timings;
   for (const Step& step : steps_) {
     if (step.body == nullptr) continue;
-    timings.push_back(StageTiming{step.name, step.busy_ns, step.span_ns});
+    timings.push_back(StageTiming{step.name, step.busy_ns, step.span_ns,
+                                  step.worker_busy_ns});
   }
   return timings;
 }

@@ -39,6 +39,7 @@
 #include "ids/id.hpp"
 #include "sim/rng.hpp"
 #include "sim/worker_pool.hpp"
+#include "support/histogram.hpp"
 #include "support/profiler.hpp"
 #include "support/recorder.hpp"
 
@@ -82,6 +83,13 @@ class CycleEngine {
   /// lanes are sized to the pool. Not owned; must outlive run() calls.
   void set_profiler(support::Profiler* profiler);
 
+  /// Attach (or detach, with nullptr) the distribution channels; worker
+  /// lanes are sized to the pool. The engine records one
+  /// Channel::kStageActivations value — the stage's activation-snapshot
+  /// size — per stage pass (serial, so the counts are worker-count
+  /// independent). Not owned; must outlive run() calls.
+  void set_histograms(support::HistogramSet* histograms);
+
   /// Attach the flight recorder's sampling hook: after each cycle's steps,
   /// `hook(cycle)` fires when the recorder's stride says the cycle is
   /// sampled. Detach with (nullptr, nullptr). Neither is owned; both must
@@ -124,6 +132,15 @@ class CycleEngine {
   /// The worker-pool size (`--run-jobs`).
   [[nodiscard]] std::size_t run_jobs() const { return pool_.jobs(); }
 
+  /// Shard-load imbalance of the CURRENT activation list: max/mean slice
+  /// size over kCanonicalShards contiguous slices cut by the same rule as
+  /// the worker slices. Deliberately independent of --run-jobs (the shard
+  /// count is fixed), so it may feed the recorder's deterministic gauges;
+  /// NaN with no alive nodes. 1.0 = perfectly even; the theoretical ceiling
+  /// for a dense list is kCanonicalShards (all nodes in one shard's range).
+  static constexpr std::size_t kCanonicalShards = 16;
+  [[nodiscard]] double canonical_shard_imbalance() const;
+
   /// Wall-clock milliseconds accumulated inside run() calls. Telemetry
   /// only — never printed on stdout (varies between runs).
   [[nodiscard]] double run_wall_ms() const { return run_wall_ms_; }
@@ -144,6 +161,9 @@ class CycleEngine {
     std::string name;
     std::uint64_t busy_ns = 0;
     std::uint64_t span_ns = 0;
+    // Per-worker share of busy_ns (schema v7 `workers` split), indexed by
+    // worker lane; sums to busy_ns.
+    std::vector<std::uint64_t> worker_busy_ns;
   };
   [[nodiscard]] std::vector<StageTiming> stage_timings() const;
 
@@ -157,6 +177,7 @@ class CycleEngine {
     std::optional<support::Phase> phase;
     std::uint64_t busy_ns = 0;
     std::uint64_t span_ns = 0;
+    std::vector<std::uint64_t> worker_busy_ns;  // per-lane busy accumulation
   };
 
   void run_stage(Step& step);
@@ -169,6 +190,7 @@ class CycleEngine {
   std::uint64_t seed_;
   WorkerPool pool_;
   support::Profiler* profiler_ = nullptr;
+  support::HistogramSet* histograms_ = nullptr;
   support::Recorder* recorder_ = nullptr;
   CycleHook observer_;  // fires on sampled cycles, after the cycle hooks
   std::vector<ids::NodeIndex> order_scratch_;   // per-stage snapshot

@@ -95,6 +95,45 @@ bool all_zero(const std::array<std::uint64_t, kCounterCount>& counters) {
   return true;
 }
 
+bool all_empty(const std::array<Histogram, kChannelCount>& distributions) {
+  for (const Histogram& h : distributions) {
+    if (h.count() != 0) return false;
+  }
+  return true;
+}
+
+// Schema-v7 distributions block: per non-empty channel, the derived
+// summary plus the sparse list of non-empty log-linear buckets. Everything
+// here is deterministic per (seed, scale) — exact integer tallies.
+void write_distributions(
+    JsonWriter& w, const std::array<Histogram, kChannelCount>& distributions) {
+  w.begin_object();
+  for (std::size_t c = 0; c < kChannelCount; ++c) {
+    const Histogram& h = distributions[c];
+    if (h.count() == 0) continue;
+    w.key(to_string(static_cast<Channel>(c))).begin_object();
+    w.key("count").value(h.count());
+    w.key("sum").value(h.sum());
+    w.key("max").value(h.max());
+    w.key("p50").value(h.quantile(0.50));
+    w.key("p90").value(h.quantile(0.90));
+    w.key("p99").value(h.quantile(0.99));
+    w.key("buckets").begin_array();
+    for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      if (h.bucket_count(i) == 0) continue;
+      const Histogram::Bounds bounds = Histogram::bucket_bounds(i);
+      w.begin_object();
+      w.key("lo").value(bounds.lo);
+      w.key("hi").value(bounds.hi);
+      w.key("count").value(h.bucket_count(i));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+}
+
 void write_phases(JsonWriter& w, const std::array<PhaseStats, kPhaseCount>& phases) {
   w.begin_object();
   for (std::size_t p = 0; p < kPhaseCount; ++p) {
@@ -126,16 +165,30 @@ void write_telemetry(JsonWriter& w, const RunTelemetry& t) {
   w.key("messages").value(t.messages);
   w.key("cycles_per_second").value(t.cycles_per_second);
   w.key("run_jobs").value(t.run_jobs);
-  if (!t.parallel.empty()) {
+  // Stages with zero busy or span carry no information and would push
+  // "efficiency" out of (0, 1] — omit them (v7; validate_artifact.py
+  // rejects out-of-range efficiencies).
+  const bool any_parallel = [&] {
+    for (const ParallelPhaseStats& stage : t.parallel) {
+      if (stage.busy_ms > 0.0 && stage.span_ms > 0.0) return true;
+    }
+    return false;
+  }();
+  if (any_parallel) {
     w.key("parallel").begin_object();
     for (const ParallelPhaseStats& stage : t.parallel) {
+      if (stage.busy_ms <= 0.0 || stage.span_ms <= 0.0) continue;
       const double capacity_ms =
           stage.span_ms * static_cast<double>(t.run_jobs);
       w.key(stage.stage).begin_object();
       w.key("busy_ms").value(stage.busy_ms);
       w.key("span_ms").value(stage.span_ms);
-      w.key("efficiency")
-          .value(capacity_ms > 0.0 ? stage.busy_ms / capacity_ms : 0.0);
+      w.key("efficiency").value(stage.busy_ms / capacity_ms);
+      if (!stage.worker_busy_ms.empty()) {
+        w.key("workers").begin_array();
+        for (const double busy : stage.worker_busy_ms) w.value(busy);
+        w.end_array();
+      }
       w.end_object();
     }
     w.end_object();
@@ -186,7 +239,7 @@ std::size_t BenchArtifact::trace_count() const {
 std::string BenchArtifact::to_json() const {
   JsonWriter w;
   w.begin_object();
-  w.key("schema_version").value(std::int64_t{6});
+  w.key("schema_version").value(std::int64_t{7});
   w.key("bench").value(name_);
   w.key("git_describe").value(git_describe_);
   w.key("scale").begin_object();
@@ -213,6 +266,11 @@ std::string BenchArtifact::to_json() const {
       w.key(key).value(value);
     }
     w.end_object();
+    // Deterministic like params/metrics, so it sits OUTSIDE "telemetry".
+    if (!all_empty(point.telemetry_.distributions)) {
+      w.key("distributions");
+      write_distributions(w, point.telemetry_.distributions);
+    }
     w.key("telemetry");
     write_telemetry(w, point.telemetry_);
     const TimeSeries& series = point.telemetry_.series;
@@ -245,6 +303,9 @@ std::string BenchArtifact::to_json() const {
     for (std::size_t c = 0; c < kCounterCount; ++c) {
       totals.counters[c] += point.telemetry_.counters[c];
     }
+    for (std::size_t c = 0; c < kChannelCount; ++c) {
+      totals.distributions[c].merge(point.telemetry_.distributions[c]);
+    }
   }
   w.key("totals").begin_object();
   w.key("points").value(static_cast<std::uint64_t>(points_.size()));
@@ -261,6 +322,10 @@ std::string BenchArtifact::to_json() const {
   if (!all_zero(totals.counters)) {
     w.key("counters");
     write_counters(w, totals.counters);
+  }
+  if (!all_empty(totals.distributions)) {
+    w.key("distributions");
+    write_distributions(w, totals.distributions);
   }
   w.key("traces").value(static_cast<std::uint64_t>(trace_count()));
   w.end_object();

@@ -3,9 +3,9 @@
 // This is the file future PRs regress performance against and
 // tools/fill_experiments.py prefers over scraping bench_output.txt.
 //
-// Schema (version 6):
+// Schema (version 7):
 //   {
-//     "schema_version": 6,
+//     "schema_version": 7,
 //     "bench": "<short bench name, e.g. fig04_friends_vs_sw>",
 //     "git_describe": "<git describe --always --dirty at configure time>",
 //     "scale": {"name": "quick", "nodes": N, "topics": T,
@@ -15,13 +15,21 @@
 //     "points": [
 //       {"params":    {"<key>": <number|string>, ...},
 //        "metrics":   {"<key>": <number>, ...},
+//        "distributions": {"<channel>": {"count": ..., "sum": ...,
+//                                        "max": ..., "p50": ..., "p90": ...,
+//                                        "p99": ...,
+//                                        "buckets": [{"lo": ..., "hi": ...,
+//                                                     "count": ...}, ...]},
+//                          ...per non-empty support::Channel...},
 //        "telemetry": {"wall_ms": ..., "peak_rss_kb": ...,
 //                      "peak_rss_bytes": ..., "cycles": ...,
 //                      "messages": ..., "cycles_per_second": ...,
 //                      "run_jobs": ...,
 //                      "parallel": {"peer-sampling": {"busy_ms": ...,
 //                                                     "span_ms": ...,
-//                                                     "efficiency": ...},
+//                                                     "efficiency": ...,
+//                                                     "workers": [<busy_ms
+//                                                       per lane>, ...]},
 //                                   ...per stage...},
 //                      "phases": {"sampling": {"calls": ..., "wall_ms": ...},
 //                                 "tman": ..., "ranking": ..., "relay": ...,
@@ -47,10 +55,13 @@
 //                                     paced mean meaningless),
 //                "phases": {...summed...},
 //                "counters": {...summed...},
+//                "distributions": {...bucket-merged across points...},
 //                "traces": <publication traces recorded across points>}
 //   }
 //
-// Everything under "params"/"metrics" is deterministic per (seed, scale);
+// Everything under "params"/"metrics"/"distributions" is deterministic per
+// (seed, scale) — the distribution bucket counts are exact event tallies
+// and must be bit-identical across --jobs/--run-jobs;
 // "telemetry" and "totals" carry the wall-clock/RSS measurements and vary
 // between runs. Within "phases", "calls" counts protocol activations and is
 // deterministic per (seed, scale); "wall_ms" is exclusive (self) time per
@@ -86,6 +97,14 @@
 //        without a sharded engine). totals "cycles_per_second" becomes the
 //        max over points: with thread-scaling points in one sweep, the
 //        paced mean of v5 would average over different worker counts.
+//   v7 — adds the distribution telemetry: per-point and totals
+//        "distributions" blocks (support::Histogram channels: sparse
+//        non-empty log-linear buckets plus derived count/sum/max and
+//        p50/p90/p99; deterministic, hence OUTSIDE "telemetry"; empty
+//        channels and all-empty blocks are omitted) and the per-stage
+//        "workers" busy split inside the "parallel" block (wall time, so it
+//        stays INSIDE telemetry). Stages with zero busy or span are now
+//        omitted from "parallel", so efficiency is always in (0, 1].
 #pragma once
 
 #include <cstdint>
@@ -127,6 +146,8 @@ class BenchArtifact {
 
     Point& set_telemetry(const RunTelemetry& telemetry);
 
+    [[nodiscard]] const RunTelemetry& telemetry() const { return telemetry_; }
+
    private:
     friend class BenchArtifact;
     std::vector<std::pair<std::string, Scalar>> params_;
@@ -148,6 +169,7 @@ class BenchArtifact {
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::size_t point_count() const { return points_.size(); }
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
 
   /// Publication traces recorded across all points (telemetry.traces).
   [[nodiscard]] std::size_t trace_count() const;

@@ -1,0 +1,42 @@
+#include "support/histogram.hpp"
+
+namespace vitis::support {
+
+const char* to_string(Channel channel) {
+  switch (channel) {
+    case Channel::kDeliveryHops:
+      return "delivery_hops";
+    case Channel::kPublicationLatency:
+      return "publication_latency";
+    case Channel::kRelayPathLength:
+      return "relay_path_length";
+    case Channel::kRoutingTableSize:
+      return "routing_table_size";
+    case Channel::kNodeMessages:
+      return "node_messages";
+    case Channel::kStageActivations:
+      return "stage_activations";
+  }
+  return "unknown";
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target value among the sorted recordings, 1-based.
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+  if (static_cast<double>(rank) < q * static_cast<double>(count_)) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      const Bounds bounds = bucket_bounds(i);
+      return bounds.hi < max_ ? bounds.hi : max_;
+    }
+  }
+  return max_;
+}
+
+}  // namespace vitis::support

@@ -27,6 +27,8 @@ const char* to_string(Gauge gauge) {
       return "window_overhead_pct";
     case Gauge::kUtilityCacheHitRate:
       return "utility_cache_hit_rate";
+    case Gauge::kShardImbalance:
+      return "shard_imbalance";
   }
   return "?";
 }

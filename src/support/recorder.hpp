@@ -61,9 +61,14 @@ enum class Gauge : std::uint8_t {
   kWindowOverheadPct,      // uninterested share of window traffic, percent
   kUtilityCacheHitRate,    // cumulative memoized-utility hit fraction
                            // (NaN -> JSON null before the first lookup)
+  kShardImbalance,         // max/mean alive-node count over the engine's
+                           // fixed canonical shards (1.0 = perfectly even;
+                           // NaN -> JSON null with no alive nodes).
+                           // Deterministic: computed over canonical shards,
+                           // NOT the --run-jobs worker slices.
 };
 
-inline constexpr std::size_t kGaugeCount = 9;
+inline constexpr std::size_t kGaugeCount = 10;
 
 [[nodiscard]] const char* to_string(Gauge gauge);
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "support/histogram.hpp"
 #include "support/profiler.hpp"
 #include "support/recorder.hpp"
 
@@ -23,6 +24,11 @@ struct ParallelPhaseStats {
   std::string stage;
   double busy_ms = 0.0;
   double span_ms = 0.0;
+  // Per-worker busy split of busy_ms (schema v7 `workers` array), indexed
+  // by worker lane; its sum is busy_ms. This is the wall-time side of the
+  // shard-imbalance story — the deterministic side is the recorder's
+  // shard_imbalance gauge — so it stays telemetry-only.
+  std::vector<double> worker_busy_ms;
 };
 
 /// Telemetry attached to one (seed, parameter-point) run. The sweep runner
@@ -59,6 +65,10 @@ struct RunTelemetry {
   // traces feed the TRACE_<name>.jsonl sidecar.
   TimeSeries series;
   std::vector<PublicationTrace> traces;
+  // Lane-merged distribution channels (schema v7 `distributions` block),
+  // indexed by support::Channel. Deterministic per (seed, scale) like the
+  // series/traces above — serialized OUTSIDE the "telemetry" object.
+  std::array<Histogram, kChannelCount> distributions{};
 };
 
 /// Monotonic wall-clock stopwatch, started at construction.

@@ -14,6 +14,7 @@
 #include <new>
 
 #include "core/vitis_system.hpp"
+#include "support/histogram.hpp"
 #include "support/recorder.hpp"
 #include "workload/scenario.hpp"
 
@@ -224,6 +225,34 @@ TEST(AllocationAudit, FaultPlanPrimitivesAreAllocationFree) {
   EXPECT_GT(admitted, 0u);
   EXPECT_GT(penalty, 0u);
   EXPECT_EQ(crashed, 8u);
+}
+
+TEST(AllocationAudit, HistogramRecordPathIsAllocationFree) {
+  // Distribution channels sit on per-cycle hot paths (heartbeat refresh,
+  // stage passes, delivery accounting): once configure_workers() has sized
+  // the lanes, record() must be a handful of scalar ops — and the merged
+  // views are std::array-backed, so even read-out stays off the heap.
+  support::HistogramSet set;
+  set.configure_workers(4);  // lane sizing happens here, before the run
+
+  const std::uint64_t before = g_allocations;
+  std::uint64_t value = 1;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto worker = static_cast<std::size_t>(i % 4);
+    set.record(support::Channel::kDeliveryHops, value % 64, worker);
+    set.record(support::Channel::kRoutingTableSize, value % 24, worker);
+    set.record(support::Channel::kStageActivations, value);
+    value = value * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  const support::Histogram merged =
+      set.merged(support::Channel::kDeliveryHops);
+  const std::uint64_t p99 = merged.quantile(0.99);
+  set.reset_channel(support::Channel::kDeliveryHops);
+  const std::uint64_t during = g_allocations - before;
+  EXPECT_EQ(during, 0u)
+      << during << " heap allocations in 30k histogram records";
+  EXPECT_EQ(merged.count(), 10'000u);
+  EXPECT_LE(p99, 63u);
 }
 
 TEST(AllocationAudit, ObserveSampleIsAllocationFree) {

@@ -1,0 +1,223 @@
+// The distribution-telemetry channel (support/histogram.hpp): the fixed
+// log-linear bucket layout, exact-count/quantile accounting, and the lane
+// model that makes the schema-v7 `distributions` block worker-count
+// invariant — merging per-worker lanes bucket-wise must equal recording
+// the same values through a single lane, in any order.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/histogram.hpp"
+
+namespace vitis::support {
+namespace {
+
+TEST(Histogram, SmallValuesGetExactBuckets) {
+  for (std::uint64_t v = 0; v < Histogram::kSub; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), v);
+    const auto bounds = Histogram::bucket_bounds(v);
+    EXPECT_EQ(bounds.lo, v);
+    EXPECT_EQ(bounds.hi, v);
+  }
+  // The first octave past the exact range still has width-1 buckets (the
+  // sub-bucket shift only bites once the octave outgrows kSub values), so
+  // counts are exact below 2 * kSub.
+  for (std::uint64_t v = Histogram::kSub; v < 2 * Histogram::kSub; ++v) {
+    const auto bounds = Histogram::bucket_bounds(Histogram::bucket_index(v));
+    EXPECT_EQ(bounds.lo, v);
+    EXPECT_EQ(bounds.hi, v);
+  }
+}
+
+TEST(Histogram, BucketBoundsContainTheirValues) {
+  // Sweep the neighborhood of every power of two (where the layout switches
+  // octave) plus the extremes: each value must land in a bucket whose
+  // inclusive range contains it, and the range must map back to the same
+  // bucket at both ends.
+  std::vector<std::uint64_t> probes = {0, 1, 7, 8, 9,
+                                       std::numeric_limits<std::uint64_t>::max()};
+  for (int shift = 4; shift < 64; ++shift) {
+    const std::uint64_t base = std::uint64_t{1} << shift;
+    probes.push_back(base - 1);
+    probes.push_back(base);
+    probes.push_back(base + 1);
+  }
+  for (const std::uint64_t v : probes) {
+    const std::size_t index = Histogram::bucket_index(v);
+    ASSERT_LT(index, Histogram::kBucketCount) << "value " << v;
+    const auto bounds = Histogram::bucket_bounds(index);
+    EXPECT_LE(bounds.lo, v) << "value " << v;
+    EXPECT_GE(bounds.hi, v) << "value " << v;
+    EXPECT_EQ(Histogram::bucket_index(bounds.lo), index) << "value " << v;
+    EXPECT_EQ(Histogram::bucket_index(bounds.hi), index) << "value " << v;
+  }
+}
+
+TEST(Histogram, BucketsTileTheValueRangeInOrder) {
+  // Consecutive buckets abut exactly: hi + 1 == next lo, starting at 0.
+  // Together with the containment test this proves the layout partitions
+  // [0, 2^64) with no gaps or overlaps.
+  std::uint64_t expected_lo = 0;
+  for (std::size_t index = 0; index < Histogram::kBucketCount; ++index) {
+    const auto bounds = Histogram::bucket_bounds(index);
+    EXPECT_EQ(bounds.lo, expected_lo) << "bucket " << index;
+    ASSERT_GE(bounds.hi, bounds.lo) << "bucket " << index;
+    if (index + 1 < Histogram::kBucketCount) {
+      expected_lo = bounds.hi + 1;
+    } else {
+      EXPECT_EQ(bounds.hi, std::numeric_limits<std::uint64_t>::max());
+    }
+  }
+}
+
+TEST(Histogram, RelativeResolutionIsBounded) {
+  // Past the exact range, bucket width is at most lo / kSub (~12.5% at
+  // kSubBits = 3) — the resolution claim the quantile consumers rely on.
+  for (std::size_t index = Histogram::kSub; index < Histogram::kBucketCount;
+       ++index) {
+    const auto bounds = Histogram::bucket_bounds(index);
+    const std::uint64_t width = bounds.hi - bounds.lo + 1;
+    EXPECT_LE(width, bounds.lo / Histogram::kSub + 1) << "bucket " << index;
+  }
+}
+
+TEST(Histogram, RecordAccumulatesCountSumMax) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  h.record(3);
+  h.record(3);
+  h.record(40);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 46u);
+  EXPECT_EQ(h.max(), 40u);
+  EXPECT_EQ(h.bucket_count(3), 2u);
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_index(40)), 1u);
+}
+
+TEST(Histogram, QuantilesAreExactInTheExactRange) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 10; ++v) h.record(v);  // all width-1 buckets
+  EXPECT_EQ(h.quantile(0.0), 1u);   // rank clamps to the 1st smallest
+  EXPECT_EQ(h.quantile(0.5), 5u);
+  EXPECT_EQ(h.quantile(0.9), 9u);
+  EXPECT_EQ(h.quantile(1.0), 10u);
+  EXPECT_EQ(h.quantile(2.0), 10u);  // q clamps to [0, 1]
+  EXPECT_EQ(Histogram{}.quantile(0.5), 0u);  // empty histogram
+}
+
+TEST(Histogram, QuantileClampsToTheExactMaximum) {
+  Histogram h;
+  h.record(1000);  // bucket upper bound overshoots the observed max
+  const auto bounds = Histogram::bucket_bounds(Histogram::bucket_index(1000));
+  ASSERT_GT(bounds.hi, 1000u);
+  EXPECT_EQ(h.quantile(0.5), 1000u);
+  EXPECT_EQ(h.quantile(1.0), 1000u);
+}
+
+TEST(Histogram, QuantilesAreMonotone) {
+  Histogram h;
+  std::uint64_t v = 1;
+  for (int i = 0; i < 40; ++i) {
+    h.record(v);
+    v = v * 3 + 1;  // spread across many octaves
+  }
+  std::uint64_t last = 0;
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const std::uint64_t value = h.quantile(q);
+    EXPECT_GE(value, last) << "q=" << q;
+    last = value;
+  }
+  EXPECT_EQ(last, h.max());
+}
+
+TEST(Histogram, MergeEqualsCombinedRecording) {
+  Histogram left, right, combined;
+  for (std::uint64_t v = 0; v < 100; v += 3) {
+    left.record(v);
+    combined.record(v);
+  }
+  for (std::uint64_t v = 1; v < 100000; v *= 2) {
+    right.record(v);
+    combined.record(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left, combined);  // defaulted operator==: bucket-exact
+  EXPECT_NE(left, right);
+
+  left.reset();
+  EXPECT_EQ(left, Histogram{});
+}
+
+TEST(HistogramSet, LanesMergeToWorkerCountInvariantTotals) {
+  // The determinism contract behind `--run-jobs`: the same values recorded
+  // through any lane assignment (here round-robin over 3 workers, in a
+  // different order than the serial reference) merge to the identical
+  // histogram, per channel.
+  HistogramSet sharded;
+  sharded.configure_workers(3);
+  EXPECT_EQ(sharded.workers(), 3u);
+  HistogramSet serial;
+
+  const std::uint64_t values[] = {0, 5, 8, 8, 17, 300, 4096, 70000};
+  for (std::size_t i = 0; i < std::size(values); ++i) {
+    sharded.record(Channel::kDeliveryHops, values[i], i % 3);
+    sharded.record(Channel::kRoutingTableSize, values[i] + 1, (i + 1) % 3);
+  }
+  for (std::size_t i = std::size(values); i-- > 0;) {  // reverse order
+    serial.record(Channel::kDeliveryHops, values[i]);
+    serial.record(Channel::kRoutingTableSize, values[i] + 1);
+  }
+
+  EXPECT_EQ(sharded.merged(Channel::kDeliveryHops),
+            serial.merged(Channel::kDeliveryHops));
+  EXPECT_EQ(sharded.merged_all(), serial.merged_all());
+  // Channels that never recorded stay empty in the merged view.
+  EXPECT_EQ(sharded.merged(Channel::kNodeMessages).count(), 0u);
+}
+
+TEST(HistogramSet, ResetChannelClearsEveryLane) {
+  HistogramSet set;
+  set.configure_workers(2);
+  set.record(Channel::kNodeMessages, 7, 0);
+  set.record(Channel::kNodeMessages, 9, 1);
+  set.record(Channel::kDeliveryHops, 3, 1);
+  set.reset_channel(Channel::kNodeMessages);
+  EXPECT_EQ(set.merged(Channel::kNodeMessages).count(), 0u);
+  // Other channels are untouched — reset_channel backs the lazy re-derived
+  // channels without disturbing the live ones.
+  EXPECT_EQ(set.merged(Channel::kDeliveryHops).count(), 1u);
+
+  set.reset();
+  EXPECT_EQ(set.merged_all(), HistogramSet{}.merged_all());
+}
+
+TEST(HistogramSet, ConfigureWorkersPreservesRemainingLanes) {
+  HistogramSet set;
+  set.record(Channel::kDeliveryHops, 2);  // lane 0, before sizing
+  set.configure_workers(4);
+  set.record(Channel::kDeliveryHops, 3, 3);
+  EXPECT_EQ(set.merged(Channel::kDeliveryHops).count(), 2u);
+  set.configure_workers(0);  // clamps to one lane; lane 0 survives
+  EXPECT_EQ(set.workers(), 1u);
+  EXPECT_EQ(set.merged(Channel::kDeliveryHops).count(), 1u);
+}
+
+TEST(HistogramChannel, NamesAreUniqueAndStable) {
+  std::set<std::string> names;
+  for (std::size_t c = 0; c < kChannelCount; ++c) {
+    names.insert(to_string(static_cast<Channel>(c)));
+  }
+  EXPECT_EQ(names.size(), kChannelCount);  // no duplicates, none "?"
+  EXPECT_EQ(names.count("delivery_hops"), 1u);
+  EXPECT_EQ(names.count("routing_table_size"), 1u);
+  EXPECT_EQ(names.count("stage_activations"), 1u);
+}
+
+}  // namespace
+}  // namespace vitis::support

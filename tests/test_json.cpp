@@ -98,7 +98,8 @@ TEST(BenchArtifact, SchemaShape) {
   telemetry.cycles_per_second = 800.0;
   // Schema v6: engine worker count plus the per-stage utilization block.
   telemetry.run_jobs = 2;
-  telemetry.parallel.push_back(support::ParallelPhaseStats{"sampling", 3.0, 2.0});
+  telemetry.parallel.push_back(
+      support::ParallelPhaseStats{"sampling", 3.0, 2.0, {1.0, 2.0}});
   telemetry.phases[static_cast<std::size_t>(support::Phase::kSampling)] =
       support::PhaseStats{7, 1500000};  // 7 calls, 1.5 ms
   telemetry.counters[static_cast<std::size_t>(
@@ -122,10 +123,17 @@ TEST(BenchArtifact, SchemaShape) {
   trace.delivered = 4;
   trace.hops.push_back(support::TraceHop{2, 11, 1, true, false});
   telemetry.traces.push_back(trace);
+  // Schema v7: one distribution channel (two exact-bucket hits plus one
+  // log-linear bucket hit at 40, whose bucket spans [40, 43]).
+  auto& hops_channel = telemetry.distributions[static_cast<std::size_t>(
+      support::Channel::kDeliveryHops)];
+  hops_channel.record(4);
+  hops_channel.record(4);
+  hops_channel.record(40);
   point.set_telemetry(telemetry);
 
   const std::string json = artifact.to_json();
-  EXPECT_NE(json.find("\"schema_version\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":7"), std::string::npos);
   EXPECT_NE(json.find("\"bench\":\"unit_test\""), std::string::npos);
   EXPECT_NE(json.find("\"git_describe\":\"deadbeef\""), std::string::npos);
   EXPECT_NE(json.find("\"scale\":{\"name\":\"quick\",\"nodes\":100,"
@@ -137,6 +145,16 @@ TEST(BenchArtifact, SchemaShape) {
   EXPECT_NE(json.find("\"friends\":6"), std::string::npos);
   EXPECT_NE(json.find("\"alpha\":0.5"), std::string::npos);
   EXPECT_NE(json.find("\"hit_ratio\":0.999"), std::string::npos);
+  // v7 distributions: deterministic, so the block sits OUTSIDE "telemetry",
+  // right after metrics. Quantiles are bucket upper bounds clamped to the
+  // exact max (p50 lands in the exact bucket 4; p90/p99 in [40, 43] clamp
+  // to the observed 40); only non-empty buckets serialize.
+  EXPECT_NE(json.find("\"distributions\":{\"delivery_hops\":{"
+                      "\"count\":3,\"sum\":48,\"max\":40,"
+                      "\"p50\":4,\"p90\":40,\"p99\":40,"
+                      "\"buckets\":[{\"lo\":4,\"hi\":4,\"count\":2},"
+                      "{\"lo\":40,\"hi\":43,\"count\":1}]}},\"telemetry\":{"),
+            std::string::npos);
   // v5 capacity gauges sit between the v1 keys and the phases block; v6
   // appends run_jobs and the per-stage parallel utilization after them.
   EXPECT_NE(json.find("\"telemetry\":{\"wall_ms\":12.5,\"peak_rss_kb\":2048,"
@@ -144,7 +162,8 @@ TEST(BenchArtifact, SchemaShape) {
                       "\"cycles\":10,\"messages\":1234,"
                       "\"cycles_per_second\":800,\"run_jobs\":2,"
                       "\"parallel\":{\"sampling\":{\"busy_ms\":3,"
-                      "\"span_ms\":2,\"efficiency\":0.75}},\"phases\":{"),
+                      "\"span_ms\":2,\"efficiency\":0.75,"
+                      "\"workers\":[1,2]}},\"phases\":{"),
             std::string::npos);
   // Per-phase breakdown: every phase present, set values round-tripped.
   EXPECT_NE(json.find("\"sampling\":{\"calls\":7,\"wall_ms\":1.5}"),
@@ -171,6 +190,10 @@ TEST(BenchArtifact, SchemaShape) {
             json.find("\"sampling\":{\"calls\":7,\"wall_ms\":1.5}"));
   EXPECT_NE(json.rfind("\"utility_cache_hits\":41"),
             json.find("\"utility_cache_hits\":41"));
+  // Totals also merge the distribution channels (bucket-wise sum; one point
+  // here, so the block simply repeats).
+  EXPECT_NE(json.rfind("\"distributions\":{\"delivery_hops\":{\"count\":3,"),
+            json.find("\"distributions\":{\"delivery_hops\":{\"count\":3,"));
   // v3 timeseries block: stride, named gauges (NaN -> null), phase calls.
   EXPECT_NE(json.find("\"timeseries\":{\"stride\":5,\"samples\":[{\"cycle\":5,"
                       "\"gauges\":{\"alive_nodes\":100"),
@@ -198,6 +221,8 @@ TEST(BenchArtifact, OmitsEmptyBlocks) {
   EXPECT_EQ(json.find("\"phases\""), std::string::npos);
   EXPECT_EQ(json.find("\"counters\""), std::string::npos);
   EXPECT_EQ(json.find("\"timeseries\""), std::string::npos);
+  // v7: a run that recorded no distribution values omits the block too.
+  EXPECT_EQ(json.find("\"distributions\""), std::string::npos);
   // The scalar telemetry fields and totals stay.
   EXPECT_NE(json.find("\"telemetry\":{\"wall_ms\":3"), std::string::npos);
   EXPECT_NE(json.find("\"totals\":{\"points\":1"), std::string::npos);

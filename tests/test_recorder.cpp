@@ -4,13 +4,16 @@
 // traces, and observing a run never perturbs the simulated protocol.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "baselines/rvr/rvr_system.hpp"
 #include "core/vitis_system.hpp"
+#include "support/bench_artifact.hpp"
 #include "support/recorder.hpp"
 #include "workload/scenario.hpp"
 
@@ -121,6 +124,41 @@ TEST(Recorder, TraceLifecycleRespectsCaps) {
   recorder.begin_trace(6, 7, 2);
   recorder.end_trace(1, 1);
   EXPECT_FALSE(recorder.want_trace());
+}
+
+TEST(Recorder, NanWindowGaugesRoundTripThroughJsonNull) {
+  // Event-free windows store NaN gauges; JSON has no NaN, so the artifact
+  // writer degrades them to null and readers (tools/validate_artifact.py,
+  // tools/perf_diff.py) map null back to NaN. The full cycle must be
+  // lossless: NaN in, null on the wire, bit-identical quiet NaN out.
+  BenchArtifact artifact("nan_roundtrip");
+  artifact.set_scale("quick", 1, 1, 1, 1);
+  RunTelemetry telemetry;
+  telemetry.series.stride = 1;
+  TimeSeriesSample sample;
+  sample.cycle = 0;
+  sample.gauges.fill(1.5);
+  const double recorded = std::numeric_limits<double>::quiet_NaN();
+  sample.gauges[static_cast<std::size_t>(Gauge::kWindowHitRatio)] = recorded;
+  telemetry.series.samples.push_back(sample);
+  artifact.add_point().set_telemetry(telemetry);
+
+  const std::string json = artifact.to_json();
+  const std::string nan_key = "\"window_hit_ratio\":";
+  const auto nan_pos = json.find(nan_key);
+  ASSERT_NE(nan_pos, std::string::npos);
+  EXPECT_EQ(json.substr(nan_pos + nan_key.size(), 4), "null");
+  // A neighboring finite gauge keeps its numeric form — the degradation is
+  // per value, not per sample.
+  const std::string num_key = "\"window_overhead_pct\":";
+  const auto num_pos = json.find(num_key);
+  ASSERT_NE(num_pos, std::string::npos);
+  EXPECT_EQ(json.substr(num_pos + num_key.size(), 3), "1.5");
+
+  // Reader side: null decodes to quiet NaN, bitwise equal to the recording.
+  const double reconstructed = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(reconstructed),
+            std::bit_cast<std::uint64_t>(recorded));
 }
 
 TEST(Recorder, GaugeNamesAreUniqueAndStable) {

@@ -12,14 +12,20 @@
 // stream, and cross-node effects travel through per-worker outbox lanes
 // drained in fixed lane order by a serial merge — worker count moves where
 // work happens, not what happens.
+//
+// The same contract covers the distribution channels (schema v7): worker
+// lanes merge by bucket-wise sum, so the merged histograms are compared
+// bucket-exact across worker counts.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <bit>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
 #include "ids/hash.hpp"
+#include "support/histogram.hpp"
 #include "support/recorder.hpp"
 #include "workload/churn_driver.hpp"
 #include "workload/scenario.hpp"
@@ -123,6 +129,7 @@ struct RunResult {
   support::TimeSeries series;
   std::vector<support::PublicationTrace> traces;
   sim::FaultStats faults;
+  std::array<support::Histogram, support::kChannelCount> distributions;
 };
 
 /// One full hostile run at the given worker count: recorder on (stride 1,
@@ -161,6 +168,7 @@ RunResult run_once(Make make, std::size_t jobs) {
   result.series = system->recorder()->series();
   result.traces = system->recorder()->traces();
   result.faults = system->fault_plan().stats();
+  result.distributions = system->distributions()->merged_all();
   return result;
 }
 
@@ -174,6 +182,15 @@ void expect_worker_count_invariance(Make make) {
   EXPECT_GT(serial.faults.attempts, 0u);
   EXPECT_GT(serial.faults.drops, 0u);
   EXPECT_EQ(serial.faults.crashes, 2u);
+  // The distribution channels recorded for real on every system: events
+  // delivered (hops) and the engine counted its stage passes. The
+  // worker-lane channels (routing-table occupancy) fired too.
+  const auto channel = [](const RunResult& r, support::Channel c) {
+    return r.distributions[static_cast<std::size_t>(c)];
+  };
+  EXPECT_GT(channel(serial, support::Channel::kDeliveryHops).count(), 0u);
+  EXPECT_GT(channel(serial, support::Channel::kStageActivations).count(), 0u);
+  EXPECT_GT(channel(serial, support::Channel::kRoutingTableSize).count(), 0u);
 
   for (const std::size_t jobs : {std::size_t{2}, std::size_t{7}}) {
     const RunResult sharded = run_once(make, jobs);
@@ -182,6 +199,14 @@ void expect_worker_count_invariance(Make make) {
     expect_same_series(serial.series, sharded.series, jobs);
     EXPECT_EQ(serial.traces, sharded.traces)
         << "publication traces diverged at run_jobs=" << jobs;
+    // Bucket-exact histogram compare (defaulted operator== covers every
+    // bucket plus count/sum/max): lane merging must erase the worker count.
+    for (std::size_t c = 0; c < support::kChannelCount; ++c) {
+      EXPECT_EQ(serial.distributions[c], sharded.distributions[c])
+          << "distribution channel "
+          << support::to_string(static_cast<support::Channel>(c))
+          << " diverged at run_jobs=" << jobs;
+    }
     EXPECT_EQ(serial.faults.attempts, sharded.faults.attempts);
     EXPECT_EQ(serial.faults.drops, sharded.faults.drops);
     EXPECT_EQ(serial.faults.partition_drops, sharded.faults.partition_drops);

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""Validate BENCH_<name>.json artifacts against the schema-v3..v6 shape.
+"""Validate BENCH_<name>.json artifacts against the schema-v3..v7 shape.
 
 Checks every artifact for:
 
-* schema_version in {3, 4, 5, 6} and the top-level keys (bench, scale,
+* schema_version in {3, 4, 5, 6, 7} and the top-level keys (bench, scale,
   seed, jobs, points, totals);
 * the scale block (name/nodes/topics/cycles/events, all integers >= 0);
 * per point: params (scalars), metrics (numbers), telemetry (wall_ms,
@@ -11,17 +11,27 @@ Checks every artifact for:
   calls/wall_ms, the — v4+ — named counters block, the — v5 —
   capacity gauges peak_rss_bytes and cycles_per_second, and the — v6 —
   run_jobs count plus the optional per-stage `parallel` block with
-  busy_ms/span_ms/efficiency), and the `timeseries` block — stride plus
-  samples, each sample a cycle, the per-version named gauges (number or
-  null: NaN gauges from event-free windows serialize as null) and the
-  phase call counters;
+  busy_ms/span_ms/efficiency and the — v7 — per-worker `workers` busy
+  split), and the `timeseries` block — stride plus samples, each sample a
+  cycle, the per-version named gauges (number or null: NaN gauges from
+  event-free windows serialize as null) and the phase call counters;
 * v4+ omission rules: "phases", "counters" and "timeseries" may be absent
   (all-zero / recorder off); when present they must be complete;
 * v6 placement rule: --run-jobs is a wall-clock-only knob, so "run_jobs"
   must NEVER leak into the stdout-affecting fields — params, metrics,
   totals or scale. A v6 artifact mentioning it there fails validation;
+* v6+ parallel tightenings: efficiency must sit in (0, 1] (zero-span
+  stages are omitted by the writer), busy_ms must not exceed
+  span_ms × run_jobs, and the v7 `workers` array must have run_jobs
+  entries summing to busy_ms;
+* the — v7 — `distributions` blocks (per point and totals, both optional
+  when no channel recorded): named support::Channel objects with exact
+  count/sum/max integers, monotone p50 <= p90 <= p99 <= max quantiles and
+  sparse buckets (lo <= hi, strictly ascending, positive counts summing
+  to the channel count). Pre-v7 artifacts must not carry the block;
 * totals: points matches len(points), summed phases/counters, the — v5 —
-  capacity gauges, and the `traces` count.
+  capacity gauges (v6+: cycles_per_second must equal the max over
+  points), and the `traces` count.
 
 A git_describe ending in "-dirty" draws a warning on stderr (the
 committed artifacts must be regenerated from a clean tree) but does not
@@ -51,6 +61,16 @@ GAUGES_V3 = [
     "window_overhead_pct",
 ]
 GAUGES_V4 = GAUGES_V3 + ["utility_cache_hit_rate"]
+GAUGES_V7 = GAUGES_V4 + ["shard_imbalance"]
+
+CHANNELS_V7 = [
+    "delivery_hops",
+    "publication_latency",
+    "relay_path_length",
+    "routing_table_size",
+    "node_messages",
+    "stage_activations",
+]
 
 PHASES_V3 = ["sampling", "tman", "ranking", "relay", "routing"]
 PHASES_V4 = PHASES_V3 + ["delivery", "observe", "election"]
@@ -154,12 +174,13 @@ def check_timeseries(c, series, phases, gauges, where, optional):
                           f"{at}: phase_calls.{name} not a count")
 
 
-def check_parallel(c, parallel, where):
+def check_parallel(c, parallel, where, run_jobs, v7):
     if parallel is None:  # optional: serial systems omit the block
         return
     if not c.require(isinstance(parallel, dict) and parallel,
                      f"{where}: parallel is not a non-empty object"):
         return
+    known = ("busy_ms", "span_ms", "efficiency", "workers")
     for stage, stats in parallel.items():
         at = f"{where}: parallel['{stage}']"
         if not c.require(isinstance(stats, dict), f"{at} is not an object"):
@@ -167,16 +188,78 @@ def check_parallel(c, parallel, where):
         for key in ("busy_ms", "span_ms", "efficiency"):
             c.require(c.is_number(stats.get(key)), f"{at}: {key} not a number")
         for key in stats:
-            c.require(key in ("busy_ms", "span_ms", "efficiency"),
+            c.require(key in known and (key != "workers" or v7),
                       f"{at}: unknown key '{key}'")
-        # efficiency is busy/(span × run_jobs) — a utilization, never > 1.
+        # efficiency is busy/(span × run_jobs) — a utilization over a
+        # non-empty section, so it must land in (0, 1].
         eff = stats.get("efficiency")
         if c.is_number(eff):
-            c.require(0.0 <= eff <= 1.0 + 1e-9,
-                      f"{at}: efficiency {eff!r} outside [0, 1]")
+            c.require(0.0 < eff <= 1.0 + 1e-9,
+                      f"{at}: efficiency {eff!r} outside (0, 1]")
+        busy, span = stats.get("busy_ms"), stats.get("span_ms")
+        if c.is_number(busy) and c.is_number(span) and c.is_count(run_jobs):
+            c.require(busy <= span * run_jobs * (1.0 + 1e-6),
+                      f"{at}: busy_ms {busy!r} exceeds span_ms × run_jobs")
+        workers = stats.get("workers")
+        if v7 and workers is not None:
+            if c.require(isinstance(workers, list), f"{at}: workers not an array"):
+                c.require(len(workers) == run_jobs,
+                          f"{at}: workers has {len(workers)} entries, "
+                          f"want run_jobs={run_jobs}")
+                if all(c.is_number(w) for w in workers):
+                    c.require(all(w >= 0.0 for w in workers),
+                              f"{at}: negative worker busy time")
+                    if c.is_number(busy):
+                        c.require(abs(sum(workers) - busy) <=
+                                  1e-6 * max(1.0, abs(busy)),
+                                  f"{at}: workers sum != busy_ms")
+                else:
+                    c.fail(f"{at}: workers entries not all numbers")
 
 
-def check_telemetry(c, telemetry, phases, where, optional, v5, v6):
+def check_distributions(c, distributions, where, optional):
+    if distributions is None and optional:
+        return
+    if not c.require(isinstance(distributions, dict) and distributions,
+                     f"{where}: distributions is not a non-empty object"):
+        return
+    for name, channel in distributions.items():
+        at = f"{where}: distributions['{name}']"
+        if not c.require(name in CHANNELS_V7, f"{at}: unknown channel"):
+            continue
+        if not c.require(isinstance(channel, dict), f"{at} is not an object"):
+            continue
+        for key in ("count", "sum", "max", "p50", "p90", "p99"):
+            c.require(c.is_count(channel.get(key)), f"{at}: {key} not a count")
+        quantiles = [channel.get(k) for k in ("p50", "p90", "p99", "max")]
+        if all(c.is_count(q) for q in quantiles):
+            c.require(quantiles == sorted(quantiles),
+                      f"{at}: quantiles not monotone (p50<=p90<=p99<=max)")
+        buckets = channel.get("buckets")
+        if not c.require(isinstance(buckets, list) and buckets,
+                         f"{at}: buckets not a non-empty array"):
+            continue
+        total, previous_lo = 0, -1
+        for i, bucket in enumerate(buckets):
+            bat = f"{at}: bucket[{i}]"
+            if not c.require(isinstance(bucket, dict), f"{bat} is not an object"):
+                continue
+            lo, hi, count = bucket.get("lo"), bucket.get("hi"), bucket.get("count")
+            for key, value in (("lo", lo), ("hi", hi), ("count", count)):
+                c.require(c.is_count(value), f"{bat}: {key} not a count")
+            if c.is_count(lo) and c.is_count(hi):
+                c.require(lo <= hi, f"{bat}: lo > hi")
+                c.require(lo > previous_lo, f"{bat}: buckets not ascending")
+                previous_lo = lo
+            if c.is_count(count):
+                c.require(count > 0, f"{bat}: empty bucket serialized")
+                total += count
+        c.require(total == channel.get("count"),
+                  f"{at}: bucket counts sum to {total}, "
+                  f"want count={channel.get('count')!r}")
+
+
+def check_telemetry(c, telemetry, phases, where, optional, v5, v6, v7):
     if not c.require(isinstance(telemetry, dict), f"{where}: telemetry is not an object"):
         return
     for key in ("wall_ms",):
@@ -196,7 +279,8 @@ def check_telemetry(c, telemetry, phases, where, optional, v5, v6):
         c.require(c.is_count(telemetry.get("run_jobs")) and
                   telemetry.get("run_jobs", 0) >= 1,
                   f"{where}: telemetry.run_jobs not a positive count")
-        check_parallel(c, telemetry.get("parallel"), f"{where}: telemetry")
+        check_parallel(c, telemetry.get("parallel"), f"{where}: telemetry",
+                       telemetry.get("run_jobs"), v7)
     else:
         for key in ("run_jobs", "parallel"):
             c.require(key not in telemetry,
@@ -220,14 +304,15 @@ def check_artifact(path):
     if not c.require(isinstance(doc, dict), "top level is not an object"):
         return c.problems
     version = doc.get("schema_version")
-    if not c.require(version in (3, 4, 5, 6),
-                     f"schema_version is {version!r}, want 3..6"):
+    if not c.require(version in (3, 4, 5, 6, 7),
+                     f"schema_version is {version!r}, want 3..7"):
         return c.problems
-    v4 = version >= 4  # v5/v6 keep the v4 phases/gauges/counters/omissions
+    v4 = version >= 4  # v5..v7 keep the v4 phases/gauges/counters/omissions
     v5 = version >= 5
     v6 = version >= 6
+    v7 = version >= 7
     phases = PHASES_V4 if v4 else PHASES_V3
-    gauges = GAUGES_V4 if v4 else GAUGES_V3
+    gauges = (GAUGES_V7 if v7 else GAUGES_V4) if v4 else GAUGES_V3
     c.require(isinstance(doc.get("bench"), str) and doc["bench"],
               "bench name missing")
     if c.require(isinstance(doc.get("git_describe"), str), "git_describe missing"):
@@ -273,7 +358,13 @@ def check_artifact(path):
                           f"{where}: metrics mention run_jobs "
                           "(stdout-affecting; telemetry-only)")
         check_telemetry(c, point.get("telemetry"), phases, where, optional=v4,
-                        v5=v5, v6=v6)
+                        v5=v5, v6=v6, v7=v7)
+        if v7:  # distributions omitted when no channel recorded a value
+            check_distributions(c, point.get("distributions"), where,
+                                optional=True)
+        else:
+            c.require("distributions" not in point,
+                      f"{where}: has v7 distributions in a pre-v7 artifact")
         check_timeseries(c, point.get("timeseries"), phases, gauges, where,
                          optional=v4)
 
@@ -289,10 +380,29 @@ def check_artifact(path):
                       "totals.peak_rss_bytes not a count")
             c.require(c.is_number(totals.get("cycles_per_second")),
                       "totals.cycles_per_second not a number")
+        if v6 and c.is_number(totals.get("cycles_per_second")):
+            # v6 redefined the total as the max over points (thread-scaling
+            # sweeps make a paced mean meaningless) — hold the writer to it.
+            rates = [p.get("telemetry", {}).get("cycles_per_second")
+                     for p in points if isinstance(p, dict)
+                     and isinstance(p.get("telemetry"), dict)]
+            rates = [r for r in rates if c.is_number(r)]
+            if rates:
+                expected = max(rates)
+                got = totals["cycles_per_second"]
+                c.require(abs(got - expected) <= 1e-9 * max(1.0, abs(expected)),
+                          f"totals.cycles_per_second {got!r} != max over "
+                          f"points {expected!r}")
         if v6:
             for key in ("run_jobs", "parallel"):
                 c.require(key not in totals,
                           f"totals mention {key} (stdout-affecting; telemetry-only)")
+        if v7:
+            check_distributions(c, totals.get("distributions"), "totals",
+                                optional=True)
+        else:
+            c.require("distributions" not in totals,
+                      "totals has v7 distributions in a pre-v7 artifact")
         check_phases(c, totals.get("phases"), phases, "totals", optional=v4)
         if v4:
             check_counters(c, totals.get("counters"), "totals", optional=True)
